@@ -1,0 +1,363 @@
+// Root benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (Section 5) plus the two theorem-level benchmarks, as indexed
+// in DESIGN.md. Each figure benchmark executes the same protocol as
+// cmd/dlsexp with a reduced sweep so a full -bench=. run stays in seconds;
+// the emitted metric is the figure's headline number, making regressions in
+// the reproduced *shape* visible in benchmark diffs.
+package repro
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/dls"
+	"repro/internal/experiments"
+)
+
+// benchConfig is the reduced sweep shared by the figure benchmarks.
+func benchConfig() experiments.Config {
+	cfg := experiments.DefaultConfig()
+	cfg.Platforms = 5
+	cfg.Sizes = []int{40, 120, 200}
+	cfg.M = 500
+	return cfg
+}
+
+func runFigure(b *testing.B, id string, metric func(*experiments.Result) float64, unit string) {
+	b.Helper()
+	cfg := benchConfig()
+	runner := experiments.Registry()[id]
+	if runner == nil {
+		b.Fatalf("unknown figure %q", id)
+	}
+	var last float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := runner(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if metric != nil {
+			last = metric(res)
+		}
+	}
+	if metric != nil {
+		b.ReportMetric(last, unit)
+	}
+}
+
+// lastOf returns the final value of the named series (the largest matrix
+// size), the headline point of the sweep figures.
+func lastOf(name string) func(*experiments.Result) float64 {
+	return func(r *experiments.Result) float64 {
+		for _, s := range r.Series {
+			if s.Name == name && len(s.Y) > 0 {
+				return s.Y[len(s.Y)-1]
+			}
+		}
+		return 0
+	}
+}
+
+// BenchmarkFig08Linearity reproduces Figure 8 (linearity test); the metric
+// is the measured slope ratio between the speed-1 and speed-5 workers
+// (expected 5.0 under the linear model).
+func BenchmarkFig08Linearity(b *testing.B) {
+	runFigure(b, "8", func(r *experiments.Result) float64 {
+		slow := r.Series[0].Y[len(r.Series[0].Y)-1]
+		fast := r.Series[4].Y[len(r.Series[4].Y)-1]
+		return slow / fast
+	}, "slope-ratio")
+}
+
+// BenchmarkFig09Trace reproduces Figure 9 (execution trace); no headline
+// metric, the value is the Gantt generation itself.
+func BenchmarkFig09Trace(b *testing.B) {
+	runFigure(b, "9", nil, "")
+}
+
+// BenchmarkFig10HomogeneousBus reproduces Figure 10; metric: LIFO lp /
+// INC_C lp at the largest size (≥ 1 on buses, see EXPERIMENTS.md).
+func BenchmarkFig10HomogeneousBus(b *testing.B) {
+	runFigure(b, "10", lastOf("LIFO lp/INC_C lp"), "lifo/fifo-lp")
+}
+
+// BenchmarkFig11HeteroComp reproduces Figure 11; metric: INC_W real /
+// INC_C lp at the largest size. On homogeneous-communication platforms all
+// FIFO orders share the same LP optimum (bus property), so the heuristics
+// only separate in the measured runs.
+func BenchmarkFig11HeteroComp(b *testing.B) {
+	runFigure(b, "11", lastOf("INC_W real/INC_C lp"), "incw-real/lp")
+}
+
+// BenchmarkFig12HeteroStar reproduces Figure 12; metric: LIFO lp / INC_C
+// lp at the largest size (< 1: LIFO overtakes FIFO on heterogeneous
+// platforms).
+func BenchmarkFig12HeteroStar(b *testing.B) {
+	runFigure(b, "12", lastOf("LIFO lp/INC_C lp"), "lifo/fifo-lp")
+}
+
+// BenchmarkFig13aComputeX10 reproduces Figure 13(a); metric: LIFO real /
+// INC_C lp at the largest size.
+func BenchmarkFig13aComputeX10(b *testing.B) {
+	runFigure(b, "13a", lastOf("LIFO real/INC_C lp"), "lifo-real/lp")
+}
+
+// BenchmarkFig13bCommX10 reproduces Figure 13(b); metric: INC_C real /
+// INC_C lp at the largest size (grows with size — the linear-model limit).
+func BenchmarkFig13bCommX10(b *testing.B) {
+	runFigure(b, "13b", lastOf("INC_C real/INC_C lp"), "real/lp")
+}
+
+// BenchmarkFig14Participation reproduces Figure 14 (both x = 1 and x = 3);
+// metric: number of workers enrolled with 4 available at x = 1 (paper: 3).
+func BenchmarkFig14Participation(b *testing.B) {
+	cfg := benchConfig()
+	var enrolled float64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ra, err := experiments.Fig14Participation(cfg, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.Fig14Participation(cfg, 3); err != nil {
+			b.Fatal(err)
+		}
+		nb := ra.Series[2].Y
+		enrolled = nb[len(nb)-1]
+	}
+	b.ReportMetric(enrolled, "workers-at-x1")
+}
+
+// BenchmarkTheorem1OptimalFIFO benchmarks the polynomial-time optimal FIFO
+// computation (Theorem 1 + Proposition 1) on the paper-sized 11-worker
+// platform (index TH1 in DESIGN.md).
+func BenchmarkTheorem1OptimalFIFO(b *testing.B) {
+	rng := rand.New(rand.NewSource(41))
+	sp := dls.RandomSpeeds(rng, 11, dls.Heterogeneous)
+	p := sp.Platform(dls.DefaultApp(100))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := dls.OptimalFIFO(p, dls.Float64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTheorem2BusClosedForm benchmarks the closed-form bus throughput
+// against its LP counterpart (index TH2 in DESIGN.md): the closed form is
+// the fast path, the LP the reference.
+func BenchmarkTheorem2BusClosedForm(b *testing.B) {
+	p := dls.NewBus(0.1, 0.05, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.1, 1.2)
+	b.Run("closed-form", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := dls.BusFIFOThroughput(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("linear-program", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := dls.OptimalFIFO(p, dls.Float64); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Ablation benchmarks ---------------------------------------------------
+//
+// These quantify the design choices documented in DESIGN.md: the arithmetic
+// of the LP solver, the integer rounding policy, the communication
+// discipline, the one-port restriction itself, and the one-round choice.
+
+// BenchmarkAblationArithmetic compares the float64 simplex against the
+// exact rational simplex on the paper-sized 11-worker FIFO program.
+func BenchmarkAblationArithmetic(b *testing.B) {
+	rng := rand.New(rand.NewSource(50))
+	sp := dls.RandomSpeeds(rng, 11, dls.Heterogeneous)
+	p := sp.Platform(dls.DefaultApp(100))
+	for _, tc := range []struct {
+		name  string
+		arith dls.Arith
+	}{{"float64", dls.Float64}, {"exact-rational", dls.Exact}} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := dls.OptimalFIFO(p, tc.arith); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRounding compares the paper's rounding policy (floor,
+// then top-up the first workers of σ1) against a largest-remainder policy,
+// reporting the simulated makespan overhead of each relative to the
+// fractional LP prediction.
+func BenchmarkAblationRounding(b *testing.B) {
+	rng := rand.New(rand.NewSource(51))
+	app := dls.DefaultApp(100)
+	sp := dls.RandomSpeeds(rng, 11, dls.Heterogeneous)
+	plat := sp.Platform(app)
+	sched, err := dls.OptimalFIFO(plat, dls.Float64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const M = 1000
+	predicted := dls.MakespanForLoad(sched, M)
+
+	largestRemainder := func(alphas []float64, order dls.Order, total int) []int {
+		mass := 0.0
+		for _, i := range order {
+			mass += alphas[i]
+		}
+		counts := make([]int, len(alphas))
+		type frac struct {
+			worker int
+			rem    float64
+		}
+		var fr []frac
+		assigned := 0
+		for _, i := range order {
+			share := alphas[i] / mass * float64(total)
+			counts[i] = int(share)
+			assigned += counts[i]
+			fr = append(fr, frac{i, share - float64(counts[i])})
+		}
+		sort.Slice(fr, func(a, c int) bool { return fr[a].rem > fr[c].rem })
+		for k := 0; k < total-assigned; k++ {
+			counts[fr[k].worker]++
+		}
+		return counts
+	}
+
+	run := func(counts []int) float64 {
+		loads := make([]float64, len(counts))
+		for i, c := range counts {
+			loads[i] = float64(c)
+		}
+		res, err := dls.Simulate(dls.SimulationParams{
+			App: app, Speeds: sp, Loads: loads,
+			SendOrder: sched.SendOrder, ReturnOrder: sched.ReturnOrder,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.Makespan
+	}
+
+	b.Run("paper-topup", func(b *testing.B) {
+		var overhead float64
+		for i := 0; i < b.N; i++ {
+			counts, err := dls.DistributeInteger(sched.Alpha, sched.SendOrder, M)
+			if err != nil {
+				b.Fatal(err)
+			}
+			overhead = run(counts)/predicted - 1
+		}
+		b.ReportMetric(overhead*100, "%overhead")
+	})
+	b.Run("largest-remainder", func(b *testing.B) {
+		var overhead float64
+		for i := 0; i < b.N; i++ {
+			counts := largestRemainder(sched.Alpha, sched.SendOrder, M)
+			overhead = run(counts)/predicted - 1
+		}
+		b.ReportMetric(overhead*100, "%overhead")
+	})
+}
+
+// BenchmarkAblationDiscipline compares the communication disciplines on one
+// heterogeneous platform: optimal FIFO, optimal LIFO and the unrestricted
+// best permutation pair (small platform so the pair search is exhaustive).
+func BenchmarkAblationDiscipline(b *testing.B) {
+	rng := rand.New(rand.NewSource(52))
+	sp := dls.RandomSpeeds(rng, 5, dls.Heterogeneous)
+	p := sp.Platform(dls.DefaultApp(200))
+	b.Run("optimal-fifo", func(b *testing.B) {
+		var rho float64
+		for i := 0; i < b.N; i++ {
+			s, err := dls.OptimalFIFO(p, dls.Float64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rho = s.Throughput()
+		}
+		b.ReportMetric(rho, "units/s")
+	})
+	b.Run("optimal-lifo", func(b *testing.B) {
+		var rho float64
+		for i := 0; i < b.N; i++ {
+			s, err := dls.OptimalLIFO(p, dls.Float64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rho = s.Throughput()
+		}
+		b.ReportMetric(rho, "units/s")
+	})
+	b.Run("best-pair-exhaustive", func(b *testing.B) {
+		var rho float64
+		for i := 0; i < b.N; i++ {
+			pr, err := dls.BestPairExhaustive(p, dls.OnePort, dls.Float64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rho = pr.Schedule.Throughput()
+		}
+		b.ReportMetric(rho, "units/s")
+	})
+}
+
+// BenchmarkAblationOnePortPenalty reports the throughput cost of the
+// one-port restriction versus the companion paper's two-port model.
+func BenchmarkAblationOnePortPenalty(b *testing.B) {
+	rng := rand.New(rand.NewSource(53))
+	sp := dls.RandomSpeeds(rng, 11, dls.Heterogeneous)
+	p := sp.Platform(dls.DefaultApp(80))
+	var penalty float64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := dls.OnePortPenalty(p, dls.Float64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		penalty = r
+	}
+	b.ReportMetric(penalty, "two/one-port")
+}
+
+// BenchmarkAblationMultiRound reports the best uniform round count for a
+// naive equal split with per-message latency (the one-round design choice
+// of the paper versus the multi-round extension).
+func BenchmarkAblationMultiRound(b *testing.B) {
+	rng := rand.New(rand.NewSource(54))
+	sp := dls.RandomSpeeds(rng, 6, dls.Heterogeneous)
+	p := sp.Platform(dls.DefaultApp(200))
+	loads := make([]float64, p.P())
+	for i := range loads {
+		loads[i] = 1000.0 / float64(p.P())
+	}
+	params := dls.MultiRoundParams{
+		Platform: p,
+		Loads:    loads,
+		Order:    p.ByC(),
+		Latency:  0.004,
+	}
+	var bestR int
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, _, err := dls.BestRounds(params, 24)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bestR = r
+	}
+	b.ReportMetric(float64(bestR), "best-rounds")
+}

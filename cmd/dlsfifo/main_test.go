@@ -1,0 +1,162 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/dls"
+)
+
+// writePlatform writes a small valid platform JSON and returns its path.
+func writePlatform(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "platform.json")
+	data := `{"workers":[
+		{"name":"a","c":0.05,"w":0.3,"d":0.025},
+		{"name":"b","c":0.08,"w":0.2,"d":0.04},
+		{"name":"c","c":0.10,"w":0.5,"d":0.05}
+	]}`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadPlatform(t *testing.T) {
+	path := writePlatform(t)
+	p, err := loadPlatform(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.P() != 3 || p.Workers[0].Name != "a" {
+		t.Errorf("loaded platform: %v", p)
+	}
+	if _, err := loadPlatform(""); err == nil {
+		t.Error("empty path must fail")
+	}
+	if _, err := loadPlatform(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file must fail")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte(`{"workers":[{"c":0,"w":1,"d":1}]}`), 0o644)
+	if _, err := loadPlatform(bad); err == nil {
+		t.Error("invalid platform must fail validation")
+	}
+}
+
+func TestCmdScheduleAllDisciplines(t *testing.T) {
+	path := writePlatform(t)
+	for _, disc := range []string{"fifo", "lifo", "incw"} {
+		if err := cmdSchedule([]string{"-platform", path, "-discipline", disc, "-load", "100", "-gantt"}); err != nil {
+			t.Errorf("discipline %s: %v", disc, err)
+		}
+	}
+	if err := cmdSchedule([]string{"-platform", path, "-model", "two-port"}); err != nil {
+		t.Errorf("two-port: %v", err)
+	}
+	if err := cmdSchedule([]string{"-platform", path, "-exact"}); err != nil {
+		t.Errorf("exact: %v", err)
+	}
+	if err := cmdSchedule([]string{"-platform", path, "-discipline", "nope"}); err == nil {
+		t.Error("unknown discipline must fail")
+	}
+	if err := cmdSchedule([]string{"-platform", path, "-model", "nope"}); err == nil {
+		t.Error("unknown model must fail")
+	}
+	if err := cmdSchedule([]string{}); err == nil {
+		t.Error("missing platform must fail")
+	}
+}
+
+func TestCmdScheduleOutAndVerify(t *testing.T) {
+	platPath := writePlatform(t)
+	schedPath := filepath.Join(t.TempDir(), "sched.json")
+	if err := cmdSchedule([]string{"-platform", platPath, "-out", schedPath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdVerify([]string{"-platform", platPath, "-schedule", schedPath}); err != nil {
+		t.Errorf("verify of freshly computed schedule failed: %v", err)
+	}
+	// Corrupt the schedule: triple every load so it cannot fit in T = 1.
+	data, err := os.ReadFile(schedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := strings.ReplaceAll(string(data), `"T": 1`, `"T": 0.2`)
+	if corrupted == string(data) {
+		t.Fatalf("could not corrupt schedule JSON:\n%s", data)
+	}
+	os.WriteFile(schedPath, []byte(corrupted), 0o644)
+	if err := cmdVerify([]string{"-platform", platPath, "-schedule", schedPath}); err == nil {
+		t.Error("verify must reject an infeasible schedule")
+	}
+	// Flag errors.
+	if err := cmdVerify([]string{"-platform", platPath}); err == nil {
+		t.Error("missing schedule must fail")
+	}
+	if err := cmdVerify([]string{"-platform", platPath, "-schedule", schedPath, "-model", "nope"}); err == nil {
+		t.Error("unknown model must fail")
+	}
+	missing := filepath.Join(t.TempDir(), "nope.json")
+	if err := cmdVerify([]string{"-platform", platPath, "-schedule", missing}); err == nil {
+		t.Error("missing schedule file must fail")
+	}
+	os.WriteFile(missing, []byte("{"), 0o644)
+	if err := cmdVerify([]string{"-platform", platPath, "-schedule", missing}); err == nil {
+		t.Error("malformed schedule JSON must fail")
+	}
+}
+
+func TestCmdBus(t *testing.T) {
+	if err := cmdBus([]string{"-c", "0.1", "-d", "0.05", "-w", "0.4, 0.6,0.8"}); err != nil {
+		t.Errorf("bus: %v", err)
+	}
+	if err := cmdBus([]string{"-c", "0.1", "-d", "0.05"}); err == nil {
+		t.Error("missing -w must fail")
+	}
+	if err := cmdBus([]string{"-c", "0.1", "-d", "0.05", "-w", "x"}); err == nil {
+		t.Error("unparsable -w must fail")
+	}
+}
+
+func TestCmdBrute(t *testing.T) {
+	path := writePlatform(t)
+	if err := cmdBrute([]string{"-platform", path}); err != nil {
+		t.Errorf("brute: %v", err)
+	}
+	if err := cmdBrute([]string{}); err == nil {
+		t.Error("missing platform must fail")
+	}
+}
+
+func TestCmdRandom(t *testing.T) {
+	for _, fam := range []string{"homogeneous", "homcomm", "heterogeneous"} {
+		if err := cmdRandom([]string{"-p", "4", "-family", fam, "-seed", "9"}); err != nil {
+			t.Errorf("family %s: %v", fam, err)
+		}
+	}
+	if err := cmdRandom([]string{"-family", "nope"}); err == nil {
+		t.Error("unknown family must fail")
+	}
+}
+
+func TestGanttOfSchedule(t *testing.T) {
+	path := writePlatform(t)
+	p, err := loadPlatform(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := dls.OptimalFIFO(p, dls.Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ganttOfSchedule(p, s)
+	for _, want := range []string{"master", "legend", "#", "="} {
+		if !strings.Contains(g, want) {
+			t.Errorf("gantt missing %q:\n%s", want, g)
+		}
+	}
+}

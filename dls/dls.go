@@ -1,0 +1,235 @@
+// Package dls is the public API of the divisible-load scheduling library
+// reproducing Beaumont, Marchal, Rehn and Robert, "FIFO scheduling of
+// divisible loads with return messages under the one-port model" (INRIA
+// RR-5738 / IPDPS 2006).
+//
+// The library schedules one-round divisible-load applications on
+// heterogeneous master-worker star platforms where workers send results
+// back to the master and the master can be engaged in at most one
+// communication at a time (the one-port model). It provides:
+//
+//   - optimal one-port FIFO schedules on star platforms (Theorem 1 +
+//     Proposition 1, including automatic resource selection),
+//   - optimal one-port LIFO schedules,
+//   - the closed-form optimal FIFO throughput on bus platforms (Theorem 2)
+//     with the constructive schedule,
+//   - linear programs for arbitrary send/return permutation pairs under the
+//     one-port and two-port models (Section 2.3),
+//   - exhaustive searches over orders and permutation pairs as optimality
+//     oracles on small platforms,
+//   - the Section 5 integer rounding policy, and
+//   - a virtual message-passing cluster for executing schedules as real
+//     master/worker programs and measuring their makespan.
+//
+// # Quick start
+//
+//	p := dls.NewPlatform(
+//	    dls.Worker{C: 0.1, W: 0.5, D: 0.05},
+//	    dls.Worker{C: 0.2, W: 0.3, D: 0.10},
+//	)
+//	s, err := dls.OptimalFIFO(p, dls.Float64)
+//	if err != nil { ... }
+//	fmt.Println(s.Throughput(), s.Participants())
+//
+// All schedule-producing functions verify their output against an
+// independent feasibility checker before returning it.
+package dls
+
+import (
+	"math/big"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/mmapp"
+	"repro/internal/platform"
+	"repro/internal/rounding"
+	"repro/internal/schedule"
+	"repro/internal/trace"
+)
+
+// Core model types, re-exported from the internal packages.
+type (
+	// Platform is a master-worker star platform (Section 2.1).
+	Platform = platform.Platform
+	// Worker holds one worker's linear costs: C per unit sent to it, W per
+	// unit computed, D per unit returned.
+	Worker = platform.Worker
+	// Order is a permutation of worker indices.
+	Order = platform.Order
+	// Speeds describes a platform by per-worker speed multipliers.
+	Speeds = platform.Speeds
+	// App converts worker speeds into costs for the matrix-product
+	// application of Section 5 (z = 1/2).
+	App = platform.App
+	// Family selects a random-platform family from Section 5.3.
+	Family = platform.Family
+	// Schedule is a one-round schedule in the paper's canonical form.
+	Schedule = schedule.Schedule
+	// WorkerTimeline holds one worker's derived event dates.
+	WorkerTimeline = schedule.WorkerTimeline
+	// Model selects the communication model.
+	Model = schedule.Model
+	// Arith selects float64 or exact rational LP arithmetic.
+	Arith = core.Arith
+	// Trace is a timed activity record of a simulated run.
+	Trace = trace.Trace
+	// SimulationParams configures a virtual-cluster execution.
+	SimulationParams = mmapp.Params
+	// SimulationResult is the outcome of a virtual-cluster execution.
+	SimulationResult = mmapp.Result
+	// PairResult is the outcome of the exhaustive permutation-pair search.
+	PairResult = core.PairResult
+)
+
+// Communication models.
+const (
+	// OnePort: the master sends or receives one message at a time.
+	OnePort = schedule.OnePort
+	// TwoPort: the master may send and receive simultaneously.
+	TwoPort = schedule.TwoPort
+)
+
+// LP arithmetic modes.
+const (
+	// Float64 uses the fast float64 simplex.
+	Float64 = core.Float64
+	// Exact uses the exact rational simplex.
+	Exact = core.Exact
+)
+
+// Random platform families (Section 5.3.2).
+const (
+	// Homogeneous platforms share one communication and one computation
+	// speed.
+	Homogeneous = platform.Homogeneous
+	// HomCommHeteroComp platforms share the communication speed only.
+	HomCommHeteroComp = platform.HomCommHeteroComp
+	// Heterogeneous platforms draw every speed independently.
+	Heterogeneous = platform.Heterogeneous
+)
+
+// ErrNoCommonZ is returned by OptimalFIFO when d_i/c_i is not constant.
+var ErrNoCommonZ = core.ErrNoCommonZ
+
+// NewPlatform builds a star platform from explicit worker costs.
+func NewPlatform(workers ...Worker) *Platform { return platform.New(workers...) }
+
+// NewBus builds a bus platform: common link costs c and d, individual
+// computation costs ws.
+func NewBus(c, d float64, ws ...float64) *Platform { return platform.NewBus(c, d, ws...) }
+
+// DefaultApp returns the Section 5 matrix-product application for matrices
+// of the given size, with the calibrated reference bandwidth and flop rate.
+func DefaultApp(size int) App { return platform.DefaultApp(size) }
+
+// RandomSpeeds draws a random platform description of p workers from the
+// given family using rng (speeds are integers 1..10 as in the paper).
+func RandomSpeeds(rng *rand.Rand, p int, family Family) Speeds {
+	return platform.RandomSpeeds(rng, p, family)
+}
+
+// Fig14Speeds returns the Section 5.3.4 participation-study platform with
+// the slow worker's communication speed x.
+func Fig14Speeds(x float64) Speeds { return platform.Fig14Speeds(x) }
+
+// OptimalFIFO computes an optimal one-port FIFO schedule (Theorem 1 +
+// Proposition 1), including resource selection. The platform must have a
+// common ratio z = d_i/c_i.
+func OptimalFIFO(p *Platform, arith Arith) (*Schedule, error) {
+	return core.OptimalFIFO(p, arith)
+}
+
+// OptimalLIFO computes the optimal one-port LIFO schedule.
+func OptimalLIFO(p *Platform, arith Arith) (*Schedule, error) {
+	return core.OptimalLIFO(p, arith)
+}
+
+// FIFOWithOrder computes optimal loads for the FIFO schedule using the
+// given send order, under either communication model.
+func FIFOWithOrder(p *Platform, order Order, model Model, arith Arith) (*Schedule, error) {
+	return core.FIFOWithOrder(p, order, model, arith)
+}
+
+// LIFOWithOrder computes optimal loads for the LIFO schedule whose send
+// order is the given order.
+func LIFOWithOrder(p *Platform, order Order, model Model, arith Arith) (*Schedule, error) {
+	return core.LIFOWithOrder(p, order, model, arith)
+}
+
+// SolveScenario computes optimal loads for an arbitrary scenario: enrolled
+// workers and their send and return orders (Section 2.3).
+func SolveScenario(p *Platform, send, ret Order, model Model, arith Arith) (*Schedule, error) {
+	return core.SolveScenario(p, send, ret, model, arith)
+}
+
+// IncC is the INC_C heuristic of Section 5: FIFO over all workers by
+// non-decreasing c (optimal for z ≤ 1 by Theorem 1).
+func IncC(p *Platform, model Model, arith Arith) (*Schedule, error) {
+	return core.IncC(p, model, arith)
+}
+
+// IncW is the INC_W heuristic of Section 5: FIFO over all workers by
+// non-decreasing w.
+func IncW(p *Platform, model Model, arith Arith) (*Schedule, error) {
+	return core.IncW(p, model, arith)
+}
+
+// BestFIFOExhaustive searches all FIFO send orders (p ≤ 8) and returns the
+// best schedule and its order.
+func BestFIFOExhaustive(p *Platform, model Model, arith Arith) (*Schedule, Order, error) {
+	return core.BestFIFOExhaustive(p, model, arith)
+}
+
+// BestLIFOExhaustive searches all LIFO send orders (p ≤ 8).
+func BestLIFOExhaustive(p *Platform, model Model, arith Arith) (*Schedule, Order, error) {
+	return core.BestLIFOExhaustive(p, model, arith)
+}
+
+// BestPairExhaustive searches all (σ1, σ2) permutation pairs (p ≤ 5) — the
+// general problem whose complexity the paper leaves open.
+func BestPairExhaustive(p *Platform, model Model, arith Arith) (*PairResult, error) {
+	return core.BestPairExhaustive(p, model, arith)
+}
+
+// BusFIFOThroughput returns Theorem 2's closed-form optimal one-port FIFO
+// throughput for a bus platform.
+func BusFIFOThroughput(p *Platform) (float64, error) { return core.BusFIFOThroughput(p) }
+
+// ExactBusFIFOThroughput evaluates the Theorem 2 closed form in exact
+// rational arithmetic.
+func ExactBusFIFOThroughput(p *Platform) (*big.Rat, error) { return core.ExactBusFIFOThroughput(p) }
+
+// BusFIFOSchedule constructs the optimal one-port FIFO schedule on a bus
+// via the constructive proof of Theorem 2.
+func BusFIFOSchedule(p *Platform) (*Schedule, error) { return core.BusFIFOSchedule(p) }
+
+// BusLIFOThroughput returns the closed-form LIFO throughput on a bus in
+// the given worker order.
+func BusLIFOThroughput(p *Platform) (float64, error) { return core.BusLIFOThroughput(p) }
+
+// BusTwoPortFIFOThroughput returns ρ̃, the two-port optimal FIFO throughput
+// on a bus (the companion-paper closed form inside Theorem 2).
+func BusTwoPortFIFOThroughput(p *Platform) (float64, error) {
+	return core.BusTwoPortFIFOThroughput(p)
+}
+
+// MakespanForLoad converts a throughput-form schedule into the time needed
+// to process load units (linearity: load/ρ).
+func MakespanForLoad(s *Schedule, load float64) float64 {
+	return core.MakespanForLoad(s, load)
+}
+
+// DistributeInteger rounds fractional loads to integers summing to total,
+// using the paper's policy: floor everything, then top up the first workers
+// of the send order (Section 5).
+func DistributeInteger(alphas []float64, order Order, total int) ([]int, error) {
+	return rounding.Distribute(alphas, []int(order), total)
+}
+
+// Simulate executes a matrix-product schedule as a real master/worker
+// message-passing program on the virtual cluster and returns the measured
+// makespan and trace. See SimulationParams for the realism knobs (latency,
+// jitter, cache factor).
+func Simulate(params SimulationParams) (*SimulationResult, error) {
+	return mmapp.Run(params)
+}

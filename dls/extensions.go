@@ -1,0 +1,76 @@
+package dls
+
+import (
+	"repro/internal/core"
+	"repro/internal/multiround"
+)
+
+// This file exposes the extensions built on top of the paper's framework:
+// the two-port baselines of the companion paper, the affine cost model of
+// the related-work discussion, and uniform multi-round distribution.
+
+// Affine holds per-worker fixed costs for the affine cost model: In/Out
+// are message start-up latencies, Comp a computation overhead. The paper
+// cites the affine star problem as NP-hard; BestFIFOAffine enumerates
+// participant subsets.
+type Affine = core.Affine
+
+// AffineResult is the outcome of an affine-model solve.
+type AffineResult = core.AffineResult
+
+// ZeroAffine returns an all-zero affine extension for p workers (reduces
+// to the paper's linear model).
+func ZeroAffine(p int) Affine { return core.ZeroAffine(p) }
+
+// SolveScenarioAffine computes optimal loads for a fixed scenario under
+// the affine cost model. Enrolled workers pay their fixed costs even at
+// zero load.
+func SolveScenarioAffine(p *Platform, aff Affine, send, ret Order, model Model, arith Arith) (*AffineResult, error) {
+	return core.SolveScenarioAffine(p, aff, send, ret, model, arith)
+}
+
+// BestFIFOAffine searches participant subsets (p ≤ 16) for the best
+// one-port FIFO schedule under the affine model, keeping workers in
+// non-decreasing-c order.
+func BestFIFOAffine(p *Platform, aff Affine, arith Arith) (*AffineResult, error) {
+	return core.BestFIFOAffine(p, aff, arith)
+}
+
+// OptimalFIFOTwoPort computes the optimal two-port FIFO schedule (the
+// companion-paper baseline).
+func OptimalFIFOTwoPort(p *Platform, arith Arith) (*Schedule, error) {
+	return core.OptimalFIFOTwoPort(p, arith)
+}
+
+// OptimalLIFOTwoPort computes the optimal two-port LIFO schedule; it
+// coincides with the one-port LIFO optimum since every LIFO schedule obeys
+// the one-port model.
+func OptimalLIFOTwoPort(p *Platform, arith Arith) (*Schedule, error) {
+	return core.OptimalLIFOTwoPort(p, arith)
+}
+
+// OnePortPenalty returns ρ_two-port / ρ_one-port ≥ 1 for FIFO scheduling
+// on the platform: the throughput cost of the one-port restriction.
+func OnePortPenalty(p *Platform, arith Arith) (float64, error) {
+	return core.OnePortPenalty(p, arith)
+}
+
+// MultiRoundParams configures a uniform multi-round FIFO evaluation.
+type MultiRoundParams = multiround.Params
+
+// MultiRoundMakespan computes the makespan of distributing the per-worker
+// loads in R uniform rounds under the one-port model with per-message
+// latency (analytically; see internal/multiround).
+func MultiRoundMakespan(p MultiRoundParams) (float64, error) {
+	return multiround.Makespan(p)
+}
+
+// MultiRoundSweep returns the makespan for every round count 1..maxRounds.
+func MultiRoundSweep(p MultiRoundParams, maxRounds int) ([]float64, error) {
+	return multiround.Sweep(p, maxRounds)
+}
+
+// BestRounds returns the round count minimising the multi-round makespan.
+func BestRounds(p MultiRoundParams, maxRounds int) (int, float64, error) {
+	return multiround.BestRounds(p, maxRounds)
+}

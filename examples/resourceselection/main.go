@@ -1,0 +1,64 @@
+// Resourceselection reproduces the paper's Section 5.3.4 case study
+// interactively: with return messages, the best FIFO schedule may leave
+// workers unused — "which is in sharp contrast with previous results from
+// the literature". The platform is the paper's 4-worker table; the
+// communication speed x of the slow fourth worker decides whether it is
+// worth enrolling.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/dls"
+)
+
+func main() {
+	const matrixSize = 400
+	app := dls.DefaultApp(matrixSize)
+
+	fmt.Println("worker:              1     2     3     4")
+	fmt.Println("communication speed: 10    8     8     x")
+	fmt.Println("computation speed:   9     9     10    1")
+	fmt.Println()
+	fmt.Printf("%-6s %-14s %-22s %-12s\n", "x", "throughput", "participants", "alpha[4]")
+
+	for _, x := range []float64{0.5, 1, 1.5, 2, 2.5, 3, 4, 6, 8} {
+		p := dls.Fig14Speeds(x).Platform(app)
+		s, err := dls.OptimalFIFO(p, dls.Float64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		used := "—"
+		for _, w := range s.Participants() {
+			if w == 3 {
+				used = fmt.Sprintf("%.3f", s.Alpha[3])
+			}
+		}
+		// Pre-format the slice: fmt would otherwise apply the column width
+		// to every element.
+		fmt.Printf("%-6.3g %-14.6g %-22s %-12s\n",
+			x, s.Throughput(), fmt.Sprintf("%v", s.Participants()), used)
+	}
+
+	fmt.Println()
+	fmt.Println("The fourth worker joins the computation only once its link is fast")
+	fmt.Println("enough that its result message does not cost the others more port")
+	fmt.Println("time than the work it contributes — the paper's Figure 14 behaviour")
+	fmt.Println("(x = 1: unused; x = 3: used).")
+
+	// The same study per availability, as in Figure 14: restrict the
+	// platform to the first k workers.
+	fmt.Println()
+	full := dls.Fig14Speeds(1)
+	fmt.Printf("%-20s %-14s %-14s\n", "available workers", "lp time (s)", "enrolled")
+	for k := 1; k <= 4; k++ {
+		sp := dls.Speeds{Comm: full.Comm[:k], Comp: full.Comp[:k]}
+		p := sp.Platform(app)
+		s, err := dls.OptimalFIFO(p, dls.Float64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-20d %-14.4f %-14d\n", k, dls.MakespanForLoad(s, 1000), len(s.Participants()))
+	}
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+	"repro/internal/platform"
+	"repro/internal/schedule"
+)
+
+// This file extends the scenario linear programs to the affine cost model
+// discussed in the paper's related-work section: each message pays a fixed
+// start-up latency on top of the linear term, and each enrolled worker may
+// pay a fixed computation overhead,
+//
+//	send to Pi:    Lin_i  + α_i·c_i
+//	compute on Pi: O_i    + α_i·w_i
+//	return from Pi: Lout_i + α_i·d_i.
+//
+// With the orders fixed the program remains linear (the constants move to
+// the right-hand sides), but resource selection becomes the hard part: an
+// enrolled worker consumes its latencies even with α = 0, and the paper
+// cites Legrand, Yang and Casanova for the NP-hardness of the affine
+// star problem. BestFIFOAffine therefore enumerates participant subsets.
+
+// Affine holds the per-worker fixed costs of the affine model, aligned
+// with the platform's worker indices. Zero values reduce the model to the
+// paper's linear one.
+type Affine struct {
+	// In is the start-up latency of the initial (master→worker) message.
+	In []float64
+	// Out is the start-up latency of the result (worker→master) message.
+	Out []float64
+	// Comp is the fixed computation overhead.
+	Comp []float64
+}
+
+// ZeroAffine returns an all-zero affine extension for p workers.
+func ZeroAffine(p int) Affine {
+	return Affine{In: make([]float64, p), Out: make([]float64, p), Comp: make([]float64, p)}
+}
+
+// validate checks dimensions and signs against a platform.
+func (a Affine) validate(p *platform.Platform) error {
+	n := p.P()
+	if len(a.In) != n || len(a.Out) != n || len(a.Comp) != n {
+		return fmt.Errorf("core: affine extension has (%d, %d, %d) entries for %d workers",
+			len(a.In), len(a.Out), len(a.Comp), n)
+	}
+	for i := 0; i < n; i++ {
+		for _, v := range []float64{a.In[i], a.Out[i], a.Comp[i]} {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("core: affine cost %g of worker %d must be finite and >= 0", v, i)
+			}
+		}
+	}
+	return nil
+}
+
+// ScenarioLPAffine builds the affine-model linear program for a fixed
+// scenario. The enrolled set is exactly the workers in send; their fixed
+// costs are charged whether or not the optimal α is positive.
+func ScenarioLPAffine(p *platform.Platform, aff Affine, send, ret platform.Order, model schedule.Model) (*lp.Problem, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := aff.validate(p); err != nil {
+		return nil, err
+	}
+	if err := validOrderPair(p.P(), send, ret); err != nil {
+		return nil, err
+	}
+	q := len(send)
+	prob := lp.NewMaximize()
+	varOf := make(map[int]int, q)
+	for _, i := range send {
+		varOf[i] = prob.AddVar(fmt.Sprintf("alpha_%s", p.Workers[i].Name), 1)
+	}
+	retPos := make(map[int]int, q)
+	for k, i := range ret {
+		retPos[i] = k
+	}
+	for s, i := range send {
+		coefs := make([]lp.Coef, 0, 2*q)
+		fixed := aff.Comp[i]
+		for _, j := range send[:s+1] {
+			coefs = append(coefs, lp.Coef{Var: varOf[j], Value: p.Workers[j].C})
+			fixed += aff.In[j]
+		}
+		coefs = append(coefs, lp.Coef{Var: varOf[i], Value: p.Workers[i].W})
+		for _, j := range ret[retPos[i]:] {
+			coefs = append(coefs, lp.Coef{Var: varOf[j], Value: p.Workers[j].D})
+			fixed += aff.Out[j]
+		}
+		prob.AddConstraint(fmt.Sprintf("worker_%s", p.Workers[i].Name), coefs, lp.LE, 1-fixed)
+	}
+	switch model {
+	case schedule.OnePort:
+		coefs := make([]lp.Coef, 0, 2*q)
+		fixed := 0.0
+		for _, j := range send {
+			coefs = append(coefs,
+				lp.Coef{Var: varOf[j], Value: p.Workers[j].C},
+				lp.Coef{Var: varOf[j], Value: p.Workers[j].D})
+			fixed += aff.In[j] + aff.Out[j]
+		}
+		prob.AddConstraint("one_port", coefs, lp.LE, 1-fixed)
+	case schedule.TwoPort:
+		sendCoefs := make([]lp.Coef, 0, q)
+		retCoefs := make([]lp.Coef, 0, q)
+		fixedIn, fixedOut := 0.0, 0.0
+		for _, j := range send {
+			sendCoefs = append(sendCoefs, lp.Coef{Var: varOf[j], Value: p.Workers[j].C})
+			retCoefs = append(retCoefs, lp.Coef{Var: varOf[j], Value: p.Workers[j].D})
+			fixedIn += aff.In[j]
+			fixedOut += aff.Out[j]
+		}
+		prob.AddConstraint("send_port", sendCoefs, lp.LE, 1-fixedIn)
+		prob.AddConstraint("recv_port", retCoefs, lp.LE, 1-fixedOut)
+	default:
+		return nil, fmt.Errorf("core: unknown model %v", model)
+	}
+	return prob, nil
+}
+
+// AffineResult is the outcome of an affine-model solve: the loads and
+// throughput of one scenario. No Schedule is produced because the canonical
+// timeline of package schedule is linear-model only.
+type AffineResult struct {
+	// Send and Return are the scenario orders (enrolled workers only).
+	Send, Return platform.Order
+	// Alpha are the optimal loads, indexed like the platform workers.
+	Alpha []float64
+	// Throughput is Σα for horizon 1.
+	Throughput float64
+	// Feasible is false when the fixed costs alone exceed the horizon, in
+	// which case the scenario can process no load at all.
+	Feasible bool
+}
+
+// SolveScenarioAffine computes the optimal loads of an affine-model
+// scenario. Unlike the linear model, zero-α workers are NOT pruned: their
+// fixed costs have already been charged by enrolling them, so the caller
+// (and BestFIFOAffine) must treat the enrolled set as given.
+func SolveScenarioAffine(p *platform.Platform, aff Affine, send, ret platform.Order, model schedule.Model, arith Arith) (*AffineResult, error) {
+	prob, err := ScenarioLPAffine(p, aff, send, ret, model)
+	if err != nil {
+		return nil, err
+	}
+	var x []float64
+	var status lp.Status
+	switch arith {
+	case Float64:
+		sol, err := prob.Solve()
+		if err != nil {
+			return nil, err
+		}
+		status, x = sol.Status, sol.X
+	case Exact:
+		sol, err := prob.SolveExact()
+		if err != nil {
+			return nil, err
+		}
+		status = sol.Status
+		if status == lp.Optimal {
+			_, x = sol.Float()
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown arithmetic %v", arith)
+	}
+	res := &AffineResult{Send: send.Clone(), Return: ret.Clone(), Alpha: make([]float64, p.P())}
+	if status == lp.Infeasible {
+		// The fixed costs alone exceed the horizon.
+		return res, nil
+	}
+	if status != lp.Optimal {
+		return nil, fmt.Errorf("core: affine scenario LP terminated %v (internal error)", status)
+	}
+	res.Feasible = true
+	for k, i := range send {
+		if x[k] > 0 {
+			res.Alpha[i] = x[k]
+			res.Throughput += x[k]
+		}
+	}
+	return res, nil
+}
+
+// maxAffineSubsets bounds the 2^p subset enumeration of BestFIFOAffine.
+const maxAffineSubsets = 16
+
+// BestFIFOAffine searches for the best one-port FIFO schedule under the
+// affine model: workers are kept in non-decreasing-c order (the linear
+// model's Theorem 1 order, a heuristic here) and every participant subset
+// is enumerated, since with fixed costs the optimal enrolled set is no
+// longer given by the LP's support — the problem the paper cites as
+// NP-hard. Limited to p ≤ 16.
+func BestFIFOAffine(p *platform.Platform, aff Affine, arith Arith) (*AffineResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := aff.validate(p); err != nil {
+		return nil, err
+	}
+	n := p.P()
+	if n > maxAffineSubsets {
+		return nil, fmt.Errorf("core: affine subset search limited to %d workers, platform has %d", maxAffineSubsets, n)
+	}
+	sorted := p.ByC()
+	var best *AffineResult
+	for mask := 1; mask < 1<<n; mask++ {
+		var order platform.Order
+		for _, i := range sorted {
+			if mask&(1<<i) != 0 {
+				order = append(order, i)
+			}
+		}
+		res, err := SolveScenarioAffine(p, aff, order, order, schedule.OnePort, arith)
+		if err != nil {
+			return nil, err
+		}
+		if !res.Feasible {
+			continue
+		}
+		if best == nil || res.Throughput > best.Throughput {
+			best = res
+		}
+	}
+	if best == nil {
+		// Even single workers cannot start within the horizon.
+		return &AffineResult{Alpha: make([]float64, n)}, nil
+	}
+	return best, nil
+}

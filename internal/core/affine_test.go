@@ -1,0 +1,241 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/platform"
+	"repro/internal/schedule"
+)
+
+func TestAffineZeroReducesToLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(200))
+	for trial := 0; trial < 10; trial++ {
+		p := randomStar(rng, 4, 0.5)
+		order := p.ByC()
+		linear, err := SolveScenario(p, order, order, schedule.OnePort, Float64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		affine, err := SolveScenarioAffine(p, ZeroAffine(4), order, order, schedule.OnePort, Float64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !affine.Feasible {
+			t.Fatal("zero affine must be feasible")
+		}
+		if !approxEq(linear.Throughput(), affine.Throughput) {
+			t.Errorf("trial %d: linear %g != zero-affine %g", trial, linear.Throughput(), affine.Throughput)
+		}
+	}
+}
+
+func TestAffineLatencyReducesThroughput(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	p := randomStar(rng, 4, 0.5)
+	order := p.ByC()
+	prev := math.Inf(1)
+	// Keep Σ(In+Out) below the horizon: 4 workers × 1.5·lat ≤ 0.9.
+	for _, lat := range []float64{0, 0.01, 0.05, 0.1, 0.15} {
+		aff := ZeroAffine(4)
+		for i := range aff.In {
+			aff.In[i], aff.Out[i] = lat, lat/2
+		}
+		res, err := SolveScenarioAffine(p, aff, order, order, schedule.OnePort, Float64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Feasible {
+			t.Fatalf("latency %g should still be feasible", lat)
+		}
+		if res.Throughput > prev+tol {
+			t.Errorf("latency %g: throughput %g increased over %g", lat, res.Throughput, prev)
+		}
+		prev = res.Throughput
+	}
+}
+
+func TestAffineInfeasibleWhenConstantsExceedHorizon(t *testing.T) {
+	p := platform.New(
+		platform.Worker{C: 0.1, W: 0.1, D: 0.05},
+		platform.Worker{C: 0.1, W: 0.1, D: 0.05},
+	)
+	aff := ZeroAffine(2)
+	aff.In[0], aff.In[1] = 0.6, 0.6 // 1.2 of fixed port time > 1
+	order := platform.Identity(2)
+	res, err := SolveScenarioAffine(p, aff, order, order, schedule.OnePort, Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Errorf("scenario with 1.2 time units of fixed cost must be infeasible, got ρ=%g", res.Throughput)
+	}
+}
+
+func TestAffineResourceSelectionShrinksWithLatency(t *testing.T) {
+	// With per-message latency, enrolling everyone becomes wasteful: the
+	// best achievable throughput decreases, and at extreme latency the
+	// optimal subset is strictly smaller than the platform.
+	rng := rand.New(rand.NewSource(202))
+	p := randomStar(rng, 6, 0.5)
+	solve := func(lat float64) (float64, int) {
+		aff := ZeroAffine(6)
+		for i := range aff.In {
+			aff.In[i], aff.Out[i] = lat, lat/2
+		}
+		best, err := BestFIFOAffine(p, aff, Float64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return best.Throughput, len(best.Send)
+	}
+	rho0, n0 := solve(0)
+	rhoMid, _ := solve(0.12)
+	rhoHi, nHi := solve(0.3)
+	if !(rho0+tol >= rhoMid && rhoMid+tol >= rhoHi) {
+		t.Errorf("best throughput not monotone in latency: %g, %g, %g", rho0, rhoMid, rhoHi)
+	}
+	if nHi > n0 {
+		t.Errorf("enrolled set grew with latency: %d → %d", n0, nHi)
+	}
+	if nHi >= 6 {
+		t.Errorf("extreme latency still enrolls all %d workers", nHi)
+	}
+}
+
+func TestAffineBestSubsetBeatsFullEnrollment(t *testing.T) {
+	// Construct a platform where enrolling the second worker costs more in
+	// fixed port time than the work it contributes.
+	p := platform.New(
+		platform.Worker{C: 0.05, W: 0.1, D: 0.025},
+		platform.Worker{C: 0.3, W: 2.5, D: 0.15},
+	)
+	aff := ZeroAffine(2)
+	aff.In[1], aff.Out[1] = 0.3, 0.3
+	best, err := BestFIFOAffine(p, aff, Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := SolveScenarioAffine(p, aff, p.ByC(), p.ByC(), schedule.OnePort, Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Feasible && full.Throughput > best.Throughput+tol {
+		t.Errorf("subset search %g worse than full enrollment %g", best.Throughput, full.Throughput)
+	}
+	if len(best.Send) != 1 || best.Send[0] != 0 {
+		t.Errorf("expected only worker 0 enrolled, got %v", best.Send)
+	}
+}
+
+func TestAffineValidation(t *testing.T) {
+	p := platform.New(platform.Worker{C: 1, W: 1, D: 0.5})
+	short := Affine{In: []float64{0}, Out: []float64{0}, Comp: nil}
+	if _, err := ScenarioLPAffine(p, short, platform.Identity(1), platform.Identity(1), schedule.OnePort); err == nil {
+		t.Error("mismatched affine dimensions must be rejected")
+	}
+	neg := ZeroAffine(1)
+	neg.In[0] = -1
+	if _, err := ScenarioLPAffine(p, neg, platform.Identity(1), platform.Identity(1), schedule.OnePort); err == nil {
+		t.Error("negative latency must be rejected")
+	}
+	nan := ZeroAffine(1)
+	nan.Comp[0] = math.NaN()
+	if _, err := SolveScenarioAffine(p, nan, platform.Identity(1), platform.Identity(1), schedule.OnePort, Float64); err == nil {
+		t.Error("NaN overhead must be rejected")
+	}
+	if _, err := SolveScenarioAffine(p, ZeroAffine(1), platform.Identity(1), platform.Identity(1), schedule.OnePort, Arith(9)); err == nil {
+		t.Error("unknown arithmetic must be rejected")
+	}
+	big := randomStar(rand.New(rand.NewSource(203)), maxAffineSubsets+1, 0.5)
+	if _, err := BestFIFOAffine(big, ZeroAffine(maxAffineSubsets+1), Float64); err == nil {
+		t.Error("oversized affine search must be rejected")
+	}
+	if _, err := BestFIFOAffine(platform.New(), Affine{}, Float64); err == nil {
+		t.Error("invalid platform must be rejected")
+	}
+	mismatch := ZeroAffine(2)
+	if _, err := BestFIFOAffine(p, mismatch, Float64); err == nil {
+		t.Error("dimension mismatch must be rejected in BestFIFOAffine")
+	}
+}
+
+func TestAffineTwoPortModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(204))
+	p := randomStar(rng, 3, 0.5)
+	aff := ZeroAffine(3)
+	for i := range aff.In {
+		aff.In[i] = 0.02
+	}
+	order := p.ByC()
+	one, err := SolveScenarioAffine(p, aff, order, order, schedule.OnePort, Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := SolveScenarioAffine(p, aff, order, order, schedule.TwoPort, Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Throughput > two.Throughput+tol {
+		t.Errorf("one-port %g beats two-port %g under affine costs", one.Throughput, two.Throughput)
+	}
+	if _, err := SolveScenarioAffine(p, aff, order, order, schedule.Model(7), Float64); err == nil {
+		t.Error("unknown model must be rejected")
+	}
+}
+
+// TestQuickAffineMonotoneInLatency: adding latency never increases the
+// scenario throughput (for a fixed enrolled set and order).
+func TestQuickAffineMonotoneInLatency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		p := randomStar(rng, n, 0.2+0.7*rng.Float64())
+		order := p.ByC()
+		lo := ZeroAffine(n)
+		hi := ZeroAffine(n)
+		for i := 0; i < n; i++ {
+			lo.In[i] = rng.Float64() * 0.05
+			lo.Out[i] = rng.Float64() * 0.05
+			lo.Comp[i] = rng.Float64() * 0.05
+			hi.In[i] = lo.In[i] + rng.Float64()*0.05
+			hi.Out[i] = lo.Out[i] + rng.Float64()*0.05
+			hi.Comp[i] = lo.Comp[i] + rng.Float64()*0.05
+		}
+		a, err := SolveScenarioAffine(p, lo, order, order, schedule.OnePort, Float64)
+		if err != nil {
+			return false
+		}
+		b, err := SolveScenarioAffine(p, hi, order, order, schedule.OnePort, Float64)
+		if err != nil {
+			return false
+		}
+		if !a.Feasible {
+			return true // hi can only be more infeasible
+		}
+		if !b.Feasible {
+			return true
+		}
+		return b.Throughput <= a.Throughput+tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBestFIFOAffine8(b *testing.B) {
+	rng := rand.New(rand.NewSource(205))
+	p := randomStar(rng, 8, 0.5)
+	aff := ZeroAffine(8)
+	for i := range aff.In {
+		aff.In[i] = 0.01
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := BestFIFOAffine(p, aff, Float64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

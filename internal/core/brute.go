@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+	"repro/internal/schedule"
+)
+
+// Limits on the exhaustive searches: p! scenario LPs for FIFO/LIFO order
+// search, (p!)² for permutation pairs. The limits keep worst cases around a
+// few hundred thousand tiny LP solves.
+const (
+	maxExhaustiveOrder = 8
+	maxExhaustivePair  = 5
+)
+
+// forEachPermutation invokes fn with every permutation of {0..n-1}. The
+// slice passed to fn is reused; fn must copy it if it escapes. Heap's
+// algorithm, iterative.
+func forEachPermutation(n int, fn func([]int) error) error {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	c := make([]int, n)
+	if err := fn(perm); err != nil {
+		return err
+	}
+	i := 0
+	for i < n {
+		if c[i] < i {
+			if i%2 == 0 {
+				perm[0], perm[i] = perm[i], perm[0]
+			} else {
+				perm[c[i]], perm[i] = perm[i], perm[c[i]]
+			}
+			if err := fn(perm); err != nil {
+				return err
+			}
+			c[i]++
+			i = 0
+		} else {
+			c[i] = 0
+			i++
+		}
+	}
+	return nil
+}
+
+// BestFIFOExhaustive tries every FIFO send order over all workers, solving
+// the scenario LP for each, and returns the best schedule together with the
+// winning order. It is the optimality oracle used to validate Theorem 1 on
+// small platforms, and the fallback when the platform has no common z.
+func BestFIFOExhaustive(p *platform.Platform, model schedule.Model, arith Arith) (*schedule.Schedule, platform.Order, error) {
+	return bestOrderExhaustive(p, model, arith, false)
+}
+
+// BestLIFOExhaustive tries every LIFO send order (results in reverse).
+func BestLIFOExhaustive(p *platform.Platform, model schedule.Model, arith Arith) (*schedule.Schedule, platform.Order, error) {
+	return bestOrderExhaustive(p, model, arith, true)
+}
+
+func bestOrderExhaustive(p *platform.Platform, model schedule.Model, arith Arith, lifo bool) (*schedule.Schedule, platform.Order, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	n := p.P()
+	if n > maxExhaustiveOrder {
+		return nil, nil, fmt.Errorf("core: exhaustive order search limited to %d workers, platform has %d", maxExhaustiveOrder, n)
+	}
+	var best *schedule.Schedule
+	var bestOrder platform.Order
+	err := forEachPermutation(n, func(perm []int) error {
+		send := platform.Order(perm).Clone()
+		ret := send
+		if lifo {
+			ret = send.Reverse()
+		}
+		s, err := SolveScenario(p, send, ret, model, arith)
+		if err != nil {
+			return err
+		}
+		if best == nil || s.Throughput() > best.Throughput() {
+			best = s
+			bestOrder = send
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return best, bestOrder, nil
+}
+
+// PairResult is the outcome of the general permutation-pair search.
+type PairResult struct {
+	Schedule *schedule.Schedule
+	Send     platform.Order
+	Return   platform.Order
+}
+
+// BestPairExhaustive searches every (σ1, σ2) permutation pair over all
+// workers — the general scheduling problem whose complexity the paper
+// leaves open (and conjectures NP-hard). Limited to very small platforms;
+// used to probe how far the optimal FIFO/LIFO schedules sit from the
+// unrestricted optimum.
+func BestPairExhaustive(p *platform.Platform, model schedule.Model, arith Arith) (*PairResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.P()
+	if n > maxExhaustivePair {
+		return nil, fmt.Errorf("core: exhaustive pair search limited to %d workers, platform has %d", maxExhaustivePair, n)
+	}
+	var best *PairResult
+	err := forEachPermutation(n, func(sendPerm []int) error {
+		send := platform.Order(sendPerm).Clone()
+		return forEachPermutation(n, func(retPerm []int) error {
+			ret := platform.Order(retPerm).Clone()
+			s, err := SolveScenario(p, send, ret, model, arith)
+			if err != nil {
+				return err
+			}
+			if best == nil || s.Throughput() > best.Schedule.Throughput() {
+				best = &PairResult{Schedule: s, Send: send, Return: ret}
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return best, nil
+}

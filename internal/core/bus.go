@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+
+	"repro/internal/platform"
+	"repro/internal/schedule"
+)
+
+// ErrNotBus is returned by the closed-form bus routines when the platform's
+// links are not identical.
+var ErrNotBus = fmt.Errorf("core: platform is not a bus (links differ)")
+
+// BusU computes the u_i sequence of Theorem 2 for a bus platform with
+// communication costs c (forward) and d (return) and computation costs ws
+// in worker order:
+//
+//	u_i = 1/(d+w_i) · Π_{j ≤ i} (d+w_j)/(c+w_j).
+//
+// Σu_i is invariant under permutations of the workers (all FIFO orderings
+// are equivalent on a bus, cf. Adler, Gong and Rosenberg), a property the
+// tests verify.
+func BusU(c, d float64, ws []float64) []float64 {
+	u := make([]float64, len(ws))
+	prod := 1.0
+	for i, w := range ws {
+		prod *= (d + w) / (c + w)
+		u[i] = prod / (d + w)
+	}
+	return u
+}
+
+// BusTwoPortFIFOThroughput returns ρ̃ = Σu / (1 + d·Σu), the optimal FIFO
+// throughput on a bus under the two-port model (from the companion paper
+// [7, 8]; it is the second operand of Theorem 2's min).
+func BusTwoPortFIFOThroughput(p *platform.Platform) (float64, error) {
+	c, d, ws, err := busParams(p)
+	if err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for _, u := range BusU(c, d, ws) {
+		sum += u
+	}
+	return sum / (1 + d*sum), nil
+}
+
+// BusFIFOThroughput returns the optimal one-port FIFO throughput on a bus
+// platform (Theorem 2):
+//
+//	ρ_opt = min{ 1/(c+d),  Σu_i/(1 + d·Σu_i) }.
+func BusFIFOThroughput(p *platform.Platform) (float64, error) {
+	rho2, err := BusTwoPortFIFOThroughput(p)
+	if err != nil {
+		return 0, err
+	}
+	c, d, _, _ := busParams(p)
+	return math.Min(1/(c+d), rho2), nil
+}
+
+// BusFIFOSchedule constructs an optimal one-port FIFO schedule on a bus
+// platform, following the constructive proof of Theorem 2: start from the
+// optimal two-port FIFO schedule α_i = u_i/(1 + d·Σu) (all workers
+// enrolled, no idle time) and, if its throughput exceeds the one-port
+// communication bound 1/(c+d), scale every load by 1/(ρ̃·(c+d)); the scaled
+// schedule saturates the master port and introduces the uniform gap of the
+// proof as idle time before each return message.
+func BusFIFOSchedule(p *platform.Platform) (*schedule.Schedule, error) {
+	c, d, ws, err := busParams(p)
+	if err != nil {
+		return nil, err
+	}
+	u := BusU(c, d, ws)
+	sum := 0.0
+	for _, ui := range u {
+		sum += ui
+	}
+	rho2 := sum / (1 + d*sum)
+	alpha := make([]float64, len(ws))
+	for i, ui := range u {
+		alpha[i] = ui / (1 + d*sum)
+	}
+	if bound := 1 / (c + d); rho2 > bound {
+		scale := 1 / (rho2 * (c + d))
+		for i := range alpha {
+			alpha[i] *= scale
+		}
+	}
+	order := platform.Identity(p.P())
+	s := &schedule.Schedule{
+		SendOrder:   order,
+		ReturnOrder: order.Clone(),
+		Alpha:       alpha,
+		T:           1,
+	}
+	if err := s.Check(p, schedule.OnePort); err != nil {
+		return nil, fmt.Errorf("core: internal error: Theorem 2 construction fails verification: %w", err)
+	}
+	return s, nil
+}
+
+// BusLIFOThroughput returns the throughput of the fully-tight LIFO schedule
+// on a bus in the given worker order: all per-worker constraints are
+// equalities, giving the recurrence
+//
+//	α_1 = 1/(c+d+w_1),   α_{i+1} = α_i · w_i/(c+d+w_{i+1}),
+//
+// whose sum the tests cross-validate against the LIFO linear program.
+func BusLIFOThroughput(p *platform.Platform) (float64, error) {
+	c, d, ws, err := busParams(p)
+	if err != nil {
+		return 0, err
+	}
+	rho := 0.0
+	prev := 0.0
+	for i, w := range ws {
+		var a float64
+		if i == 0 {
+			a = 1 / (c + d + w)
+		} else {
+			a = prev * ws[i-1] / (c + d + w)
+		}
+		rho += a
+		prev = a
+	}
+	return rho, nil
+}
+
+// busParams extracts (c, d, ws) after validating that p is a bus.
+func busParams(p *platform.Platform) (c, d float64, ws []float64, err error) {
+	if err := p.Validate(); err != nil {
+		return 0, 0, nil, err
+	}
+	if !p.IsBus() {
+		return 0, 0, nil, ErrNotBus
+	}
+	c, d = p.Workers[0].C, p.Workers[0].D
+	ws = make([]float64, p.P())
+	for i, w := range p.Workers {
+		ws[i] = w.W
+	}
+	return c, d, ws, nil
+}
+
+// ExactBusFIFOThroughput evaluates Theorem 2's closed form in exact
+// rational arithmetic over the platform's float64 parameters (each float64
+// converts to a rational exactly). Tests compare it to the exact LP optimum
+// with Cmp, i.e. as a true identity.
+func ExactBusFIFOThroughput(p *platform.Platform) (*big.Rat, error) {
+	c64, d64, ws64, err := busParams(p)
+	if err != nil {
+		return nil, err
+	}
+	c := new(big.Rat).SetFloat64(c64)
+	d := new(big.Rat).SetFloat64(d64)
+
+	sum := new(big.Rat)
+	prod := new(big.Rat).SetInt64(1)
+	num := new(big.Rat)
+	den := new(big.Rat)
+	for _, wf := range ws64 {
+		w := new(big.Rat).SetFloat64(wf)
+		num.Add(d, w) // d + w
+		den.Add(c, w) // c + w
+		prod.Mul(prod, num)
+		prod.Quo(prod, den)
+		ui := new(big.Rat).Quo(prod, num) // prod / (d+w)
+		sum.Add(sum, ui)
+	}
+	// ρ̃ = sum / (1 + d·sum)
+	rho2 := new(big.Rat).Mul(d, sum)
+	rho2.Add(rho2, big.NewRat(1, 1))
+	rho2.Quo(new(big.Rat).Set(sum), rho2)
+	// bound = 1 / (c+d)
+	bound := new(big.Rat).Add(c, d)
+	bound.Inv(bound)
+	if rho2.Cmp(bound) < 0 {
+		return rho2, nil
+	}
+	return bound, nil
+}

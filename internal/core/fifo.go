@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+	"repro/internal/schedule"
+)
+
+// OptimalFIFO computes an optimal one-port FIFO schedule on a star platform
+// with a common ratio z = d_i/c_i, implementing Theorem 1 and Proposition 1:
+//
+//   - z < 1: enroll all workers sorted by non-decreasing c_i, solve the FIFO
+//     linear program; the LP's zero loads give the resource selection.
+//   - z > 1: solve the mirrored platform (c ↔ d, whose ratio is 1/z < 1) and
+//     flip the resulting schedule in time; initial messages then go out in
+//     non-increasing c_i order, as stated in Section 3.
+//   - z = 1: any ordering is optimal; non-decreasing c_i is used for
+//     determinism.
+//
+// The returned schedule has horizon T = 1 and throughput equal to the
+// optimal FIFO throughput ρ*. It returns ErrNoCommonZ when the platform has
+// no common z.
+func OptimalFIFO(p *platform.Platform, arith Arith) (*schedule.Schedule, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	z, ok := p.Z()
+	if !ok {
+		return nil, ErrNoCommonZ
+	}
+	if z <= 1 {
+		order := p.ByC()
+		return SolveScenario(p, order, order, schedule.OnePort, arith)
+	}
+	// z > 1: time-reversal reduction. The mirror has ratio 1/z < 1; its
+	// non-decreasing-c order is the original's non-decreasing-d order.
+	mirror := p.Mirror()
+	order := mirror.ByC()
+	ms, err := SolveScenario(mirror, order, order, schedule.OnePort, arith)
+	if err != nil {
+		return nil, err
+	}
+	s := ms.Flipped()
+	if err := s.Check(p, schedule.OnePort); err != nil {
+		return nil, fmt.Errorf("core: internal error: flipped z>1 schedule fails verification: %w", err)
+	}
+	return s, nil
+}
+
+// FIFOWithOrder computes the optimal loads for the FIFO schedule that
+// enrolls the given workers in the given send (and, FIFO, return) order.
+// Unlike OptimalFIFO it does not require a common z and does not reorder.
+func FIFOWithOrder(p *platform.Platform, order platform.Order, model schedule.Model, arith Arith) (*schedule.Schedule, error) {
+	return SolveScenario(p, order, order, model, arith)
+}
+
+// OptimalLIFO computes the optimal one-port LIFO schedule. Per the
+// companion results quoted in Section 5 (the optimal two-port LIFO schedule
+// of [7, 8] involves all processors sorted by non-decreasing c_i and is
+// automatically a one-port schedule, every LIFO schedule being one-port
+// feasible), it enrolls all workers by non-decreasing c_i and lets the
+// linear program fix the loads; zero-load workers are pruned.
+func OptimalLIFO(p *platform.Platform, arith Arith) (*schedule.Schedule, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	order := p.ByC()
+	return SolveScenario(p, order, order.Reverse(), schedule.OnePort, arith)
+}
+
+// LIFOWithOrder computes the optimal loads for the LIFO schedule whose send
+// order is the given order (results return in reverse order).
+func LIFOWithOrder(p *platform.Platform, order platform.Order, model schedule.Model, arith Arith) (*schedule.Schedule, error) {
+	return SolveScenario(p, order, order.Reverse(), model, arith)
+}
+
+// The Section 5 heuristics. Each enrolls all workers in a fixed order and
+// lets the scenario LP compute loads (and deselect workers).
+
+// IncC is the INC_C heuristic: a FIFO schedule ordered by non-decreasing
+// c_i (fastest-communicating workers first). By Theorem 1 this is optimal
+// among one-port FIFO schedules whenever z ≤ 1.
+func IncC(p *platform.Platform, model schedule.Model, arith Arith) (*schedule.Schedule, error) {
+	order := p.ByC()
+	return SolveScenario(p, order, order, model, arith)
+}
+
+// IncW is the INC_W heuristic: a FIFO schedule ordered by non-decreasing
+// w_i (fastest-computing workers first). The paper uses it as the
+// strawman showing that ordering by computation speed is suboptimal.
+func IncW(p *platform.Platform, model schedule.Model, arith Arith) (*schedule.Schedule, error) {
+	order := p.ByW()
+	return SolveScenario(p, order, order, model, arith)
+}
+
+// DecC is a FIFO schedule ordered by non-increasing c_i: the optimal FIFO
+// send order when z > 1 (Section 3's mirror argument).
+func DecC(p *platform.Platform, model schedule.Model, arith Arith) (*schedule.Schedule, error) {
+	order := p.ByCDesc()
+	return SolveScenario(p, order, order, model, arith)
+}
+
+// MakespanForLoad converts a throughput-form schedule (T = 1, ρ = Σα) into
+// the time needed to process `load` units: by linearity, load/ρ.
+func MakespanForLoad(s *schedule.Schedule, load float64) float64 {
+	return load / s.Throughput()
+}

@@ -1,0 +1,387 @@
+package lp
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// ExactSolution is the result of an exact rational solve. The primal values
+// are big.Rat numbers; Float returns float64 views for callers that do not
+// need exactness.
+type ExactSolution struct {
+	Status     Status
+	Objective  *big.Rat
+	X          []*big.Rat
+	Iterations int
+}
+
+// Value returns the exact value of variable v.
+func (s *ExactSolution) Value(v int) *big.Rat { return s.X[v] }
+
+// Float converts the exact primal vector and objective to float64.
+func (s *ExactSolution) Float() (obj float64, x []float64) {
+	if s.Status != Optimal {
+		return 0, nil
+	}
+	obj, _ = s.Objective.Float64()
+	x = make([]float64, len(s.X))
+	for i, r := range s.X {
+		x[i], _ = r.Float64()
+	}
+	return obj, x
+}
+
+// SolveExact runs the two-phase primal simplex in exact rational arithmetic
+// (math/big.Rat) with Bland's rule throughout, which guarantees termination.
+// Float64 problem data is converted to rationals exactly (every float64 is a
+// rational number), so the result is the true optimum of the stated problem.
+// This is slower than Solve by a large factor and intended for verification
+// and for small scheduling programs where exact ties matter.
+func (p *Problem) SolveExact() (*ExactSolution, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	t := newRatTableau(p)
+	status, iters, err := t.run()
+	if err != nil {
+		return nil, err
+	}
+	sol := &ExactSolution{Status: status, Iterations: iters}
+	if status != Optimal {
+		return sol, nil
+	}
+	x := t.primal()
+	obj := new(big.Rat)
+	tmp := new(big.Rat)
+	for j := range p.obj {
+		if p.obj[j] == 0 {
+			continue
+		}
+		tmp.SetFloat64(p.obj[j])
+		tmp.Mul(tmp, x[j])
+		obj.Add(obj, tmp)
+	}
+	sol.X = x
+	sol.Objective = obj
+	return sol, nil
+}
+
+// ratTableau mirrors tableau with exact arithmetic. Column layout is
+// identical: original variables, slack/surplus columns, artificial columns.
+type ratTableau struct {
+	m, n     int
+	nVars    int
+	a        [][]*big.Rat
+	b        []*big.Rat
+	basis    []int
+	cost     []*big.Rat
+	cbar     []*big.Rat
+	objVal   *big.Rat
+	artStart int
+	minimize []*big.Rat
+	pivots   int
+}
+
+func ratFromFloat(f float64) *big.Rat {
+	r := new(big.Rat)
+	r.SetFloat64(f)
+	return r
+}
+
+func newRatTableau(p *Problem) *ratTableau {
+	m := len(p.rows)
+	nVars := len(p.varNames)
+
+	type normRow struct {
+		coefs []*big.Rat
+		sense Sense
+		rhs   *big.Rat
+	}
+	rows := make([]normRow, m)
+	nSlack, nArt := 0, 0
+	tmp := new(big.Rat)
+	for i, r := range p.rows {
+		nr := normRow{coefs: make([]*big.Rat, nVars), sense: r.sense, rhs: ratFromFloat(r.rhs)}
+		for j := range nr.coefs {
+			nr.coefs[j] = new(big.Rat)
+		}
+		// Accumulate the raw terms in rational arithmetic: each float64
+		// term converts exactly, and the sum of several terms on the same
+		// variable (c+w+d in the scheduling LPs) stays exact.
+		for _, term := range r.terms {
+			tmp.SetFloat64(term.Value)
+			nr.coefs[term.Var].Add(nr.coefs[term.Var], tmp)
+		}
+		if nr.rhs.Sign() < 0 {
+			for j := range nr.coefs {
+				nr.coefs[j].Neg(nr.coefs[j])
+			}
+			nr.rhs.Neg(nr.rhs)
+			switch nr.sense {
+			case LE:
+				nr.sense = GE
+			case GE:
+				nr.sense = LE
+			}
+		}
+		switch nr.sense {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+		rows[i] = nr
+	}
+
+	n := nVars + nSlack + nArt
+	t := &ratTableau{
+		m: m, n: n, nVars: nVars,
+		a:        make([][]*big.Rat, m),
+		b:        make([]*big.Rat, m),
+		basis:    make([]int, m),
+		artStart: nVars + nSlack,
+		objVal:   new(big.Rat),
+	}
+	slackCol := nVars
+	artCol := t.artStart
+	zero := func() *big.Rat { return new(big.Rat) }
+	for i, nr := range rows {
+		t.a[i] = make([]*big.Rat, n)
+		for j := 0; j < n; j++ {
+			if j < nVars {
+				t.a[i][j] = nr.coefs[j]
+			} else {
+				t.a[i][j] = zero()
+			}
+		}
+		t.b[i] = nr.rhs
+		switch nr.sense {
+		case LE:
+			t.a[i][slackCol].SetInt64(1)
+			t.basis[i] = slackCol
+			slackCol++
+		case GE:
+			t.a[i][slackCol].SetInt64(-1)
+			slackCol++
+			t.a[i][artCol].SetInt64(1)
+			t.basis[i] = artCol
+			artCol++
+		case EQ:
+			t.a[i][artCol].SetInt64(1)
+			t.basis[i] = artCol
+			artCol++
+		}
+	}
+
+	t.minimize = make([]*big.Rat, n)
+	for j := 0; j < n; j++ {
+		t.minimize[j] = zero()
+	}
+	for j := 0; j < nVars; j++ {
+		t.minimize[j].SetFloat64(p.obj[j])
+		if p.maximize {
+			t.minimize[j].Neg(t.minimize[j])
+		}
+	}
+	return t
+}
+
+func (t *ratTableau) run() (Status, int, error) {
+	if t.artStart < t.n {
+		phase1 := make([]*big.Rat, t.n)
+		for j := range phase1 {
+			phase1[j] = new(big.Rat)
+			if j >= t.artStart {
+				phase1[j].SetInt64(1)
+			}
+		}
+		t.loadCost(phase1)
+		st, err := t.iterate(false)
+		if err != nil {
+			return 0, t.pivots, err
+		}
+		if st == Unbounded {
+			return 0, t.pivots, fmt.Errorf("lp: exact phase-1 objective unbounded (internal error)")
+		}
+		if t.objVal.Sign() > 0 {
+			return Infeasible, t.pivots, nil
+		}
+		if err := t.evictArtificials(); err != nil {
+			return 0, t.pivots, err
+		}
+	}
+	t.loadCost(t.minimize)
+	st, err := t.iterate(true)
+	if err != nil {
+		return 0, t.pivots, err
+	}
+	return st, t.pivots, nil
+}
+
+func (t *ratTableau) loadCost(cost []*big.Rat) {
+	t.cost = cost
+	t.cbar = make([]*big.Rat, t.n)
+	for j := 0; j < t.n; j++ {
+		t.cbar[j] = new(big.Rat).Set(cost[j])
+	}
+	t.objVal.SetInt64(0)
+	tmp := new(big.Rat)
+	for i := 0; i < t.m; i++ {
+		cb := cost[t.basis[i]]
+		if cb.Sign() == 0 {
+			continue
+		}
+		tmp.Mul(cb, t.b[i])
+		t.objVal.Add(t.objVal, tmp)
+		for j := 0; j < t.n; j++ {
+			if t.a[i][j].Sign() == 0 {
+				continue
+			}
+			tmp.Mul(cb, t.a[i][j])
+			t.cbar[j].Sub(t.cbar[j], tmp)
+		}
+	}
+}
+
+// iterate uses Bland's rule (smallest eligible index for both the entering
+// and the leaving variable), which cannot cycle, so exact termination is
+// guaranteed.
+func (t *ratTableau) iterate(excludeArtificials bool) (Status, error) {
+	limit := t.n
+	if excludeArtificials {
+		limit = t.artStart
+	}
+	ratio := new(big.Rat)
+	for {
+		if t.pivots > maxPivots {
+			return 0, fmt.Errorf("lp: exact pivot limit exceeded (%d)", maxPivots)
+		}
+		enter := -1
+		for j := 0; j < limit; j++ {
+			if t.cbar[j].Sign() < 0 && !t.isBasic(j) {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return Optimal, nil
+		}
+		leave := -1
+		minRatio := new(big.Rat)
+		for i := 0; i < t.m; i++ {
+			if t.a[i][enter].Sign() <= 0 {
+				continue
+			}
+			ratio.Quo(t.b[i], t.a[i][enter])
+			if leave < 0 || ratio.Cmp(minRatio) < 0 ||
+				(ratio.Cmp(minRatio) == 0 && t.basis[i] < t.basis[leave]) {
+				leave = i
+				minRatio.Set(ratio)
+			}
+		}
+		if leave < 0 {
+			return Unbounded, nil
+		}
+		t.pivot(leave, enter)
+	}
+}
+
+func (t *ratTableau) isBasic(col int) bool {
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] == col {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *ratTableau) pivot(r, c int) {
+	t.pivots++
+	inv := new(big.Rat).Inv(t.a[r][c])
+	for j := 0; j < t.n; j++ {
+		if t.a[r][j].Sign() != 0 {
+			t.a[r][j].Mul(t.a[r][j], inv)
+		}
+	}
+	t.b[r].Mul(t.b[r], inv)
+	t.a[r][c].SetInt64(1)
+	tmp := new(big.Rat)
+	for i := 0; i < t.m; i++ {
+		if i == r {
+			continue
+		}
+		f := t.a[i][c]
+		if f.Sign() == 0 {
+			continue
+		}
+		fcopy := new(big.Rat).Set(f)
+		for j := 0; j < t.n; j++ {
+			if t.a[r][j].Sign() == 0 {
+				continue
+			}
+			tmp.Mul(fcopy, t.a[r][j])
+			t.a[i][j].Sub(t.a[i][j], tmp)
+		}
+		tmp.Mul(fcopy, t.b[r])
+		t.b[i].Sub(t.b[i], tmp)
+		t.a[i][c].SetInt64(0)
+	}
+	if f := t.cbar[c]; f.Sign() != 0 {
+		fcopy := new(big.Rat).Set(f)
+		for j := 0; j < t.n; j++ {
+			if t.a[r][j].Sign() == 0 {
+				continue
+			}
+			tmp.Mul(fcopy, t.a[r][j])
+			t.cbar[j].Sub(t.cbar[j], tmp)
+		}
+		t.cbar[c].SetInt64(0)
+	}
+	t.basis[r] = c
+	t.objVal.SetInt64(0)
+	for i := 0; i < t.m; i++ {
+		if cb := t.cost[t.basis[i]]; cb.Sign() != 0 {
+			tmp.Mul(cb, t.b[i])
+			t.objVal.Add(t.objVal, tmp)
+		}
+	}
+}
+
+func (t *ratTableau) evictArtificials() error {
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.artStart {
+			continue
+		}
+		if t.b[i].Sign() > 0 {
+			return fmt.Errorf("lp: exact artificial variable basic at positive level after feasible phase 1")
+		}
+		done := false
+		for j := 0; j < t.artStart; j++ {
+			if t.a[i][j].Sign() != 0 && !t.isBasic(j) {
+				t.pivot(i, j)
+				done = true
+				break
+			}
+		}
+		if !done {
+			t.b[i].SetInt64(0)
+		}
+	}
+	return nil
+}
+
+func (t *ratTableau) primal() []*big.Rat {
+	x := make([]*big.Rat, t.nVars)
+	for j := range x {
+		x[j] = new(big.Rat)
+	}
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.nVars {
+			x[t.basis[i]].Set(t.b[i])
+		}
+	}
+	return x
+}

@@ -1,0 +1,506 @@
+package lp
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 1e-7
+
+func approxEq(a, b float64) bool { return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b)) }
+
+// solveBoth runs the float and the exact solver and checks they agree on
+// status and (when optimal) objective value.
+func solveBoth(t *testing.T, p *Problem) (*Solution, *ExactSolution) {
+	t.Helper()
+	fs, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v\nproblem:\n%s", err, p)
+	}
+	es, err := p.SolveExact()
+	if err != nil {
+		t.Fatalf("SolveExact: %v\nproblem:\n%s", err, p)
+	}
+	if fs.Status != es.Status {
+		t.Fatalf("status mismatch: float=%v exact=%v\nproblem:\n%s", fs.Status, es.Status, p)
+	}
+	if fs.Status == Optimal {
+		eobj, _ := es.Objective.Float64()
+		if !approxEq(fs.Objective, eobj) {
+			t.Fatalf("objective mismatch: float=%.12g exact=%.12g\nproblem:\n%s", fs.Objective, eobj, p)
+		}
+	}
+	return fs, es
+}
+
+func TestSimpleMaximize(t *testing.T) {
+	// max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  (classic Dantzig
+	// example; optimum 36 at x=2, y=6).
+	p := NewMaximize()
+	x := p.AddVar("x", 3)
+	y := p.AddVar("y", 5)
+	p.AddConstraint("c1", []Coef{{x, 1}}, LE, 4)
+	p.AddConstraint("c2", []Coef{{y, 2}}, LE, 12)
+	p.AddConstraint("c3", []Coef{{x, 3}, {y, 2}}, LE, 18)
+	s, _ := solveBoth(t, p)
+	if !approxEq(s.Objective, 36) {
+		t.Errorf("objective = %g, want 36", s.Objective)
+	}
+	if !approxEq(s.Value(x), 2) || !approxEq(s.Value(y), 6) {
+		t.Errorf("solution = (%g, %g), want (2, 6)", s.Value(x), s.Value(y))
+	}
+}
+
+func TestSimpleMinimizeWithGE(t *testing.T) {
+	// min 2x + 3y s.t. x + y >= 10, x >= 2, y >= 3. Optimum at x=7, y=3 → 23.
+	p := NewMinimize()
+	x := p.AddVar("x", 2)
+	y := p.AddVar("y", 3)
+	p.AddConstraint("sum", []Coef{{x, 1}, {y, 1}}, GE, 10)
+	p.AddConstraint("xmin", []Coef{{x, 1}}, GE, 2)
+	p.AddConstraint("ymin", []Coef{{y, 1}}, GE, 3)
+	s, _ := solveBoth(t, p)
+	if !approxEq(s.Objective, 23) {
+		t.Errorf("objective = %g, want 23", s.Objective)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// max x + y s.t. x + y = 5, x <= 3 → objective 5.
+	p := NewMaximize()
+	x := p.AddVar("x", 1)
+	y := p.AddVar("y", 1)
+	p.AddConstraint("eq", []Coef{{x, 1}, {y, 1}}, EQ, 5)
+	p.AddConstraint("cap", []Coef{{x, 1}}, LE, 3)
+	s, _ := solveBoth(t, p)
+	if !approxEq(s.Objective, 5) {
+		t.Errorf("objective = %g, want 5", s.Objective)
+	}
+	if !approxEq(s.Value(x)+s.Value(y), 5) {
+		t.Errorf("x+y = %g, want 5", s.Value(x)+s.Value(y))
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewMaximize()
+	x := p.AddVar("x", 1)
+	p.AddConstraint("lo", []Coef{{x, 1}}, GE, 5)
+	p.AddConstraint("hi", []Coef{{x, 1}}, LE, 3)
+	s, _ := solveBoth(t, p)
+	if s.Status != Infeasible {
+		t.Errorf("status = %v, want Infeasible", s.Status)
+	}
+}
+
+func TestInfeasibleEquality(t *testing.T) {
+	p := NewMinimize()
+	x := p.AddVar("x", 1)
+	y := p.AddVar("y", 1)
+	p.AddConstraint("e1", []Coef{{x, 1}, {y, 1}}, EQ, 1)
+	p.AddConstraint("e2", []Coef{{x, 1}, {y, 1}}, EQ, 2)
+	s, _ := solveBoth(t, p)
+	if s.Status != Infeasible {
+		t.Errorf("status = %v, want Infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewMaximize()
+	x := p.AddVar("x", 1)
+	y := p.AddVar("y", 0)
+	p.AddConstraint("c", []Coef{{x, 1}, {y, -1}}, LE, 1)
+	s, _ := solveBoth(t, p)
+	if s.Status != Unbounded {
+		t.Errorf("status = %v, want Unbounded", s.Status)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// max -x s.t. -x <= -2  (i.e. x >= 2) → objective -2.
+	p := NewMaximize()
+	x := p.AddVar("x", -1)
+	p.AddConstraint("c", []Coef{{x, -1}}, LE, -2)
+	s, _ := solveBoth(t, p)
+	if s.Status != Optimal {
+		t.Fatalf("status = %v, want Optimal", s.Status)
+	}
+	if !approxEq(s.Objective, -2) {
+		t.Errorf("objective = %g, want -2", s.Objective)
+	}
+}
+
+func TestDegenerateBeale(t *testing.T) {
+	// Beale's classic cycling example. With Bland's rule (exact) and the
+	// Dantzig→Bland fallback (float) both must terminate at optimum 0.05.
+	p := NewMinimize()
+	x1 := p.AddVar("x1", -0.75)
+	x2 := p.AddVar("x2", 150)
+	x3 := p.AddVar("x3", -0.02)
+	x4 := p.AddVar("x4", 6)
+	p.AddConstraint("r1", []Coef{{x1, 0.25}, {x2, -60}, {x3, -0.04}, {x4, 9}}, LE, 0)
+	p.AddConstraint("r2", []Coef{{x1, 0.5}, {x2, -90}, {x3, -0.02}, {x4, 3}}, LE, 0)
+	p.AddConstraint("r3", []Coef{{x3, 1}}, LE, 1)
+	s, _ := solveBoth(t, p)
+	if s.Status != Optimal {
+		t.Fatalf("status = %v, want Optimal", s.Status)
+	}
+	if !approxEq(s.Objective, -0.05) {
+		t.Errorf("objective = %g, want -0.05", s.Objective)
+	}
+}
+
+func TestZeroObjective(t *testing.T) {
+	// Pure feasibility problem.
+	p := NewMaximize()
+	x := p.AddVar("x", 0)
+	p.AddConstraint("c", []Coef{{x, 1}}, EQ, 7)
+	s, _ := solveBoth(t, p)
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if !approxEq(s.Value(x), 7) {
+		t.Errorf("x = %g, want 7", s.Value(x))
+	}
+}
+
+func TestNoVariables(t *testing.T) {
+	p := NewMaximize()
+	if _, err := p.Solve(); err == nil {
+		t.Error("Solve on empty problem: want error, got nil")
+	}
+	if _, err := p.SolveExact(); err == nil {
+		t.Error("SolveExact on empty problem: want error, got nil")
+	}
+}
+
+func TestNonFiniteInput(t *testing.T) {
+	p := NewMaximize()
+	x := p.AddVar("x", 1)
+	p.AddConstraint("bad", []Coef{{x, math.NaN()}}, LE, 1)
+	if _, err := p.Solve(); err == nil {
+		t.Error("want error for NaN coefficient")
+	}
+	p2 := NewMaximize()
+	y := p2.AddVar("y", math.Inf(1))
+	_ = y
+	if _, err := p2.Solve(); err == nil {
+		t.Error("want error for Inf objective coefficient")
+	}
+}
+
+func TestAddDense(t *testing.T) {
+	p := NewMaximize()
+	p.AddVar("a", 1)
+	p.AddVar("b", 1)
+	p.AddDense("cap", []float64{1, 2}, LE, 4)
+	s, _ := solveBoth(t, p)
+	if !approxEq(s.Objective, 4) { // a=4, b=0
+		t.Errorf("objective = %g, want 4", s.Objective)
+	}
+}
+
+func TestAddDenseWrongLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AddDense with wrong length: want panic")
+		}
+	}()
+	p := NewMaximize()
+	p.AddVar("a", 1)
+	p.AddDense("bad", []float64{1, 2}, LE, 4)
+}
+
+func TestAddVarAfterConstraint(t *testing.T) {
+	// Adding a variable after constraints extends existing rows with zeros.
+	p := NewMaximize()
+	x := p.AddVar("x", 1)
+	p.AddConstraint("c1", []Coef{{x, 1}}, LE, 3)
+	y := p.AddVar("y", 2)
+	p.AddConstraint("c2", []Coef{{y, 1}}, LE, 5)
+	s, _ := solveBoth(t, p)
+	if !approxEq(s.Objective, 13) { // x=3, y=5
+		t.Errorf("objective = %g, want 13", s.Objective)
+	}
+}
+
+func TestSlackValues(t *testing.T) {
+	p := NewMaximize()
+	x := p.AddVar("x", 1)
+	p.AddConstraint("tight", []Coef{{x, 1}}, LE, 2)
+	p.AddConstraint("loose", []Coef{{x, 1}}, LE, 10)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(s.Slack[0], 0) {
+		t.Errorf("tight slack = %g, want 0", s.Slack[0])
+	}
+	if !approxEq(s.Slack[1], 8) {
+		t.Errorf("loose slack = %g, want 8", s.Slack[1])
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	p := NewMaximize()
+	x := p.AddVar("alpha", 1)
+	p.AddConstraint("row", []Coef{{x, 2}}, LE, 1)
+	out := p.String()
+	for _, want := range []string{"maximize", "alpha", "<=", "row"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q in:\n%s", want, out)
+		}
+	}
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Error("Sense.String mismatch")
+	}
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Error("Status.String mismatch")
+	}
+	if Sense(42).String() == "" || Status(42).String() == "" {
+		t.Error("out-of-range String must not be empty")
+	}
+}
+
+// randomFeasibleLP builds a random bounded LP of the "scheduling" shape used
+// throughout this repository: maximize a non-negative objective subject to
+// non-negative coefficients and positive capacities, which is always
+// feasible (x = 0) and bounded.
+func randomFeasibleLP(rng *rand.Rand, nVars, nRows int) *Problem {
+	p := NewMaximize()
+	for v := 0; v < nVars; v++ {
+		p.AddVar("x", 0.1+rng.Float64())
+	}
+	for r := 0; r < nRows; r++ {
+		coefs := make([]Coef, 0, nVars)
+		nonzero := false
+		for v := 0; v < nVars; v++ {
+			c := rng.Float64() * 3
+			if rng.Intn(3) == 0 {
+				c = 0
+			}
+			if c != 0 {
+				nonzero = true
+			}
+			coefs = append(coefs, Coef{v, c})
+		}
+		if !nonzero {
+			coefs[rng.Intn(nVars)] = Coef{rng.Intn(nVars), 1 + rng.Float64()}
+		}
+		p.AddConstraint("r", coefs, LE, 0.5+rng.Float64()*2)
+	}
+	// Cap every variable so the LP is bounded even if some column is absent
+	// from all random rows.
+	for v := 0; v < nVars; v++ {
+		p.AddConstraint("cap", []Coef{{v, 1}}, LE, 10)
+	}
+	return p
+}
+
+// TestQuickFloatMatchesExact cross-checks the float solver against the exact
+// solver on random bounded-feasible LPs.
+func TestQuickFloatMatchesExact(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nVars := 1 + r.Intn(6)
+		nRows := 1 + r.Intn(6)
+		p := randomFeasibleLP(r, nVars, nRows)
+		fs, err := p.Solve()
+		if err != nil {
+			t.Logf("float error: %v", err)
+			return false
+		}
+		es, err := p.SolveExact()
+		if err != nil {
+			t.Logf("exact error: %v", err)
+			return false
+		}
+		if fs.Status != Optimal || es.Status != Optimal {
+			t.Logf("unexpected status: float=%v exact=%v", fs.Status, es.Status)
+			return false
+		}
+		eobj, _ := es.Objective.Float64()
+		if !approxEq(fs.Objective, eobj) {
+			t.Logf("objective mismatch: float=%.12g exact=%.12g\n%s", fs.Objective, eobj, p)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSolutionFeasibility checks primal feasibility of float solutions
+// on random LPs: every constraint satisfied within tolerance, variables
+// non-negative.
+func TestQuickSolutionFeasibility(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomFeasibleLP(r, 1+r.Intn(7), 1+r.Intn(7))
+		s, err := p.Solve()
+		if err != nil || s.Status != Optimal {
+			return false
+		}
+		for _, x := range s.X {
+			if x < -tol {
+				return false
+			}
+		}
+		for i, sl := range s.Slack {
+			if sl < -1e-6 {
+				t.Logf("row %d violated by %g", i, -sl)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExactRationalValues verifies the exact solver returns true rationals:
+// for an LP with integer data, the optimum must be exactly representable.
+func TestExactRationalValues(t *testing.T) {
+	// max x s.t. 3x <= 1  → x = 1/3 exactly.
+	p := NewMaximize()
+	x := p.AddVar("x", 1)
+	p.AddConstraint("c", []Coef{{x, 3}}, LE, 1)
+	s, err := p.SolveExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := big.NewRat(1, 3)
+	if s.Value(x).Cmp(want) != 0 {
+		t.Errorf("x = %v, want exactly 1/3", s.Value(x))
+	}
+	if s.Objective.Cmp(want) != 0 {
+		t.Errorf("objective = %v, want exactly 1/3", s.Objective)
+	}
+}
+
+func TestExactFloatView(t *testing.T) {
+	p := NewMaximize()
+	x := p.AddVar("x", 2)
+	p.AddConstraint("c", []Coef{{x, 1}}, LE, 5)
+	s, err := p.SolveExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, xs := s.Float()
+	if !approxEq(obj, 10) || !approxEq(xs[0], 5) {
+		t.Errorf("Float() = (%g, %v), want (10, [5])", obj, xs)
+	}
+	// Non-optimal solutions yield zero values.
+	p2 := NewMaximize()
+	y := p2.AddVar("y", 1)
+	p2.AddConstraint("lo", []Coef{{y, 1}}, GE, 5)
+	p2.AddConstraint("hi", []Coef{{y, 1}}, LE, 3)
+	s2, err := p2.SolveExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj2, xs2 := s2.Float(); obj2 != 0 || xs2 != nil {
+		t.Errorf("Float() on infeasible = (%g, %v), want (0, nil)", obj2, xs2)
+	}
+}
+
+// TestManyVariables exercises a larger instance for pivoting robustness: a
+// transportation-like LP with 40 variables.
+func TestManyVariables(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := randomFeasibleLP(rng, 40, 25)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	es, err := p.SolveExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eobj, _ := es.Objective.Float64()
+	if !approxEq(s.Objective, eobj) {
+		t.Errorf("float %.12g vs exact %.12g", s.Objective, eobj)
+	}
+}
+
+func TestRedundantEqualityRows(t *testing.T) {
+	// Duplicate equality rows leave a zero-level artificial basic after
+	// phase 1; the solver must handle the redundancy.
+	p := NewMaximize()
+	x := p.AddVar("x", 1)
+	y := p.AddVar("y", 1)
+	p.AddConstraint("e1", []Coef{{x, 1}, {y, 1}}, EQ, 4)
+	p.AddConstraint("e2", []Coef{{x, 2}, {y, 2}}, EQ, 8) // same hyperplane
+	p.AddConstraint("cap", []Coef{{x, 1}}, LE, 1)
+	s, _ := solveBoth(t, p)
+	if s.Status != Optimal {
+		t.Fatalf("status = %v, want Optimal", s.Status)
+	}
+	if !approxEq(s.Objective, 4) {
+		t.Errorf("objective = %g, want 4", s.Objective)
+	}
+}
+
+func BenchmarkSolveFloatSmall(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p := randomFeasibleLP(rng, 12, 14) // the size of an 11-worker FIFO LP
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveExactSmall(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p := randomFeasibleLP(rng, 12, 14)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.SolveExact(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveFloatLarge(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	p := randomFeasibleLP(rng, 80, 60)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestSetObjAndIsMaximize(t *testing.T) {
+	p := NewMaximize()
+	if !p.IsMaximize() {
+		t.Error("NewMaximize must maximize")
+	}
+	if NewMinimize().IsMaximize() {
+		t.Error("NewMinimize must not maximize")
+	}
+	x := p.AddVar("x", 0)
+	p.AddConstraint("cap", []Coef{{x, 1}}, LE, 7)
+	p.SetObj(x, 3)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(s.Objective, 21) {
+		t.Errorf("objective = %g, want 21 after SetObj", s.Objective)
+	}
+	if p.NumVars() != 1 || p.NumRows() != 1 || p.VarName(x) != "x" {
+		t.Error("accessor mismatch")
+	}
+}

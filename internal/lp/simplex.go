@@ -1,0 +1,355 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Numerical tolerances for the float64 simplex. The divisible-load LPs are
+// tiny and well scaled (coefficients are platform costs of comparable
+// magnitude, right-hand sides are 1), so a fixed tolerance is adequate.
+const (
+	eps = 1e-9
+	// blandAfter is the pivot count after which the solver abandons Dantzig
+	// pricing for Bland's rule, which cannot cycle.
+	blandAfter = 10_000
+	// maxPivots bounds the total number of pivots; with Bland's rule the
+	// simplex terminates, so hitting this indicates a bug rather than a hard
+	// problem, and the solver reports it as an error.
+	maxPivots = 1_000_000
+)
+
+// Solve runs the two-phase primal simplex in float64 arithmetic and returns
+// the solution. The problem itself is not modified. An error is returned
+// only for malformed input or an internal failure; Infeasible and Unbounded
+// are reported through Solution.Status.
+func (p *Problem) Solve() (*Solution, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	t := newTableau(p)
+	status, iters, err := t.run()
+	if err != nil {
+		return nil, err
+	}
+	sol := &Solution{Status: status, Iterations: iters}
+	if status != Optimal {
+		return sol, nil
+	}
+	x := t.primal()
+	obj := 0.0
+	for j, c := range p.obj {
+		obj += c * x[j]
+	}
+	sol.X = x
+	sol.Objective = obj
+	sol.Slack = p.computeSlacks(x)
+	return sol, nil
+}
+
+// tableau is the dense full-tableau working state of the float64 simplex.
+// Column layout: [0, nVars) original variables, then one slack/surplus
+// column per inequality row, then one artificial column per row that needs
+// one. The right-hand side is held separately in b.
+type tableau struct {
+	m, n     int         // rows, total columns
+	nVars    int         // original variables
+	a        [][]float64 // m x n
+	b        []float64   // m
+	basis    []int       // m, column index basic in each row
+	cost     []float64   // n, current phase cost vector
+	cbar     []float64   // n, reduced costs (maintained incrementally)
+	objVal   float64     // current phase objective value
+	artStart int         // first artificial column, == n if none
+	minimize []float64   // phase-2 cost vector (minimization form)
+	pivots   int
+}
+
+func newTableau(p *Problem) *tableau {
+	m := len(p.rows)
+	nVars := len(p.varNames)
+
+	// Count auxiliary columns. Rows are normalised to non-negative RHS
+	// first, which may flip the sense.
+	type normRow struct {
+		coefs []float64
+		sense Sense
+		rhs   float64
+	}
+	rows := make([]normRow, m)
+	nSlack := 0
+	nArt := 0
+	for i, r := range p.rows {
+		nr := normRow{coefs: make([]float64, nVars), sense: r.sense, rhs: r.rhs}
+		copy(nr.coefs, r.coefs)
+		if nr.rhs < 0 {
+			for j := range nr.coefs {
+				nr.coefs[j] = -nr.coefs[j]
+			}
+			nr.rhs = -nr.rhs
+			switch nr.sense {
+			case LE:
+				nr.sense = GE
+			case GE:
+				nr.sense = LE
+			}
+		}
+		switch nr.sense {
+		case LE:
+			nSlack++ // slack becomes the initial basic variable
+		case GE:
+			nSlack++ // surplus
+			nArt++
+		case EQ:
+			nArt++
+		}
+		rows[i] = nr
+	}
+
+	n := nVars + nSlack + nArt
+	t := &tableau{
+		m:        m,
+		n:        n,
+		nVars:    nVars,
+		a:        make([][]float64, m),
+		b:        make([]float64, m),
+		basis:    make([]int, m),
+		artStart: nVars + nSlack,
+	}
+	slackCol := nVars
+	artCol := t.artStart
+	for i, nr := range rows {
+		t.a[i] = make([]float64, n)
+		copy(t.a[i], nr.coefs)
+		t.b[i] = nr.rhs
+		switch nr.sense {
+		case LE:
+			t.a[i][slackCol] = 1
+			t.basis[i] = slackCol
+			slackCol++
+		case GE:
+			t.a[i][slackCol] = -1
+			slackCol++
+			t.a[i][artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		case EQ:
+			t.a[i][artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		}
+	}
+
+	// Phase-2 cost vector in minimization form.
+	t.minimize = make([]float64, n)
+	for j := 0; j < nVars; j++ {
+		if p.maximize {
+			t.minimize[j] = -p.obj[j]
+		} else {
+			t.minimize[j] = p.obj[j]
+		}
+	}
+	return t
+}
+
+// run executes both phases and returns the final status.
+func (t *tableau) run() (Status, int, error) {
+	if t.artStart < t.n {
+		// Phase 1: minimise the sum of artificial variables.
+		phase1 := make([]float64, t.n)
+		for j := t.artStart; j < t.n; j++ {
+			phase1[j] = 1
+		}
+		t.loadCost(phase1)
+		st, err := t.iterate(false)
+		if err != nil {
+			return 0, t.pivots, err
+		}
+		if st == Unbounded {
+			return 0, t.pivots, fmt.Errorf("lp: phase-1 objective unbounded (internal error)")
+		}
+		if t.objVal > 1e-7 {
+			return Infeasible, t.pivots, nil
+		}
+		if err := t.evictArtificials(); err != nil {
+			return 0, t.pivots, err
+		}
+	}
+	// Phase 2.
+	t.loadCost(t.minimize)
+	st, err := t.iterate(true)
+	if err != nil {
+		return 0, t.pivots, err
+	}
+	return st, t.pivots, nil
+}
+
+// loadCost installs a cost vector and recomputes reduced costs and the
+// objective value from the current basis.
+func (t *tableau) loadCost(cost []float64) {
+	t.cost = cost
+	t.cbar = make([]float64, t.n)
+	copy(t.cbar, cost)
+	t.objVal = 0
+	for i := 0; i < t.m; i++ {
+		cb := cost[t.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		t.objVal += cb * t.b[i]
+		for j := 0; j < t.n; j++ {
+			t.cbar[j] -= cb * t.a[i][j]
+		}
+	}
+}
+
+// iterate pivots until optimality or unboundedness. When excludeArtificials
+// is true, artificial columns may not enter the basis (phase 2).
+func (t *tableau) iterate(excludeArtificials bool) (Status, error) {
+	limit := t.n
+	if excludeArtificials {
+		limit = t.artStart
+	}
+	for {
+		if t.pivots > maxPivots {
+			return 0, fmt.Errorf("lp: pivot limit exceeded (%d); possible numerical cycling", maxPivots)
+		}
+		bland := t.pivots > blandAfter
+		enter := -1
+		best := -eps
+		for j := 0; j < limit; j++ {
+			if t.isBasic(j) {
+				continue
+			}
+			if t.cbar[j] < -eps {
+				if bland {
+					enter = j
+					break
+				}
+				if t.cbar[j] < best {
+					best = t.cbar[j]
+					enter = j
+				}
+			}
+		}
+		if enter < 0 {
+			return Optimal, nil
+		}
+		leave := -1
+		var minRatio float64
+		for i := 0; i < t.m; i++ {
+			aij := t.a[i][enter]
+			if aij <= eps {
+				continue
+			}
+			ratio := t.b[i] / aij
+			if leave < 0 || ratio < minRatio-eps ||
+				(math.Abs(ratio-minRatio) <= eps && t.basis[i] < t.basis[leave]) {
+				leave = i
+				minRatio = ratio
+			}
+		}
+		if leave < 0 {
+			return Unbounded, nil
+		}
+		t.pivot(leave, enter)
+	}
+}
+
+func (t *tableau) isBasic(col int) bool {
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] == col {
+			return true
+		}
+	}
+	return false
+}
+
+// pivot performs the Gauss-Jordan elimination step making column c basic in
+// row r, updating the reduced-cost row and objective value in the same pass.
+func (t *tableau) pivot(r, c int) {
+	t.pivots++
+	piv := t.a[r][c]
+	inv := 1.0 / piv
+	for j := 0; j < t.n; j++ {
+		t.a[r][j] *= inv
+	}
+	t.b[r] *= inv
+	t.a[r][c] = 1 // exact
+	for i := 0; i < t.m; i++ {
+		if i == r {
+			continue
+		}
+		f := t.a[i][c]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < t.n; j++ {
+			t.a[i][j] -= f * t.a[r][j]
+		}
+		t.a[i][c] = 0 // exact
+		t.b[i] -= f * t.b[r]
+		if t.b[i] < 0 && t.b[i] > -eps {
+			t.b[i] = 0
+		}
+	}
+	if f := t.cbar[c]; f != 0 {
+		for j := 0; j < t.n; j++ {
+			t.cbar[j] -= f * t.a[r][j]
+		}
+		t.cbar[c] = 0
+	}
+	t.basis[r] = c
+	// The phase objective is Σ cost[basis[i]]·b[i]. The problems in this
+	// module are tiny, so recomputing it directly is cheaper to maintain
+	// (and more robust) than a rank-one update.
+	t.objVal = 0
+	for i := 0; i < t.m; i++ {
+		if cb := t.cost[t.basis[i]]; cb != 0 {
+			t.objVal += cb * t.b[i]
+		}
+	}
+}
+
+// evictArtificials pivots out any artificial variable that remained basic at
+// level zero after phase 1, or verifies its row is redundant.
+func (t *tableau) evictArtificials() error {
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.artStart {
+			continue
+		}
+		if t.b[i] > 1e-7 {
+			return fmt.Errorf("lp: artificial variable basic at positive level after feasible phase 1")
+		}
+		// Try to pivot in any non-artificial column with a nonzero entry.
+		done := false
+		for j := 0; j < t.artStart; j++ {
+			if math.Abs(t.a[i][j]) > 1e-7 && !t.isBasic(j) {
+				t.pivot(i, j)
+				done = true
+				break
+			}
+		}
+		if !done {
+			// Redundant row: the artificial stays basic at level 0 and is
+			// simply never allowed to enter elsewhere; the row is inert.
+			t.b[i] = 0
+		}
+	}
+	return nil
+}
+
+// primal extracts the values of the original variables.
+func (t *tableau) primal() []float64 {
+	x := make([]float64, t.nVars)
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.nVars {
+			v := t.b[i]
+			if v < 0 && v > -eps {
+				v = 0
+			}
+			x[t.basis[i]] = v
+		}
+	}
+	return x
+}

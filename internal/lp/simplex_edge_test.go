@@ -1,0 +1,210 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestOnlyGEConstraints forces a full phase-1 with artificials on every
+// row.
+func TestOnlyGEConstraints(t *testing.T) {
+	// min x + y s.t. x + 2y >= 4, 3x + y >= 6 → optimum at intersection
+	// (8/5, 6/5), objective 14/5.
+	p := NewMinimize()
+	x := p.AddVar("x", 1)
+	y := p.AddVar("y", 1)
+	p.AddConstraint("r1", []Coef{{x, 1}, {y, 2}}, GE, 4)
+	p.AddConstraint("r2", []Coef{{x, 3}, {y, 1}}, GE, 6)
+	s, _ := solveBoth(t, p)
+	if !approxEq(s.Objective, 14.0/5) {
+		t.Errorf("objective = %g, want 2.8", s.Objective)
+	}
+}
+
+// TestMixedSenseSystem combines all three senses in one program.
+func TestMixedSenseSystem(t *testing.T) {
+	// max 2x + y s.t. x + y = 10, x - y <= 4, x >= 2 → x = 7, y = 3 → 17.
+	p := NewMaximize()
+	x := p.AddVar("x", 2)
+	y := p.AddVar("y", 1)
+	p.AddConstraint("sum", []Coef{{x, 1}, {y, 1}}, EQ, 10)
+	p.AddConstraint("gap", []Coef{{x, 1}, {y, -1}}, LE, 4)
+	p.AddConstraint("floor", []Coef{{x, 1}}, GE, 2)
+	s, _ := solveBoth(t, p)
+	if !approxEq(s.Objective, 17) {
+		t.Errorf("objective = %g, want 17", s.Objective)
+	}
+	if !approxEq(s.Value(x), 7) || !approxEq(s.Value(y), 3) {
+		t.Errorf("solution (%g, %g), want (7, 3)", s.Value(x), s.Value(y))
+	}
+}
+
+// TestHighlyDegenerateTies stresses Bland fallback: many identical rows
+// create massive degeneracy.
+func TestHighlyDegenerateTies(t *testing.T) {
+	p := NewMaximize()
+	n := 6
+	vars := make([]int, n)
+	for i := range vars {
+		vars[i] = p.AddVar("x", 1)
+	}
+	// 20 copies of the same budget row plus per-variable caps at the same
+	// level: every vertex is massively degenerate.
+	for r := 0; r < 20; r++ {
+		coefs := make([]Coef, n)
+		for i := range coefs {
+			coefs[i] = Coef{vars[i], 1}
+		}
+		p.AddConstraint("budget", coefs, LE, 3)
+	}
+	for i := range vars {
+		p.AddConstraint("cap", []Coef{{vars[i], 1}}, LE, 0.5)
+	}
+	s, _ := solveBoth(t, p)
+	if !approxEq(s.Objective, 3) {
+		t.Errorf("objective = %g, want 3", s.Objective)
+	}
+}
+
+// TestBadlyScaledCoefficients checks the float solver survives coefficient
+// ranges far beyond the scheduling programs' (and still matches exact).
+func TestBadlyScaledCoefficients(t *testing.T) {
+	p := NewMaximize()
+	x := p.AddVar("x", 1e-6)
+	y := p.AddVar("y", 1e6)
+	p.AddConstraint("r1", []Coef{{x, 1e-4}, {y, 1e4}}, LE, 1)
+	p.AddConstraint("r2", []Coef{{x, 1}, {y, 1}}, LE, 1000)
+	fs, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := p.SolveExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eobj, _ := es.Objective.Float64()
+	if math.Abs(fs.Objective-eobj) > 1e-6*(1+math.Abs(eobj)) {
+		t.Errorf("float %g vs exact %g", fs.Objective, eobj)
+	}
+}
+
+// TestFIFOShapedProgram solves a program with the exact structure of the
+// paper's equation (2) and checks the idle-slack interpretation: summing
+// the slack of a worker row equals the idle the timeline would derive.
+func TestFIFOShapedProgram(t *testing.T) {
+	// 3 workers, c = (1,2,3)/10, w = (5,4,6)/10, d = c/2.
+	c := []float64{0.1, 0.2, 0.3}
+	w := []float64{0.5, 0.4, 0.6}
+	d := []float64{0.05, 0.1, 0.15}
+	p := NewMaximize()
+	alpha := make([]int, 3)
+	for i := range alpha {
+		alpha[i] = p.AddVar("alpha", 1)
+	}
+	for i := 0; i < 3; i++ {
+		var coefs []Coef
+		for j := 0; j <= i; j++ {
+			coefs = append(coefs, Coef{alpha[j], c[j]})
+		}
+		coefs = append(coefs, Coef{alpha[i], w[i]})
+		for j := i; j < 3; j++ {
+			coefs = append(coefs, Coef{alpha[j], d[j]})
+		}
+		p.AddConstraint("worker", coefs, LE, 1)
+	}
+	var port []Coef
+	for j := 0; j < 3; j++ {
+		port = append(port, Coef{alpha[j], c[j] + d[j]})
+	}
+	p.AddConstraint("one_port", port, LE, 1)
+	s, _ := solveBoth(t, p)
+	if s.Status != Optimal {
+		t.Fatalf("status %v", s.Status)
+	}
+	// All loads positive on this balanced instance.
+	for i, v := range s.X {
+		if v <= 0 {
+			t.Errorf("alpha[%d] = %g, want > 0", i, v)
+		}
+	}
+	// At most one worker row slack (Lemma 1 shape; the port row may also
+	// be slack).
+	slackRows := 0
+	for i := 0; i < 3; i++ {
+		if s.Slack[i] > 1e-7 {
+			slackRows++
+		}
+	}
+	if slackRows > 1 {
+		t.Errorf("%d worker rows slack; Lemma 1 allows 1", slackRows)
+	}
+}
+
+// TestRandomMinimizationAgainstExact broadens the cross-check to
+// minimization problems with GE rows (always feasible by construction:
+// x = large works; bounded below by x >= 0 ... the GE rows keep it away
+// from zero).
+func TestRandomMinimizationAgainstExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(5)
+		m := 1 + rng.Intn(4)
+		p := NewMinimize()
+		for v := 0; v < n; v++ {
+			p.AddVar("x", 0.1+rng.Float64())
+		}
+		for r := 0; r < m; r++ {
+			coefs := make([]Coef, 0, n)
+			// Guarantee at least one strictly positive coefficient so the
+			// row is satisfiable with x >= 0.
+			forced := rng.Intn(n)
+			for v := 0; v < n; v++ {
+				val := rng.Float64()
+				if v == forced && val < 0.1 {
+					val = 0.1 + val
+				}
+				coefs = append(coefs, Coef{v, val})
+			}
+			p.AddConstraint("r", coefs, GE, rng.Float64()*2)
+		}
+		fs, err := p.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		es, err := p.SolveExact()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fs.Status != es.Status {
+			t.Fatalf("trial %d: status %v vs %v\n%s", trial, fs.Status, es.Status, p)
+		}
+		if fs.Status == Optimal {
+			eobj, _ := es.Objective.Float64()
+			if !approxEq(fs.Objective, eobj) {
+				t.Errorf("trial %d: float %g vs exact %g", trial, fs.Objective, eobj)
+			}
+		}
+	}
+}
+
+// TestIterationsReported sanity-checks the pivot counter.
+func TestIterationsReported(t *testing.T) {
+	p := NewMaximize()
+	x := p.AddVar("x", 1)
+	p.AddConstraint("c", []Coef{{x, 1}}, LE, 5)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Iterations < 1 {
+		t.Errorf("iterations = %d, want >= 1", s.Iterations)
+	}
+	es, err := p.SolveExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es.Iterations < 1 {
+		t.Errorf("exact iterations = %d, want >= 1", es.Iterations)
+	}
+}

@@ -1,0 +1,177 @@
+// Package mmapp is the paper's test application: a master distributing
+// matrix products to workers over a star network and collecting the result
+// matrices, implemented as real message-passing programs on the virtual
+// cluster of package vcluster.
+//
+// One load unit is one product of two S×S float64 matrices: the master
+// ships 2·S²·8 bytes per unit, the worker multiplies (2·S³ flops) and ships
+// S²·8 bytes back, so the return/forward ratio is z = 1/2 exactly as in
+// Section 5. Heterogeneity comes from per-worker link bandwidth and compute
+// rate multipliers, mirroring the paper's technique of scaling message and
+// computation sizes.
+package mmapp
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+	"repro/internal/trace"
+	"repro/internal/vcluster"
+)
+
+// Message tags used by the application.
+const (
+	// TagData marks master→worker input-data messages.
+	TagData = 1
+	// TagResult marks worker→master result messages.
+	TagResult = 2
+)
+
+// Params configures one run of the matrix-product application.
+type Params struct {
+	// App fixes the matrix size and the reference bandwidth and flop rate.
+	App platform.App
+	// Speeds are the per-worker communication and computation speed
+	// multipliers (the paper's 1..10 values).
+	Speeds platform.Speeds
+	// Loads[i] is the number of matrix products assigned to worker i.
+	// Fractional values are allowed (they exercise the linear model
+	// exactly and are used by the validation tests); production runs pass
+	// integers from rounding.Distribute.
+	Loads []float64
+	// SendOrder is σ1 (worker indices, 0-based); ReturnOrder is σ2.
+	// Workers with zero load may be omitted; enrolled zero-load workers
+	// are skipped.
+	SendOrder, ReturnOrder platform.Order
+	// Latency is the per-message start-up time in seconds (0 = pure linear
+	// model).
+	Latency float64
+	// Jitter is the amplitude of deterministic multiplicative noise
+	// (see vcluster.Config).
+	Jitter float64
+	// Seed selects the noise stream.
+	Seed int64
+	// CacheFactor models the super-cubic growth of real matrix
+	// multiplication beyond cache capacity: the computation time per unit
+	// is multiplied by 1 + CacheFactor·S. Zero reproduces the pure linear
+	// model; the Section 5.3.3 communication-×10 experiment uses it to
+	// exhibit the limits of the linear cost model.
+	CacheFactor float64
+}
+
+// Result of one application run.
+type Result struct {
+	// Makespan is the total execution time (virtual seconds).
+	Makespan float64
+	// Trace holds every communication and computation event.
+	Trace *trace.Trace
+	// ProcNames labels ranks (master first) for Gantt rendering.
+	ProcNames []string
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.App.MatrixSize <= 0 || p.App.Bandwidth <= 0 || p.App.FlopRate <= 0 {
+		return fmt.Errorf("mmapp: invalid application %+v", p.App)
+	}
+	n := p.Speeds.P()
+	if len(p.Speeds.Comp) != n {
+		return fmt.Errorf("mmapp: speeds have %d comm and %d comp entries", n, len(p.Speeds.Comp))
+	}
+	if len(p.Loads) != n {
+		return fmt.Errorf("mmapp: %d loads for %d workers", len(p.Loads), n)
+	}
+	for i, l := range p.Loads {
+		if l < 0 {
+			return fmt.Errorf("mmapp: load %g of worker %d is negative", l, i)
+		}
+	}
+	if len(p.SendOrder) != len(p.ReturnOrder) {
+		return fmt.Errorf("mmapp: send order has %d workers, return order %d", len(p.SendOrder), len(p.ReturnOrder))
+	}
+	enrolled := make(map[int]bool, len(p.SendOrder))
+	for _, i := range p.SendOrder {
+		if i < 0 || i >= n {
+			return fmt.Errorf("mmapp: send order references worker %d outside platform", i)
+		}
+		if enrolled[i] {
+			return fmt.Errorf("mmapp: worker %d appears twice in send order", i)
+		}
+		enrolled[i] = true
+	}
+	seen := make(map[int]bool, len(p.ReturnOrder))
+	for _, i := range p.ReturnOrder {
+		if seen[i] {
+			return fmt.Errorf("mmapp: worker %d appears twice in return order", i)
+		}
+		seen[i] = true
+		if !enrolled[i] {
+			return fmt.Errorf("mmapp: worker %d returns but never receives", i)
+		}
+	}
+	for i, l := range p.Loads {
+		if l > 0 && !enrolled[i] {
+			return fmt.Errorf("mmapp: worker %d has load %g but is not in the send order", i, l)
+		}
+	}
+	if p.CacheFactor < 0 {
+		return fmt.Errorf("mmapp: cache factor %g must be >= 0", p.CacheFactor)
+	}
+	return nil
+}
+
+// Run executes the application on the virtual cluster and returns the
+// measured makespan and trace.
+func Run(p Params) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.Speeds.P()
+	cfg := vcluster.Config{
+		Workers: make([]vcluster.WorkerSpec, n),
+		Latency: p.Latency,
+		Jitter:  p.Jitter,
+		Seed:    p.Seed,
+	}
+	names := make([]string, n+1)
+	names[0] = "master"
+	for i := 0; i < n; i++ {
+		cfg.Workers[i] = vcluster.WorkerSpec{
+			Name:      fmt.Sprintf("P%d", i+1),
+			Bandwidth: p.App.Bandwidth * p.Speeds.Comm[i],
+			FlopRate:  p.App.FlopRate * p.Speeds.Comp[i],
+		}
+		names[i+1] = cfg.Workers[i].Name
+	}
+	bytesIn, bytesOut, flops := p.App.BytesIn(), p.App.BytesOut(), p.App.Flops()
+	computeScale := 1 + p.CacheFactor*float64(p.App.MatrixSize)
+
+	res, err := vcluster.Run(cfg, func(proc *vcluster.Proc) {
+		if proc.IsMaster() {
+			for _, i := range p.SendOrder {
+				if p.Loads[i] == 0 {
+					continue
+				}
+				proc.Send(i+1, TagData, p.Loads[i]*bytesIn)
+			}
+			for _, i := range p.ReturnOrder {
+				if p.Loads[i] == 0 {
+					continue
+				}
+				proc.Recv(i+1, TagResult)
+			}
+			return
+		}
+		i := proc.Rank() - 1
+		if p.Loads[i] == 0 {
+			return
+		}
+		proc.Recv(vcluster.MasterRank, TagData)
+		proc.Compute(p.Loads[i] * flops * computeScale)
+		proc.Send(vcluster.MasterRank, TagResult, p.Loads[i]*bytesOut)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Makespan: res.Makespan, Trace: res.Trace, ProcNames: names}, nil
+}

@@ -1,0 +1,189 @@
+// Package multiround extends the one-round framework of RR-5738 with
+// uniform multi-round FIFO distribution, the regime the paper's related
+// work discusses: multi-round strategies pipeline communication with
+// computation, but under a purely linear cost model they degenerate
+// (infinitely many infinitely small messages), so per-message latencies
+// are required to make the round count a real trade-off.
+//
+// The model: the per-worker total loads and the FIFO order are fixed (for
+// example taken from the one-round optimum); each worker's load is split
+// into R equal chunks. The master sends chunks round-major
+// (chunk 1 to every worker in order, then chunk 2, ...), each message
+// paying a start-up latency; workers may receive a chunk while computing
+// an earlier one (the standard multi-round DLT assumption) but compute
+// chunks sequentially; after all sends the master collects result chunks
+// round-major in the same order, each return also paying the latency.
+// The master port serializes everything (one-port model).
+//
+// Makespan computes the resulting schedule length analytically in
+// O(R·p) — no simulation involved — and BestRounds sweeps R. With zero
+// latency the makespan is non-increasing in R (pipelining can only help);
+// with positive latency an interior optimum appears, reproducing the
+// textbook trade-off.
+package multiround
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/platform"
+)
+
+// Params configures a multi-round evaluation.
+type Params struct {
+	// Platform provides the per-unit costs.
+	Platform *platform.Platform
+	// Loads are the per-worker totals, indexed like the platform workers.
+	Loads []float64
+	// Order is the FIFO order over the workers with positive load.
+	Order platform.Order
+	// Rounds is the number of uniform rounds R ≥ 1.
+	Rounds int
+	// Latency is the per-message start-up time (both directions).
+	Latency float64
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.Platform == nil {
+		return fmt.Errorf("multiround: nil platform")
+	}
+	if err := p.Platform.Validate(); err != nil {
+		return err
+	}
+	if len(p.Loads) != p.Platform.P() {
+		return fmt.Errorf("multiround: %d loads for %d workers", len(p.Loads), p.Platform.P())
+	}
+	for i, l := range p.Loads {
+		if l < 0 || math.IsNaN(l) || math.IsInf(l, 0) {
+			return fmt.Errorf("multiround: load %g of worker %d must be finite and >= 0", l, i)
+		}
+	}
+	if p.Rounds < 1 {
+		return fmt.Errorf("multiround: rounds %d must be >= 1", p.Rounds)
+	}
+	if p.Latency < 0 || math.IsNaN(p.Latency) {
+		return fmt.Errorf("multiround: latency %g must be >= 0", p.Latency)
+	}
+	seen := make(map[int]bool, len(p.Order))
+	for _, i := range p.Order {
+		if i < 0 || i >= p.Platform.P() {
+			return fmt.Errorf("multiround: order references worker %d outside platform", i)
+		}
+		if seen[i] {
+			return fmt.Errorf("multiround: worker %d appears twice in order", i)
+		}
+		seen[i] = true
+	}
+	for i, l := range p.Loads {
+		if l > 0 && !seen[i] {
+			return fmt.Errorf("multiround: worker %d has load %g but is not in the order", i, l)
+		}
+	}
+	return nil
+}
+
+// Makespan computes the multi-round FIFO makespan analytically.
+func Makespan(p Params) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	// Active workers in order.
+	var act []int
+	for _, i := range p.Order {
+		if p.Loads[i] > 0 {
+			act = append(act, i)
+		}
+	}
+	if len(act) == 0 {
+		return 0, nil
+	}
+	R := p.Rounds
+	L := p.Latency
+
+	// Send phase: the master port processes chunk messages round-major.
+	// chunkRecv[k][i] = time the i-th active worker holds its k-th chunk.
+	port := 0.0
+	chunkRecv := make([][]float64, R)
+	for k := 0; k < R; k++ {
+		chunkRecv[k] = make([]float64, len(act))
+		for ai, i := range act {
+			dur := L + p.Loads[i]/float64(R)*p.Platform.Workers[i].C
+			port += dur
+			chunkRecv[k][ai] = port
+		}
+	}
+
+	// Compute phase per worker: chunks sequential, each after its data.
+	compEnd := make([]float64, len(act))
+	for ai, i := range act {
+		t := 0.0
+		w := p.Loads[i] / float64(R) * p.Platform.Workers[i].W
+		for k := 0; k < R; k++ {
+			start := math.Max(t, chunkRecv[k][ai])
+			t = start + w
+		}
+		compEnd[ai] = t
+	}
+
+	// Return phase: the master port collects result chunks round-major,
+	// after all sends. A worker's k-th result is ready once its (k+1)-th
+	// chunk is computed, i.e. after (k+1)/R of its computation pattern;
+	// with sequential chunk computation that is the end of chunk k. For
+	// uniform chunks the k-th chunk (0-based) completes no later than
+	// compEnd - (R-1-k)·w... computing exactly:
+	chunkDone := make([][]float64, R)
+	for k := 0; k < R; k++ {
+		chunkDone[k] = make([]float64, len(act))
+	}
+	for ai, i := range act {
+		t := 0.0
+		w := p.Loads[i] / float64(R) * p.Platform.Workers[i].W
+		for k := 0; k < R; k++ {
+			start := math.Max(t, chunkRecv[k][ai])
+			t = start + w
+			chunkDone[k][ai] = t
+		}
+	}
+	for k := 0; k < R; k++ {
+		for ai, i := range act {
+			dur := L + p.Loads[i]/float64(R)*p.Platform.Workers[i].D
+			start := math.Max(port, chunkDone[k][ai])
+			port = start + dur
+		}
+	}
+	return port, nil
+}
+
+// Sweep returns the makespan for every round count 1..maxRounds.
+func Sweep(p Params, maxRounds int) ([]float64, error) {
+	if maxRounds < 1 {
+		return nil, fmt.Errorf("multiround: maxRounds %d must be >= 1", maxRounds)
+	}
+	out := make([]float64, maxRounds)
+	for r := 1; r <= maxRounds; r++ {
+		p.Rounds = r
+		m, err := Makespan(p)
+		if err != nil {
+			return nil, err
+		}
+		out[r-1] = m
+	}
+	return out, nil
+}
+
+// BestRounds returns the round count in 1..maxRounds with the smallest
+// makespan, together with that makespan.
+func BestRounds(p Params, maxRounds int) (int, float64, error) {
+	sweep, err := Sweep(p, maxRounds)
+	if err != nil {
+		return 0, 0, err
+	}
+	best, bestR := math.Inf(1), 1
+	for r, m := range sweep {
+		if m < best {
+			best, bestR = m, r+1
+		}
+	}
+	return bestR, best, nil
+}

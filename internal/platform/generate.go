@@ -1,0 +1,186 @@
+package platform
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// App describes the matrix-product application of Section 5 and converts
+// worker speeds into linear per-load-unit costs. One load unit is one
+// product of two dense MatrixSize×MatrixSize float64 matrices:
+//
+//	input message:  2·S²·8 bytes (the two operand matrices)
+//	output message:   S²·8 bytes (the result matrix) ⇒ z = 1/2
+//	computation:    2·S³ floating-point operations
+//
+// Bandwidth and FlopRate are the capabilities of a speed-1 (reference) link
+// and node; a worker of communication speed s has an effective bandwidth of
+// s·Bandwidth, following the paper's "simulate a faster worker by scaling
+// the work" methodology.
+type App struct {
+	// MatrixSize is the dimension S of the square matrices.
+	MatrixSize int
+	// Bandwidth is the reference link bandwidth in bytes per second.
+	Bandwidth float64
+	// FlopRate is the reference node compute rate in flops per second.
+	FlopRate float64
+}
+
+// Reference capabilities used by DefaultApp. They are calibrated so that
+// absolute times are in the same range as the paper's cluster (2.4 GHz P4
+// nodes running a straightforward matrix product at roughly 4 cycles per
+// flop, on a switched gigabit-class network). The calibration jointly
+// reproduces the paper's observable behaviours: the Figure 14 participation
+// boundary falls between x = 1 and x = 3, the Figure 9 trace enrolls a
+// strict subset of the workers, and LIFO overtakes INC_C on heterogeneous
+// platforms as matrices grow.
+const (
+	DefaultBandwidth = 1.25e8 // bytes/s
+	DefaultFlopRate  = 6e8    // flops/s
+)
+
+// DefaultApp returns the matrix-product application for matrices of the
+// given size with the reference capabilities.
+func DefaultApp(size int) App {
+	return App{MatrixSize: size, Bandwidth: DefaultBandwidth, FlopRate: DefaultFlopRate}
+}
+
+// BytesIn returns the input-message size of one load unit in bytes.
+func (a App) BytesIn() float64 { s := float64(a.MatrixSize); return 2 * 8 * s * s }
+
+// BytesOut returns the output-message size of one load unit in bytes.
+func (a App) BytesOut() float64 { s := float64(a.MatrixSize); return 8 * s * s }
+
+// Flops returns the computation amount of one load unit.
+func (a App) Flops() float64 { s := float64(a.MatrixSize); return 2 * s * s * s }
+
+// Z returns the application's result/input size ratio; 1/2 for matrix
+// products.
+func (a App) Z() float64 { return a.BytesOut() / a.BytesIn() }
+
+// Costs converts a (communication speed, computation speed) pair into the
+// worker's linear costs for this application.
+func (a App) Costs(commSpeed, compSpeed float64, name string) Worker {
+	return Worker{
+		Name: name,
+		C:    a.BytesIn() / (a.Bandwidth * commSpeed),
+		W:    a.Flops() / (a.FlopRate * compSpeed),
+		D:    a.BytesOut() / (a.Bandwidth * commSpeed),
+	}
+}
+
+// Speeds is a speed description of a platform, independent of the
+// application: one communication and one computation speed multiplier per
+// worker, each ≥ 1 with 1 the reference speed (the paper draws them from
+// {1..10}).
+type Speeds struct {
+	Comm []float64
+	Comp []float64
+}
+
+// P returns the number of workers described.
+func (s Speeds) P() int { return len(s.Comm) }
+
+// Platform converts the speeds into a cost platform for application a.
+func (s Speeds) Platform(a App) *Platform {
+	if len(s.Comm) != len(s.Comp) {
+		panic(fmt.Sprintf("platform: speeds have %d comm and %d comp entries", len(s.Comm), len(s.Comp)))
+	}
+	ws := make([]Worker, len(s.Comm))
+	for i := range ws {
+		ws[i] = a.Costs(s.Comm[i], s.Comp[i], fmt.Sprintf("P%d", i+1))
+	}
+	return New(ws...)
+}
+
+// ScaleComp returns a copy with every computation speed multiplied by f
+// (Section 5.3.3's "calculation power ×10" experiment uses f = 10).
+func (s Speeds) ScaleComp(f float64) Speeds {
+	out := Speeds{Comm: append([]float64(nil), s.Comm...), Comp: make([]float64, len(s.Comp))}
+	for i, v := range s.Comp {
+		out.Comp[i] = v * f
+	}
+	return out
+}
+
+// ScaleComm returns a copy with every communication speed multiplied by f.
+func (s Speeds) ScaleComm(f float64) Speeds {
+	out := Speeds{Comm: make([]float64, len(s.Comm)), Comp: append([]float64(nil), s.Comp...)}
+	for i, v := range s.Comm {
+		out.Comm[i] = v * f
+	}
+	return out
+}
+
+// Family selects one of the random platform families of Section 5.3.
+type Family int
+
+// Platform families used in the paper's experiments.
+const (
+	// Homogeneous: all workers share one random communication speed and one
+	// random computation speed (Figure 10).
+	Homogeneous Family = iota
+	// HomCommHeteroComp: a single random communication speed, individual
+	// random computation speeds (Figure 11).
+	HomCommHeteroComp
+	// Heterogeneous: individual random communication and computation speeds
+	// (Figure 12).
+	Heterogeneous
+)
+
+// String names the family.
+func (f Family) String() string {
+	switch f {
+	case Homogeneous:
+		return "homogeneous"
+	case HomCommHeteroComp:
+		return "homogeneous-comm/heterogeneous-comp"
+	case Heterogeneous:
+		return "heterogeneous"
+	}
+	return fmt.Sprintf("Family(%d)", int(f))
+}
+
+// speedRange draws an integer speed from {1..10} as in Section 5.3.2.
+func speedDraw(rng *rand.Rand) float64 { return float64(1 + rng.Intn(10)) }
+
+// RandomSpeeds draws a platform of p workers from the given family using
+// rng. The caller owns the generator; passing generators seeded explicitly
+// keeps every experiment reproducible.
+func RandomSpeeds(rng *rand.Rand, p int, family Family) Speeds {
+	s := Speeds{Comm: make([]float64, p), Comp: make([]float64, p)}
+	switch family {
+	case Homogeneous:
+		comm, comp := speedDraw(rng), speedDraw(rng)
+		for i := 0; i < p; i++ {
+			s.Comm[i], s.Comp[i] = comm, comp
+		}
+	case HomCommHeteroComp:
+		comm := speedDraw(rng)
+		for i := 0; i < p; i++ {
+			s.Comm[i], s.Comp[i] = comm, speedDraw(rng)
+		}
+	case Heterogeneous:
+		for i := 0; i < p; i++ {
+			s.Comm[i], s.Comp[i] = speedDraw(rng), speedDraw(rng)
+		}
+	default:
+		panic(fmt.Sprintf("platform: unknown family %d", int(family)))
+	}
+	return s
+}
+
+// Fig14Speeds returns the 4-worker platform of the participation study
+// (Section 5.3.4): three workers fast in both communication and
+// computation, and a fourth slow worker whose communication speed x is the
+// study's free parameter.
+//
+//	worker:             1   2   3   4
+//	communication speed 10  8   8   x
+//	computation speed   9   9   10  1
+func Fig14Speeds(x float64) Speeds {
+	return Speeds{
+		Comm: []float64{10, 8, 8, x},
+		Comp: []float64{9, 9, 10, 1},
+	}
+}

@@ -1,0 +1,59 @@
+// Package rounding implements the integer rounding policy of Section 5 of
+// RR-5738: the linear program produces rational loads α_i, but the
+// application must ship whole matrices. Every load is rounded down, and the
+// K leftover units are handed out one each to the first K workers of the
+// send permutation σ1.
+package rounding
+
+import (
+	"fmt"
+	"math"
+)
+
+// Distribute rounds the fractional loads alphas (indexed like the platform
+// workers) to integers summing exactly to total, following the paper's
+// policy: floor every α_i, then give one extra unit to each of the first K
+// workers in order, where K = total - Σ floor(α_i).
+//
+// The fractional loads are first rescaled so that Σα = total (the LP's
+// throughput-form schedule has Σα = ρ, not M). Workers outside order (zero
+// load) stay at zero. An error is returned if total < 0, if order references
+// out-of-range workers, or if K exceeds the number of enrolled workers
+// (cannot happen for rescaled inputs, but is guarded against rounding
+// pathologies).
+func Distribute(alphas []float64, order []int, total int) ([]int, error) {
+	if total < 0 {
+		return nil, fmt.Errorf("rounding: total %d must be >= 0", total)
+	}
+	sum := 0.0
+	for _, i := range order {
+		if i < 0 || i >= len(alphas) {
+			return nil, fmt.Errorf("rounding: order references worker %d outside %d loads", i, len(alphas))
+		}
+		if alphas[i] < 0 || math.IsNaN(alphas[i]) || math.IsInf(alphas[i], 0) {
+			return nil, fmt.Errorf("rounding: load %g of worker %d must be finite and >= 0", alphas[i], i)
+		}
+		sum += alphas[i]
+	}
+	counts := make([]int, len(alphas))
+	if total == 0 {
+		return counts, nil
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("rounding: enrolled workers carry zero total load")
+	}
+	scale := float64(total) / sum
+	assigned := 0
+	for _, i := range order {
+		counts[i] = int(math.Floor(alphas[i] * scale))
+		assigned += counts[i]
+	}
+	k := total - assigned
+	if k < 0 || k > len(order) {
+		return nil, fmt.Errorf("rounding: leftover %d outside [0, %d] (internal error)", k, len(order))
+	}
+	for j := 0; j < k; j++ {
+		counts[order[j]]++
+	}
+	return counts, nil
+}

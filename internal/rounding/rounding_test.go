@@ -1,0 +1,166 @@
+package rounding
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperExample(t *testing.T) {
+	// Section 5: α = (200.4, 300.2, 139.8, 359.6), M = 1000 → K = 2 and the
+	// first two workers of σ1 get one extra: (201, 301, 139, 359).
+	alphas := []float64{200.4, 300.2, 139.8, 359.6}
+	order := []int{0, 1, 2, 3}
+	got, err := Distribute(alphas, order, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{201, 301, 139, 359}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("counts = %v, want %v", got, want)
+			break
+		}
+	}
+}
+
+func TestPaperExamplePermutedOrder(t *testing.T) {
+	// The extra units follow the *send order*, not the index order.
+	alphas := []float64{200.4, 300.2, 139.8, 359.6}
+	order := []int{3, 2, 1, 0}
+	got, err := Distribute(alphas, order, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// floors: 359, 139, 300, 200 → K = 2 → first two of σ1 (workers 3, 2).
+	want := []int{200, 300, 140, 360}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("counts = %v, want %v", got, want)
+			break
+		}
+	}
+}
+
+func TestRescalesThroughputForm(t *testing.T) {
+	// A throughput-form schedule (Σα = ρ = 2.5) distributed over M = 10:
+	// proportions preserved.
+	alphas := []float64{1.5, 1.0}
+	got, err := Distribute(alphas, []int{0, 1}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0]+got[1] != 10 {
+		t.Fatalf("sum = %d", got[0]+got[1])
+	}
+	if got[0] != 6 || got[1] != 4 {
+		t.Errorf("counts = %v, want [6 4]", got)
+	}
+}
+
+func TestZeroTotal(t *testing.T) {
+	got, err := Distribute([]float64{1, 2}, []int{0, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 || got[1] != 0 {
+		t.Errorf("counts = %v, want zeros", got)
+	}
+}
+
+func TestNonParticipantsStayZero(t *testing.T) {
+	alphas := []float64{2, 0, 3}
+	got, err := Distribute(alphas, []int{0, 2}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1] != 0 {
+		t.Errorf("non-participant got load: %v", got)
+	}
+	if got[0]+got[2] != 100 {
+		t.Errorf("sum = %d", got[0]+got[2])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Distribute([]float64{1}, []int{0}, -1); err == nil {
+		t.Error("negative total must fail")
+	}
+	if _, err := Distribute([]float64{1}, []int{5}, 10); err == nil {
+		t.Error("out-of-range order must fail")
+	}
+	if _, err := Distribute([]float64{0}, []int{0}, 10); err == nil {
+		t.Error("zero-mass loads must fail")
+	}
+	if _, err := Distribute([]float64{-1}, []int{0}, 10); err == nil {
+		t.Error("negative load must fail")
+	}
+	if _, err := Distribute([]float64{math.NaN()}, []int{0}, 10); err == nil {
+		t.Error("NaN load must fail")
+	}
+}
+
+// TestQuickConservation: counts always sum to total, are non-negative, and
+// deviate from the exact proportional share by less than 1 (before top-up)
+// plus the top-up unit.
+func TestQuickConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		alphas := make([]float64, n)
+		var order []int
+		for i := range alphas {
+			if rng.Intn(4) == 0 {
+				continue // leave a few non-participants
+			}
+			alphas[i] = rng.Float64() * 10
+			if alphas[i] > 0 {
+				order = append(order, i)
+			}
+		}
+		if len(order) == 0 {
+			alphas[0] = 1
+			order = []int{0}
+		}
+		total := rng.Intn(10000)
+		counts, err := Distribute(alphas, order, total)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		sum := 0
+		mass := 0.0
+		for _, i := range order {
+			mass += alphas[i]
+		}
+		for i, c := range counts {
+			if c < 0 {
+				return false
+			}
+			sum += c
+			// Fair share bound: |c - α·M/Σα| ≤ 1.
+			share := 0.0
+			if contains(order, i) {
+				share = alphas[i] / mass * float64(total)
+			}
+			if math.Abs(float64(c)-share) > 1+1e-6 {
+				t.Logf("seed %d: worker %d count %d vs share %g", seed, i, c, share)
+				return false
+			}
+		}
+		return sum == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

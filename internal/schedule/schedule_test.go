@@ -1,0 +1,458 @@
+package schedule
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/platform"
+)
+
+// twoWorkerPlatform: P1 (c=0.1, w=0.2, d=0.05), P2 (c=0.2, w=0.1, d=0.1).
+func twoWorkerPlatform() *platform.Platform {
+	return platform.New(
+		platform.Worker{C: 0.1, W: 0.2, D: 0.05},
+		platform.Worker{C: 0.2, W: 0.1, D: 0.1},
+	)
+}
+
+// feasibleFIFO builds a small hand-checked FIFO schedule on the two-worker
+// platform: α = (1, 1), T = 1.
+//
+//	sends: P1 [0, 0.1], P2 [0.1, 0.3]
+//	compute: P1 [0.1, 0.3], P2 [0.3, 0.4]
+//	returns (ALAP, ending at 1): P1 [0.85, 0.9], P2 [0.9, 1.0]
+//	idle: x1 = 0.55, x2 = 0.5 — all constraints met.
+func feasibleFIFO() *Schedule {
+	return &Schedule{
+		SendOrder:   platform.Order{0, 1},
+		ReturnOrder: platform.Order{0, 1},
+		Alpha:       []float64{1, 1},
+		T:           1,
+	}
+}
+
+func TestTimelineDerivation(t *testing.T) {
+	p := twoWorkerPlatform()
+	s := feasibleFIFO()
+	tl := s.Timeline(p)
+	if len(tl) != 2 {
+		t.Fatalf("timeline has %d entries", len(tl))
+	}
+	want := []WorkerTimeline{
+		{Worker: 0, SendStart: 0, SendEnd: 0.1, CompEnd: 0.3, Idle: 0.55, ReturnStart: 0.85, ReturnEnd: 0.9},
+		{Worker: 1, SendStart: 0.1, SendEnd: 0.3, CompEnd: 0.4, Idle: 0.5, ReturnStart: 0.9, ReturnEnd: 1.0},
+	}
+	for k, w := range want {
+		got := tl[k]
+		for _, c := range []struct {
+			name     string
+			got, exp float64
+		}{
+			{"SendStart", got.SendStart, w.SendStart},
+			{"SendEnd", got.SendEnd, w.SendEnd},
+			{"CompEnd", got.CompEnd, w.CompEnd},
+			{"Idle", got.Idle, w.Idle},
+			{"ReturnStart", got.ReturnStart, w.ReturnStart},
+			{"ReturnEnd", got.ReturnEnd, w.ReturnEnd},
+		} {
+			if math.Abs(c.got-c.exp) > 1e-12 {
+				t.Errorf("worker %d %s = %g, want %g", k, c.name, c.got, c.exp)
+			}
+		}
+	}
+}
+
+func TestCheckAcceptsFeasible(t *testing.T) {
+	p := twoWorkerPlatform()
+	s := feasibleFIFO()
+	if err := s.Check(p, OnePort); err != nil {
+		t.Errorf("one-port check failed: %v", err)
+	}
+	if err := s.Check(p, TwoPort); err != nil {
+		t.Errorf("two-port check failed: %v", err)
+	}
+}
+
+func TestCheckRejectsOnePortOverlap(t *testing.T) {
+	// Near-zero compute so per-worker constraints hold, but the return
+	// block [0.4, 1] overlaps the send block [0, 0.6]:
+	//   sends: P1 [0, 0.3], P2 [0.3, 0.6]
+	//   returns (ALAP): P1 [0.4, 0.7] — overlaps P2's send — P2 [0.7, 1].
+	p := platform.New(
+		platform.Worker{C: 0.3, W: 0.01, D: 0.3},
+		platform.Worker{C: 0.3, W: 0.01, D: 0.3},
+	)
+	s := &Schedule{
+		SendOrder:   platform.Order{0, 1},
+		ReturnOrder: platform.Order{0, 1},
+		Alpha:       []float64{1, 1},
+		T:           1,
+	}
+	err := s.Check(p, OnePort)
+	if err == nil {
+		t.Fatal("one-port check must reject overlapping master transfers")
+	}
+	if !strings.Contains(err.Error(), "master port conflict") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	// The same schedule is valid under the two-port model.
+	if err := s.Check(p, TwoPort); err != nil {
+		t.Errorf("two-port check must accept it: %v", err)
+	}
+}
+
+func TestCheckRejectsNegativeIdle(t *testing.T) {
+	// One worker with compute longer than the horizon leaves negative idle.
+	p := platform.New(platform.Worker{C: 0.1, W: 2, D: 0.05})
+	s := &Schedule{
+		SendOrder:   platform.Order{0},
+		ReturnOrder: platform.Order{0},
+		Alpha:       []float64{1},
+		T:           1,
+	}
+	err := s.Check(p, OnePort)
+	if err == nil || !strings.Contains(err.Error(), "before computation ends") {
+		t.Errorf("want negative-idle violation, got %v", err)
+	}
+}
+
+func TestCheckStructuralErrors(t *testing.T) {
+	p := twoWorkerPlatform()
+	base := feasibleFIFO()
+
+	cases := []struct {
+		name   string
+		mutate func(*Schedule)
+		want   string
+	}{
+		{"alpha length", func(s *Schedule) { s.Alpha = []float64{1} }, "entries for"},
+		{"negative alpha", func(s *Schedule) { s.Alpha[0] = -1 }, ">= 0"},
+		{"nan alpha", func(s *Schedule) { s.Alpha[0] = math.NaN() }, "finite"},
+		{"bad T", func(s *Schedule) { s.T = 0 }, "horizon"},
+		{"dup send", func(s *Schedule) { s.SendOrder = platform.Order{0, 0} }, "twice in send"},
+		{"dup return", func(s *Schedule) { s.ReturnOrder = platform.Order{1, 1} }, "twice in return"},
+		{"out of range", func(s *Schedule) { s.SendOrder = platform.Order{0, 7} }, "outside platform"},
+		{"set mismatch", func(s *Schedule) {
+			s.SendOrder = platform.Order{0}
+			s.ReturnOrder = platform.Order{1}
+		}, "not in return order"},
+		{"loaded but not enrolled", func(s *Schedule) {
+			s.SendOrder = platform.Order{0}
+			s.ReturnOrder = platform.Order{0}
+		}, "not enrolled"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := base.Clone()
+			tc.mutate(s)
+			err := s.Check(p, OnePort)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+func TestCheckUnknownModel(t *testing.T) {
+	p := twoWorkerPlatform()
+	if err := feasibleFIFO().Check(p, Model(9)); err == nil {
+		t.Error("unknown model must be rejected")
+	}
+	if Model(9).String() == "" || OnePort.String() != "one-port" || TwoPort.String() != "two-port" {
+		t.Error("Model.String mismatch")
+	}
+}
+
+func TestTwoPortAcceptsSendReturnOverlap(t *testing.T) {
+	// A schedule where sends overlap returns in time is fine under
+	// two-port but not one-port. P1 heavy send, P2's return early.
+	p := platform.New(
+		platform.Worker{C: 0.4, W: 0.1, D: 0.2},
+		platform.Worker{C: 0.1, W: 0.1, D: 0.4},
+	)
+	s := &Schedule{
+		SendOrder:   platform.Order{1, 0},
+		ReturnOrder: platform.Order{1, 0},
+		Alpha:       []float64{1, 1},
+		T:           1,
+	}
+	// sends: P2 [0,0.1], P1 [0.1,0.5]; returns ALAP: total 0.6 → start 0.4:
+	// P2 [0.4,0.8], P1 [0.8,1]. P2 return [0.4,0.8] overlaps P1 send
+	// [0.1,0.5].
+	if err := s.Check(p, OnePort); err == nil {
+		t.Error("one-port must reject send/return overlap")
+	}
+	if err := s.Check(p, TwoPort); err != nil {
+		t.Errorf("two-port must accept send/return overlap: %v", err)
+	}
+}
+
+func TestThroughputAndParticipants(t *testing.T) {
+	s := feasibleFIFO()
+	if got := s.TotalLoad(); got != 2 {
+		t.Errorf("TotalLoad = %g", got)
+	}
+	if got := s.Throughput(); got != 2 {
+		t.Errorf("Throughput = %g", got)
+	}
+	s.Alpha[0] = 0
+	parts := s.Participants()
+	if len(parts) != 1 || parts[0] != 1 {
+		t.Errorf("Participants = %v, want [1]", parts)
+	}
+}
+
+func TestFIFOLIFOPredicates(t *testing.T) {
+	fifo := feasibleFIFO()
+	if !fifo.IsFIFO() || fifo.IsLIFO() && len(fifo.SendOrder) > 1 {
+		t.Error("feasibleFIFO must be FIFO and not LIFO")
+	}
+	lifo := &Schedule{
+		SendOrder:   platform.Order{0, 1},
+		ReturnOrder: platform.Order{1, 0},
+		Alpha:       []float64{1, 1},
+		T:           1,
+	}
+	if lifo.IsFIFO() || !lifo.IsLIFO() {
+		t.Error("reverse-order schedule must be LIFO")
+	}
+	// Mismatched lengths.
+	bad := &Schedule{SendOrder: platform.Order{0, 1}, ReturnOrder: platform.Order{0}}
+	if bad.IsFIFO() || bad.IsLIFO() {
+		t.Error("length-mismatched orders are neither FIFO nor LIFO")
+	}
+	// Single worker: both.
+	one := &Schedule{SendOrder: platform.Order{0}, ReturnOrder: platform.Order{0}}
+	if !one.IsFIFO() || !one.IsLIFO() {
+		t.Error("single-worker schedule is both FIFO and LIFO")
+	}
+}
+
+func TestScaledToLoad(t *testing.T) {
+	p := twoWorkerPlatform()
+	s := feasibleFIFO() // total load 2, T = 1
+	big := s.ScaledToLoad(1000)
+	if math.Abs(big.TotalLoad()-1000) > 1e-9 {
+		t.Errorf("TotalLoad = %g, want 1000", big.TotalLoad())
+	}
+	if math.Abs(big.T-500) > 1e-9 {
+		t.Errorf("T = %g, want 500", big.T)
+	}
+	// Scaling preserves feasibility (linearity).
+	if err := big.Check(p, OnePort); err != nil {
+		t.Errorf("scaled schedule infeasible: %v", err)
+	}
+	// Throughput invariant under scaling.
+	if math.Abs(big.Throughput()-s.Throughput()) > 1e-9 {
+		t.Errorf("throughput changed: %g → %g", s.Throughput(), big.Throughput())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("scaling an empty schedule must panic")
+		}
+	}()
+	(&Schedule{Alpha: []float64{0}, T: 1}).ScaledToLoad(10)
+}
+
+func TestFlippedFeasibleOnMirror(t *testing.T) {
+	// Time reversal: a feasible one-port schedule flips into a feasible
+	// one-port schedule on the mirrored platform (c ↔ d).
+	p := twoWorkerPlatform()
+	s := feasibleFIFO()
+	f := s.Flipped()
+	if err := f.Check(p.Mirror(), OnePort); err != nil {
+		t.Errorf("flipped schedule infeasible on mirror: %v", err)
+	}
+	if math.Abs(f.Throughput()-s.Throughput()) > 1e-12 {
+		t.Error("flip must preserve throughput")
+	}
+	// Flip twice = identity on orders.
+	ff := f.Flipped()
+	for i := range s.SendOrder {
+		if ff.SendOrder[i] != s.SendOrder[i] || ff.ReturnOrder[i] != s.ReturnOrder[i] {
+			t.Error("double flip must restore orders")
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := feasibleFIFO()
+	c := s.Clone()
+	c.Alpha[0] = 42
+	c.SendOrder[0] = 1
+	if s.Alpha[0] == 42 || s.SendOrder[0] == 1 {
+		t.Error("Clone aliases the original")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := feasibleFIFO()
+	out := s.String()
+	for _, want := range []string{"T=1", "σ1=", "σ2=", "α=["} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q: %s", want, out)
+		}
+	}
+}
+
+// TestQuickFlipInvariant: for random feasible schedules, flipping onto the
+// mirror platform preserves feasibility and throughput. Schedules are
+// generated conservatively (tiny loads) so they are always feasible.
+func TestQuickFlipInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		ws := make([]platform.Worker, n)
+		for i := range ws {
+			ws[i] = platform.Worker{
+				C: 0.01 + rng.Float64()*0.05,
+				W: 0.01 + rng.Float64()*0.2,
+				D: 0.01 + rng.Float64()*0.05,
+			}
+		}
+		p := platform.New(ws...)
+		perm := rng.Perm(n)
+		s := &Schedule{
+			SendOrder:   platform.Order(perm),
+			ReturnOrder: platform.Order(rng.Perm(n)),
+			Alpha:       make([]float64, n),
+			T:           1,
+		}
+		for i := range s.Alpha {
+			s.Alpha[i] = rng.Float64() // small enough on this platform
+		}
+		if err := s.Check(p, OnePort); err != nil {
+			// Not all random combinations are feasible; skip those.
+			return true
+		}
+		fl := s.Flipped()
+		if err := fl.Check(p.Mirror(), OnePort); err != nil {
+			t.Logf("flip broke feasibility: %v", err)
+			return false
+		}
+		return math.Abs(fl.Throughput()-s.Throughput()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTimelineConsistency: derived timelines always satisfy basic
+// accounting identities regardless of feasibility.
+func TestQuickTimelineConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		ws := make([]platform.Worker, n)
+		for i := range ws {
+			ws[i] = platform.Worker{C: 0.1 + rng.Float64(), W: 0.1 + rng.Float64(), D: 0.1 + rng.Float64()}
+		}
+		p := platform.New(ws...)
+		s := &Schedule{
+			SendOrder:   platform.Order(rng.Perm(n)),
+			ReturnOrder: platform.Order(rng.Perm(n)),
+			Alpha:       make([]float64, n),
+			T:           1 + rng.Float64()*10,
+		}
+		for i := range s.Alpha {
+			s.Alpha[i] = rng.Float64() * 3
+		}
+		tl := s.Timeline(p)
+		// Sends tile [0, Σαc] in order; returns tile [T-Σαd, T].
+		sumC, sumD := 0.0, 0.0
+		for _, i := range s.SendOrder {
+			sumC += s.Alpha[i] * p.Workers[i].C
+			sumD += s.Alpha[i] * p.Workers[i].D
+		}
+		var lastSendEnd, lastReturnEnd float64
+		for _, wt := range tl {
+			w := p.Workers[wt.Worker]
+			if math.Abs((wt.SendEnd-wt.SendStart)-s.Alpha[wt.Worker]*w.C) > 1e-9 {
+				return false
+			}
+			if math.Abs((wt.ReturnEnd-wt.ReturnStart)-s.Alpha[wt.Worker]*w.D) > 1e-9 {
+				return false
+			}
+			if math.Abs((wt.CompEnd-wt.SendEnd)-s.Alpha[wt.Worker]*w.W) > 1e-9 {
+				return false
+			}
+			if wt.SendEnd > lastSendEnd {
+				lastSendEnd = wt.SendEnd
+			}
+			if wt.ReturnEnd > lastReturnEnd {
+				lastReturnEnd = wt.ReturnEnd
+			}
+		}
+		return math.Abs(lastSendEnd-sumC) < 1e-9 && math.Abs(lastReturnEnd-s.T) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkTimeline(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	n := 64
+	ws := make([]platform.Worker, n)
+	for i := range ws {
+		ws[i] = platform.Worker{C: 0.1 + rng.Float64(), W: rng.Float64(), D: rng.Float64()}
+	}
+	p := platform.New(ws...)
+	s := &Schedule{
+		SendOrder:   platform.Order(rng.Perm(n)),
+		ReturnOrder: platform.Order(rng.Perm(n)),
+		Alpha:       make([]float64, n),
+		T:           100,
+	}
+	for i := range s.Alpha {
+		s.Alpha[i] = rng.Float64()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Timeline(p)
+	}
+}
+
+func BenchmarkCheckOnePort(b *testing.B) {
+	p := twoWorkerPlatform()
+	s := feasibleFIFO()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := s.Check(p, OnePort); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	s := feasibleFIFO()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Schedule
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.T != s.T || len(back.Alpha) != len(s.Alpha) {
+		t.Fatalf("round trip changed schedule: %+v", back)
+	}
+	for i := range s.Alpha {
+		if back.Alpha[i] != s.Alpha[i] {
+			t.Errorf("alpha[%d] changed", i)
+		}
+	}
+	for i := range s.SendOrder {
+		if back.SendOrder[i] != s.SendOrder[i] || back.ReturnOrder[i] != s.ReturnOrder[i] {
+			t.Errorf("orders changed")
+		}
+	}
+	// The deserialized schedule still checks out.
+	if err := back.Check(twoWorkerPlatform(), OnePort); err != nil {
+		t.Errorf("deserialized schedule infeasible: %v", err)
+	}
+}

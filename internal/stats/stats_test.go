@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b)) }
+
+func TestSummarizeKnownSample(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || !approx(s.Mean, 5) {
+		t.Errorf("mean = %g, want 5", s.Mean)
+	}
+	// Sample std of this classic dataset: sqrt(32/7).
+	if !approx(s.Std, math.Sqrt(32.0/7)) {
+		t.Errorf("std = %g, want %g", s.Std, math.Sqrt(32.0/7))
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("min/max = %g/%g", s.Min, s.Max)
+	}
+	if !approx(s.Median, 4.5) {
+		t.Errorf("median = %g, want 4.5", s.Median)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.String() != "n=0" {
+		t.Errorf("empty summary = %+v %q", empty, empty.String())
+	}
+	one := Summarize([]float64{3})
+	if one.Mean != 3 || one.Std != 0 || one.Median != 3 {
+		t.Errorf("singleton summary = %+v", one)
+	}
+	odd := Summarize([]float64{5, 1, 3})
+	if odd.Median != 3 {
+		t.Errorf("odd median = %g", odd.Median)
+	}
+	if !strings.Contains(Summarize([]float64{1, 2}).String(), "mean=1.5") {
+		t.Error("String missing mean")
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Summarize mutated its input")
+	}
+}
+
+func TestWelfordMatchesSummarize(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 500)
+	var w Welford
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 10
+		w.Add(xs[i])
+	}
+	s := Summarize(xs)
+	if w.N() != s.N {
+		t.Errorf("N = %d vs %d", w.N(), s.N)
+	}
+	if !approx(w.Mean(), s.Mean) {
+		t.Errorf("mean = %g vs %g", w.Mean(), s.Mean)
+	}
+	if math.Abs(w.Std()-s.Std) > 1e-9 {
+		t.Errorf("std = %g vs %g", w.Std(), s.Std)
+	}
+	var fresh Welford
+	if fresh.Std() != 0 || fresh.Mean() != 0 {
+		t.Error("empty Welford must be zero")
+	}
+}
+
+func TestMeanOfAndGeoMean(t *testing.T) {
+	if MeanOf(nil) != 0 {
+		t.Error("MeanOf(nil) != 0")
+	}
+	if !approx(MeanOf([]float64{1, 2, 3}), 2) {
+		t.Error("MeanOf wrong")
+	}
+	if !approx(GeoMean([]float64{1, 4}), 2) {
+		t.Errorf("GeoMean = %g, want 2", GeoMean([]float64{1, 4}))
+	}
+	if GeoMean(nil) != 0 || GeoMean([]float64{1, 0}) != 0 || GeoMean([]float64{-1}) != 0 {
+		t.Error("GeoMean degenerate cases")
+	}
+}
+
+// TestQuickSummaryInvariants: min ≤ median ≤ max, mean within [min, max],
+// std ≥ 0, and geometric mean ≤ arithmetic mean (AM-GM).
+func TestQuickSummaryInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+rng.Intn(64))
+		for i := range xs {
+			xs[i] = rng.Float64()*100 + 0.001
+		}
+		s := Summarize(xs)
+		if !(s.Min <= s.Median+1e-12 && s.Median <= s.Max+1e-12) {
+			return false
+		}
+		if s.Mean < s.Min-1e-9 || s.Mean > s.Max+1e-9 {
+			return false
+		}
+		if s.Std < 0 {
+			return false
+		}
+		return GeoMean(xs) <= s.Mean+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

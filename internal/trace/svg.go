@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SVG colors per activity kind, mirroring the paper's Figure 9 palette:
+// data transfers in white/light, computation in dark gray, output
+// transfers in pale gray.
+func (k Kind) svgColor() string {
+	switch k {
+	case Recv:
+		return "#f2f2f2"
+	case Compute:
+		return "#4d4d4d"
+	case Send:
+		return "#b8b8b8"
+	}
+	return "#ff00ff"
+}
+
+// SVG renders the trace as a standalone SVG Gantt chart: one horizontal
+// lane per process rank in [0, procs), time on the x axis over
+// [0, makespan]. It is self-contained (no external CSS) and suitable for
+// embedding in reports; the paper's Figure 9 was produced by an equivalent
+// MPI trace visualizer.
+func (t *Trace) SVG(procs int, names []string) string {
+	const (
+		laneH    = 28.0
+		laneGap  = 8.0
+		leftPad  = 90.0
+		rightPad = 20.0
+		topPad   = 34.0
+		plotW    = 880.0
+	)
+	makespan := t.Makespan()
+	height := topPad + float64(procs)*(laneH+laneGap) + 40
+	width := leftPad + plotW + rightPad
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect x="0" y="0" width="%g" height="%g" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%g" y="20" font-family="sans-serif" font-size="13">execution trace, makespan %.6g</text>`+"\n",
+		leftPad, makespan)
+
+	xOf := func(tm float64) float64 {
+		if makespan == 0 {
+			return leftPad
+		}
+		return leftPad + tm/makespan*plotW
+	}
+	yOf := func(proc int) float64 { return topPad + float64(proc)*(laneH+laneGap) }
+
+	// Lane backgrounds and labels.
+	for p := 0; p < procs; p++ {
+		name := fmt.Sprintf("P%d", p)
+		if p < len(names) && names[p] != "" {
+			name = names[p]
+		}
+		fmt.Fprintf(&b, `<rect x="%g" y="%g" width="%g" height="%g" fill="#fbfbfb" stroke="#dddddd"/>`+"\n",
+			leftPad, yOf(p), plotW, laneH)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="12" text-anchor="end">%s</text>`+"\n",
+			leftPad-8, yOf(p)+laneH/2+4, xmlEscape(name))
+	}
+
+	// Events, longest first so short ones stay visible on top.
+	evs := t.Events()
+	sort.SliceStable(evs, func(i, j int) bool {
+		return evs[i].End-evs[i].Start > evs[j].End-evs[j].Start
+	})
+	for _, e := range evs {
+		if e.Proc < 0 || e.Proc >= procs || makespan == 0 {
+			continue
+		}
+		x := xOf(e.Start)
+		w := xOf(e.End) - x
+		if w < 0.5 {
+			w = 0.5
+		}
+		title := fmt.Sprintf("%s [%.6g, %.6g]", e.Kind, e.Start, e.End)
+		if e.Kind != Compute {
+			title += fmt.Sprintf(" peer P%d, %.4g bytes", e.Peer, e.Bytes)
+		}
+		fmt.Fprintf(&b, `<rect x="%g" y="%g" width="%g" height="%g" fill="%s" stroke="#888888" stroke-width="0.5"><title>%s</title></rect>`+"\n",
+			x, yOf(e.Proc)+3, w, laneH-6, e.Kind.svgColor(), xmlEscape(title))
+	}
+
+	// Legend.
+	ly := topPad + float64(procs)*(laneH+laneGap) + 14
+	lx := leftPad
+	for _, k := range []Kind{Recv, Compute, Send} {
+		fmt.Fprintf(&b, `<rect x="%g" y="%g" width="14" height="12" fill="%s" stroke="#888888" stroke-width="0.5"/>`+"\n",
+			lx, ly-10, k.svgColor())
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+			lx+20, ly, k)
+		lx += 110
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

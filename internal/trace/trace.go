@@ -1,0 +1,195 @@
+// Package trace records timed activity of simulated processes and renders
+// ASCII Gantt charts in the style of the paper's Figure 9, where each row
+// shows one processor's data receptions, computations and result
+// transmissions over time.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind classifies one activity interval.
+type Kind int
+
+// Activity kinds.
+const (
+	// Recv is an incoming transfer (data reception).
+	Recv Kind = iota
+	// Compute is local computation.
+	Compute
+	// Send is an outgoing transfer (result transmission for workers).
+	Send
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Recv:
+		return "recv"
+	case Compute:
+		return "compute"
+	case Send:
+		return "send"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// glyph is the fill character used in Gantt rows. The mapping mirrors the
+// paper's figure: data transfers pale, computation dark, output transfers
+// medium.
+func (k Kind) glyph() byte {
+	switch k {
+	case Recv:
+		return '.'
+	case Compute:
+		return '#'
+	case Send:
+		return '='
+	}
+	return '?'
+}
+
+// Event is one recorded activity interval of one process.
+type Event struct {
+	Proc  int     // process rank
+	Kind  Kind    // what the process was doing
+	Start float64 // start time
+	End   float64 // end time (>= Start)
+	Peer  int     // other side for transfers, -1 for computation
+	Bytes float64 // transfer size, 0 for computation
+	Note  string  // free-form label
+}
+
+// Trace is a concurrency-safe collection of events.
+type Trace struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// New returns an empty trace.
+func New() *Trace { return &Trace{} }
+
+// Add records one event. Safe for concurrent use.
+func (t *Trace) Add(e Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = append(t.events, e)
+}
+
+// Events returns a copy of all events sorted by (start, proc, kind).
+func (t *Trace) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		if out[i].Proc != out[j].Proc {
+			return out[i].Proc < out[j].Proc
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Makespan returns the largest event end time (0 for an empty trace).
+func (t *Trace) Makespan() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m := 0.0
+	for _, e := range t.events {
+		if e.End > m {
+			m = e.End
+		}
+	}
+	return m
+}
+
+// BusyTime returns the total busy time of a process (sum of its event
+// durations; transfers and computation both count as busy).
+func (t *Trace) BusyTime(proc int) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	busy := 0.0
+	for _, e := range t.events {
+		if e.Proc == proc {
+			busy += e.End - e.Start
+		}
+	}
+	return busy
+}
+
+// Utilization returns BusyTime/Makespan for a process, 0 if the trace is
+// empty.
+func (t *Trace) Utilization(proc int) float64 {
+	m := t.Makespan()
+	if m == 0 {
+		return 0
+	}
+	return t.BusyTime(proc) / m
+}
+
+// Gantt renders an ASCII Gantt chart of the trace: one row per process rank
+// in [0, procs), `width` columns spanning [0, makespan]. Overlapping events
+// on the same row (which a correct one-port master never produces) are
+// rendered with the later event overwriting. Legend: '.' incoming transfer,
+// '#' computation, '=' outgoing transfer.
+func (t *Trace) Gantt(procs, width int, names []string) string {
+	if width < 10 {
+		width = 10
+	}
+	makespan := t.Makespan()
+	var b strings.Builder
+	fmt.Fprintf(&b, "time 0 %s %.6g\n", strings.Repeat("-", maxInt(0, width-12)), makespan)
+	rows := make([][]byte, procs)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(" ", width))
+	}
+	if makespan > 0 {
+		for _, e := range t.Events() {
+			if e.Proc < 0 || e.Proc >= procs {
+				continue
+			}
+			s := int(e.Start / makespan * float64(width))
+			en := int(e.End / makespan * float64(width))
+			if en >= width {
+				en = width - 1
+			}
+			if en < s {
+				en = s
+			}
+			g := e.Kind.glyph()
+			for x := s; x <= en && x < width; x++ {
+				rows[e.Proc][x] = g
+			}
+		}
+	}
+	for i, r := range rows {
+		name := fmt.Sprintf("P%d", i)
+		if i < len(names) && names[i] != "" {
+			name = names[i]
+		}
+		fmt.Fprintf(&b, "%-8s|%s|\n", name, string(r))
+	}
+	b.WriteString("legend: '.' data in   '#' compute   '=' data out\n")
+	return b.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func sampleTrace() *Trace {
+	t := New()
+	t.Add(Event{Proc: 0, Kind: Send, Start: 0, End: 1, Peer: 1, Bytes: 100})
+	t.Add(Event{Proc: 1, Kind: Recv, Start: 0, End: 1, Peer: 0, Bytes: 100})
+	t.Add(Event{Proc: 1, Kind: Compute, Start: 1, End: 3, Peer: -1})
+	t.Add(Event{Proc: 1, Kind: Send, Start: 3, End: 4, Peer: 0, Bytes: 50})
+	t.Add(Event{Proc: 0, Kind: Recv, Start: 3, End: 4, Peer: 1, Bytes: 50})
+	return t
+}
+
+func TestEventsSorted(t *testing.T) {
+	tr := sampleTrace()
+	evs := tr.Events()
+	if len(evs) != 5 || tr.Len() != 5 {
+		t.Fatalf("len = %d / %d", len(evs), tr.Len())
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Start < evs[i-1].Start {
+			t.Errorf("events not sorted by start: %v after %v", evs[i], evs[i-1])
+		}
+	}
+	// Events returns a copy.
+	evs[0].Start = 999
+	if tr.Events()[0].Start == 999 {
+		t.Error("Events aliases internal storage")
+	}
+}
+
+func TestMakespanBusyUtilization(t *testing.T) {
+	tr := sampleTrace()
+	if got := tr.Makespan(); got != 4 {
+		t.Errorf("Makespan = %g, want 4", got)
+	}
+	if got := tr.BusyTime(1); got != 4 { // 1 recv + 2 compute + 1 send
+		t.Errorf("BusyTime(1) = %g, want 4", got)
+	}
+	if got := tr.BusyTime(0); got != 2 {
+		t.Errorf("BusyTime(0) = %g, want 2", got)
+	}
+	if got := tr.Utilization(1); got != 1 {
+		t.Errorf("Utilization(1) = %g, want 1", got)
+	}
+	if got := tr.Utilization(0); got != 0.5 {
+		t.Errorf("Utilization(0) = %g, want 0.5", got)
+	}
+	empty := New()
+	if empty.Makespan() != 0 || empty.Utilization(0) != 0 {
+		t.Error("empty trace must have zero makespan and utilization")
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	tr := sampleTrace()
+	g := tr.Gantt(2, 40, []string{"master", "w1"})
+	if !strings.Contains(g, "master") || !strings.Contains(g, "w1") {
+		t.Errorf("Gantt missing row names:\n%s", g)
+	}
+	for _, glyph := range []string{".", "#", "=", "legend"} {
+		if !strings.Contains(g, glyph) {
+			t.Errorf("Gantt missing %q:\n%s", glyph, g)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(g, "\n"), "\n")
+	// header + 2 rows + legend
+	if len(lines) != 4 {
+		t.Errorf("Gantt has %d lines, want 4:\n%s", len(lines), g)
+	}
+	// Narrow widths are clamped, names default to Pn; out-of-range procs
+	// are skipped without panic.
+	tr.Add(Event{Proc: 99, Kind: Send, Start: 0, End: 1})
+	small := tr.Gantt(1, 1, nil)
+	if !strings.Contains(small, "P0") {
+		t.Errorf("default name missing:\n%s", small)
+	}
+}
+
+func TestGanttEmptyTrace(t *testing.T) {
+	g := New().Gantt(1, 20, nil)
+	if !strings.Contains(g, "P0") {
+		t.Errorf("empty gantt should still render rows:\n%s", g)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Recv.String() != "recv" || Compute.String() != "compute" || Send.String() != "send" {
+		t.Error("Kind.String mismatch")
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind must not be empty")
+	}
+	if Kind(9).glyph() != '?' {
+		t.Error("unknown kind glyph")
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Add(Event{Proc: g, Kind: Compute, Start: float64(i), End: float64(i + 1)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Len() != 800 {
+		t.Errorf("Len = %d, want 800", tr.Len())
+	}
+}
+
+func TestSVGRendering(t *testing.T) {
+	tr := sampleTrace()
+	svg := tr.SVG(2, []string{"master", "w<1>"})
+	for _, want := range []string{
+		"<svg", "</svg>", "master", "w&lt;1&gt;", // names escaped
+		"#4d4d4d",                 // compute color
+		"recv", "compute", "send", // legend
+		"<title>", "bytes",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Out-of-range events are skipped without panicking.
+	tr.Add(Event{Proc: 42, Kind: Send, Start: 0, End: 1})
+	_ = tr.SVG(2, nil)
+	// Empty traces render a valid document.
+	empty := New().SVG(1, nil)
+	if !strings.Contains(empty, "</svg>") {
+		t.Error("empty SVG truncated")
+	}
+}
+
+func TestSVGDegenerateDurations(t *testing.T) {
+	tr := New()
+	tr.Add(Event{Proc: 0, Kind: Compute, Start: 1, End: 1}) // zero width
+	tr.Add(Event{Proc: 0, Kind: Send, Start: 0, End: 2, Peer: 1})
+	svg := tr.SVG(1, nil)
+	// The zero-duration event must still appear (minimum width).
+	if got := strings.Count(svg, "<rect"); got < 3 { // bg + 2 events (+legend)
+		t.Errorf("SVG has %d rects, want at least 3", got)
+	}
+}

@@ -1,0 +1,405 @@
+// Package vcluster is a virtual-time message-passing cluster: the
+// substitute for the paper's MPI testbed (the gdsdmi cluster at LIP run
+// under MPICH). Each process of a star platform — one master, p workers —
+// runs as a goroutine executing an ordinary sequential program against an
+// MPI-like blocking point-to-point API (Send, Recv, Compute). Time is
+// virtual: every process carries its own clock, and a transfer between two
+// processes is a rendezvous that starts when both sides are ready,
+//
+//	start = max(sender ready, receiver ready)
+//	end   = start + latency + bytes/bandwidth,
+//
+// after which both clocks advance to end — exactly the behaviour the paper
+// describes for its trace bars ("starts when the receiver is ready …
+// ends when it has received all data").
+//
+// The one-port model is enforced structurally, as in a single-threaded MPI
+// master: the master process is sequential, so it can be engaged in only
+// one communication at a time, and each communication occupies its clock
+// until completion.
+//
+// Determinism: matching is per (source, destination, tag) in program order,
+// and optional noise is derived from a counter-based hash of the endpoints
+// rather than from a shared generator, so results are bit-for-bit
+// reproducible regardless of goroutine interleaving.
+package vcluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// MasterRank is the rank of the master process.
+const MasterRank = 0
+
+// WorkerSpec describes one worker of the star.
+type WorkerSpec struct {
+	// Name labels the worker in traces.
+	Name string
+	// Bandwidth of the master↔worker link in bytes per second.
+	Bandwidth float64
+	// FlopRate of the worker in floating-point operations per second.
+	FlopRate float64
+}
+
+// Config describes the virtual cluster.
+type Config struct {
+	// Workers are the p workers; ranks 1..p. Rank 0 is the master.
+	Workers []WorkerSpec
+	// Latency is a fixed per-message start-up time in seconds (the affine
+	// term; zero reproduces the paper's pure linear model).
+	Latency float64
+	// Jitter is the amplitude of multiplicative noise on transfer and
+	// computation durations: each duration is scaled by a deterministic
+	// pseudo-random factor in [1, 1+2·Jitter] (delays only, like real
+	// interference). Zero disables noise.
+	Jitter float64
+	// Seed selects the deterministic noise stream.
+	Seed int64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if len(c.Workers) == 0 {
+		return errors.New("vcluster: no workers")
+	}
+	for i, w := range c.Workers {
+		if !(w.Bandwidth > 0) || math.IsInf(w.Bandwidth, 0) {
+			return fmt.Errorf("vcluster: worker %d bandwidth %g must be positive and finite", i, w.Bandwidth)
+		}
+		if !(w.FlopRate > 0) || math.IsInf(w.FlopRate, 0) {
+			return fmt.Errorf("vcluster: worker %d flop rate %g must be positive and finite", i, w.FlopRate)
+		}
+	}
+	if c.Latency < 0 || math.IsNaN(c.Latency) {
+		return fmt.Errorf("vcluster: latency %g must be >= 0", c.Latency)
+	}
+	if c.Jitter < 0 || math.IsNaN(c.Jitter) {
+		return fmt.Errorf("vcluster: jitter %g must be >= 0", c.Jitter)
+	}
+	return nil
+}
+
+// ErrDeadlock is returned by Run when every live process is blocked on a
+// communication that can never match.
+var ErrDeadlock = errors.New("vcluster: deadlock: all live processes blocked on unmatched communications")
+
+// deadlockPanic unwinds a blocked process goroutine when deadlock is
+// detected.
+type deadlockPanic struct{}
+
+// Result summarises a run.
+type Result struct {
+	// Makespan is the largest process clock at termination.
+	Makespan float64
+	// Clocks holds every process's final clock, indexed by rank.
+	Clocks []float64
+	// Trace holds all recorded events.
+	Trace *trace.Trace
+}
+
+type qkey struct {
+	src, dst, tag int
+}
+
+// pendingSend is a sender parked in a rendezvous queue.
+type pendingSend struct {
+	bytes   float64
+	readyAt float64
+	endCh   chan float64 // receives the transfer end time
+	seq     uint64
+}
+
+type cluster struct {
+	cfg   Config
+	trace *trace.Trace
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	queues      map[qkey][]*pendingSend
+	seqs        map[qkey]uint64
+	waitingRecv map[qkey]int // parked receivers per key
+	live        int          // processes still running
+	blocked     int          // processes blocked in Send or Recv
+	dead        bool
+}
+
+// Proc is the handle a process program uses to interact with the cluster.
+// Each process runs in its own goroutine; a Proc must not be shared between
+// goroutines.
+type Proc struct {
+	rank  int
+	clock float64
+	cl    *cluster
+	nComp uint64 // per-proc computation counter for deterministic noise
+}
+
+// Rank returns the process rank (0 = master).
+func (p *Proc) Rank() int { return p.rank }
+
+// IsMaster reports whether this process is the master.
+func (p *Proc) IsMaster() bool { return p.rank == MasterRank }
+
+// Time returns the process's current virtual clock.
+func (p *Proc) Time() float64 { return p.clock }
+
+// Workers returns the number of workers in the cluster.
+func (p *Proc) Workers() int { return len(p.cl.cfg.Workers) }
+
+// AdvanceTo moves the clock forward to at least t (no-op if already past).
+func (p *Proc) AdvanceTo(t float64) {
+	if t > p.clock {
+		p.clock = t
+	}
+}
+
+// checkStarEndpoints panics when a transfer does not involve the master.
+// The platform is a star; worker-to-worker messages are a programming
+// error. It MUST be called before acquiring the engine mutex: panicking
+// with the lock held would hang every other process.
+func checkStarEndpoints(a, b int) {
+	if a != MasterRank && b != MasterRank {
+		panic(fmt.Sprintf("vcluster: transfer between workers %d and %d: the star platform has no worker-to-worker links", a, b))
+	}
+}
+
+// linkBandwidth returns the bandwidth of the master↔worker link used by a
+// transfer between ranks a and b (one of them is the master; enforced by
+// checkStarEndpoints at the API boundary).
+func (c *cluster) linkBandwidth(a, b int) float64 {
+	w := a
+	if a == MasterRank {
+		w = b
+	}
+	return c.cfg.Workers[w-1].Bandwidth
+}
+
+// jitterFactor derives a deterministic multiplicative factor in
+// [1, 1+2·Jitter] from the endpoint identities and a sequence number, using
+// a splitmix64-style hash so the factor does not depend on goroutine
+// scheduling.
+func (c *cluster) jitterFactor(a, b, tag int, seq uint64) float64 {
+	if c.cfg.Jitter == 0 {
+		return 1
+	}
+	x := uint64(c.cfg.Seed)
+	for _, v := range []uint64{uint64(a), uint64(b), uint64(tag), seq} {
+		x ^= v + 0x9e3779b97f4a7c15 + (x << 6) + (x >> 2)
+		x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+		x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+		x ^= x >> 31
+	}
+	u := float64(x>>11) / float64(1<<53) // uniform in [0,1)
+	return 1 + 2*c.cfg.Jitter*u
+}
+
+// Send transmits bytes to the process dst with the given tag and blocks
+// until the transfer completes (rendezvous semantics, like a long MPI_Send
+// over TCP). On return the sender's clock is the transfer end time.
+func (p *Proc) Send(dst, tag int, bytes float64) {
+	if bytes < 0 {
+		panic(fmt.Sprintf("vcluster: negative message size %g", bytes))
+	}
+	if dst == p.rank {
+		panic("vcluster: self-send")
+	}
+	checkStarEndpoints(p.rank, dst)
+	c := p.cl
+	c.mu.Lock()
+	key := qkey{p.rank, dst, tag}
+	seq := c.seqs[key]
+	c.seqs[key] = seq + 1
+	ps := &pendingSend{bytes: bytes, readyAt: p.clock, endCh: make(chan float64, 1), seq: seq}
+	c.queues[key] = append(c.queues[key], ps)
+	c.cond.Broadcast()
+	// The sender counts as blocked from enqueue until the *receiver pops*
+	// the message (the pop decrements on the sender's behalf, atomically
+	// under mu). Decrementing here after waking would leave a window where
+	// a satisfied sender still looks blocked and the deadlock detector
+	// could fire spuriously.
+	c.blocked++
+	c.maybeDeadlock()
+	c.mu.Unlock()
+
+	end, ok := <-ps.endCh
+	if !ok {
+		panic(deadlockPanic{})
+	}
+	p.clock = end
+	c.trace.Add(trace.Event{Proc: p.rank, Kind: trace.Send, Start: ps.readyAt, End: end, Peer: dst, Bytes: bytes})
+}
+
+// Recv blocks until a message with the given tag from src is fully
+// received; it returns the message size. On return the receiver's clock is
+// the transfer end time.
+func (p *Proc) Recv(src, tag int) float64 {
+	checkStarEndpoints(src, p.rank)
+	c := p.cl
+	key := qkey{src, p.rank, tag}
+	c.mu.Lock()
+	// Only count as blocked while actually waiting: a Recv whose message is
+	// already queued is about to make progress and must not trip the
+	// deadlock detector.
+	for len(c.queues[key]) == 0 {
+		if c.dead {
+			c.mu.Unlock()
+			panic(deadlockPanic{})
+		}
+		c.waitingRecv[key]++
+		c.blocked++
+		c.maybeDeadlock()
+		if c.dead {
+			// This receiver completed the deadlock itself; its own
+			// broadcast fired before it waited, so it must not park.
+			c.waitingRecv[key]--
+			c.blocked--
+			c.mu.Unlock()
+			panic(deadlockPanic{})
+		}
+		c.cond.Wait()
+		c.waitingRecv[key]--
+		c.blocked--
+	}
+	ps := c.queues[key][0]
+	c.queues[key] = c.queues[key][1:]
+	c.blocked-- // on behalf of the sender, which is now being served
+	recvReady := p.clock
+	start := math.Max(ps.readyAt, recvReady)
+	bw := c.linkBandwidth(src, p.rank)
+	dur := (c.cfg.Latency + ps.bytes/bw) * c.jitterFactor(src, p.rank, tag, ps.seq)
+	end := start + dur
+	c.mu.Unlock()
+
+	ps.endCh <- end
+	p.clock = end
+	c.trace.Add(trace.Event{Proc: p.rank, Kind: trace.Recv, Start: recvReady, End: end, Peer: src, Bytes: ps.bytes})
+	return ps.bytes
+}
+
+// Compute advances the process clock by flops/FlopRate (with jitter).
+// Calling Compute on the master panics: the paper's master has no
+// processing capability.
+func (p *Proc) Compute(flops float64) {
+	if p.IsMaster() {
+		panic("vcluster: the master has no processing capability (add a zero-cost worker instead)")
+	}
+	if flops < 0 {
+		panic(fmt.Sprintf("vcluster: negative computation %g", flops))
+	}
+	rate := p.cl.cfg.Workers[p.rank-1].FlopRate
+	p.nComp++
+	dur := flops / rate * p.cl.jitterFactor(p.rank, p.rank, 0, p.nComp)
+	start := p.clock
+	p.clock += dur
+	p.cl.trace.Add(trace.Event{Proc: p.rank, Kind: trace.Compute, Start: start, End: p.clock, Peer: -1})
+}
+
+// ComputeSeconds advances the clock by a raw duration (no rate conversion,
+// still jittered). Useful for non-flop workloads.
+func (p *Proc) ComputeSeconds(seconds float64) {
+	if p.IsMaster() {
+		panic("vcluster: the master has no processing capability")
+	}
+	if seconds < 0 {
+		panic(fmt.Sprintf("vcluster: negative duration %g", seconds))
+	}
+	p.nComp++
+	dur := seconds * p.cl.jitterFactor(p.rank, p.rank, 0, p.nComp)
+	start := p.clock
+	p.clock += dur
+	p.cl.trace.Add(trace.Event{Proc: p.rank, Kind: trace.Compute, Start: start, End: p.clock, Peer: -1})
+}
+
+// maybeDeadlock declares deadlock when every live process is blocked *and*
+// no parked receiver has a matching message queued (such a receiver has a
+// pending wake-up and will make progress). Callers hold mu.
+func (c *cluster) maybeDeadlock() {
+	if c.dead || c.live == 0 || c.blocked != c.live {
+		return
+	}
+	for key, n := range c.waitingRecv {
+		if n > 0 && len(c.queues[key]) > 0 {
+			return
+		}
+	}
+	c.dead = true
+	// Wake every parked receiver and release every parked sender.
+	for _, q := range c.queues {
+		for _, ps := range q {
+			close(ps.endCh)
+		}
+	}
+	c.cond.Broadcast()
+}
+
+// Run executes program once per process (ranks 0..len(cfg.Workers)) on the
+// virtual cluster and returns the clocks, makespan and trace. A program
+// panic is propagated; a deadlock is reported as ErrDeadlock.
+func Run(cfg Config, program func(p *Proc)) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(cfg.Workers) + 1
+	c := &cluster{
+		cfg:         cfg,
+		trace:       trace.New(),
+		queues:      make(map[qkey][]*pendingSend),
+		seqs:        make(map[qkey]uint64),
+		waitingRecv: make(map[qkey]int),
+		live:        n,
+	}
+	c.cond = sync.NewCond(&c.mu)
+
+	procs := make([]*Proc, n)
+	panics := make([]any, n)
+	deadlocked := make([]bool, n)
+	var wg sync.WaitGroup
+	for rank := 0; rank < n; rank++ {
+		procs[rank] = &Proc{rank: rank, cl: c}
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(deadlockPanic); ok {
+						deadlocked[rank] = true
+					} else {
+						panics[rank] = r
+					}
+				}
+				c.mu.Lock()
+				c.live--
+				// A process exiting may leave the remaining ones all
+				// blocked: re-evaluate deadlock.
+				c.maybeDeadlock()
+				c.mu.Unlock()
+			}()
+			program(procs[rank])
+		}(rank)
+	}
+	wg.Wait()
+
+	for rank, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("vcluster: process %d panicked: %v", rank, p))
+		}
+	}
+	for _, d := range deadlocked {
+		if d {
+			return nil, ErrDeadlock
+		}
+	}
+
+	res := &Result{Clocks: make([]float64, n), Trace: c.trace}
+	for rank, p := range procs {
+		res.Clocks[rank] = p.clock
+		if p.clock > res.Makespan {
+			res.Makespan = p.clock
+		}
+	}
+	return res, nil
+}
