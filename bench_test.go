@@ -7,6 +7,8 @@
 package repro
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"sort"
 	"testing"
@@ -133,17 +135,104 @@ func BenchmarkFig14Participation(b *testing.B) {
 
 // BenchmarkTheorem1OptimalFIFO benchmarks the polynomial-time optimal FIFO
 // computation (Theorem 1 + Proposition 1) on the paper-sized 11-worker
-// platform (index TH1 in DESIGN.md).
+// platform (index TH1 in DESIGN.md), through the engine.
 func BenchmarkTheorem1OptimalFIFO(b *testing.B) {
 	rng := rand.New(rand.NewSource(41))
 	sp := dls.RandomSpeeds(rng, 11, dls.Heterogeneous)
 	p := sp.Platform(dls.DefaultApp(100))
+	req := dls.Request{Platform: p, Strategy: dls.StrategyFIFO}
+	ctx := context.Background()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := dls.OptimalFIFO(p, dls.Float64); err != nil {
+		if _, err := dls.Solve(ctx, req); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Engine benchmarks ------------------------------------------------------
+//
+// These track the scaling substrate added by the Solver engine: batch
+// fan-out across the worker pool and the LRU result cache.
+
+// batchBenchRequests builds the mixed 64-request workload used by the
+// engine benchmarks: 16 heterogeneous 11-worker platforms × 4 strategies.
+func batchBenchRequests() []dls.Request {
+	rng := rand.New(rand.NewSource(60))
+	var reqs []dls.Request
+	for i := 0; i < 16; i++ {
+		p := dls.RandomSpeeds(rng, 11, dls.Heterogeneous).Platform(dls.DefaultApp(100))
+		for _, strat := range []string{dls.StrategyFIFO, dls.StrategyLIFO, dls.StrategyIncC, dls.StrategyIncW} {
+			reqs = append(reqs, dls.Request{Platform: p, Strategy: strat, Load: 1000})
+		}
+	}
+	return reqs
+}
+
+// BenchmarkSolveBatch measures SolveBatch throughput across parallelism
+// settings (the output is byte-identical at every setting; only wall-clock
+// changes). No cache, so every request is a fresh LP solve.
+func BenchmarkSolveBatch(b *testing.B) {
+	reqs := batchBenchRequests()
+	ctx := context.Background()
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parallelism-%d", par), func(b *testing.B) {
+			solver, err := dls.NewSolver(dls.WithParallelism(par))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := solver.SolveBatch(ctx, reqs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(reqs)), "requests/op")
+		})
+	}
+}
+
+// BenchmarkSolveCached compares a cold solve (no cache, LP every time)
+// against a warm cache hit on the same request: the cache turns a simplex
+// solve into an LRU lookup plus a result clone.
+func BenchmarkSolveCached(b *testing.B) {
+	rng := rand.New(rand.NewSource(61))
+	p := dls.RandomSpeeds(rng, 11, dls.Heterogeneous).Platform(dls.DefaultApp(100))
+	req := dls.Request{Platform: p, Strategy: dls.StrategyFIFO, Load: 1000}
+	ctx := context.Background()
+	b.Run("cold", func(b *testing.B) {
+		solver, err := dls.NewSolver()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := solver.Solve(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		solver, err := dls.NewSolver(dls.WithCache(16))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := solver.Solve(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := solver.Solve(ctx, req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Cached {
+				b.Fatal("expected a cache hit")
+			}
+		}
+	})
 }
 
 // BenchmarkTheorem2BusClosedForm benchmarks the closed-form bus throughput

@@ -4,25 +4,32 @@
 //
 // Usage:
 //
-//	dlsfifo schedule -platform file.json [-discipline fifo|lifo|incw] [-model one-port|two-port] [-exact] [-load M] [-gantt]
+//	dlsfifo schedule -platform file.json [-discipline fifo|lifo|incw|<strategy>] [-model one-port|two-port] [-exact] [-load M] [-gantt]
 //	dlsfifo bus -c 0.1 -d 0.05 -w 0.4,0.6,0.8
-//	dlsfifo brute -platform file.json [-exact]
+//	dlsfifo brute -platform file.json [-exact] [-timeout 30s]
 //	dlsfifo random -p 11 -family heterogeneous -size 100 -seed 42
+//	dlsfifo strategies
 //
-// The schedule subcommand prints the optimal loads, throughput and
-// per-worker timeline; bus evaluates the Theorem 2 closed form; brute
-// searches all permutation pairs (small platforms); random emits a platform
-// JSON drawn from the paper's generator families.
+// Every scheduling subcommand is a front-end to the dls engine: it builds a
+// dls.Request naming a strategy from the registry and solves it. The
+// schedule subcommand prints the optimal loads, throughput and per-worker
+// timeline; bus evaluates the Theorem 2 closed form; brute searches all
+// permutation pairs (small platforms, cancellable via -timeout); random
+// emits a platform JSON drawn from the paper's generator families;
+// strategies lists the registry.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/dls"
 )
@@ -44,6 +51,8 @@ func main() {
 		err = cmdRandom(os.Args[2:])
 	case "verify":
 		err = cmdVerify(os.Args[2:])
+	case "strategies":
+		err = cmdStrategies()
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -61,14 +70,22 @@ func usage() {
 	fmt.Fprint(os.Stderr, `dlsfifo — divisible-load scheduling with return messages (one-port model)
 
 subcommands:
-  schedule  compute an optimal schedule for a platform JSON
-  bus       evaluate the Theorem 2 closed form for a bus platform
-  brute     exhaustive search over all (σ1, σ2) permutation pairs
-  random    generate a random platform JSON (paper generator families)
-  verify    check a schedule JSON against a platform and model
+  schedule    compute an optimal schedule for a platform JSON
+  bus         evaluate the Theorem 2 closed form for a bus platform
+  brute       exhaustive search over all (σ1, σ2) permutation pairs
+  random      generate a random platform JSON (paper generator families)
+  verify      check a schedule JSON against a platform and model
+  strategies  list the registered engine strategies
 
 run "dlsfifo <subcommand> -h" for flags.
 `)
+}
+
+func cmdStrategies() error {
+	for _, name := range dls.Strategies() {
+		fmt.Println(name)
+	}
+	return nil
 }
 
 func loadPlatform(path string) (*dls.Platform, error) {
@@ -93,15 +110,50 @@ func arithFlag(exact bool) dls.Arith {
 	return dls.Float64
 }
 
+// newSolver builds the engine behind every scheduling subcommand.
+func newSolver(timeout time.Duration) (*dls.Solver, error) {
+	if timeout < 0 {
+		return nil, fmt.Errorf("-timeout must be >= 0, got %v", timeout)
+	}
+	opts := []dls.Option{dls.WithCache(64)}
+	if timeout > 0 {
+		opts = append(opts, dls.WithTimeout(timeout))
+	}
+	return dls.NewSolver(opts...)
+}
+
+// strategyForDiscipline maps the historical discipline spellings onto
+// engine strategies; any other value must name a registered strategy.
+func strategyForDiscipline(disc string) (string, error) {
+	switch disc {
+	case "fifo":
+		return dls.StrategyFIFO, nil
+	case "lifo":
+		return dls.StrategyLIFO, nil
+	case "incw":
+		return dls.StrategyIncW, nil
+	case "incc":
+		return dls.StrategyIncC, nil
+	}
+	for _, name := range dls.Strategies() {
+		if name == disc {
+			return name, nil
+		}
+	}
+	return "", fmt.Errorf("unknown discipline %q (fifo, lifo, incw, incc, or a registered strategy: %s)",
+		disc, strings.Join(dls.Strategies(), ", "))
+}
+
 func cmdSchedule(args []string) error {
 	fs := flag.NewFlagSet("schedule", flag.ExitOnError)
 	platformPath := fs.String("platform", "", "platform JSON file")
-	discipline := fs.String("discipline", "fifo", "fifo | lifo | incw")
+	discipline := fs.String("discipline", "fifo", "fifo | lifo | incw | incc | any registered strategy (see dlsfifo strategies)")
 	model := fs.String("model", "one-port", "one-port | two-port")
 	exact := fs.Bool("exact", false, "use exact rational LP arithmetic")
 	load := fs.Float64("load", 0, "total load units; prints the makespan and integer distribution")
 	gantt := fs.Bool("gantt", false, "render the schedule timeline as a Gantt chart")
 	out := fs.String("out", "", "write the computed schedule as JSON to this file")
+	timeout := fs.Duration("timeout", 0, "abort the solve after this duration (0 = no limit)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -118,33 +170,37 @@ func cmdSchedule(args []string) error {
 	default:
 		return fmt.Errorf("unknown model %q", *model)
 	}
-	arith := arithFlag(*exact)
-
-	var s *dls.Schedule
-	switch *discipline {
-	case "fifo":
-		if m == dls.OnePort {
-			s, err = dls.OptimalFIFO(p, arith)
-			if err == dls.ErrNoCommonZ {
-				fmt.Println("note: no common z; falling back to the sorted-by-c FIFO heuristic")
-				s, err = dls.IncC(p, m, arith)
-			}
-		} else {
-			s, err = dls.IncC(p, m, arith)
-		}
-	case "lifo":
-		s, err = dls.OptimalLIFO(p, arith)
-	case "incw":
-		s, err = dls.IncW(p, m, arith)
-	default:
-		return fmt.Errorf("unknown discipline %q", *discipline)
+	strategy, err := strategyForDiscipline(*discipline)
+	if err != nil {
+		return err
+	}
+	solver, err := newSolver(*timeout)
+	if err != nil {
+		return err
+	}
+	req := dls.Request{
+		Platform: p,
+		Strategy: strategy,
+		Model:    m,
+		Arith:    arithFlag(*exact),
+		Load:     *load,
+	}
+	res, err := solver.Solve(context.Background(), req)
+	if errors.Is(err, dls.ErrNoCommonZ) && strategy == dls.StrategyFIFO && m == dls.OnePort {
+		fmt.Println("note: no common z; falling back to the sorted-by-c FIFO heuristic")
+		req.Strategy = dls.StrategyIncC
+		res, err = solver.Solve(context.Background(), req)
 	}
 	if err != nil {
 		return err
 	}
+	s := res.Schedule
+	if s == nil {
+		return fmt.Errorf("strategy %q produced no canonical schedule (affine strategies are not supported here)", strategy)
+	}
 
 	fmt.Print(p)
-	fmt.Printf("discipline=%s model=%s arithmetic=%s\n", *discipline, m, arith)
+	fmt.Printf("strategy=%s model=%s arithmetic=%s\n", res.Strategy, res.Model, res.Arith)
 	fmt.Printf("throughput ρ = %.9g load units per time unit\n", s.Throughput())
 	fmt.Printf("send order σ1 = %v, return order σ2 = %v\n", s.SendOrder, s.ReturnOrder)
 	fmt.Printf("%-8s %-12s %-12s %-12s %-12s\n", "worker", "alpha", "recv end", "comp end", "idle")
@@ -153,7 +209,7 @@ func cmdSchedule(args []string) error {
 			p.Workers[wt.Worker].Name, s.Alpha[wt.Worker], wt.SendEnd, wt.CompEnd, wt.Idle)
 	}
 	if *load > 0 {
-		fmt.Printf("makespan for %g units: %.6g\n", *load, dls.MakespanForLoad(s, *load))
+		fmt.Printf("makespan for %g units: %.6g\n", *load, res.Makespan)
 		counts, err := dls.DistributeInteger(s.Alpha, s.SendOrder, int(*load))
 		if err != nil {
 			return err
@@ -309,6 +365,7 @@ func cmdBrute(args []string) error {
 	fs := flag.NewFlagSet("brute", flag.ExitOnError)
 	platformPath := fs.String("platform", "", "platform JSON file")
 	exact := fs.Bool("exact", false, "use exact rational LP arithmetic")
+	timeout := fs.Duration("timeout", 0, "abort the (p!)² search after this duration (0 = no limit)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -316,27 +373,36 @@ func cmdBrute(args []string) error {
 	if err != nil {
 		return err
 	}
-	pair, err := dls.BestPairExhaustive(p, dls.OnePort, arithFlag(*exact))
+	solver, err := newSolver(*timeout)
 	if err != nil {
 		return err
 	}
-	fifo, err := dls.OptimalFIFO(p, arithFlag(*exact))
-	if err != nil && err != dls.ErrNoCommonZ {
+	arith := arithFlag(*exact)
+	ctx := context.Background()
+	// The pair search and the LIFO baseline run concurrently on the pool;
+	// FIFO is solved separately because a star without a common z makes it
+	// fail with ErrNoCommonZ, which only drops its comparison line.
+	results, err := solver.SolveBatch(ctx, []dls.Request{
+		{Platform: p, Strategy: dls.StrategyPairExhaustive, Arith: arith},
+		{Platform: p, Strategy: dls.StrategyLIFO, Arith: arith},
+	})
+	if err != nil {
 		return err
 	}
-	lifo, lerr := dls.OptimalLIFO(p, arithFlag(*exact))
-	if lerr != nil {
-		return lerr
+	pair, lifo := results[0], results[1]
+	fifo, err := solver.Solve(ctx, dls.Request{Platform: p, Strategy: dls.StrategyFIFO, Arith: arith})
+	if err != nil && !errors.Is(err, dls.ErrNoCommonZ) {
+		return err
 	}
 	fmt.Print(p)
 	fmt.Printf("best permutation pair: σ1=%v σ2=%v  ρ=%.9g\n",
-		pair.Send, pair.Return, pair.Schedule.Throughput())
+		pair.Send, pair.Return, pair.Throughput)
 	if fifo != nil {
 		fmt.Printf("optimal FIFO:          ρ=%.9g (%.4f%% of best pair)\n",
-			fifo.Throughput(), 100*fifo.Throughput()/pair.Schedule.Throughput())
+			fifo.Throughput, 100*fifo.Throughput/pair.Throughput)
 	}
 	fmt.Printf("optimal LIFO:          ρ=%.9g (%.4f%% of best pair)\n",
-		lifo.Throughput(), 100*lifo.Throughput()/pair.Schedule.Throughput())
+		lifo.Throughput, 100*lifo.Throughput/pair.Throughput)
 	return nil
 }
 

@@ -1,0 +1,60 @@
+package dls
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a size-bounded LRU of solved results, keyed by the request
+// cache key (platform fingerprint, strategy, model, arithmetic, orders,
+// affine costs). Entries are stored as engine-owned copies: get returns a
+// fresh clone so callers can never mutate cached state.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	res *Result
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns a clone of the cached result for key, if present.
+func (c *resultCache) get(key string) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res.clone(), true
+}
+
+// put stores a clone of res under key, evicting the least recently used
+// entry when the cache is full.
+func (c *resultCache) put(key string, res *Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).res = res.clone()
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res.clone()})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}

@@ -6,36 +6,53 @@
 // The library schedules one-round divisible-load applications on
 // heterogeneous master-worker star platforms where workers send results
 // back to the master and the master can be engaged in at most one
-// communication at a time (the one-port model). It provides:
+// communication at a time (the one-port model).
 //
-//   - optimal one-port FIFO schedules on star platforms (Theorem 1 +
-//     Proposition 1, including automatic resource selection),
-//   - optimal one-port LIFO schedules,
-//   - the closed-form optimal FIFO throughput on bus platforms (Theorem 2)
-//     with the constructive schedule,
-//   - linear programs for arbitrary send/return permutation pairs under the
-//     one-port and two-port models (Section 2.3),
-//   - exhaustive searches over orders and permutation pairs as optimality
-//     oracles on small platforms,
-//   - the Section 5 integer rounding policy, and
-//   - a virtual message-passing cluster for executing schedules as real
-//     master/worker programs and measuring their makespan.
+// # The engine
 //
-// # Quick start
+// All scheduling goes through one engine: a [Solver] resolves a [Request]
+// — platform, strategy, communication model, LP arithmetic — against an
+// extensible strategy registry and returns a [Result]:
 //
+//	solver, err := dls.NewSolver(dls.WithCache(256), dls.WithParallelism(8))
+//	if err != nil { ... }
 //	p := dls.NewPlatform(
 //	    dls.Worker{C: 0.1, W: 0.5, D: 0.05},
 //	    dls.Worker{C: 0.2, W: 0.3, D: 0.10},
 //	)
-//	s, err := dls.OptimalFIFO(p, dls.Float64)
+//	res, err := solver.Solve(ctx, dls.Request{
+//	    Platform: p,
+//	    Strategy: dls.StrategyFIFO, // Theorem 1 + Proposition 1
+//	})
 //	if err != nil { ... }
-//	fmt.Println(s.Throughput(), s.Participants())
+//	fmt.Println(res.Throughput, res.Schedule.Participants())
 //
-// All schedule-producing functions verify their output against an
+// Built-in strategies cover the whole paper: the optimal FIFO and LIFO
+// schedules ([StrategyFIFO], [StrategyLIFO]), the Section 5 heuristics
+// ([StrategyIncC], [StrategyIncW], [StrategyDecC]), fixed-order and
+// arbitrary (σ1, σ2) scenarios ([StrategyFIFOOrder], [StrategyLIFOOrder],
+// [StrategyScenario]), the Theorem 2 bus construction ([StrategyBusFIFO]),
+// the exhaustive optimality oracles ([StrategyFIFOExhaustive],
+// [StrategyLIFOExhaustive], [StrategyPairExhaustive]) and the affine-model
+// extensions ([StrategyFIFOAffine], [StrategyScenarioAffine]). New
+// heuristics plug in with [RegisterStrategy] without touching the engine.
+//
+// The engine adds what the historical free functions could not: context
+// cancellation and [WithTimeout] deadlines for the exponential exhaustive
+// searches, an LRU result cache ([WithCache]) keyed by platform
+// fingerprint, and concurrent batch solving ([Solver.SolveBatch],
+// [Solver.SolveStream]) with deterministic, parallelism-independent output
+// ordering ([WithParallelism]).
+//
+// The pre-engine free functions (OptimalFIFO, OptimalLIFO, IncC, ...)
+// remain as thin deprecated wrappers over the engine.
+//
+// All schedule-producing strategies verify their output against an
 // independent feasibility checker before returning it.
 package dls
 
 import (
+	"context"
 	"math/big"
 	"math/rand"
 
@@ -108,7 +125,8 @@ const (
 	Heterogeneous = platform.Heterogeneous
 )
 
-// ErrNoCommonZ is returned by OptimalFIFO when d_i/c_i is not constant.
+// ErrNoCommonZ is returned by the StrategyFIFO solve (and the deprecated
+// OptimalFIFO wrapper) when d_i/c_i is not constant.
 var ErrNoCommonZ = core.ErrNoCommonZ
 
 // NewPlatform builds a star platform from explicit worker costs.
@@ -132,63 +150,107 @@ func RandomSpeeds(rng *rand.Rand, p int, family Family) Speeds {
 // the slow worker's communication speed x.
 func Fig14Speeds(x float64) Speeds { return platform.Fig14Speeds(x) }
 
+// scheduleOf adapts an engine result to the historical (schedule, error)
+// shape of the deprecated wrappers.
+func scheduleOf(res *Result, err error) (*Schedule, error) {
+	if err != nil {
+		return nil, err
+	}
+	return res.Schedule, nil
+}
+
 // OptimalFIFO computes an optimal one-port FIFO schedule (Theorem 1 +
 // Proposition 1), including resource selection. The platform must have a
 // common ratio z = d_i/c_i.
+//
+// Deprecated: use [Solver.Solve] (or [Solve]) with [StrategyFIFO].
 func OptimalFIFO(p *Platform, arith Arith) (*Schedule, error) {
-	return core.OptimalFIFO(p, arith)
+	return scheduleOf(Solve(context.Background(), Request{Platform: p, Strategy: StrategyFIFO, Arith: arith}))
 }
 
 // OptimalLIFO computes the optimal one-port LIFO schedule.
+//
+// Deprecated: use [Solver.Solve] (or [Solve]) with [StrategyLIFO].
 func OptimalLIFO(p *Platform, arith Arith) (*Schedule, error) {
-	return core.OptimalLIFO(p, arith)
+	return scheduleOf(Solve(context.Background(), Request{Platform: p, Strategy: StrategyLIFO, Arith: arith}))
 }
 
 // FIFOWithOrder computes optimal loads for the FIFO schedule using the
 // given send order, under either communication model.
+//
+// Deprecated: use [Solver.Solve] (or [Solve]) with [StrategyFIFOOrder].
 func FIFOWithOrder(p *Platform, order Order, model Model, arith Arith) (*Schedule, error) {
-	return core.FIFOWithOrder(p, order, model, arith)
+	return scheduleOf(Solve(context.Background(), Request{Platform: p, Strategy: StrategyFIFOOrder, Send: order, Model: model, Arith: arith}))
 }
 
 // LIFOWithOrder computes optimal loads for the LIFO schedule whose send
 // order is the given order.
+//
+// Deprecated: use [Solver.Solve] (or [Solve]) with [StrategyLIFOOrder].
 func LIFOWithOrder(p *Platform, order Order, model Model, arith Arith) (*Schedule, error) {
-	return core.LIFOWithOrder(p, order, model, arith)
+	return scheduleOf(Solve(context.Background(), Request{Platform: p, Strategy: StrategyLIFOOrder, Send: order, Model: model, Arith: arith}))
 }
 
 // SolveScenario computes optimal loads for an arbitrary scenario: enrolled
 // workers and their send and return orders (Section 2.3).
+//
+// Deprecated: use [Solver.Solve] (or [Solve]) with [StrategyScenario].
 func SolveScenario(p *Platform, send, ret Order, model Model, arith Arith) (*Schedule, error) {
-	return core.SolveScenario(p, send, ret, model, arith)
+	return scheduleOf(Solve(context.Background(), Request{Platform: p, Strategy: StrategyScenario, Send: send, Return: ret, Model: model, Arith: arith}))
 }
 
 // IncC is the INC_C heuristic of Section 5: FIFO over all workers by
 // non-decreasing c (optimal for z ≤ 1 by Theorem 1).
+//
+// Deprecated: use [Solver.Solve] (or [Solve]) with [StrategyIncC].
 func IncC(p *Platform, model Model, arith Arith) (*Schedule, error) {
-	return core.IncC(p, model, arith)
+	return scheduleOf(Solve(context.Background(), Request{Platform: p, Strategy: StrategyIncC, Model: model, Arith: arith}))
 }
 
 // IncW is the INC_W heuristic of Section 5: FIFO over all workers by
 // non-decreasing w.
+//
+// Deprecated: use [Solver.Solve] (or [Solve]) with [StrategyIncW].
 func IncW(p *Platform, model Model, arith Arith) (*Schedule, error) {
-	return core.IncW(p, model, arith)
+	return scheduleOf(Solve(context.Background(), Request{Platform: p, Strategy: StrategyIncW, Model: model, Arith: arith}))
 }
 
 // BestFIFOExhaustive searches all FIFO send orders (p ≤ 8) and returns the
 // best schedule and its order.
+//
+// Deprecated: use [Solver.Solve] (or [Solve]) with [StrategyFIFOExhaustive];
+// the engine adds cancellation and deadlines for this factorial search.
 func BestFIFOExhaustive(p *Platform, model Model, arith Arith) (*Schedule, Order, error) {
-	return core.BestFIFOExhaustive(p, model, arith)
+	res, err := Solve(context.Background(), Request{Platform: p, Strategy: StrategyFIFOExhaustive, Model: model, Arith: arith})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Schedule, res.Send, nil
 }
 
 // BestLIFOExhaustive searches all LIFO send orders (p ≤ 8).
+//
+// Deprecated: use [Solver.Solve] (or [Solve]) with [StrategyLIFOExhaustive];
+// the engine adds cancellation and deadlines for this factorial search.
 func BestLIFOExhaustive(p *Platform, model Model, arith Arith) (*Schedule, Order, error) {
-	return core.BestLIFOExhaustive(p, model, arith)
+	res, err := Solve(context.Background(), Request{Platform: p, Strategy: StrategyLIFOExhaustive, Model: model, Arith: arith})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Schedule, res.Send, nil
 }
 
 // BestPairExhaustive searches all (σ1, σ2) permutation pairs (p ≤ 5) — the
 // general problem whose complexity the paper leaves open.
+//
+// Deprecated: use [Solver.Solve] (or [Solve]) with [StrategyPairExhaustive];
+// the engine adds cancellation and deadlines for this (p!)² search.
 func BestPairExhaustive(p *Platform, model Model, arith Arith) (*PairResult, error) {
-	return core.BestPairExhaustive(p, model, arith)
+	res, err := Solve(context.Background(), Request{Platform: p, Strategy: StrategyPairExhaustive, Model: model, Arith: arith})
+	if err != nil {
+		return nil, err
+	}
+	return &PairResult{Schedule: res.Schedule, Send: res.Send, Return: res.Return}, nil
 }
 
 // BusFIFOThroughput returns Theorem 2's closed-form optimal one-port FIFO
@@ -201,7 +263,11 @@ func ExactBusFIFOThroughput(p *Platform) (*big.Rat, error) { return core.ExactBu
 
 // BusFIFOSchedule constructs the optimal one-port FIFO schedule on a bus
 // via the constructive proof of Theorem 2.
-func BusFIFOSchedule(p *Platform) (*Schedule, error) { return core.BusFIFOSchedule(p) }
+//
+// Deprecated: use [Solver.Solve] (or [Solve]) with [StrategyBusFIFO].
+func BusFIFOSchedule(p *Platform) (*Schedule, error) {
+	return scheduleOf(Solve(context.Background(), Request{Platform: p, Strategy: StrategyBusFIFO}))
+}
 
 // BusLIFOThroughput returns the closed-form LIFO throughput on a bus in
 // the given worker order.
@@ -214,7 +280,8 @@ func BusTwoPortFIFOThroughput(p *Platform) (float64, error) {
 }
 
 // MakespanForLoad converts a throughput-form schedule into the time needed
-// to process load units (linearity: load/ρ).
+// to process load units (linearity: load/ρ). Requests with Load set get the
+// same number in Result.Makespan.
 func MakespanForLoad(s *Schedule, load float64) float64 {
 	return core.MakespanForLoad(s, load)
 }

@@ -1,0 +1,491 @@
+package dls
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/platform"
+)
+
+// Request names one scheduling problem: a platform, a strategy from the
+// registry, a communication model and the LP arithmetic. Strategies that
+// work on fixed orders additionally read Send (and Return); the affine
+// strategies read Affine. The zero values of Model and Arith select the
+// one-port model and the solver's default arithmetic.
+type Request struct {
+	// Platform is the star platform to schedule. Required.
+	Platform *Platform
+	// Strategy names a registered strategy (see Strategies). Required.
+	Strategy string
+	// Model selects the communication model. Zero value: OnePort.
+	Model Model
+	// Arith selects the LP arithmetic. The zero value (Float64) defers to
+	// the solver default configured with WithArith.
+	Arith Arith
+	// Send is the send order for the fixed-order strategies
+	// (StrategyFIFOOrder, StrategyLIFOOrder, StrategyScenario,
+	// StrategyScenarioAffine).
+	Send Order
+	// Return is the return order for StrategyScenario and
+	// StrategyScenarioAffine.
+	Return Order
+	// Affine holds the per-worker fixed costs for the affine strategies.
+	Affine *Affine
+	// Load, when positive, asks for Result.Makespan = Load / throughput:
+	// the time to process Load units under the computed schedule. Linear
+	// model only — affine strategies leave Makespan at 0, because fixed
+	// costs make their makespan non-linear in the load.
+	Load float64
+}
+
+// Result is the outcome of one solve. Schedule is set by every linear-model
+// strategy; the affine strategies set Affine instead (the canonical
+// timeline of the linear model does not apply there).
+type Result struct {
+	// Strategy, Model and Arith echo the resolved request.
+	Strategy string
+	Model    Model
+	Arith    Arith
+	// Schedule is the computed schedule (nil for affine strategies).
+	Schedule *Schedule
+	// Send and Return are the scenario orders the strategy settled on: the
+	// winning full permutations for the exhaustive searches, the schedule's
+	// pruned orders otherwise.
+	Send   Order
+	Return Order
+	// Affine is the affine-model outcome (affine strategies only).
+	Affine *AffineResult
+	// Throughput is the optimal throughput ρ (load units per time unit).
+	Throughput float64
+	// Makespan is Load / Throughput when the request set Load and the
+	// strategy produced a linear-model Schedule, else 0 (the linearity
+	// argument does not hold under affine costs).
+	Makespan float64
+	// Cached reports that this result was served from the solver cache (or
+	// deduplicated against an identical request in the same batch) rather
+	// than recomputed.
+	Cached bool
+}
+
+// clone returns a deep copy so cached results stay immutable.
+func (r *Result) clone() *Result {
+	c := *r
+	if r.Schedule != nil {
+		c.Schedule = r.Schedule.Clone()
+	}
+	c.Send = r.Send.Clone()
+	c.Return = r.Return.Clone()
+	if r.Affine != nil {
+		a := *r.Affine
+		a.Send = r.Affine.Send.Clone()
+		a.Return = r.Affine.Return.Clone()
+		a.Alpha = append([]float64(nil), r.Affine.Alpha...)
+		c.Affine = &a
+	}
+	return &c
+}
+
+// Stats are cumulative counters of one Solver's activity.
+type Stats struct {
+	// Hits and Misses count cache lookups (always zero without WithCache).
+	Hits, Misses uint64
+	// Solves counts strategy executions — the expensive LP work. A request
+	// answered by the cache or by batch deduplication does not solve.
+	Solves uint64
+}
+
+// Solver is the scheduling engine: it resolves requests against the
+// strategy registry, optionally memoizes results in an LRU cache, bounds
+// solve time, and fans batches out over a worker pool. A Solver is safe for
+// concurrent use; the zero-argument NewSolver() yields a cache-less solver
+// with parallelism GOMAXPROCS.
+type Solver struct {
+	arith       Arith
+	timeout     time.Duration
+	parallelism int
+	cache       *resultCache
+
+	hits, misses, solves atomic.Uint64
+}
+
+// Option configures a Solver; options report invalid settings as errors
+// from NewSolver.
+type Option func(*Solver) error
+
+// WithArith sets the default LP arithmetic applied to requests that leave
+// Arith at its zero value.
+func WithArith(a Arith) Option {
+	return func(s *Solver) error {
+		if a != Float64 && a != Exact {
+			return fmt.Errorf("dls: WithArith: unknown arithmetic %d", int(a))
+		}
+		s.arith = a
+		return nil
+	}
+}
+
+// WithTimeout bounds every Solve call (including each request of a batch):
+// the strategy's context is cancelled after d, which aborts the exponential
+// exhaustive searches mid-enumeration.
+func WithTimeout(d time.Duration) Option {
+	return func(s *Solver) error {
+		if d <= 0 {
+			return fmt.Errorf("dls: WithTimeout: duration must be positive, got %v", d)
+		}
+		s.timeout = d
+		return nil
+	}
+}
+
+// WithCache enables an LRU result cache of the given capacity, keyed by
+// (platform fingerprint, strategy, model, arithmetic, orders, affine
+// costs). A capacity of 0 disables caching (the default).
+func WithCache(capacity int) Option {
+	return func(s *Solver) error {
+		if capacity < 0 {
+			return fmt.Errorf("dls: WithCache: capacity must be >= 0, got %d", capacity)
+		}
+		if capacity == 0 {
+			s.cache = nil
+			return nil
+		}
+		s.cache = newResultCache(capacity)
+		return nil
+	}
+}
+
+// WithParallelism sets the worker-pool size used by SolveBatch and
+// SolveStream. Output is deterministic regardless of the setting; it only
+// changes how many requests are solved concurrently.
+func WithParallelism(n int) Option {
+	return func(s *Solver) error {
+		if n <= 0 {
+			return fmt.Errorf("dls: WithParallelism: parallelism must be >= 1, got %d", n)
+		}
+		s.parallelism = n
+		return nil
+	}
+}
+
+// NewSolver builds a Solver from the given options.
+func NewSolver(opts ...Option) (*Solver, error) {
+	s := &Solver{
+		arith:       Float64,
+		parallelism: runtime.GOMAXPROCS(0),
+	}
+	for _, opt := range opts {
+		if err := opt(s); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Stats returns a snapshot of the solver's counters.
+func (s *Solver) Stats() Stats {
+	return Stats{
+		Hits:   s.hits.Load(),
+		Misses: s.misses.Load(),
+		Solves: s.solves.Load(),
+	}
+}
+
+// prepare validates a request, applies the solver's arithmetic default and
+// resolves the strategy.
+func (s *Solver) prepare(req Request) (Request, StrategyFunc, error) {
+	if req.Platform == nil {
+		return req, nil, fmt.Errorf("dls: request has no platform")
+	}
+	if err := req.Platform.Validate(); err != nil {
+		return req, nil, err
+	}
+	if req.Strategy == "" {
+		return req, nil, fmt.Errorf("dls: request has no strategy (registered: %s)", strings.Join(Strategies(), ", "))
+	}
+	fn, ok := lookupStrategy(req.Strategy)
+	if !ok {
+		return req, nil, fmt.Errorf("dls: unknown strategy %q (registered: %s)", req.Strategy, strings.Join(Strategies(), ", "))
+	}
+	if req.Model != OnePort && req.Model != TwoPort {
+		return req, nil, fmt.Errorf("dls: unknown model %d", int(req.Model))
+	}
+	if req.Arith == Float64 {
+		req.Arith = s.arith
+	} else if req.Arith != Exact {
+		return req, nil, fmt.Errorf("dls: unknown arithmetic %d", int(req.Arith))
+	}
+	if req.Load < 0 || math.IsNaN(req.Load) || math.IsInf(req.Load, 0) {
+		return req, nil, fmt.Errorf("dls: request load %g must be finite and >= 0", req.Load)
+	}
+	return req, fn, nil
+}
+
+// cacheKey builds the memoization key of a prepared request. Load is
+// excluded: Makespan is derived from the cached throughput per request.
+func (req Request) cacheKey() string {
+	var b strings.Builder
+	b.WriteString(req.Platform.Fingerprint())
+	fmt.Fprintf(&b, "|%s|%d|%d|%v|%v", req.Strategy, int(req.Model), int(req.Arith), []int(req.Send), []int(req.Return))
+	if req.Affine != nil {
+		fmt.Fprintf(&b, "|aff-%016x", platform.HashFloats(req.Affine.In, req.Affine.Out, req.Affine.Comp))
+	}
+	return b.String()
+}
+
+// finish stamps the derived fields of a result for one specific request.
+func finish(res *Result, req Request, cached bool) *Result {
+	res.Strategy = req.Strategy
+	res.Model = req.Model
+	res.Arith = req.Arith
+	res.Cached = cached
+	switch {
+	case res.Schedule != nil:
+		res.Throughput = res.Schedule.Throughput()
+	case res.Affine != nil:
+		res.Throughput = res.Affine.Throughput
+	}
+	// Makespan comes from linearity (load/ρ), which only holds for the
+	// linear cost model — never derive it for affine results.
+	if req.Load > 0 && res.Schedule != nil && res.Throughput > 0 {
+		res.Makespan = req.Load / res.Throughput
+	} else {
+		res.Makespan = 0
+	}
+	return res
+}
+
+// Solve runs one request through its strategy, consulting the cache first
+// when one is configured. Strategy errors are returned unwrapped, so
+// sentinel checks like errors.Is(err, ErrNoCommonZ) keep working; context
+// cancellation and the WithTimeout deadline surface as ctx.Err().
+func (s *Solver) Solve(ctx context.Context, req Request) (*Result, error) {
+	req, fn, err := s.prepare(req)
+	if err != nil {
+		return nil, err
+	}
+	var key string
+	if s.cache != nil {
+		key = req.cacheKey()
+		if res, ok := s.cache.get(key); ok {
+			s.hits.Add(1)
+			return finish(res, req, true), nil
+		}
+		s.misses.Add(1)
+	}
+	res, err := s.run(ctx, req, fn)
+	if err != nil {
+		return nil, err
+	}
+	if s.cache != nil {
+		s.cache.put(key, res)
+	}
+	return finish(res, req, false), nil
+}
+
+// run executes the strategy under the solver timeout.
+func (s *Solver) run(ctx context.Context, req Request, fn StrategyFunc) (*Result, error) {
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.solves.Add(1)
+	res, err := fn(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	if res == nil {
+		return nil, fmt.Errorf("dls: strategy %q returned neither result nor error", req.Strategy)
+	}
+	return res, nil
+}
+
+// SolveBatch solves many requests across the solver's worker pool and
+// returns results aligned with reqs: results[i] answers reqs[i]. Identical
+// requests (same cache key) are solved once and fanned out, with the
+// duplicates marked Cached. The output is deterministic — byte-identical
+// across parallelism settings — because every per-request computation is
+// itself deterministic and ordering never leaks into results. Failed
+// requests leave a nil slot; the returned error joins the per-request
+// errors in request order.
+func (s *Solver) SolveBatch(ctx context.Context, reqs []Request) ([]*Result, error) {
+	results := make([]*Result, len(reqs))
+	errs := make([]error, len(reqs))
+
+	// Deduplicate by cache key: one solve per distinct problem.
+	type group struct {
+		leader  int // first request index with this key
+		indices []int
+	}
+	groups := make(map[string]*group, len(reqs))
+	order := make([]*group, 0, len(reqs))
+	prepared := make([]Request, len(reqs))
+	for i, req := range reqs {
+		p, _, err := s.prepare(req)
+		if err != nil {
+			errs[i] = fmt.Errorf("dls: batch request %d: %w", i, err)
+			continue
+		}
+		prepared[i] = p
+		key := p.cacheKey()
+		g, ok := groups[key]
+		if !ok {
+			g = &group{leader: i}
+			groups[key] = g
+			order = append(order, g)
+		}
+		g.indices = append(g.indices, i)
+	}
+
+	// Solve one leader per group on the pool (never more workers than
+	// groups to solve).
+	jobs := make(chan *group)
+	var wg sync.WaitGroup
+	workers := s.parallelism
+	if workers > len(order) {
+		workers = len(order)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for g := range jobs {
+				res, err := s.Solve(ctx, reqs[g.leader])
+				if err != nil {
+					for _, i := range g.indices {
+						errs[i] = fmt.Errorf("dls: batch request %d: %w", i, err)
+					}
+					continue
+				}
+				for _, i := range g.indices {
+					if i == g.leader {
+						results[i] = res
+						continue
+					}
+					// Duplicates get their own copy, finished against their
+					// own Load, and are marked as served without a solve.
+					results[i] = finish(res.clone(), prepared[i], true)
+				}
+			}
+		}()
+	}
+	for _, g := range order {
+		jobs <- g
+	}
+	close(jobs)
+	wg.Wait()
+
+	return results, errors.Join(errs...)
+}
+
+// StreamResult is one element of a SolveStream: the result (or error) of
+// the Index-th request read from the input channel.
+type StreamResult struct {
+	Index  int
+	Result *Result
+	Err    error
+}
+
+// SolveStream consumes requests from reqs as they arrive, solves them on
+// the worker pool, and emits results on the returned channel in input
+// order (a reorder buffer holds finished results until their predecessors
+// complete; admission is bounded, so one slow request at the head cannot
+// make the buffer grow past a small multiple of the parallelism). The
+// output channel closes after the last result once reqs is closed. The
+// caller must drain the output channel; cancelling ctx makes remaining
+// requests fail fast with ctx.Err().
+func (s *Solver) SolveStream(ctx context.Context, reqs <-chan Request) <-chan StreamResult {
+	out := make(chan StreamResult, s.parallelism)
+	type job struct {
+		idx int
+		req Request
+	}
+	jobs := make(chan job)
+	done := make(chan StreamResult, s.parallelism)
+	// window bounds dispatched-but-not-yet-emitted requests, capping the
+	// reorder buffer: the feeder acquires a slot per job, the reorderer
+	// releases it when the result is emitted in order.
+	window := make(chan struct{}, 4*s.parallelism)
+
+	go func() {
+		idx := 0
+		for req := range reqs {
+			window <- struct{}{}
+			jobs <- job{idx, req}
+			idx++
+		}
+		close(jobs)
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < s.parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				res, err := s.Solve(ctx, j.req)
+				done <- StreamResult{Index: j.idx, Result: res, Err: err}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+
+	go func() {
+		defer close(out)
+		next := 0
+		pending := make(map[int]StreamResult)
+		for sr := range done {
+			pending[sr.Index] = sr
+			for {
+				v, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				out <- v
+				<-window
+				next++
+			}
+		}
+	}()
+	return out
+}
+
+// The default solver backs the package-level Solve/SolveBatch helpers and
+// the deprecated free functions: no cache (every call recomputes, matching
+// the historical semantics), parallelism GOMAXPROCS.
+var (
+	defaultSolverOnce sync.Once
+	defaultSolver     *Solver
+)
+
+// DefaultSolver returns the shared package-level solver.
+func DefaultSolver() *Solver {
+	defaultSolverOnce.Do(func() {
+		defaultSolver, _ = NewSolver()
+	})
+	return defaultSolver
+}
+
+// Solve runs one request on the default solver.
+func Solve(ctx context.Context, req Request) (*Result, error) {
+	return DefaultSolver().Solve(ctx, req)
+}
+
+// SolveBatch solves a batch on the default solver.
+func SolveBatch(ctx context.Context, reqs []Request) ([]*Result, error) {
+	return DefaultSolver().SolveBatch(ctx, reqs)
+}

@@ -1,0 +1,504 @@
+package dls_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/dls"
+)
+
+func testPlatform() *dls.Platform {
+	return dls.NewPlatform(
+		dls.Worker{C: 0.05, W: 0.3, D: 0.025},
+		dls.Worker{C: 0.08, W: 0.2, D: 0.040},
+		dls.Worker{C: 0.10, W: 0.5, D: 0.050},
+	)
+}
+
+func mustSolver(t *testing.T, opts ...dls.Option) *dls.Solver {
+	t.Helper()
+	s, err := dls.NewSolver(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// Test strategies live in the process-global registry, so they are
+// registered exactly once per process and must survive `go test -count=N`:
+// their closures only touch package-level state (the counter below).
+var (
+	registerTestStrategies sync.Once
+
+	// countingStrategyRuns counts executions of "test-cache-counting";
+	// tests reset it before use.
+	countingStrategyRuns atomic.Int64
+)
+
+const (
+	customStrategy   = "test-registry-constant"
+	countingStrategy = "test-cache-counting"
+)
+
+func setupTestStrategies(t *testing.T) {
+	t.Helper()
+	registerTestStrategies.Do(func() {
+		incC := func(req dls.Request) (*dls.Result, error) {
+			res, err := dls.Solve(context.Background(), dls.Request{Platform: req.Platform, Strategy: dls.StrategyIncC})
+			if err != nil {
+				return nil, err
+			}
+			return &dls.Result{Schedule: res.Schedule, Send: res.Send, Return: res.Return}, nil
+		}
+		if err := dls.RegisterStrategy(customStrategy, func(_ context.Context, req dls.Request) (*dls.Result, error) {
+			return incC(req)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := dls.RegisterStrategy(countingStrategy, func(_ context.Context, req dls.Request) (*dls.Result, error) {
+			countingStrategyRuns.Add(1)
+			return incC(req)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestStrategyRegistry(t *testing.T) {
+	// Every scheduling entrypoint of the old API has a registered strategy.
+	for _, name := range []string{
+		dls.StrategyFIFO, dls.StrategyLIFO, dls.StrategyIncC, dls.StrategyIncW,
+		dls.StrategyDecC, dls.StrategyFIFOOrder, dls.StrategyLIFOOrder,
+		dls.StrategyScenario, dls.StrategyBusFIFO, dls.StrategyFIFOExhaustive,
+		dls.StrategyLIFOExhaustive, dls.StrategyPairExhaustive,
+		dls.StrategyFIFOAffine, dls.StrategyScenarioAffine,
+	} {
+		found := false
+		for _, got := range dls.Strategies() {
+			if got == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("built-in strategy %q not in Strategies()", name)
+		}
+	}
+
+	// Registration of a custom strategy makes it solvable by name.
+	setupTestStrategies(t)
+	res, err := dls.Solve(context.Background(), dls.Request{Platform: testPlatform(), Strategy: customStrategy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != customStrategy || res.Throughput <= 0 {
+		t.Errorf("custom strategy result: strategy=%q throughput=%g", res.Strategy, res.Throughput)
+	}
+
+	// Lookup failure lists the registry; registration rejects bad input.
+	if _, err := dls.Solve(context.Background(), dls.Request{Platform: testPlatform(), Strategy: "no-such"}); err == nil {
+		t.Error("unknown strategy must fail")
+	}
+	if err := dls.RegisterStrategy(customStrategy, nil); err == nil {
+		t.Error("nil StrategyFunc must be rejected")
+	}
+	if err := dls.RegisterStrategy("", func(context.Context, dls.Request) (*dls.Result, error) { return nil, nil }); err == nil {
+		t.Error("empty name must be rejected")
+	}
+	if err := dls.RegisterStrategy(dls.StrategyFIFO, func(context.Context, dls.Request) (*dls.Result, error) { return nil, nil }); err == nil {
+		t.Error("duplicate registration must be rejected")
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	for name, opt := range map[string]dls.Option{
+		"parallelism-zero":     dls.WithParallelism(0),
+		"parallelism-negative": dls.WithParallelism(-3),
+		"cache-negative":       dls.WithCache(-1),
+		"timeout-zero":         dls.WithTimeout(0),
+		"timeout-negative":     dls.WithTimeout(-time.Second),
+		"arith-unknown":        dls.WithArith(dls.Arith(42)),
+	} {
+		if _, err := dls.NewSolver(opt); err == nil {
+			t.Errorf("%s: NewSolver accepted an invalid option", name)
+		}
+	}
+	if _, err := dls.NewSolver(dls.WithParallelism(8), dls.WithCache(64), dls.WithTimeout(time.Second), dls.WithArith(dls.Exact)); err != nil {
+		t.Errorf("valid options rejected: %v", err)
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	solver := mustSolver(t)
+	ctx := context.Background()
+	for name, req := range map[string]dls.Request{
+		"nil-platform":  {Strategy: dls.StrategyFIFO},
+		"no-strategy":   {Platform: testPlatform()},
+		"bad-model":     {Platform: testPlatform(), Strategy: dls.StrategyFIFO, Model: dls.Model(9)},
+		"bad-arith":     {Platform: testPlatform(), Strategy: dls.StrategyFIFO, Arith: dls.Arith(9)},
+		"negative-load": {Platform: testPlatform(), Strategy: dls.StrategyFIFO, Load: -1},
+		"no-affine":     {Platform: testPlatform(), Strategy: dls.StrategyFIFOAffine},
+		"bad-platform":  {Platform: dls.NewPlatform(dls.Worker{C: -1, W: 1, D: 1}), Strategy: dls.StrategyFIFO},
+	} {
+		if _, err := solver.Solve(ctx, req); err == nil {
+			t.Errorf("%s: Solve accepted an invalid request", name)
+		}
+	}
+}
+
+// TestCacheHitMiss verifies the acceptance criterion that a cached re-solve
+// of an identical request performs no LP solve: the strategy function must
+// not run again, which Stats.Solves counts directly.
+func TestCacheHitMiss(t *testing.T) {
+	setupTestStrategies(t)
+	countingStrategyRuns.Store(0)
+
+	solver := mustSolver(t, dls.WithCache(16))
+	ctx := context.Background()
+	req := dls.Request{Platform: testPlatform(), Strategy: countingStrategy, Load: 100}
+
+	first, err := solver.Solve(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Error("first solve must be a miss")
+	}
+	second, err := solver.Solve(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Error("identical re-solve must hit the cache")
+	}
+	if n := countingStrategyRuns.Load(); n != 1 {
+		t.Errorf("strategy ran %d times for identical requests, want 1 (no re-solve)", n)
+	}
+	st := solver.Stats()
+	if st.Solves != 1 || st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 solve / 1 hit / 1 miss", st)
+	}
+	if first.Makespan != second.Makespan || second.Makespan != 100/second.Throughput {
+		t.Errorf("makespan mismatch: %g vs %g", first.Makespan, second.Makespan)
+	}
+
+	// The cached copy is isolated: mutating a returned schedule must not
+	// poison later hits.
+	second.Schedule.Alpha[0] = -1
+	third, err := solver.Solve(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Schedule.Alpha[0] == -1 {
+		t.Error("cache returned an aliased schedule")
+	}
+
+	// A different request (other strategy) is a miss, not a collision.
+	if res, err := solver.Solve(ctx, dls.Request{Platform: testPlatform(), Strategy: dls.StrategyLIFO}); err != nil {
+		t.Fatal(err)
+	} else if res.Cached {
+		t.Error("distinct request reported as cached")
+	}
+}
+
+// TestCacheNoLPResolve pins the criterion on a real LP strategy: re-solving
+// the same FIFO request must not run the simplex again.
+func TestCacheNoLPResolve(t *testing.T) {
+	solver := mustSolver(t, dls.WithCache(4))
+	ctx := context.Background()
+	req := dls.Request{Platform: testPlatform(), Strategy: dls.StrategyFIFO}
+	a, err := solver.Solve(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := solver.Solve(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := solver.Stats().Solves; got != 1 {
+		t.Errorf("LP solved %d times, want 1", got)
+	}
+	if !reflect.DeepEqual(a.Schedule, b.Schedule) {
+		t.Error("cached schedule differs from computed schedule")
+	}
+}
+
+func TestSolveCancellation(t *testing.T) {
+	// 5 workers: the pair search enumerates (5!)² = 14400 scenario LPs —
+	// long enough that a deadline interrupts it mid-enumeration.
+	rng := rand.New(rand.NewSource(7))
+	p := dls.RandomSpeeds(rng, 5, dls.Heterogeneous).Platform(dls.DefaultApp(100))
+
+	// Pre-cancelled context: the engine must not even start.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	solver := mustSolver(t)
+	if _, err := solver.Solve(cancelled, dls.Request{Platform: p, Strategy: dls.StrategyPairExhaustive}); !errors.Is(err, context.Canceled) {
+		t.Errorf("want context.Canceled, got %v", err)
+	}
+
+	// WithTimeout: the (p!)² search must abort with DeadlineExceeded long
+	// before it could finish.
+	timed := mustSolver(t, dls.WithTimeout(time.Millisecond))
+	start := time.Now()
+	_, err := timed.Solve(context.Background(), dls.Request{Platform: p, Strategy: dls.StrategyPairExhaustive})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("want context.DeadlineExceeded, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v, search not actually interrupted", elapsed)
+	}
+}
+
+// batchRequests builds a mixed workload: several platforms × strategies,
+// with deliberate duplicates to exercise batch deduplication.
+func batchRequests(t *testing.T) []dls.Request {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	var reqs []dls.Request
+	for i := 0; i < 6; i++ {
+		p := dls.RandomSpeeds(rng, 6, dls.Heterogeneous).Platform(dls.DefaultApp(80 + 20*i))
+		for _, strat := range []string{dls.StrategyFIFO, dls.StrategyLIFO, dls.StrategyIncC, dls.StrategyIncW} {
+			reqs = append(reqs, dls.Request{Platform: p, Strategy: strat, Load: 1000})
+		}
+		// Duplicate of the first request of this platform.
+		reqs = append(reqs, dls.Request{Platform: p, Strategy: dls.StrategyFIFO, Load: 1000})
+	}
+	return reqs
+}
+
+// TestSolveBatchDeterminism verifies the acceptance criterion that
+// SolveBatch under WithParallelism(8) returns byte-identical results to
+// sequential solving.
+func TestSolveBatchDeterminism(t *testing.T) {
+	reqs := batchRequests(t)
+	var outputs [][]byte
+	var structured [][]*dls.Result
+	for _, par := range []int{1, 8} {
+		solver := mustSolver(t, dls.WithParallelism(par), dls.WithCache(64))
+		results, err := solver.SolveBatch(context.Background(), reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results) != len(reqs) {
+			t.Fatalf("got %d results for %d requests", len(results), len(reqs))
+		}
+		raw, err := json.Marshal(results)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, raw)
+		structured = append(structured, results)
+	}
+	if string(outputs[0]) != string(outputs[1]) {
+		t.Error("SolveBatch output differs between parallelism 1 and 8")
+	}
+	if !reflect.DeepEqual(structured[0], structured[1]) {
+		t.Error("SolveBatch structured results differ between parallelism 1 and 8")
+	}
+	// Dedup: the repeated request of each platform is served without a new
+	// solve and marked Cached.
+	for i, res := range structured[1] {
+		if i%5 == 4 && !res.Cached {
+			t.Errorf("duplicate request %d not deduplicated", i)
+		}
+	}
+}
+
+func TestSolveBatchErrors(t *testing.T) {
+	solver := mustSolver(t, dls.WithParallelism(4))
+	// One bad platform (no common z for StrategyFIFO) among good requests.
+	noZ := dls.NewPlatform(
+		dls.Worker{C: 1, W: 1, D: 0.5},
+		dls.Worker{C: 1, W: 1, D: 0.7},
+	)
+	reqs := []dls.Request{
+		{Platform: testPlatform(), Strategy: dls.StrategyFIFO},
+		{Platform: noZ, Strategy: dls.StrategyFIFO},
+		{Platform: testPlatform(), Strategy: dls.StrategyLIFO},
+	}
+	results, err := solver.SolveBatch(context.Background(), reqs)
+	if !errors.Is(err, dls.ErrNoCommonZ) {
+		t.Errorf("joined batch error must wrap ErrNoCommonZ, got %v", err)
+	}
+	if results[0] == nil || results[1] != nil || results[2] == nil {
+		t.Errorf("per-slot results wrong: %v", results)
+	}
+}
+
+func TestSolveStreamOrdering(t *testing.T) {
+	solver := mustSolver(t, dls.WithParallelism(8))
+	reqs := batchRequests(t)
+	in := make(chan dls.Request)
+	go func() {
+		defer close(in)
+		for _, r := range reqs {
+			in <- r
+		}
+	}()
+	var got []dls.StreamResult
+	for sr := range solver.SolveStream(context.Background(), in) {
+		got = append(got, sr)
+	}
+	if len(got) != len(reqs) {
+		t.Fatalf("stream yielded %d results for %d requests", len(got), len(reqs))
+	}
+	for i, sr := range got {
+		if sr.Index != i {
+			t.Fatalf("stream out of order: position %d has index %d", i, sr.Index)
+		}
+		if sr.Err != nil {
+			t.Fatalf("request %d failed: %v", i, sr.Err)
+		}
+	}
+	// Streamed results match individually solved ones.
+	want, err := solver.Solve(context.Background(), reqs[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[3].Result.Throughput != want.Throughput {
+		t.Errorf("stream result %g != solo result %g", got[3].Result.Throughput, want.Throughput)
+	}
+}
+
+// TestEngineCoversOldAPI solves one request per built-in strategy and
+// checks each against its historical free function.
+func TestEngineCoversOldAPI(t *testing.T) {
+	p := testPlatform()
+	bus := dls.NewBus(0.1, 0.05, 0.4, 0.6, 0.8)
+	order := dls.Order{0, 1, 2}
+	rev := dls.Order{2, 1, 0}
+	aff := dls.ZeroAffine(p.P())
+	ctx := context.Background()
+	solver := mustSolver(t)
+
+	type probe struct {
+		req  dls.Request
+		want func() (float64, error) // throughput of the old entrypoint
+	}
+	probes := map[string]probe{
+		"fifo": {dls.Request{Platform: p, Strategy: dls.StrategyFIFO}, func() (float64, error) {
+			s, err := dls.OptimalFIFO(p, dls.Float64)
+			if err != nil {
+				return 0, err
+			}
+			return s.Throughput(), nil
+		}},
+		"fifo-two-port": {dls.Request{Platform: p, Strategy: dls.StrategyFIFO, Model: dls.TwoPort}, func() (float64, error) {
+			s, err := dls.OptimalFIFOTwoPort(p, dls.Float64)
+			if err != nil {
+				return 0, err
+			}
+			return s.Throughput(), nil
+		}},
+		"lifo": {dls.Request{Platform: p, Strategy: dls.StrategyLIFO}, func() (float64, error) {
+			s, err := dls.OptimalLIFO(p, dls.Float64)
+			if err != nil {
+				return 0, err
+			}
+			return s.Throughput(), nil
+		}},
+		"scenario": {dls.Request{Platform: p, Strategy: dls.StrategyScenario, Send: order, Return: rev}, func() (float64, error) {
+			s, err := dls.SolveScenario(p, order, rev, dls.OnePort, dls.Float64)
+			if err != nil {
+				return 0, err
+			}
+			return s.Throughput(), nil
+		}},
+		"bus-fifo": {dls.Request{Platform: bus, Strategy: dls.StrategyBusFIFO}, func() (float64, error) {
+			return dls.BusFIFOThroughput(bus)
+		}},
+		"pair-exhaustive": {dls.Request{Platform: p, Strategy: dls.StrategyPairExhaustive}, func() (float64, error) {
+			pr, err := dls.BestPairExhaustive(p, dls.OnePort, dls.Float64)
+			if err != nil {
+				return 0, err
+			}
+			return pr.Schedule.Throughput(), nil
+		}},
+		"fifo-affine": {dls.Request{Platform: p, Strategy: dls.StrategyFIFOAffine, Affine: &aff}, func() (float64, error) {
+			ar, err := dls.BestFIFOAffine(p, aff, dls.Float64)
+			if err != nil {
+				return 0, err
+			}
+			return ar.Throughput, nil
+		}},
+	}
+	for name, pr := range probes {
+		res, err := solver.Solve(ctx, pr.req)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		want, err := pr.want()
+		if err != nil {
+			t.Errorf("%s (old API): %v", name, err)
+			continue
+		}
+		if diff := res.Throughput - want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("%s: engine throughput %g != old API %g", name, res.Throughput, want)
+		}
+	}
+
+	// The FIFO strategy surfaces the paper's sentinel error unwrapped.
+	noZ := dls.NewPlatform(dls.Worker{C: 1, W: 1, D: 0.5}, dls.Worker{C: 1, W: 1, D: 0.7})
+	if _, err := solver.Solve(ctx, dls.Request{Platform: noZ, Strategy: dls.StrategyFIFO}); err != dls.ErrNoCommonZ {
+		t.Errorf("want ErrNoCommonZ through the engine, got %v", err)
+	}
+}
+
+func TestSolverArithDefault(t *testing.T) {
+	// WithArith(Exact) makes zero-valued requests solve exactly; the result
+	// must agree with an explicitly exact request.
+	solver := mustSolver(t, dls.WithArith(dls.Exact))
+	res, err := solver.Solve(context.Background(), dls.Request{Platform: testPlatform(), Strategy: dls.StrategyFIFO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arith != dls.Exact {
+		t.Errorf("resolved arith = %v, want Exact", res.Arith)
+	}
+	want, err := fmtSolve(dls.Request{Platform: testPlatform(), Strategy: dls.StrategyFIFO, Arith: dls.Exact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput != want {
+		t.Errorf("default-arith throughput %g != explicit exact %g", res.Throughput, want)
+	}
+}
+
+func fmtSolve(req dls.Request) (float64, error) {
+	res, err := dls.Solve(context.Background(), req)
+	if err != nil {
+		return 0, err
+	}
+	return res.Throughput, nil
+}
+
+func ExampleSolver_Solve() {
+	solver, err := dls.NewSolver(dls.WithCache(128))
+	if err != nil {
+		panic(err)
+	}
+	p := dls.NewPlatform(
+		dls.Worker{C: 0.1, W: 0.5, D: 0.05},
+		dls.Worker{C: 0.2, W: 0.3, D: 0.10},
+	)
+	res, err := solver.Solve(context.Background(), dls.Request{
+		Platform: p,
+		Strategy: dls.StrategyFIFO,
+		Load:     1000,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("throughput %.4f, makespan for 1000 units %.1f\n", res.Throughput, res.Makespan)
+	// Output: throughput 2.7632, makespan for 1000 units 361.9
+}

@@ -1,6 +1,8 @@
 package dls
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/multiround"
 )
@@ -11,7 +13,7 @@ import (
 
 // Affine holds per-worker fixed costs for the affine cost model: In/Out
 // are message start-up latencies, Comp a computation overhead. The paper
-// cites the affine star problem as NP-hard; BestFIFOAffine enumerates
+// cites the affine star problem as NP-hard; StrategyFIFOAffine enumerates
 // participant subsets.
 type Affine = core.Affine
 
@@ -22,31 +24,56 @@ type AffineResult = core.AffineResult
 // to the paper's linear model).
 func ZeroAffine(p int) Affine { return core.ZeroAffine(p) }
 
+// affineOf adapts an engine result to the historical (result, error) shape
+// of the deprecated affine wrappers.
+func affineOf(res *Result, err error) (*AffineResult, error) {
+	if err != nil {
+		return nil, err
+	}
+	return res.Affine, nil
+}
+
 // SolveScenarioAffine computes optimal loads for a fixed scenario under
 // the affine cost model. Enrolled workers pay their fixed costs even at
 // zero load.
+//
+// Deprecated: use [Solver.Solve] (or [Solve]) with [StrategyScenarioAffine].
 func SolveScenarioAffine(p *Platform, aff Affine, send, ret Order, model Model, arith Arith) (*AffineResult, error) {
-	return core.SolveScenarioAffine(p, aff, send, ret, model, arith)
+	return affineOf(Solve(context.Background(), Request{
+		Platform: p, Strategy: StrategyScenarioAffine,
+		Affine: &aff, Send: send, Return: ret, Model: model, Arith: arith,
+	}))
 }
 
 // BestFIFOAffine searches participant subsets (p ≤ 16) for the best
 // one-port FIFO schedule under the affine model, keeping workers in
 // non-decreasing-c order.
+//
+// Deprecated: use [Solver.Solve] (or [Solve]) with [StrategyFIFOAffine];
+// the engine adds cancellation and deadlines for this 2^p search.
 func BestFIFOAffine(p *Platform, aff Affine, arith Arith) (*AffineResult, error) {
-	return core.BestFIFOAffine(p, aff, arith)
+	return affineOf(Solve(context.Background(), Request{
+		Platform: p, Strategy: StrategyFIFOAffine, Affine: &aff, Arith: arith,
+	}))
 }
 
 // OptimalFIFOTwoPort computes the optimal two-port FIFO schedule (the
 // companion-paper baseline).
+//
+// Deprecated: use [Solver.Solve] (or [Solve]) with [StrategyFIFO] and
+// Model: [TwoPort].
 func OptimalFIFOTwoPort(p *Platform, arith Arith) (*Schedule, error) {
-	return core.OptimalFIFOTwoPort(p, arith)
+	return scheduleOf(Solve(context.Background(), Request{Platform: p, Strategy: StrategyFIFO, Model: TwoPort, Arith: arith}))
 }
 
 // OptimalLIFOTwoPort computes the optimal two-port LIFO schedule; it
 // coincides with the one-port LIFO optimum since every LIFO schedule obeys
 // the one-port model.
+//
+// Deprecated: use [Solver.Solve] (or [Solve]) with [StrategyLIFO] and
+// Model: [TwoPort].
 func OptimalLIFOTwoPort(p *Platform, arith Arith) (*Schedule, error) {
-	return core.OptimalLIFOTwoPort(p, arith)
+	return scheduleOf(Solve(context.Background(), Request{Platform: p, Strategy: StrategyLIFO, Model: TwoPort, Arith: arith}))
 }
 
 // OnePortPenalty returns ρ_two-port / ρ_one-port ≥ 1 for FIFO scheduling

@@ -1,0 +1,234 @@
+package dls
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Names of the built-in strategies. Every scheduling entrypoint of the
+// historical free-function API is reachable through one of them.
+const (
+	// StrategyFIFO is the optimal FIFO schedule: Theorem 1 + Proposition 1
+	// under the one-port model (requires a common z = d/c), the companion
+	// paper's optimal two-port FIFO under TwoPort.
+	StrategyFIFO = "fifo"
+	// StrategyLIFO is the optimal LIFO schedule (one-port; under TwoPort it
+	// coincides, every LIFO schedule being one-port feasible).
+	StrategyLIFO = "lifo"
+	// StrategyIncC is the INC_C heuristic: FIFO over all workers by
+	// non-decreasing c (optimal for z ≤ 1 by Theorem 1).
+	StrategyIncC = "inc-c"
+	// StrategyIncW is the INC_W heuristic: FIFO by non-decreasing w.
+	StrategyIncW = "inc-w"
+	// StrategyDecC is FIFO by non-increasing c: the optimal FIFO send order
+	// when z > 1 (Section 3's mirror argument).
+	StrategyDecC = "dec-c"
+	// StrategyFIFOOrder solves the FIFO schedule using Request.Send as the
+	// send (and return) order.
+	StrategyFIFOOrder = "fifo-order"
+	// StrategyLIFOOrder solves the LIFO schedule whose send order is
+	// Request.Send (results return in reverse).
+	StrategyLIFOOrder = "lifo-order"
+	// StrategyScenario solves an arbitrary (σ1, σ2) scenario given by
+	// Request.Send and Request.Return (Section 2.3).
+	StrategyScenario = "scenario"
+	// StrategyBusFIFO constructs the optimal one-port FIFO schedule on a bus
+	// platform via the constructive proof of Theorem 2.
+	StrategyBusFIFO = "bus-fifo"
+	// StrategyFIFOExhaustive searches all FIFO send orders (p ≤ 8).
+	StrategyFIFOExhaustive = "fifo-exhaustive"
+	// StrategyLIFOExhaustive searches all LIFO send orders (p ≤ 8).
+	StrategyLIFOExhaustive = "lifo-exhaustive"
+	// StrategyPairExhaustive searches all (σ1, σ2) permutation pairs
+	// (p ≤ 5) — the general problem whose complexity the paper leaves open.
+	StrategyPairExhaustive = "pair-exhaustive"
+	// StrategyFIFOAffine searches participant subsets (p ≤ 16) for the best
+	// one-port FIFO schedule under the affine cost model of Request.Affine.
+	StrategyFIFOAffine = "fifo-affine"
+	// StrategyScenarioAffine solves a fixed (σ1, σ2) scenario under the
+	// affine cost model of Request.Affine.
+	StrategyScenarioAffine = "scenario-affine"
+)
+
+// StrategyFunc computes a Result for a prepared Request. The engine has
+// already validated the platform, resolved the arithmetic default and
+// applied the solver timeout to ctx; implementations of long-running
+// strategies should poll ctx and abort with ctx.Err() when it is done.
+// Implementations fill the Schedule / Send / Return / Affine fields; the
+// engine stamps Strategy, Model, Arith, Throughput, Makespan and Cached.
+type StrategyFunc func(ctx context.Context, req Request) (*Result, error)
+
+var (
+	strategyMu  sync.RWMutex
+	strategyReg = make(map[string]StrategyFunc)
+)
+
+// RegisterStrategy adds a named strategy to the registry, making it
+// addressable from Request.Strategy on every Solver. The name must be
+// non-empty and not yet taken. Registration is safe for concurrent use.
+func RegisterStrategy(name string, fn StrategyFunc) error {
+	if name == "" {
+		return fmt.Errorf("dls: RegisterStrategy: empty strategy name")
+	}
+	if fn == nil {
+		return fmt.Errorf("dls: RegisterStrategy(%q): nil StrategyFunc", name)
+	}
+	strategyMu.Lock()
+	defer strategyMu.Unlock()
+	if _, dup := strategyReg[name]; dup {
+		return fmt.Errorf("dls: RegisterStrategy(%q): already registered", name)
+	}
+	strategyReg[name] = fn
+	return nil
+}
+
+// mustRegisterStrategy registers a built-in strategy and panics on
+// collision (a program bug, not a runtime condition).
+func mustRegisterStrategy(name string, fn StrategyFunc) {
+	if err := RegisterStrategy(name, fn); err != nil {
+		panic(err)
+	}
+}
+
+// Strategies returns the names of all registered strategies, sorted.
+func Strategies() []string {
+	strategyMu.RLock()
+	defer strategyMu.RUnlock()
+	names := make([]string, 0, len(strategyReg))
+	for n := range strategyReg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// lookupStrategy resolves a registered strategy by name.
+func lookupStrategy(name string) (StrategyFunc, bool) {
+	strategyMu.RLock()
+	defer strategyMu.RUnlock()
+	fn, ok := strategyReg[name]
+	return fn, ok
+}
+
+// scheduleResult wraps a computed schedule, carrying its (pruned) orders.
+func scheduleResult(s *Schedule) *Result {
+	return &Result{Schedule: s, Send: s.SendOrder, Return: s.ReturnOrder}
+}
+
+func init() {
+	mustRegisterStrategy(StrategyFIFO, func(_ context.Context, req Request) (*Result, error) {
+		var (
+			s   *Schedule
+			err error
+		)
+		if req.Model == TwoPort {
+			s, err = core.OptimalFIFOTwoPort(req.Platform, req.Arith)
+		} else {
+			s, err = core.OptimalFIFO(req.Platform, req.Arith)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return scheduleResult(s), nil
+	})
+	mustRegisterStrategy(StrategyLIFO, func(_ context.Context, req Request) (*Result, error) {
+		var (
+			s   *Schedule
+			err error
+		)
+		if req.Model == TwoPort {
+			s, err = core.OptimalLIFOTwoPort(req.Platform, req.Arith)
+		} else {
+			s, err = core.OptimalLIFO(req.Platform, req.Arith)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return scheduleResult(s), nil
+	})
+	fixedOrder := func(run func(Request) (*Schedule, error)) StrategyFunc {
+		return func(_ context.Context, req Request) (*Result, error) {
+			s, err := run(req)
+			if err != nil {
+				return nil, err
+			}
+			return scheduleResult(s), nil
+		}
+	}
+	mustRegisterStrategy(StrategyIncC, fixedOrder(func(req Request) (*Schedule, error) {
+		return core.IncC(req.Platform, req.Model, req.Arith)
+	}))
+	mustRegisterStrategy(StrategyIncW, fixedOrder(func(req Request) (*Schedule, error) {
+		return core.IncW(req.Platform, req.Model, req.Arith)
+	}))
+	mustRegisterStrategy(StrategyDecC, fixedOrder(func(req Request) (*Schedule, error) {
+		return core.DecC(req.Platform, req.Model, req.Arith)
+	}))
+	mustRegisterStrategy(StrategyFIFOOrder, fixedOrder(func(req Request) (*Schedule, error) {
+		return core.FIFOWithOrder(req.Platform, req.Send, req.Model, req.Arith)
+	}))
+	mustRegisterStrategy(StrategyLIFOOrder, fixedOrder(func(req Request) (*Schedule, error) {
+		return core.LIFOWithOrder(req.Platform, req.Send, req.Model, req.Arith)
+	}))
+	mustRegisterStrategy(StrategyScenario, fixedOrder(func(req Request) (*Schedule, error) {
+		return core.SolveScenario(req.Platform, req.Send, req.Return, req.Model, req.Arith)
+	}))
+	mustRegisterStrategy(StrategyBusFIFO, func(_ context.Context, req Request) (*Result, error) {
+		if req.Model != OnePort {
+			return nil, fmt.Errorf("dls: strategy %q: Theorem 2's constructive schedule is one-port only", StrategyBusFIFO)
+		}
+		s, err := core.BusFIFOSchedule(req.Platform)
+		if err != nil {
+			return nil, err
+		}
+		return scheduleResult(s), nil
+	})
+	mustRegisterStrategy(StrategyFIFOExhaustive, func(ctx context.Context, req Request) (*Result, error) {
+		s, order, err := core.BestFIFOExhaustiveContext(ctx, req.Platform, req.Model, req.Arith)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Schedule: s, Send: order, Return: order}, nil
+	})
+	mustRegisterStrategy(StrategyLIFOExhaustive, func(ctx context.Context, req Request) (*Result, error) {
+		s, order, err := core.BestLIFOExhaustiveContext(ctx, req.Platform, req.Model, req.Arith)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Schedule: s, Send: order, Return: order.Reverse()}, nil
+	})
+	mustRegisterStrategy(StrategyPairExhaustive, func(ctx context.Context, req Request) (*Result, error) {
+		pr, err := core.BestPairExhaustiveContext(ctx, req.Platform, req.Model, req.Arith)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Schedule: pr.Schedule, Send: pr.Send, Return: pr.Return}, nil
+	})
+	mustRegisterStrategy(StrategyFIFOAffine, func(ctx context.Context, req Request) (*Result, error) {
+		if req.Affine == nil {
+			return nil, fmt.Errorf("dls: strategy %q requires Request.Affine", StrategyFIFOAffine)
+		}
+		if req.Model != OnePort {
+			return nil, fmt.Errorf("dls: strategy %q: subset search is one-port only", StrategyFIFOAffine)
+		}
+		ar, err := core.BestFIFOAffineContext(ctx, req.Platform, *req.Affine, req.Arith)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Affine: ar, Send: ar.Send, Return: ar.Return}, nil
+	})
+	mustRegisterStrategy(StrategyScenarioAffine, func(_ context.Context, req Request) (*Result, error) {
+		if req.Affine == nil {
+			return nil, fmt.Errorf("dls: strategy %q requires Request.Affine", StrategyScenarioAffine)
+		}
+		ar, err := core.SolveScenarioAffine(req.Platform, *req.Affine, req.Send, req.Return, req.Model, req.Arith)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Affine: ar, Send: ar.Send, Return: ar.Return}, nil
+	})
+}

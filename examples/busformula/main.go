@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -43,20 +44,27 @@ func main() {
 		fmt.Printf("%-10.3g %-14.6g %-14.6g %-14.6g %-10s\n", c, rho, two, bound, regime)
 	}
 
-	// Identity check: the closed form equals the LP optimum exactly.
+	// Identity check: the closed form equals the LP optimum exactly. The
+	// engine solves the Theorem 1 LP in exact rational arithmetic.
 	p := dls.NewBus(0.1, 0.05, ws...)
 	closed, err := dls.ExactBusFIFOThroughput(p)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sched, err := dls.OptimalFIFO(p, dls.Exact)
+	solver, err := dls.NewSolver(dls.WithArith(dls.Exact))
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
+	res, err := solver.Solve(ctx, dls.Request{Platform: p, Strategy: dls.StrategyFIFO})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched := res.Schedule
 	cf, _ := closed.Float64()
 	fmt.Printf("\nexact closed form: %s = %.12g\n", closed.RatString(), cf)
 	fmt.Printf("LP optimum:        %.12g (difference %.3g)\n",
-		sched.Throughput(), sched.Throughput()-cf)
+		res.Throughput, res.Throughput-cf)
 
 	// Theorem 2 also says every worker participates on a bus — check.
 	fmt.Printf("participants: %d of %d (Theorem 2: all enrolled)\n",
@@ -65,10 +73,11 @@ func main() {
 	// The constructive schedule from the proof, with its uniform return
 	// gap in the port-bound regime.
 	fast := dls.NewBus(0.4, 0.2, ws...) // comm-heavy: port-bound
-	s, err := dls.BusFIFOSchedule(fast)
+	bus, err := solver.Solve(ctx, dls.Request{Platform: fast, Strategy: dls.StrategyBusFIFO})
 	if err != nil {
 		log.Fatal(err)
 	}
+	s := bus.Schedule
 	fmt.Printf("\nport-bound construction: ρ = %.6g = 1/(c+d) = %.6g\n",
 		s.Throughput(), 1/(0.4+0.2))
 	for _, wt := range s.Timeline(fast) {

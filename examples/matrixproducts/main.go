@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -27,12 +28,17 @@ func main() {
 
 	fmt.Printf("random heterogeneous platform (comm/comp speeds 1..10):\n%s\n", platform)
 
-	// Theory: optimal FIFO schedule and its predicted makespan.
-	sched, err := dls.OptimalFIFO(platform, dls.Float64)
+	// Theory: optimal FIFO schedule and its predicted makespan, in one
+	// engine request (Load fills Result.Makespan).
+	res, err := dls.Solve(context.Background(), dls.Request{
+		Platform: platform,
+		Strategy: dls.StrategyFIFO,
+		Load:     products,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	predicted := dls.MakespanForLoad(sched, products)
+	sched, predicted := res.Schedule, res.Makespan
 	fmt.Printf("optimal FIFO enrolls %d of %d workers, predicted makespan %.3f s\n",
 		len(sched.Participants()), platform.P(), predicted)
 
@@ -50,7 +56,7 @@ func main() {
 	for i, c := range counts {
 		loads[i] = float64(c)
 	}
-	res, err := dls.Simulate(dls.SimulationParams{
+	sim, err := dls.Simulate(dls.SimulationParams{
 		App:         app,
 		Speeds:      speeds,
 		Loads:       loads,
@@ -65,12 +71,12 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("measured makespan: %.3f s (%.1f%% of prediction)\n",
-		res.Makespan, 100*res.Makespan/predicted)
+		sim.Makespan, 100*sim.Makespan/predicted)
 
 	// The paper's Figure 9-style execution trace.
 	fmt.Println()
-	fmt.Println(res.Trace.Gantt(platform.P()+1, 100, res.ProcNames))
+	fmt.Println(sim.Trace.Gantt(platform.P()+1, 100, sim.ProcNames))
 
 	// Master utilization shows the one-port serialization.
-	fmt.Printf("master port busy %.1f%% of the makespan\n", 100*res.Trace.Utilization(0))
+	fmt.Printf("master port busy %.1f%% of the makespan\n", 100*sim.Trace.Utilization(0))
 }

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -30,11 +31,11 @@ func main() {
 	platform := speeds.Platform(app)
 
 	// Regime 1: the one-round optimum is port-saturated; rounds don't help.
-	sched, err := dls.OptimalFIFO(platform, dls.Float64)
+	res, err := dls.Solve(context.Background(), dls.Request{Platform: platform, Strategy: dls.StrategyFIFO})
 	if err != nil {
 		log.Fatal(err)
 	}
-	scaled := sched.ScaledToLoad(1000)
+	scaled := res.Schedule.ScaledToLoad(1000)
 	optSweep, err := dls.MultiRoundSweep(dls.MultiRoundParams{
 		Platform: platform,
 		Loads:    scaled.Alpha,

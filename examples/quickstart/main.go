@@ -1,9 +1,10 @@
-// Quickstart: build a small heterogeneous star platform, compute the
-// optimal one-port FIFO schedule with return messages (Theorem 1 of
-// RR-5738), and inspect the result.
+// Quickstart: build a small heterogeneous star platform, ask the dls
+// engine for the optimal one-port FIFO schedule with return messages
+// (Theorem 1 of RR-5738), and inspect the result.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,15 +23,29 @@ func main() {
 		dls.Worker{Name: "slow", C: 0.40, W: 0.80, D: 0.200},
 	)
 
-	// Optimal one-port FIFO schedule: workers are served by non-decreasing
-	// link cost C, and the linear program picks the loads — possibly
-	// leaving slow workers out entirely (resource selection).
-	s, err := dls.OptimalFIFO(p, dls.Float64)
+	// The engine: strategies come from a registry, results can be cached,
+	// and batches fan out over a worker pool.
+	solver, err := dls.NewSolver(dls.WithCache(32))
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 
-	fmt.Printf("throughput: %.4f load units per time unit\n", s.Throughput())
+	// Optimal one-port FIFO schedule: workers are served by non-decreasing
+	// link cost C, and the linear program picks the loads — possibly
+	// leaving slow workers out entirely (resource selection). Load asks
+	// the engine for the 10,000-unit makespan along the way.
+	res, err := solver.Solve(ctx, dls.Request{
+		Platform: p,
+		Strategy: dls.StrategyFIFO,
+		Load:     10000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := res.Schedule
+
+	fmt.Printf("throughput: %.4f load units per time unit\n", res.Throughput)
 	fmt.Printf("send order: %v (non-decreasing C, per Theorem 1)\n", s.SendOrder)
 	fmt.Printf("enrolled:   %v of %d workers\n", s.Participants(), p.P())
 	fmt.Println()
@@ -41,14 +56,15 @@ func main() {
 	}
 
 	// By linearity, processing 10,000 units takes 10000/ρ time units.
-	fmt.Printf("\nmakespan for 10000 units: %.2f time units\n", dls.MakespanForLoad(s, 10000))
+	fmt.Printf("\nmakespan for 10000 units: %.2f time units\n", res.Makespan)
 
 	// Compare with the optimal LIFO schedule: on heterogeneous platforms
-	// neither discipline dominates; here the LP decides.
-	lifo, err := dls.OptimalLIFO(p, dls.Float64)
+	// neither discipline dominates; here the LP decides. Same engine, one
+	// strategy name apart.
+	lifo, err := solver.Solve(ctx, dls.Request{Platform: p, Strategy: dls.StrategyLIFO})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("LIFO throughput: %.4f (FIFO/LIFO ratio %.4f)\n",
-		lifo.Throughput(), s.Throughput()/lifo.Throughput())
+		lifo.Throughput, res.Throughput/lifo.Throughput)
 }

@@ -4,9 +4,14 @@
 // the literature". The platform is the paper's 4-worker table; the
 // communication speed x of the slow fourth worker decides whether it is
 // worth enrolling.
+//
+// The whole sweep runs as one engine batch: every x value becomes a
+// Request and SolveBatch fans them across a worker pool, returning results
+// in sweep order regardless of parallelism.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,18 +22,32 @@ func main() {
 	const matrixSize = 400
 	app := dls.DefaultApp(matrixSize)
 
+	solver, err := dls.NewSolver(dls.WithParallelism(8), dls.WithCache(64))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
 	fmt.Println("worker:              1     2     3     4")
 	fmt.Println("communication speed: 10    8     8     x")
 	fmt.Println("computation speed:   9     9     10    1")
 	fmt.Println()
 	fmt.Printf("%-6s %-14s %-22s %-12s\n", "x", "throughput", "participants", "alpha[4]")
 
-	for _, x := range []float64{0.5, 1, 1.5, 2, 2.5, 3, 4, 6, 8} {
-		p := dls.Fig14Speeds(x).Platform(app)
-		s, err := dls.OptimalFIFO(p, dls.Float64)
-		if err != nil {
-			log.Fatal(err)
+	xs := []float64{0.5, 1, 1.5, 2, 2.5, 3, 4, 6, 8}
+	reqs := make([]dls.Request, len(xs))
+	for i, x := range xs {
+		reqs[i] = dls.Request{
+			Platform: dls.Fig14Speeds(x).Platform(app),
+			Strategy: dls.StrategyFIFO,
 		}
+	}
+	results, err := solver.SolveBatch(ctx, reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, x := range xs {
+		s := results[i].Schedule
 		used := "—"
 		for _, w := range s.Participants() {
 			if w == 3 {
@@ -38,7 +57,7 @@ func main() {
 		// Pre-format the slice: fmt would otherwise apply the column width
 		// to every element.
 		fmt.Printf("%-6.3g %-14.6g %-22s %-12s\n",
-			x, s.Throughput(), fmt.Sprintf("%v", s.Participants()), used)
+			x, results[i].Throughput, fmt.Sprintf("%v", s.Participants()), used)
 	}
 
 	fmt.Println()
@@ -48,17 +67,25 @@ func main() {
 	fmt.Println("(x = 1: unused; x = 3: used).")
 
 	// The same study per availability, as in Figure 14: restrict the
-	// platform to the first k workers.
+	// platform to the first k workers — again one batch over the prefixes.
 	fmt.Println()
 	full := dls.Fig14Speeds(1)
-	fmt.Printf("%-20s %-14s %-14s\n", "available workers", "lp time (s)", "enrolled")
+	avail := make([]dls.Request, 4)
 	for k := 1; k <= 4; k++ {
 		sp := dls.Speeds{Comm: full.Comm[:k], Comp: full.Comp[:k]}
-		p := sp.Platform(app)
-		s, err := dls.OptimalFIFO(p, dls.Float64)
-		if err != nil {
-			log.Fatal(err)
+		avail[k-1] = dls.Request{
+			Platform: sp.Platform(app),
+			Strategy: dls.StrategyFIFO,
+			Load:     1000,
 		}
-		fmt.Printf("%-20d %-14.4f %-14d\n", k, dls.MakespanForLoad(s, 1000), len(s.Participants()))
+	}
+	byAvail, err := solver.SolveBatch(ctx, avail)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-20s %-14s %-14s\n", "available workers", "lp time (s)", "enrolled")
+	for k := 1; k <= 4; k++ {
+		r := byAvail[k-1]
+		fmt.Printf("%-20d %-14.4f %-14d\n", k, r.Makespan, len(r.Schedule.Participants()))
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -197,6 +198,13 @@ const maxAffineSubsets = 16
 // longer given by the LP's support — the problem the paper cites as
 // NP-hard. Limited to p ≤ 16.
 func BestFIFOAffine(p *platform.Platform, aff Affine, arith Arith) (*AffineResult, error) {
+	return BestFIFOAffineContext(context.Background(), p, aff, arith)
+}
+
+// BestFIFOAffineContext is BestFIFOAffine with cancellation: the 2^p subset
+// enumeration checks the context between scenario LPs and aborts with
+// ctx.Err() once it is done.
+func BestFIFOAffineContext(ctx context.Context, p *platform.Platform, aff Affine, arith Arith) (*AffineResult, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -210,6 +218,9 @@ func BestFIFOAffine(p *platform.Platform, aff Affine, arith Arith) (*AffineResul
 	sorted := p.ByC()
 	var best *AffineResult
 	for mask := 1; mask < 1<<n; mask++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var order platform.Order
 		for _, i := range sorted {
 			if mask&(1<<i) != 0 {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/platform"
@@ -53,15 +54,26 @@ func forEachPermutation(n int, fn func([]int) error) error {
 // winning order. It is the optimality oracle used to validate Theorem 1 on
 // small platforms, and the fallback when the platform has no common z.
 func BestFIFOExhaustive(p *platform.Platform, model schedule.Model, arith Arith) (*schedule.Schedule, platform.Order, error) {
-	return bestOrderExhaustive(p, model, arith, false)
+	return bestOrderExhaustive(context.Background(), p, model, arith, false)
+}
+
+// BestFIFOExhaustiveContext is BestFIFOExhaustive with cancellation: the
+// factorial search aborts with ctx.Err() as soon as the context is done.
+func BestFIFOExhaustiveContext(ctx context.Context, p *platform.Platform, model schedule.Model, arith Arith) (*schedule.Schedule, platform.Order, error) {
+	return bestOrderExhaustive(ctx, p, model, arith, false)
 }
 
 // BestLIFOExhaustive tries every LIFO send order (results in reverse).
 func BestLIFOExhaustive(p *platform.Platform, model schedule.Model, arith Arith) (*schedule.Schedule, platform.Order, error) {
-	return bestOrderExhaustive(p, model, arith, true)
+	return bestOrderExhaustive(context.Background(), p, model, arith, true)
 }
 
-func bestOrderExhaustive(p *platform.Platform, model schedule.Model, arith Arith, lifo bool) (*schedule.Schedule, platform.Order, error) {
+// BestLIFOExhaustiveContext is BestLIFOExhaustive with cancellation.
+func BestLIFOExhaustiveContext(ctx context.Context, p *platform.Platform, model schedule.Model, arith Arith) (*schedule.Schedule, platform.Order, error) {
+	return bestOrderExhaustive(ctx, p, model, arith, true)
+}
+
+func bestOrderExhaustive(ctx context.Context, p *platform.Platform, model schedule.Model, arith Arith, lifo bool) (*schedule.Schedule, platform.Order, error) {
 	if err := p.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -72,6 +84,9 @@ func bestOrderExhaustive(p *platform.Platform, model schedule.Model, arith Arith
 	var best *schedule.Schedule
 	var bestOrder platform.Order
 	err := forEachPermutation(n, func(perm []int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		send := platform.Order(perm).Clone()
 		ret := send
 		if lifo {
@@ -106,6 +121,13 @@ type PairResult struct {
 // used to probe how far the optimal FIFO/LIFO schedules sit from the
 // unrestricted optimum.
 func BestPairExhaustive(p *platform.Platform, model schedule.Model, arith Arith) (*PairResult, error) {
+	return BestPairExhaustiveContext(context.Background(), p, model, arith)
+}
+
+// BestPairExhaustiveContext is BestPairExhaustive with cancellation: the
+// (p!)² search checks the context between scenario LPs and aborts with
+// ctx.Err() once it is done.
+func BestPairExhaustiveContext(ctx context.Context, p *platform.Platform, model schedule.Model, arith Arith) (*PairResult, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -117,6 +139,9 @@ func BestPairExhaustive(p *platform.Platform, model schedule.Model, arith Arith)
 	err := forEachPermutation(n, func(sendPerm []int) error {
 		send := platform.Order(sendPerm).Clone()
 		return forEachPermutation(n, func(retPerm []int) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			ret := platform.Order(retPerm).Clone()
 			s, err := SolveScenario(p, send, ret, model, arith)
 			if err != nil {

@@ -14,10 +14,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 
-	"repro/internal/core"
+	"repro/dls"
 	"repro/internal/mmapp"
 	"repro/internal/platform"
 	"repro/internal/rounding"
@@ -51,6 +53,21 @@ type Config struct {
 	// sample standard deviation across the random platforms — the spread
 	// hidden behind the paper's averaged curves.
 	ReportSpread bool
+	// Parallelism is the engine worker-pool size used for the per-size LP
+	// batches; 0 means GOMAXPROCS. Results are deterministic regardless.
+	Parallelism int
+}
+
+// newEngine builds the dls solver every experiment runs on: a worker pool
+// for the LP batches plus a result cache (random families draw duplicate
+// platforms, homogeneous ones especially, which the cache and batch
+// deduplication then serve without re-solving).
+func newEngine(cfg Config) (*dls.Solver, error) {
+	par := cfg.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	return dls.NewSolver(dls.WithParallelism(par), dls.WithCache(512))
 }
 
 // DefaultConfig returns the paper's experimental setup with the simulator
@@ -132,26 +149,19 @@ func runReal(cfg Config, app platform.App, sp platform.Speeds, sched *schedule.S
 	return res.Makespan, nil
 }
 
-// heuristic identifies one scheduling policy compared in Section 5.3.
+// heuristic identifies one scheduling policy compared in Section 5.3 by
+// its display name and its engine strategy.
 type heuristic struct {
-	name string
-	run  func(p *platform.Platform) (*schedule.Schedule, error)
+	name     string
+	strategy string
 }
 
 func heuristics(includeIncW bool) []heuristic {
-	hs := []heuristic{
-		{"INC_C", func(p *platform.Platform) (*schedule.Schedule, error) {
-			return core.IncC(p, schedule.OnePort, core.Float64)
-		}},
-	}
+	hs := []heuristic{{"INC_C", dls.StrategyIncC}}
 	if includeIncW {
-		hs = append(hs, heuristic{"INC_W", func(p *platform.Platform) (*schedule.Schedule, error) {
-			return core.IncW(p, schedule.OnePort, core.Float64)
-		}})
+		hs = append(hs, heuristic{"INC_W", dls.StrategyIncW})
 	}
-	hs = append(hs, heuristic{"LIFO", func(p *platform.Platform) (*schedule.Schedule, error) {
-		return core.OptimalLIFO(p, core.Float64)
-	}})
+	hs = append(hs, heuristic{"LIFO", dls.StrategyLIFO})
 	return hs
 }
 
@@ -171,6 +181,10 @@ func comparison(cfg Config, id, title string, family platform.Family, mod func(p
 		}
 	}
 	hs := heuristics(includeIncW)
+	solver, err := newEngine(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", id, err)
+	}
 
 	res := &Result{
 		ID:     id,
@@ -203,28 +217,34 @@ func comparison(cfg Config, id, title string, family platform.Family, mod func(p
 		record := func(name string, v float64) {
 			samples[seriesIdx[name]] = append(samples[seriesIdx[name]], v)
 		}
-		for pi, sp := range speedSets {
+		// All LP solves of this size — every (platform, heuristic) pair —
+		// go through the engine as one deduplicated, concurrent batch.
+		reqs := make([]dls.Request, 0, len(speedSets)*len(hs))
+		for _, sp := range speedSets {
 			plat := sp.Platform(app)
-			// Reference: INC_C lp prediction for this platform.
-			ref, err := core.IncC(plat, schedule.OnePort, core.Float64)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s INC_C on platform %d: %w", id, pi, err)
-			}
-			refLP := core.MakespanForLoad(ref, float64(cfg.M))
-			record("INC_C lp (s)", refLP)
 			for _, h := range hs {
-				sched := ref
+				reqs = append(reqs, dls.Request{
+					Platform: plat,
+					Strategy: h.strategy,
+					Load:     float64(cfg.M),
+				})
+			}
+		}
+		lp, err := solver.SolveBatch(context.Background(), reqs)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s LP batch at size %d: %w", id, size, err)
+		}
+		for pi, sp := range speedSets {
+			// Reference: INC_C lp prediction for this platform (hs[0]).
+			refLP := lp[pi*len(hs)].Makespan
+			record("INC_C lp (s)", refLP)
+			for hi, h := range hs {
+				r := lp[pi*len(hs)+hi]
 				if h.name != "INC_C" {
-					var err error
-					sched, err = h.run(plat)
-					if err != nil {
-						return nil, fmt.Errorf("experiments: %s %s on platform %d: %w", id, h.name, pi, err)
-					}
-					lpTime := core.MakespanForLoad(sched, float64(cfg.M))
-					record(h.name+" lp/INC_C lp", lpTime/refLP)
+					record(h.name+" lp/INC_C lp", r.Makespan/refLP)
 				}
 				seed := cfg.Seed*1_000_003 + int64(pi)*1009 + int64(size)
-				real, err := runReal(cfg, app, sp, sched, seed)
+				real, err := runReal(cfg, app, sp, r.Schedule, seed)
 				if err != nil {
 					return nil, fmt.Errorf("experiments: %s %s real run on platform %d: %w", id, h.name, pi, err)
 				}

@@ -1,14 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
-	"repro/internal/core"
+	"repro/dls"
 	"repro/internal/mmapp"
 	"repro/internal/platform"
-	"repro/internal/schedule"
 	"repro/internal/vcluster"
 )
 
@@ -97,10 +97,11 @@ func Fig9Trace(cfg Config) (*Result, error) {
 	size := 100
 	app := platform.DefaultApp(size)
 	plat := sp.Platform(app)
-	sched, err := core.IncC(plat, schedule.OnePort, core.Float64)
+	solved, err := dls.Solve(context.Background(), dls.Request{Platform: plat, Strategy: dls.StrategyIncC})
 	if err != nil {
 		return nil, err
 	}
+	sched := solved.Schedule
 	scaled := sched.ScaledToLoad(float64(cfg.M))
 	run, err := mmapp.Run(mmapp.Params{
 		App:         app,
@@ -154,21 +155,35 @@ func Fig14Participation(cfg Config, x float64) (*Result, error) {
 			{Name: "nb of workers"},
 		},
 	}
+	// One engine batch over the availability prefixes.
+	speedSets := make([]platform.Speeds, full.P())
+	reqs := make([]dls.Request, full.P())
 	for avail := 1; avail <= full.P(); avail++ {
 		sp := platform.Speeds{Comm: full.Comm[:avail], Comp: full.Comp[:avail]}
-		plat := sp.Platform(app)
-		sched, err := core.IncC(plat, schedule.OnePort, core.Float64)
-		if err != nil {
-			return nil, err
+		speedSets[avail-1] = sp
+		reqs[avail-1] = dls.Request{
+			Platform: sp.Platform(app),
+			Strategy: dls.StrategyIncC,
+			Load:     float64(cfg.M),
 		}
-		lpTime := core.MakespanForLoad(sched, float64(cfg.M))
+	}
+	solver, err := newEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	solved, err := solver.SolveBatch(context.Background(), reqs)
+	if err != nil {
+		return nil, err
+	}
+	for avail := 1; avail <= full.P(); avail++ {
+		sched := solved[avail-1].Schedule
 		seed := cfg.Seed + int64(avail)
-		real, err := runReal(cfg, app, sp, sched, seed)
+		real, err := runReal(cfg, app, speedSets[avail-1], sched, seed)
 		if err != nil {
 			return nil, err
 		}
 		res.X = append(res.X, float64(avail))
-		res.Series[0].Y = append(res.Series[0].Y, lpTime)
+		res.Series[0].Y = append(res.Series[0].Y, solved[avail-1].Makespan)
 		res.Series[1].Y = append(res.Series[1].Y, real)
 		res.Series[2].Y = append(res.Series[2].Y, float64(len(sched.Participants())))
 	}

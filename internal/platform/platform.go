@@ -21,8 +21,10 @@
 package platform
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"sort"
 	"strings"
@@ -137,6 +139,39 @@ func (p *Platform) IsBus() bool {
 		}
 	}
 	return true
+}
+
+// HashFloats returns an FNV-1a hash over the exact float64 bit patterns of
+// the given slices, each prefixed with its length. It is the one place the
+// cost-hashing scheme lives: Fingerprint and the dls engine's cache keys
+// (which also hash affine cost slices) both build on it.
+func HashFloats(slices ...[]float64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, vs := range slices {
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(vs)))
+		h.Write(buf[:])
+		for _, v := range vs {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			h.Write(buf[:])
+		}
+	}
+	return h.Sum64()
+}
+
+// Fingerprint returns a stable identifier of the platform's cost structure:
+// a hash over every worker's (C, W, D) costs, prefixed with the worker
+// count. Worker names are excluded — they never influence scheduling
+// mathematics — so two platforms that differ only in labels share a
+// fingerprint. Used as a cache key component by the dls engine.
+func (p *Platform) Fingerprint() string {
+	cs := make([]float64, len(p.Workers))
+	ws := make([]float64, len(p.Workers))
+	ds := make([]float64, len(p.Workers))
+	for i, w := range p.Workers {
+		cs[i], ws[i], ds[i] = w.C, w.W, w.D
+	}
+	return fmt.Sprintf("p%d-%016x", len(p.Workers), HashFloats(cs, ws, ds))
 }
 
 // Mirror returns the platform with forward and return costs swapped

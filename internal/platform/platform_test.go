@@ -368,3 +368,23 @@ func TestQuickByCSorted(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestFingerprint: equal costs share a fingerprint (names ignored); any
+// cost change, reorder, or resize produces a distinct one.
+func TestFingerprint(t *testing.T) {
+	a := New(Worker{Name: "x", C: 0.1, W: 0.5, D: 0.05}, Worker{Name: "y", C: 0.2, W: 0.3, D: 0.1})
+	b := New(Worker{Name: "other", C: 0.1, W: 0.5, D: 0.05}, Worker{C: 0.2, W: 0.3, D: 0.1})
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("fingerprint must ignore worker names")
+	}
+	variants := []*Platform{
+		New(Worker{C: 0.1, W: 0.5, D: 0.05}, Worker{C: 0.2, W: 0.3, D: 0.10000001}),
+		New(Worker{C: 0.2, W: 0.3, D: 0.1}, Worker{C: 0.1, W: 0.5, D: 0.05}), // reordered
+		New(Worker{C: 0.1, W: 0.5, D: 0.05}),                                 // shorter
+	}
+	for i, v := range variants {
+		if v.Fingerprint() == a.Fingerprint() {
+			t.Errorf("variant %d collides with the base fingerprint", i)
+		}
+	}
+}
