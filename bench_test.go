@@ -235,6 +235,90 @@ func BenchmarkSolveCached(b *testing.B) {
 	})
 }
 
+// --- Evaluation-pipeline benchmarks ----------------------------------------
+//
+// These quantify the internal/eval tiering: the closed-form and direct
+// tight-system backends against the simplex-only path on the factorial
+// searches (the acceptance benchmarks of the scenario-evaluation pipeline)
+// and on a single scenario solve.
+
+// benchExhaustivePlatform is the heterogeneous 7-worker platform shared by
+// the exhaustive benchmarks (5040 FIFO scenarios per run).
+func benchExhaustivePlatform() *dls.Platform {
+	rng := rand.New(rand.NewSource(62))
+	return dls.RandomSpeeds(rng, 7, dls.Heterogeneous).Platform(dls.DefaultApp(100))
+}
+
+// BenchmarkBestFIFOExhaustive7 runs the p! FIFO order search at p = 7
+// through the engine under each evaluation backend. The auto and direct
+// tiers must produce the same winning order and loads as the simplex tier
+// (covered by the agreement tests in internal/eval); the benchmark tracks
+// the speedup of the tight-system path over the simplex-only path.
+func BenchmarkBestFIFOExhaustive7(b *testing.B) {
+	p := benchExhaustivePlatform()
+	ctx := context.Background()
+	for _, mode := range []dls.EvalMode{dls.EvalAuto, dls.EvalDirect, dls.EvalSimplex} {
+		b.Run(mode.String(), func(b *testing.B) {
+			req := dls.Request{Platform: p, Strategy: dls.StrategyFIFOExhaustive, Eval: mode}
+			var rho float64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := dls.Solve(ctx, req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rho = res.Throughput
+			}
+			b.ReportMetric(rho, "rho")
+		})
+	}
+}
+
+// BenchmarkBestPairExhaustive4 runs the (p!)² pair search at p = 4 (576
+// scenarios before pruning) under each backend; auto additionally exercises
+// the send-prefix reuse and the send-bound pruning of the search itself.
+func BenchmarkBestPairExhaustive4(b *testing.B) {
+	rng := rand.New(rand.NewSource(63))
+	p := dls.RandomSpeeds(rng, 4, dls.Heterogeneous).Platform(dls.DefaultApp(100))
+	ctx := context.Background()
+	for _, mode := range []dls.EvalMode{dls.EvalAuto, dls.EvalSimplex} {
+		b.Run(mode.String(), func(b *testing.B) {
+			req := dls.Request{Platform: p, Strategy: dls.StrategyPairExhaustive, Eval: mode}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := dls.Solve(ctx, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScenarioEval solves one fixed 11-worker FIFO scenario under each
+// backend: the per-scenario cost that the factorial searches multiply. The
+// platform is compute-bound (computation scaled up) so the all-tight
+// closed form applies — the port-bound/resource-selection regimes are
+// covered by the exhaustive benchmarks above.
+func BenchmarkScenarioEval(b *testing.B) {
+	rng := rand.New(rand.NewSource(64))
+	p := dls.RandomSpeeds(rng, 11, dls.Heterogeneous).Platform(dls.DefaultApp(100)).ScaleComputation(20)
+	ctx := context.Background()
+	for _, mode := range []dls.EvalMode{dls.EvalClosedForm, dls.EvalDirect, dls.EvalSimplex} {
+		b.Run(mode.String(), func(b *testing.B) {
+			req := dls.Request{Platform: p, Strategy: dls.StrategyIncC, Eval: mode}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := dls.Solve(ctx, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkTheorem2BusClosedForm benchmarks the closed-form bus throughput
 // against its LP counterpart (index TH2 in DESIGN.md): the closed form is
 // the fast path, the LP the reference.

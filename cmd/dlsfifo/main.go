@@ -4,9 +4,9 @@
 //
 // Usage:
 //
-//	dlsfifo schedule -platform file.json [-discipline fifo|lifo|incw|<strategy>] [-model one-port|two-port] [-exact] [-load M] [-gantt]
+//	dlsfifo schedule -platform file.json [-discipline fifo|lifo|incw|<strategy>] [-model one-port|two-port] [-exact] [-eval auto|closed-form|direct|simplex|exact] [-load M] [-gantt]
 //	dlsfifo bus -c 0.1 -d 0.05 -w 0.4,0.6,0.8
-//	dlsfifo brute -platform file.json [-exact] [-timeout 30s]
+//	dlsfifo brute -platform file.json [-exact] [-eval direct] [-timeout 30s]
 //	dlsfifo random -p 11 -family heterogeneous -size 100 -seed 42
 //	dlsfifo strategies
 //
@@ -154,7 +154,12 @@ func cmdSchedule(args []string) error {
 	gantt := fs.Bool("gantt", false, "render the schedule timeline as a Gantt chart")
 	out := fs.String("out", "", "write the computed schedule as JSON to this file")
 	timeout := fs.Duration("timeout", 0, "abort the solve after this duration (0 = no limit)")
+	evalName := fs.String("eval", "auto", "scenario-evaluation backend: auto | closed-form | direct | simplex | exact")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	evalMode, err := dls.ParseEvalMode(*evalName)
+	if err != nil {
 		return err
 	}
 	p, err := loadPlatform(*platformPath)
@@ -183,6 +188,7 @@ func cmdSchedule(args []string) error {
 		Strategy: strategy,
 		Model:    m,
 		Arith:    arithFlag(*exact),
+		Eval:     evalMode,
 		Load:     *load,
 	}
 	res, err := solver.Solve(context.Background(), req)
@@ -200,7 +206,7 @@ func cmdSchedule(args []string) error {
 	}
 
 	fmt.Print(p)
-	fmt.Printf("strategy=%s model=%s arithmetic=%s\n", res.Strategy, res.Model, res.Arith)
+	fmt.Printf("strategy=%s model=%s arithmetic=%s eval=%s\n", res.Strategy, res.Model, res.Arith, res.Eval)
 	fmt.Printf("throughput ρ = %.9g load units per time unit\n", s.Throughput())
 	fmt.Printf("send order σ1 = %v, return order σ2 = %v\n", s.SendOrder, s.ReturnOrder)
 	fmt.Printf("%-8s %-12s %-12s %-12s %-12s\n", "worker", "alpha", "recv end", "comp end", "idle")
@@ -366,7 +372,12 @@ func cmdBrute(args []string) error {
 	platformPath := fs.String("platform", "", "platform JSON file")
 	exact := fs.Bool("exact", false, "use exact rational LP arithmetic")
 	timeout := fs.Duration("timeout", 0, "abort the (p!)² search after this duration (0 = no limit)")
+	evalName := fs.String("eval", "auto", "scenario-evaluation backend: auto | closed-form | direct | simplex | exact")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	evalMode, err := dls.ParseEvalMode(*evalName)
+	if err != nil {
 		return err
 	}
 	p, err := loadPlatform(*platformPath)
@@ -383,14 +394,14 @@ func cmdBrute(args []string) error {
 	// FIFO is solved separately because a star without a common z makes it
 	// fail with ErrNoCommonZ, which only drops its comparison line.
 	results, err := solver.SolveBatch(ctx, []dls.Request{
-		{Platform: p, Strategy: dls.StrategyPairExhaustive, Arith: arith},
-		{Platform: p, Strategy: dls.StrategyLIFO, Arith: arith},
+		{Platform: p, Strategy: dls.StrategyPairExhaustive, Arith: arith, Eval: evalMode},
+		{Platform: p, Strategy: dls.StrategyLIFO, Arith: arith, Eval: evalMode},
 	})
 	if err != nil {
 		return err
 	}
 	pair, lifo := results[0], results[1]
-	fifo, err := solver.Solve(ctx, dls.Request{Platform: p, Strategy: dls.StrategyFIFO, Arith: arith})
+	fifo, err := solver.Solve(ctx, dls.Request{Platform: p, Strategy: dls.StrategyFIFO, Arith: arith, Eval: evalMode})
 	if err != nil && !errors.Is(err, dls.ErrNoCommonZ) {
 		return err
 	}

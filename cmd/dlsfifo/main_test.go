@@ -1,6 +1,9 @@
 package main
 
 import (
+	"context"
+	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -140,6 +143,127 @@ func TestCmdRandom(t *testing.T) {
 	}
 	if err := cmdRandom([]string{"-family", "nope"}); err == nil {
 		t.Error("unknown family must fail")
+	}
+}
+
+// writeBigPlatform writes an 8-worker platform JSON: large enough that the
+// 8! exhaustive FIFO search cannot finish before a nanosecond deadline.
+func writeBigPlatform(t *testing.T) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString(`{"workers":[`)
+	for i := 0; i < 8; i++ {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, `{"c":%g,"w":%g,"d":%g}`, 0.05+0.01*float64(i), 0.2+0.05*float64(i), 0.025+0.005*float64(i))
+	}
+	b.WriteString(`]}`)
+	path := filepath.Join(t.TempDir(), "big.json")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out), runErr
+}
+
+func TestCmdStrategiesListsRegistry(t *testing.T) {
+	out, err := captureStdout(t, cmdStrategies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Fields(out)
+	if len(lines) != len(dls.Strategies()) {
+		t.Errorf("strategies printed %d names, registry has %d:\n%s", len(lines), len(dls.Strategies()), out)
+	}
+	for _, want := range []string{dls.StrategyFIFO, dls.StrategyPairExhaustive, dls.StrategyFIFOExhaustive, dls.StrategyBusFIFO} {
+		if !strings.Contains(out, want) {
+			t.Errorf("strategies output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdScheduleTimeoutExpiresExhaustive(t *testing.T) {
+	path := writeBigPlatform(t)
+	// The exact-rational 8! search cannot finish within a nanosecond; the
+	// engine must surface the deadline as an error.
+	err := cmdSchedule([]string{"-platform", path, "-discipline", "fifo-exhaustive", "-eval", "exact", "-timeout", "1ns"})
+	if err == nil {
+		t.Fatal("exhaustive search with 1ns timeout must fail")
+	}
+	if !strings.Contains(err.Error(), "deadline") {
+		t.Errorf("want a deadline error, got: %v", err)
+	}
+	// Without the deadline the same strategy succeeds via the pipeline.
+	if err := cmdSchedule([]string{"-platform", path, "-discipline", "fifo-exhaustive"}); err != nil {
+		t.Errorf("untimed exhaustive search failed: %v", err)
+	}
+}
+
+func TestCmdScheduleEvalFlag(t *testing.T) {
+	path := writePlatform(t)
+	for _, mode := range []string{"auto", "closed-form", "direct", "simplex", "exact"} {
+		out, err := captureStdout(t, func() error {
+			return cmdSchedule([]string{"-platform", path, "-eval", mode})
+		})
+		if err != nil {
+			t.Errorf("-eval %s: %v", mode, err)
+			continue
+		}
+		if !strings.Contains(out, "eval="+mode) && mode != "exact" {
+			t.Errorf("-eval %s: output does not echo the backend:\n%s", mode, out)
+		}
+	}
+	if err := cmdSchedule([]string{"-platform", path, "-eval", "nope"}); err == nil {
+		t.Error("unknown -eval backend must fail")
+	}
+	if err := cmdBrute([]string{"-platform", path, "-eval", "nope"}); err == nil {
+		t.Error("brute: unknown -eval backend must fail")
+	}
+	if err := cmdBrute([]string{"-platform", path, "-eval", "direct"}); err != nil {
+		t.Errorf("brute -eval direct: %v", err)
+	}
+}
+
+func TestEvalBackendsAgreeOnSchedule(t *testing.T) {
+	// The CLI-visible throughput must be identical (to 1e-9) across
+	// backends; the deeper agreement property lives in internal/eval.
+	path := writePlatform(t)
+	p, err := loadPlatform(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rhos []float64
+	for _, mode := range []dls.EvalMode{dls.EvalAuto, dls.EvalDirect, dls.EvalSimplex} {
+		res, err := dls.Solve(context.Background(), dls.Request{Platform: p, Strategy: dls.StrategyFIFO, Eval: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rhos = append(rhos, res.Throughput)
+	}
+	for _, rho := range rhos[1:] {
+		if diff := rho - rhos[0]; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("backend throughputs diverge: %v", rhos)
+		}
 	}
 }
 

@@ -44,6 +44,15 @@
 // [Solver.SolveStream]) with deterministic, parallelism-independent output
 // ordering ([WithParallelism]).
 //
+// # Scenario evaluation
+//
+// Every fixed communication scenario is evaluated by the internal/eval
+// pipeline: closed-form load recurrences and a direct tight-system solver
+// with full optimality certificates where they apply, the simplex (float64
+// or exact rational) otherwise. [Request.Eval] selects the backend
+// ([EvalAuto], the default, tiers them); the backends agree to 1e-9 by
+// property test, so the knob trades only speed, not results.
+//
 // The pre-engine free functions (OptimalFIFO, OptimalLIFO, IncC, ...)
 // remain as thin deprecated wrappers over the engine.
 //
@@ -57,6 +66,7 @@ import (
 	"math/rand"
 
 	"repro/internal/core"
+	"repro/internal/eval"
 	"repro/internal/mmapp"
 	"repro/internal/platform"
 	"repro/internal/rounding"
@@ -108,11 +118,39 @@ const (
 
 // LP arithmetic modes.
 const (
-	// Float64 uses the fast float64 simplex.
+	// Float64 uses the fast float64 evaluation pipeline.
 	Float64 = core.Float64
 	// Exact uses the exact rational simplex.
 	Exact = core.Exact
 )
+
+// EvalMode selects the scenario-evaluation backend of a Request (see
+// internal/eval): closed-form load recurrences, the direct tight-system
+// solver, the simplex, or the tiered automatic composition.
+type EvalMode = eval.Mode
+
+// Evaluation backends for Request.Eval.
+const (
+	// EvalAuto tiers the backends: closed form → direct → simplex. The
+	// zero value, and the default everywhere.
+	EvalAuto = eval.Auto
+	// EvalClosedForm uses only the closed-form backend (FIFO/LIFO load
+	// recurrences, Theorem 2 on buses) and fails where no closed form
+	// applies.
+	EvalClosedForm = eval.ClosedForm
+	// EvalDirect uses the tight-system Gaussian elimination, falling back
+	// to the simplex when its optimality certificate fails.
+	EvalDirect = eval.Direct
+	// EvalSimplex always solves the full LP with the float64 simplex.
+	EvalSimplex = eval.Simplex
+	// EvalExact always solves the full LP in exact rational arithmetic
+	// (equivalent to Arith == Exact).
+	EvalExact = eval.ExactRational
+)
+
+// ParseEvalMode parses an evaluation-backend name: "auto", "closed-form",
+// "direct", "simplex" or "exact".
+func ParseEvalMode(s string) (EvalMode, error) { return eval.ParseMode(s) }
 
 // Random platform families (Section 5.3.2).
 const (

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/eval"
 	"repro/internal/platform"
 )
 
@@ -27,8 +28,15 @@ type Request struct {
 	// Model selects the communication model. Zero value: OnePort.
 	Model Model
 	// Arith selects the LP arithmetic. The zero value (Float64) defers to
-	// the solver default configured with WithArith.
+	// the solver default configured with WithArith. Arith == Exact forces
+	// the exact-rational evaluation backend regardless of Eval.
 	Arith Arith
+	// Eval selects the scenario-evaluation backend: EvalAuto (the zero
+	// value and the default everywhere) tiers closed-form load recurrences
+	// and the direct tight-system solver over the simplex; EvalClosedForm,
+	// EvalDirect, EvalSimplex and EvalExact pin a single backend. See
+	// internal/eval for the backend semantics.
+	Eval EvalMode
 	// Send is the send order for the fixed-order strategies
 	// (StrategyFIFOOrder, StrategyLIFOOrder, StrategyScenario,
 	// StrategyScenarioAffine).
@@ -49,10 +57,11 @@ type Request struct {
 // strategy; the affine strategies set Affine instead (the canonical
 // timeline of the linear model does not apply there).
 type Result struct {
-	// Strategy, Model and Arith echo the resolved request.
+	// Strategy, Model, Arith and Eval echo the resolved request.
 	Strategy string
 	Model    Model
 	Arith    Arith
+	Eval     EvalMode
 	// Schedule is the computed schedule (nil for affine strategies).
 	Schedule *Schedule
 	// Send and Return are the scenario orders the strategy settled on: the
@@ -221,6 +230,16 @@ func (s *Solver) prepare(req Request) (Request, StrategyFunc, error) {
 	} else if req.Arith != Exact {
 		return req, nil, fmt.Errorf("dls: unknown arithmetic %d", int(req.Arith))
 	}
+	if !req.Eval.Valid() {
+		return req, nil, fmt.Errorf("dls: unknown eval mode %d (known: %s)", int(req.Eval), eval.ModeNames())
+	}
+	// Normalise the two knobs: exact arithmetic and the exact backend are
+	// the same request, whichever field expressed it.
+	if req.Arith == Exact {
+		req.Eval = EvalExact
+	} else if req.Eval == EvalExact {
+		req.Arith = Exact
+	}
 	if req.Load < 0 || math.IsNaN(req.Load) || math.IsInf(req.Load, 0) {
 		return req, nil, fmt.Errorf("dls: request load %g must be finite and >= 0", req.Load)
 	}
@@ -232,7 +251,7 @@ func (s *Solver) prepare(req Request) (Request, StrategyFunc, error) {
 func (req Request) cacheKey() string {
 	var b strings.Builder
 	b.WriteString(req.Platform.Fingerprint())
-	fmt.Fprintf(&b, "|%s|%d|%d|%v|%v", req.Strategy, int(req.Model), int(req.Arith), []int(req.Send), []int(req.Return))
+	fmt.Fprintf(&b, "|%s|%d|%d|%d|%v|%v", req.Strategy, int(req.Model), int(req.Arith), int(req.Eval), []int(req.Send), []int(req.Return))
 	if req.Affine != nil {
 		fmt.Fprintf(&b, "|aff-%016x", platform.HashFloats(req.Affine.In, req.Affine.Out, req.Affine.Comp))
 	}
@@ -244,6 +263,7 @@ func finish(res *Result, req Request, cached bool) *Result {
 	res.Strategy = req.Strategy
 	res.Model = req.Model
 	res.Arith = req.Arith
+	res.Eval = req.Eval
 	res.Cached = cached
 	switch {
 	case res.Schedule != nil:

@@ -246,10 +246,12 @@ func TestSolveCancellation(t *testing.T) {
 	}
 
 	// WithTimeout: the (p!)² search must abort with DeadlineExceeded long
-	// before it could finish.
+	// before it could finish. The exact-rational backend is pinned so the
+	// search stays slow enough for the deadline to hit — the tiered auto
+	// pipeline finishes this platform faster than a millisecond.
 	timed := mustSolver(t, dls.WithTimeout(time.Millisecond))
 	start := time.Now()
-	_, err := timed.Solve(context.Background(), dls.Request{Platform: p, Strategy: dls.StrategyPairExhaustive})
+	_, err := timed.Solve(context.Background(), dls.Request{Platform: p, Strategy: dls.StrategyPairExhaustive, Arith: dls.Exact})
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Errorf("want context.DeadlineExceeded, got %v", err)
 	}
@@ -501,4 +503,69 @@ func ExampleSolver_Solve() {
 	}
 	fmt.Printf("throughput %.4f, makespan for 1000 units %.1f\n", res.Throughput, res.Makespan)
 	// Output: throughput 2.7632, makespan for 1000 units 361.9
+}
+
+func TestEvalModeKnob(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	p := dls.RandomSpeeds(rng, 6, dls.Heterogeneous).Platform(dls.DefaultApp(100))
+	ctx := context.Background()
+
+	// Every backend reaches the same optimum through the engine.
+	var ref float64
+	for i, mode := range []dls.EvalMode{dls.EvalAuto, dls.EvalDirect, dls.EvalSimplex, dls.EvalExact} {
+		res, err := dls.Solve(ctx, dls.Request{Platform: p, Strategy: dls.StrategyIncC, Eval: mode})
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if res.Eval != mode {
+			t.Errorf("result echoes eval %v, want %v", res.Eval, mode)
+		}
+		if i == 0 {
+			ref = res.Throughput
+		} else if d := res.Throughput - ref; d > 1e-9 || d < -1e-9 {
+			t.Errorf("%v: throughput %g != %g", mode, res.Throughput, ref)
+		}
+	}
+
+	// Unknown eval modes are rejected at prepare time.
+	if _, err := dls.Solve(ctx, dls.Request{Platform: p, Strategy: dls.StrategyIncC, Eval: dls.EvalMode(42)}); err == nil {
+		t.Error("unknown eval mode must be rejected")
+	}
+
+	// EvalExact and Arith Exact normalise to the same request: with a
+	// cache, the two spellings share one entry.
+	solver := mustSolver(t, dls.WithCache(16))
+	if _, err := solver.Solve(ctx, dls.Request{Platform: p, Strategy: dls.StrategyIncC, Eval: dls.EvalExact}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := solver.Solve(ctx, dls.Request{Platform: p, Strategy: dls.StrategyIncC, Arith: dls.Exact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cached {
+		t.Error("Arith Exact must hit the cache entry written by EvalExact")
+	}
+	if res.Arith != dls.Exact || res.Eval != dls.EvalExact {
+		t.Errorf("normalised result: arith %v eval %v", res.Arith, res.Eval)
+	}
+
+	// Different float backends are distinct cache entries (their results
+	// can legitimately differ in degenerate load distributions).
+	st := solver.Stats()
+	if _, err := solver.Solve(ctx, dls.Request{Platform: p, Strategy: dls.StrategyIncC, Eval: dls.EvalSimplex}); err != nil {
+		t.Fatal(err)
+	}
+	if solver.Stats().Misses != st.Misses+1 {
+		t.Error("EvalSimplex must not share a cache entry with EvalExact")
+	}
+}
+
+func TestParseEvalMode(t *testing.T) {
+	m, err := dls.ParseEvalMode("closed-form")
+	if err != nil || m != dls.EvalClosedForm {
+		t.Errorf("ParseEvalMode(closed-form) = (%v, %v)", m, err)
+	}
+	if _, err := dls.ParseEvalMode("nope"); err == nil {
+		t.Error("unknown backend name must fail")
+	}
 }

@@ -85,6 +85,13 @@ func OnePortPenalty(p *Platform, arith Arith) (float64, error) {
 // MultiRoundParams configures a uniform multi-round FIFO evaluation.
 type MultiRoundParams = multiround.Params
 
+// MultiRoundFromSchedule seeds multi-round parameters from a one-round
+// schedule computed by the engine (loads and FIFO order are taken from the
+// schedule; Rounds starts at 1).
+func MultiRoundFromSchedule(p *Platform, s *Schedule, latency float64) MultiRoundParams {
+	return multiround.FromSchedule(p, s, latency)
+}
+
 // MultiRoundMakespan computes the makespan of distributing the per-worker
 // loads in R uniform rounds under the one-port model with per-message
 // latency (analytically; see internal/multiround).

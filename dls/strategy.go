@@ -126,9 +126,9 @@ func init() {
 			err error
 		)
 		if req.Model == TwoPort {
-			s, err = core.OptimalFIFOTwoPort(req.Platform, req.Arith)
+			s, err = core.OptimalFIFOTwoPortEval(req.Platform, req.Eval)
 		} else {
-			s, err = core.OptimalFIFO(req.Platform, req.Arith)
+			s, err = core.OptimalFIFOEval(req.Platform, req.Eval)
 		}
 		if err != nil {
 			return nil, err
@@ -141,41 +141,47 @@ func init() {
 			err error
 		)
 		if req.Model == TwoPort {
-			s, err = core.OptimalLIFOTwoPort(req.Platform, req.Arith)
+			s, err = core.OptimalLIFOTwoPortEval(req.Platform, req.Eval)
 		} else {
-			s, err = core.OptimalLIFO(req.Platform, req.Arith)
+			s, err = core.OptimalLIFOEval(req.Platform, req.Eval)
 		}
 		if err != nil {
 			return nil, err
 		}
 		return scheduleResult(s), nil
 	})
-	fixedOrder := func(run func(Request) (*Schedule, error)) StrategyFunc {
+	// The fixed-order strategies all funnel into the eval pipeline through
+	// one scenario solve; orderOf derives (σ1, σ2) from the request.
+	scenario := func(orderOf func(Request) (Order, Order, error)) StrategyFunc {
 		return func(_ context.Context, req Request) (*Result, error) {
-			s, err := run(req)
+			send, ret, err := orderOf(req)
+			if err != nil {
+				return nil, err
+			}
+			s, err := core.SolveScenarioEval(req.Platform, send, ret, req.Model, req.Eval)
 			if err != nil {
 				return nil, err
 			}
 			return scheduleResult(s), nil
 		}
 	}
-	mustRegisterStrategy(StrategyIncC, fixedOrder(func(req Request) (*Schedule, error) {
-		return core.IncC(req.Platform, req.Model, req.Arith)
+	fifoBy := func(order func(*Platform) Order) func(Request) (Order, Order, error) {
+		return func(req Request) (Order, Order, error) {
+			o := order(req.Platform)
+			return o, o, nil
+		}
+	}
+	mustRegisterStrategy(StrategyIncC, scenario(fifoBy((*Platform).ByC)))
+	mustRegisterStrategy(StrategyIncW, scenario(fifoBy((*Platform).ByW)))
+	mustRegisterStrategy(StrategyDecC, scenario(fifoBy((*Platform).ByCDesc)))
+	mustRegisterStrategy(StrategyFIFOOrder, scenario(func(req Request) (Order, Order, error) {
+		return req.Send, req.Send, nil
 	}))
-	mustRegisterStrategy(StrategyIncW, fixedOrder(func(req Request) (*Schedule, error) {
-		return core.IncW(req.Platform, req.Model, req.Arith)
+	mustRegisterStrategy(StrategyLIFOOrder, scenario(func(req Request) (Order, Order, error) {
+		return req.Send, req.Send.Reverse(), nil
 	}))
-	mustRegisterStrategy(StrategyDecC, fixedOrder(func(req Request) (*Schedule, error) {
-		return core.DecC(req.Platform, req.Model, req.Arith)
-	}))
-	mustRegisterStrategy(StrategyFIFOOrder, fixedOrder(func(req Request) (*Schedule, error) {
-		return core.FIFOWithOrder(req.Platform, req.Send, req.Model, req.Arith)
-	}))
-	mustRegisterStrategy(StrategyLIFOOrder, fixedOrder(func(req Request) (*Schedule, error) {
-		return core.LIFOWithOrder(req.Platform, req.Send, req.Model, req.Arith)
-	}))
-	mustRegisterStrategy(StrategyScenario, fixedOrder(func(req Request) (*Schedule, error) {
-		return core.SolveScenario(req.Platform, req.Send, req.Return, req.Model, req.Arith)
+	mustRegisterStrategy(StrategyScenario, scenario(func(req Request) (Order, Order, error) {
+		return req.Send, req.Return, nil
 	}))
 	mustRegisterStrategy(StrategyBusFIFO, func(_ context.Context, req Request) (*Result, error) {
 		if req.Model != OnePort {
@@ -188,21 +194,21 @@ func init() {
 		return scheduleResult(s), nil
 	})
 	mustRegisterStrategy(StrategyFIFOExhaustive, func(ctx context.Context, req Request) (*Result, error) {
-		s, order, err := core.BestFIFOExhaustiveContext(ctx, req.Platform, req.Model, req.Arith)
+		s, order, err := core.BestFIFOExhaustiveEval(ctx, req.Platform, req.Model, req.Eval)
 		if err != nil {
 			return nil, err
 		}
 		return &Result{Schedule: s, Send: order, Return: order}, nil
 	})
 	mustRegisterStrategy(StrategyLIFOExhaustive, func(ctx context.Context, req Request) (*Result, error) {
-		s, order, err := core.BestLIFOExhaustiveContext(ctx, req.Platform, req.Model, req.Arith)
+		s, order, err := core.BestLIFOExhaustiveEval(ctx, req.Platform, req.Model, req.Eval)
 		if err != nil {
 			return nil, err
 		}
 		return &Result{Schedule: s, Send: order, Return: order.Reverse()}, nil
 	})
 	mustRegisterStrategy(StrategyPairExhaustive, func(ctx context.Context, req Request) (*Result, error) {
-		pr, err := core.BestPairExhaustiveContext(ctx, req.Platform, req.Model, req.Arith)
+		pr, err := core.BestPairExhaustiveEval(ctx, req.Platform, req.Model, req.Eval)
 		if err != nil {
 			return nil, err
 		}

@@ -36,11 +36,7 @@ func main() {
 		log.Fatal(err)
 	}
 	scaled := res.Schedule.ScaledToLoad(1000)
-	optSweep, err := dls.MultiRoundSweep(dls.MultiRoundParams{
-		Platform: platform,
-		Loads:    scaled.Alpha,
-		Order:    scaled.SendOrder,
-	}, 16)
+	optSweep, err := dls.MultiRoundSweep(dls.MultiRoundFromSchedule(platform, scaled, 0), 16)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/eval"
 	"repro/internal/lp"
 	"repro/internal/platform"
 	"repro/internal/schedule"
@@ -69,7 +70,7 @@ func ScenarioLPAffine(p *platform.Platform, aff Affine, send, ret platform.Order
 	if err := aff.validate(p); err != nil {
 		return nil, err
 	}
-	if err := validOrderPair(p.P(), send, ret); err != nil {
+	if err := eval.ValidOrderPair(p.P(), send, ret); err != nil {
 		return nil, err
 	}
 	q := len(send)

@@ -4,17 +4,24 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/eval"
 	"repro/internal/platform"
 	"repro/internal/schedule"
 )
 
-// Limits on the exhaustive searches: p! scenario LPs for FIFO/LIFO order
-// search, (p!)² for permutation pairs. The limits keep worst cases around a
-// few hundred thousand tiny LP solves.
+// Limits on the exhaustive searches: p! scenario evaluations for FIFO/LIFO
+// order search, (p!)² for permutation pairs. The limits keep worst cases
+// around a few hundred thousand tiny evaluations.
 const (
 	maxExhaustiveOrder = 8
 	maxExhaustivePair  = 5
 )
+
+// pruneMargin is the relative safety margin of the pair search's
+// upper-bound pruning: an inner loop is skipped only when its send-order
+// bound cannot beat the incumbent by more than floating-point noise, so
+// pruning never changes the reported optimum beyond ~1e-12 relative.
+const pruneMargin = 1e-12
 
 // forEachPermutation invokes fn with every permutation of {0..n-1}. The
 // slice passed to fn is reused; fn must copy it if it escapes. Heap's
@@ -49,31 +56,65 @@ func forEachPermutation(n int, fn func([]int) error) error {
 	return nil
 }
 
-// BestFIFOExhaustive tries every FIFO send order over all workers, solving
-// the scenario LP for each, and returns the best schedule together with the
-// winning order. It is the optimality oracle used to validate Theorem 1 on
-// small platforms, and the fallback when the platform has no common z.
+// BestFIFOExhaustive tries every FIFO send order over all workers,
+// evaluating the scenario for each, and returns the best schedule together
+// with the winning order. It is the optimality oracle used to validate
+// Theorem 1 on small platforms, and the fallback when the platform has no
+// common z.
 func BestFIFOExhaustive(p *platform.Platform, model schedule.Model, arith Arith) (*schedule.Schedule, platform.Order, error) {
-	return bestOrderExhaustive(context.Background(), p, model, arith, false)
+	mode, err := evalMode(arith)
+	if err != nil {
+		return nil, nil, err
+	}
+	return BestFIFOExhaustiveEval(context.Background(), p, model, mode)
 }
 
 // BestFIFOExhaustiveContext is BestFIFOExhaustive with cancellation: the
 // factorial search aborts with ctx.Err() as soon as the context is done.
 func BestFIFOExhaustiveContext(ctx context.Context, p *platform.Platform, model schedule.Model, arith Arith) (*schedule.Schedule, platform.Order, error) {
-	return bestOrderExhaustive(ctx, p, model, arith, false)
+	mode, err := evalMode(arith)
+	if err != nil {
+		return nil, nil, err
+	}
+	return BestFIFOExhaustiveEval(ctx, p, model, mode)
+}
+
+// BestFIFOExhaustiveEval is the cancellable FIFO order search with an
+// explicit evaluation backend.
+func BestFIFOExhaustiveEval(ctx context.Context, p *platform.Platform, model schedule.Model, mode eval.Mode) (*schedule.Schedule, platform.Order, error) {
+	return bestOrderExhaustive(ctx, p, model, mode, false)
 }
 
 // BestLIFOExhaustive tries every LIFO send order (results in reverse).
 func BestLIFOExhaustive(p *platform.Platform, model schedule.Model, arith Arith) (*schedule.Schedule, platform.Order, error) {
-	return bestOrderExhaustive(context.Background(), p, model, arith, true)
+	mode, err := evalMode(arith)
+	if err != nil {
+		return nil, nil, err
+	}
+	return BestLIFOExhaustiveEval(context.Background(), p, model, mode)
 }
 
 // BestLIFOExhaustiveContext is BestLIFOExhaustive with cancellation.
 func BestLIFOExhaustiveContext(ctx context.Context, p *platform.Platform, model schedule.Model, arith Arith) (*schedule.Schedule, platform.Order, error) {
-	return bestOrderExhaustive(ctx, p, model, arith, true)
+	mode, err := evalMode(arith)
+	if err != nil {
+		return nil, nil, err
+	}
+	return BestLIFOExhaustiveEval(ctx, p, model, mode)
 }
 
-func bestOrderExhaustive(ctx context.Context, p *platform.Platform, model schedule.Model, arith Arith, lifo bool) (*schedule.Schedule, platform.Order, error) {
+// BestLIFOExhaustiveEval is the cancellable LIFO order search with an
+// explicit evaluation backend.
+func BestLIFOExhaustiveEval(ctx context.Context, p *platform.Platform, model schedule.Model, mode eval.Mode) (*schedule.Schedule, platform.Order, error) {
+	return bestOrderExhaustive(ctx, p, model, mode, true)
+}
+
+// bestOrderExhaustive enumerates all p! send orders. Each candidate is
+// evaluated through the raw throughput fast path of one pooled eval
+// session (closed-form chains for the FIFO/LIFO shapes, simplex only when
+// a certificate fails); only the winning order is re-evaluated through the
+// verified schedule-producing path.
+func bestOrderExhaustive(ctx context.Context, p *platform.Platform, model schedule.Model, mode eval.Mode, lifo bool) (*schedule.Schedule, platform.Order, error) {
 	if err := p.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -81,27 +122,45 @@ func bestOrderExhaustive(ctx context.Context, p *platform.Platform, model schedu
 	if n > maxExhaustiveOrder {
 		return nil, nil, fmt.Errorf("core: exhaustive order search limited to %d workers, platform has %d", maxExhaustiveOrder, n)
 	}
-	var best *schedule.Schedule
+	sess := eval.GetSession()
+	defer sess.Release()
+	sc := eval.Scenario{Platform: p, Model: model}
+	reversed := make(platform.Order, n) // scratch for the LIFO return order
+	bestRho := -1.0
 	var bestOrder platform.Order
 	err := forEachPermutation(n, func(perm []int) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		send := platform.Order(perm).Clone()
-		ret := send
+		sc.Send = perm
 		if lifo {
-			ret = send.Reverse()
+			for k, v := range perm {
+				reversed[n-1-k] = v
+			}
+			sc.Return = reversed
+		} else {
+			sc.Return = perm
 		}
-		s, err := SolveScenario(p, send, ret, model, arith)
+		rho, err := sess.ThroughputTrusted(sc, mode)
 		if err != nil {
 			return err
 		}
-		if best == nil || s.Throughput() > best.Throughput() {
-			best = s
-			bestOrder = send
+		if rho > bestRho {
+			bestRho = rho
+			bestOrder = platform.Order(perm).Clone()
 		}
 		return nil
 	})
+	if err != nil {
+		return nil, nil, err
+	}
+	sc.Send = bestOrder
+	if lifo {
+		sc.Return = bestOrder.Reverse()
+	} else {
+		sc.Return = bestOrder
+	}
+	best, err := sess.Evaluate(sc, mode)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -125,9 +184,31 @@ func BestPairExhaustive(p *platform.Platform, model schedule.Model, arith Arith)
 }
 
 // BestPairExhaustiveContext is BestPairExhaustive with cancellation: the
-// (p!)² search checks the context between scenario LPs and aborts with
+// (p!)² search checks the context between evaluations and aborts with
 // ctx.Err() once it is done.
 func BestPairExhaustiveContext(ctx context.Context, p *platform.Platform, model schedule.Model, arith Arith) (*PairResult, error) {
+	mode, err := evalMode(arith)
+	if err != nil {
+		return nil, err
+	}
+	return BestPairExhaustiveEval(ctx, p, model, mode)
+}
+
+// BestPairExhaustiveEval is the cancellable pair search with an explicit
+// evaluation backend. Two structural optimisations keep the (p!)² loop
+// from re-deriving shared work:
+//
+//   - per-prefix reuse: for each send order the send-prefix half of the
+//     tight system is assembled once (eval.Session.FixedSend) and shared
+//     by all p! return orders;
+//   - upper-bound pruning: before entering an inner loop, the send order's
+//     return-order-independent relaxation (eval.Session.SendBound) is
+//     compared against the incumbent — a send order whose bound cannot
+//     beat the best throughput found so far skips its entire inner loop.
+//
+// Pruning is disabled under ExactRational, where the bound (a float64 LP)
+// could not certify exact comparisons.
+func BestPairExhaustiveEval(ctx context.Context, p *platform.Platform, model schedule.Model, mode eval.Mode) (*PairResult, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -135,20 +216,41 @@ func BestPairExhaustiveContext(ctx context.Context, p *platform.Platform, model 
 	if n > maxExhaustivePair {
 		return nil, fmt.Errorf("core: exhaustive pair search limited to %d workers, platform has %d", maxExhaustivePair, n)
 	}
-	var best *PairResult
+	sess := eval.GetSession()
+	defer sess.Release()
+	bestRho := -1.0
+	var bestSend, bestRet platform.Order
+	prune := mode != eval.ExactRational
 	err := forEachPermutation(n, func(sendPerm []int) error {
-		send := platform.Order(sendPerm).Clone()
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		send := platform.Order(sendPerm)
+		if prune && bestRho > 0 {
+			bound, err := sess.SendBound(p, send, model)
+			if err != nil {
+				return err
+			}
+			if bound <= bestRho*(1+pruneMargin) {
+				return nil // no σ2 under this σ1 can beat the incumbent
+			}
+		}
+		fixed, err := sess.FixedSend(p, send, model, mode)
+		if err != nil {
+			return err
+		}
 		return forEachPermutation(n, func(retPerm []int) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			ret := platform.Order(retPerm).Clone()
-			s, err := SolveScenario(p, send, ret, model, arith)
+			rho, err := fixed.Throughput(retPerm)
 			if err != nil {
 				return err
 			}
-			if best == nil || s.Throughput() > best.Schedule.Throughput() {
-				best = &PairResult{Schedule: s, Send: send, Return: ret}
+			if rho > bestRho {
+				bestRho = rho
+				bestSend = send.Clone()
+				bestRet = platform.Order(retPerm).Clone()
 			}
 			return nil
 		})
@@ -156,5 +258,9 @@ func BestPairExhaustiveContext(ctx context.Context, p *platform.Platform, model 
 	if err != nil {
 		return nil, err
 	}
-	return best, nil
+	best, err := sess.Evaluate(eval.Scenario{Platform: p, Send: bestSend, Return: bestRet, Model: model}, mode)
+	if err != nil {
+		return nil, err
+	}
+	return &PairResult{Schedule: best, Send: bestSend, Return: bestRet}, nil
 }

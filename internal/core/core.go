@@ -1,33 +1,38 @@
-// Package core implements the scheduling theory of RR-5738: linear programs
-// for fixed communication scenarios (Section 2.3), the optimal one-port
-// FIFO schedule on a star (Theorem 1 and Proposition 1), the optimal
-// one-port LIFO schedule, the closed-form optimal FIFO throughput on a bus
+// Package core implements the scheduling theory of RR-5738: fixed
+// communication scenarios (Section 2.3), the optimal one-port FIFO
+// schedule on a star (Theorem 1 and Proposition 1), the optimal one-port
+// LIFO schedule, the closed-form optimal FIFO throughput on a bus
 // (Theorem 2) with its constructive two-port→one-port transformation, the
 // INC_C / INC_W heuristics of Section 5, and exhaustive searches used as
 // optimality oracles on small platforms.
 //
-// All entry points can run either in float64 arithmetic (fast; used by the
-// benchmarks and the experiment harness) or in exact rational arithmetic
-// (math/big.Rat; used by the tests to verify theorems as identities).
+// All scenario evaluation is delegated to the internal/eval pipeline: a
+// tiered evaluator that uses closed-form load recurrences and a direct
+// tight-system solver where their optimality certificates hold, and the
+// simplex (float64 or exact rational) otherwise. Entry points accept
+// either an Arith (the historical float64/exact switch) or, in their
+// *Eval variants, an explicit eval.Mode selecting the backend.
 package core
 
 import (
 	"errors"
 	"fmt"
 
+	"repro/internal/eval"
 	"repro/internal/lp"
 	"repro/internal/platform"
 	"repro/internal/schedule"
 )
 
-// Arith selects the arithmetic used by the linear-programming solver.
+// Arith selects the arithmetic used by the scenario evaluator.
 type Arith int
 
 // Arithmetic modes.
 const (
-	// Float64 solves the scheduling LPs with the float64 simplex.
+	// Float64 evaluates scenarios with the tiered float64 pipeline
+	// (closed form / direct tight system / float64 simplex).
 	Float64 Arith = iota
-	// Exact solves them with the exact rational simplex.
+	// Exact evaluates them with the exact rational simplex.
 	Exact
 )
 
@@ -42,180 +47,47 @@ func (a Arith) String() string {
 	return fmt.Sprintf("Arith(%d)", int(a))
 }
 
+// evalMode maps the historical Arith switch onto an eval.Mode: Float64
+// defers to the tiered Auto pipeline, Exact forces the rational simplex.
+func evalMode(arith Arith) (eval.Mode, error) {
+	switch arith {
+	case Float64:
+		return eval.Auto, nil
+	case Exact:
+		return eval.ExactRational, nil
+	default:
+		return 0, fmt.Errorf("core: unknown arithmetic %v", arith)
+	}
+}
+
 // ErrNoCommonZ is returned by OptimalFIFO when the platform has no common
 // return/forward ratio z = d_i/c_i, in which case Theorem 1 does not apply.
 var ErrNoCommonZ = errors.New("core: platform has no common ratio z = d/c; Theorem 1 does not apply (use BestFIFOExhaustive or SolveScenario)")
 
-// ScenarioLP builds the linear program of Section 2.3 for a fixed scenario:
-// the workers enrolled are exactly those listed in send (which must contain
-// the same set as ret), data messages are sent back-to-back in send order
-// starting at t = 0, result messages are received back-to-back in ret order
-// ending at t = 1.
-//
-// Variables are the loads α of the enrolled workers, in send-order
-// position. For the enrolled worker at send position s and return position
-// r the per-worker constraint reads
-//
-//	Σ_{send pos ≤ s} α_j·c_j  +  α_i·w_i  +  Σ_{ret pos ≥ r} α_j·d_j  ≤  1,
-//
-// the idle time x_i being the slack of the row (equation (2a) of the paper
-// with x_i eliminated). The port constraints are
-//
-//	one-port:  Σ α_j·c_j + Σ α_j·d_j ≤ 1            (2b)
-//	two-port:  Σ α_j·c_j ≤ 1  and  Σ α_j·d_j ≤ 1.
-//
-// The objective maximises the throughput ρ = Σ α_j.
+// ScenarioLP builds the linear program of Section 2.3 for a fixed
+// scenario. It delegates to the eval pipeline, the single place that
+// constructs these programs; callers needing the raw LP (exact identity
+// tests, diagnostics) go through here.
 func ScenarioLP(p *platform.Platform, send, ret platform.Order, model schedule.Model) (*lp.Problem, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	if err := validOrderPair(p.P(), send, ret); err != nil {
-		return nil, err
-	}
-	q := len(send)
-	prob := lp.NewMaximize()
-	// varOf[workerIndex] = LP variable of that worker's load.
-	varOf := make(map[int]int, q)
-	for _, i := range send {
-		varOf[i] = prob.AddVar(fmt.Sprintf("alpha_%s", p.Workers[i].Name), 1)
-	}
-	retPos := make(map[int]int, q)
-	for k, i := range ret {
-		retPos[i] = k
-	}
-	// Per-worker constraints.
-	for s, i := range send {
-		coefs := make([]lp.Coef, 0, 2*q)
-		for _, j := range send[:s+1] {
-			coefs = append(coefs, lp.Coef{Var: varOf[j], Value: p.Workers[j].C})
-		}
-		coefs = append(coefs, lp.Coef{Var: varOf[i], Value: p.Workers[i].W})
-		for _, j := range ret[retPos[i]:] {
-			coefs = append(coefs, lp.Coef{Var: varOf[j], Value: p.Workers[j].D})
-		}
-		prob.AddConstraint(fmt.Sprintf("worker_%s", p.Workers[i].Name), coefs, lp.LE, 1)
-	}
-	// Port constraints.
-	switch model {
-	case schedule.OnePort:
-		// C and D stay separate terms so the exact solver accumulates the
-		// row without float64 rounding of c+d.
-		coefs := make([]lp.Coef, 0, 2*q)
-		for _, j := range send {
-			coefs = append(coefs,
-				lp.Coef{Var: varOf[j], Value: p.Workers[j].C},
-				lp.Coef{Var: varOf[j], Value: p.Workers[j].D})
-		}
-		prob.AddConstraint("one_port", coefs, lp.LE, 1)
-	case schedule.TwoPort:
-		sendCoefs := make([]lp.Coef, 0, q)
-		retCoefs := make([]lp.Coef, 0, q)
-		for _, j := range send {
-			sendCoefs = append(sendCoefs, lp.Coef{Var: varOf[j], Value: p.Workers[j].C})
-			retCoefs = append(retCoefs, lp.Coef{Var: varOf[j], Value: p.Workers[j].D})
-		}
-		prob.AddConstraint("send_port", sendCoefs, lp.LE, 1)
-		prob.AddConstraint("recv_port", retCoefs, lp.LE, 1)
-	default:
-		return nil, fmt.Errorf("core: unknown model %v", model)
-	}
-	return prob, nil
-}
-
-func validOrderPair(n int, send, ret platform.Order) error {
-	inSend := make(map[int]bool, len(send))
-	for _, i := range send {
-		if i < 0 || i >= n {
-			return fmt.Errorf("core: order references worker %d outside platform of %d workers", i, n)
-		}
-		if inSend[i] {
-			return fmt.Errorf("core: worker %d appears twice in send order", i)
-		}
-		inSend[i] = true
-	}
-	if len(send) == 0 {
-		return fmt.Errorf("core: empty send order")
-	}
-	if len(ret) != len(send) {
-		return fmt.Errorf("core: send order has %d workers, return order %d", len(send), len(ret))
-	}
-	seen := make(map[int]bool, len(ret))
-	for _, i := range ret {
-		if seen[i] {
-			return fmt.Errorf("core: worker %d appears twice in return order", i)
-		}
-		seen[i] = true
-		if !inSend[i] {
-			return fmt.Errorf("core: worker %d in return order but not in send order", i)
-		}
-	}
-	return nil
+	return eval.ScenarioLP(eval.Scenario{Platform: p, Send: send, Return: ret, Model: model})
 }
 
 // SolveScenario computes the optimal loads for a fixed scenario and returns
 // the resulting schedule with horizon T = 1. Workers that receive zero load
-// in the LP optimum are pruned from the schedule's orders, implementing the
+// in the optimum are pruned from the schedule's orders, implementing the
 // paper's resource selection (Proposition 1). The schedule is verified
 // against the feasibility checker before being returned.
 func SolveScenario(p *platform.Platform, send, ret platform.Order, model schedule.Model, arith Arith) (*schedule.Schedule, error) {
-	prob, err := ScenarioLP(p, send, ret, model)
+	mode, err := evalMode(arith)
 	if err != nil {
 		return nil, err
 	}
-	var x []float64
-	var status lp.Status
-	switch arith {
-	case Float64:
-		sol, err := prob.Solve()
-		if err != nil {
-			return nil, err
-		}
-		status, x = sol.Status, sol.X
-	case Exact:
-		sol, err := prob.SolveExact()
-		if err != nil {
-			return nil, err
-		}
-		status = sol.Status
-		if status == lp.Optimal {
-			_, x = sol.Float()
-		}
-	default:
-		return nil, fmt.Errorf("core: unknown arithmetic %v", arith)
-	}
-	if status != lp.Optimal {
-		// The scheduling LPs are always feasible (α = 0) and bounded (the
-		// port constraint caps Σα), so any other status is an internal bug.
-		return nil, fmt.Errorf("core: scenario LP terminated %v (internal error)", status)
-	}
-	s := &schedule.Schedule{
-		Alpha: make([]float64, p.P()),
-		T:     1,
-	}
-	for k, i := range send {
-		s.Alpha[i] = x[k]
-	}
-	// Prune zero-load workers from both orders (resource selection).
-	const loadEps = 1e-12
-	for _, i := range send {
-		if s.Alpha[i] <= loadEps {
-			s.Alpha[i] = 0
-			continue
-		}
-		s.SendOrder = append(s.SendOrder, i)
-	}
-	for _, i := range ret {
-		if s.Alpha[i] > 0 {
-			s.ReturnOrder = append(s.ReturnOrder, i)
-		}
-	}
-	if len(s.SendOrder) == 0 {
-		return nil, fmt.Errorf("core: LP assigned zero load to every worker (degenerate platform?)")
-	}
-	if err := s.Check(p, model); err != nil {
-		return nil, fmt.Errorf("core: internal error: computed schedule fails verification: %w", err)
-	}
-	return s, nil
+	return SolveScenarioEval(p, send, ret, model, mode)
+}
+
+// SolveScenarioEval is SolveScenario with an explicit evaluation backend.
+func SolveScenarioEval(p *platform.Platform, send, ret platform.Order, model schedule.Model, mode eval.Mode) (*schedule.Schedule, error) {
+	return eval.Evaluate(eval.Scenario{Platform: p, Send: send, Return: ret, Model: model}, mode)
 }
 
 // ExactThroughput solves the scenario LP in rational arithmetic and returns
@@ -223,17 +95,5 @@ func SolveScenario(p *platform.Platform, send, ret platform.Order, model schedul
 // float64 value. It is used by tests that verify closed forms as exact
 // identities.
 func ExactThroughput(p *platform.Platform, send, ret platform.Order, model schedule.Model) (float64, string, error) {
-	prob, err := ScenarioLP(p, send, ret, model)
-	if err != nil {
-		return 0, "", err
-	}
-	sol, err := prob.SolveExact()
-	if err != nil {
-		return 0, "", err
-	}
-	if sol.Status != lp.Optimal {
-		return 0, "", fmt.Errorf("core: scenario LP terminated %v", sol.Status)
-	}
-	f, _ := sol.Objective.Float64()
-	return f, sol.Objective.RatString(), nil
+	return eval.ExactObjective(eval.Scenario{Platform: p, Send: send, Return: ret, Model: model})
 }

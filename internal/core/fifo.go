@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/eval"
 	"repro/internal/platform"
 	"repro/internal/schedule"
 )
@@ -11,7 +12,7 @@ import (
 // with a common ratio z = d_i/c_i, implementing Theorem 1 and Proposition 1:
 //
 //   - z < 1: enroll all workers sorted by non-decreasing c_i, solve the FIFO
-//     linear program; the LP's zero loads give the resource selection.
+//     scenario; zero loads give the resource selection.
 //   - z > 1: solve the mirrored platform (c ↔ d, whose ratio is 1/z < 1) and
 //     flip the resulting schedule in time; initial messages then go out in
 //     non-increasing c_i order, as stated in Section 3.
@@ -22,6 +23,15 @@ import (
 // optimal FIFO throughput ρ*. It returns ErrNoCommonZ when the platform has
 // no common z.
 func OptimalFIFO(p *platform.Platform, arith Arith) (*schedule.Schedule, error) {
+	mode, err := evalMode(arith)
+	if err != nil {
+		return nil, err
+	}
+	return OptimalFIFOEval(p, mode)
+}
+
+// OptimalFIFOEval is OptimalFIFO with an explicit evaluation backend.
+func OptimalFIFOEval(p *platform.Platform, mode eval.Mode) (*schedule.Schedule, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -31,13 +41,13 @@ func OptimalFIFO(p *platform.Platform, arith Arith) (*schedule.Schedule, error) 
 	}
 	if z <= 1 {
 		order := p.ByC()
-		return SolveScenario(p, order, order, schedule.OnePort, arith)
+		return SolveScenarioEval(p, order, order, schedule.OnePort, mode)
 	}
 	// z > 1: time-reversal reduction. The mirror has ratio 1/z < 1; its
 	// non-decreasing-c order is the original's non-decreasing-d order.
 	mirror := p.Mirror()
 	order := mirror.ByC()
-	ms, err := SolveScenario(mirror, order, order, schedule.OnePort, arith)
+	ms, err := SolveScenarioEval(mirror, order, order, schedule.OnePort, mode)
 	if err != nil {
 		return nil, err
 	}
@@ -60,13 +70,22 @@ func FIFOWithOrder(p *platform.Platform, order platform.Order, model schedule.Mo
 // of [7, 8] involves all processors sorted by non-decreasing c_i and is
 // automatically a one-port schedule, every LIFO schedule being one-port
 // feasible), it enrolls all workers by non-decreasing c_i and lets the
-// linear program fix the loads; zero-load workers are pruned.
+// evaluator fix the loads; zero-load workers are pruned.
 func OptimalLIFO(p *platform.Platform, arith Arith) (*schedule.Schedule, error) {
+	mode, err := evalMode(arith)
+	if err != nil {
+		return nil, err
+	}
+	return OptimalLIFOEval(p, mode)
+}
+
+// OptimalLIFOEval is OptimalLIFO with an explicit evaluation backend.
+func OptimalLIFOEval(p *platform.Platform, mode eval.Mode) (*schedule.Schedule, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	order := p.ByC()
-	return SolveScenario(p, order, order.Reverse(), schedule.OnePort, arith)
+	return SolveScenarioEval(p, order, order.Reverse(), schedule.OnePort, mode)
 }
 
 // LIFOWithOrder computes the optimal loads for the LIFO schedule whose send
@@ -76,7 +95,7 @@ func LIFOWithOrder(p *platform.Platform, order platform.Order, model schedule.Mo
 }
 
 // The Section 5 heuristics. Each enrolls all workers in a fixed order and
-// lets the scenario LP compute loads (and deselect workers).
+// lets the scenario evaluator compute loads (and deselect workers).
 
 // IncC is the INC_C heuristic: a FIFO schedule ordered by non-decreasing
 // c_i (fastest-communicating workers first). By Theorem 1 this is optimal

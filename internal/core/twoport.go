@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/eval"
 	"repro/internal/platform"
 	"repro/internal/schedule"
 )
@@ -19,13 +20,23 @@ import (
 
 // OptimalFIFOTwoPort computes the optimal two-port FIFO schedule: all
 // workers considered in non-decreasing c order, loads (and resource
-// selection) by the scenario LP under the two-port model.
+// selection) by the scenario evaluator under the two-port model.
 func OptimalFIFOTwoPort(p *platform.Platform, arith Arith) (*schedule.Schedule, error) {
+	mode, err := evalMode(arith)
+	if err != nil {
+		return nil, err
+	}
+	return OptimalFIFOTwoPortEval(p, mode)
+}
+
+// OptimalFIFOTwoPortEval is OptimalFIFOTwoPort with an explicit
+// evaluation backend.
+func OptimalFIFOTwoPortEval(p *platform.Platform, mode eval.Mode) (*schedule.Schedule, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	order := p.ByC()
-	return SolveScenario(p, order, order, schedule.TwoPort, arith)
+	return SolveScenarioEval(p, order, order, schedule.TwoPort, mode)
 }
 
 // OptimalLIFOTwoPort computes the optimal two-port LIFO schedule in
@@ -33,11 +44,21 @@ func OptimalFIFOTwoPort(p *platform.Platform, arith Arith) (*schedule.Schedule, 
 // schedule already obeys the one-port model, so this equals OptimalLIFO;
 // it is exposed for symmetry with the companion-paper baselines.
 func OptimalLIFOTwoPort(p *platform.Platform, arith Arith) (*schedule.Schedule, error) {
+	mode, err := evalMode(arith)
+	if err != nil {
+		return nil, err
+	}
+	return OptimalLIFOTwoPortEval(p, mode)
+}
+
+// OptimalLIFOTwoPortEval is OptimalLIFOTwoPort with an explicit
+// evaluation backend.
+func OptimalLIFOTwoPortEval(p *platform.Platform, mode eval.Mode) (*schedule.Schedule, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	order := p.ByC()
-	return SolveScenario(p, order, order.Reverse(), schedule.TwoPort, arith)
+	return SolveScenarioEval(p, order, order.Reverse(), schedule.TwoPort, mode)
 }
 
 // OnePortPenalty quantifies the cost of the one-port restriction for FIFO

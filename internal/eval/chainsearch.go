@@ -1,0 +1,399 @@
+package eval
+
+import (
+	"math"
+
+	"repro/internal/numeric"
+	"repro/internal/platform"
+	"repro/internal/schedule"
+)
+
+// This file implements the fast FIFO/LIFO variants of the active-set
+// descent. For those scenario shapes every candidate vertex — all rows
+// tight on an enrolled subsequence, or port-tight with one slack row — is
+// a chain system solvable in O(m), so the whole search runs without any
+// Gaussian elimination:
+//
+//   - the all-tight candidate is the two-term load recurrence of tight.go;
+//   - the port-tight candidate with slack row k parameterises the loads as
+//     α = t·X + s·Y (t the chain scale, s = α_k) and closes with the first
+//     tight row and the port row — a 2×2 solve;
+//   - the duals are chain recurrences parameterised by the total T (and,
+//     for port-tight vertices, the port multiplier μ), closed by Σλ = T
+//     and the stationarity equation of the slack column — another 2×2;
+//   - the dropped-worker checks reduce to prefix sums over send positions.
+//
+// The dual chains double as descent hints: the most negative multiplier
+// names the worker that resource selection wants to drop (Proposition 1),
+// which is what lets the descent walk straight to the optimal enrolled
+// subset instead of enumerating subsets.
+
+// fifoDualHint runs the O(m) FIFO dual chain and reports both whether the
+// multipliers certify (all ≥ -CertTol) and the index (into send) of the
+// most negative multiplier — the resource-selection descent hint. On
+// success s.lam holds the multipliers.
+func (s *Session) fifoDualHint(p *platform.Platform, send platform.Order) (hint int, ok bool) {
+	q := len(send)
+	u := grow(&s.u, q)
+	v := grow(&s.v, q)
+	pu, pv := 0.0, 0.0
+	for k, i := range send {
+		w := p.Workers[i]
+		den := w.W + w.D
+		u[k] = (1 - (w.D-w.C)*pu) / den
+		v[k] = (-w.C - (w.D-w.C)*pv) / den
+		pu += u[k]
+		pv += v[k]
+	}
+	if d := 1 - pv; d < 1e-12 && d > -1e-12 {
+		return -1, false // closure degenerate; let the simplex decide
+	}
+	t := pu / (1 - pv)
+	lam := grow(&s.lam, q)
+	hint, ok = -1, true
+	worst := 0.0
+	for k := range u {
+		lam[k] = u[k] + t*v[k]
+		if !certOK(lam[k]) {
+			ok = false
+			if lam[k] < worst {
+				worst, hint = lam[k], k
+			}
+		}
+	}
+	return hint, ok
+}
+
+// lifoDualHint is the LIFO counterpart of fifoDualHint (back substitution
+// on the upper-triangular transpose); s.lam holds the multipliers.
+func (s *Session) lifoDualHint(p *platform.Platform, send platform.Order) (hint int, ok bool) {
+	lam := grow(&s.lam, len(send))
+	suffix := 0.0
+	hint, ok = -1, true
+	worst := 0.0
+	for k := len(send) - 1; k >= 0; k-- {
+		w := p.Workers[send[k]]
+		lam[k] = (1 - (w.C+w.D)*suffix) / (w.C + w.W + w.D)
+		if !certOK(lam[k]) {
+			ok = false
+			if lam[k] < worst {
+				worst, hint = lam[k], k
+			}
+		}
+		suffix += lam[k]
+	}
+	return hint, ok
+}
+
+// fifoPortVertex solves, in O(m), the one-port FIFO vertex over the
+// enrolled workers sub in which every worker row except row k is tight and
+// the port row is tight instead (worker k is the one allowed idle worker,
+// Lemma 1). It certifies the candidate completely except for the
+// dropped-worker checks, which the caller runs with the returned λ and μ.
+//
+// Loads: subtracting consecutive tight rows chains α as α = t·X + s·Y with
+// s = α_k; rows k−1 and k+1 are linked by
+//
+//	α_{k+1}·(c_{k+1}+w_{k+1}) = α_{k−1}·(w_{k−1}+d_{k−1}) + α_k·(d_k−c_k),
+//
+// and (t, s) close on the first tight row and the tight port row.
+//
+// Duals: λ_j = (1 − μ·g_j − c_j·T − (d_j−c_j)·P_{j−1})/(w_j+d_j) with
+// λ_k = 0, parameterised affinely in (T, μ); the closures are Σλ = T and
+// the stationarity equation of column k.
+//
+// On success the loads are in s.alpha (by enrolled index), the worker-row
+// multipliers in s.lam, and the port multiplier is returned as mu. On
+// failure loadHint names the most negative load's enrolled index (-1 if
+// none).
+func (s *Session) fifoPortVertex(p *platform.Platform, sub platform.Order, k int) (alpha []float64, mu float64, ok bool, loadHint int) {
+	m := len(sub)
+	if m < 2 {
+		// A single enrolled worker has no tight worker row left once its
+		// own row goes slack; the all-tight candidate covers m = 1.
+		return nil, 0, false, -1
+	}
+	tol := numeric.CertTol
+	X := grow(&s.u, m)
+	Y := grow(&s.v, m)
+	for r := 0; r < m; r++ {
+		w := p.Workers[sub[r]]
+		switch {
+		case r == k:
+			X[r], Y[r] = 0, 1
+		case r == 0:
+			X[r], Y[r] = 1, 0
+		case r == k+1 && k > 0:
+			prev := p.Workers[sub[k-1]]
+			wk := p.Workers[sub[k]]
+			X[r] = X[k-1] * (prev.W + prev.D) / (w.C + w.W)
+			Y[r] = (wk.D - wk.C) / (w.C + w.W)
+		case r == k+1: // k == 0: the tight chain restarts at row 1
+			X[r], Y[r] = 1, 0
+		default: // rows r-1 and r both tight
+			prev := p.Workers[sub[r-1]]
+			f := (prev.W + prev.D) / (w.C + w.W)
+			X[r] = X[r-1] * f
+			Y[r] = Y[r-1] * f
+		}
+	}
+	// Closure 1: the first tight row f.
+	f := 0
+	if k == 0 {
+		f = 1
+	}
+	rowCoef := func(vec []float64) float64 {
+		lhs := 0.0
+		for j := 0; j <= f; j++ {
+			lhs += vec[j] * p.Workers[sub[j]].C
+		}
+		lhs += vec[f] * p.Workers[sub[f]].W
+		for j := f; j < m; j++ {
+			lhs += vec[j] * p.Workers[sub[j]].D
+		}
+		return lhs
+	}
+	a11, a12 := rowCoef(X), rowCoef(Y)
+	// Closure 2: the tight port row.
+	a21, a22 := 0.0, 0.0
+	for j := 0; j < m; j++ {
+		g := p.Workers[sub[j]].C + p.Workers[sub[j]].D
+		a21 += X[j] * g
+		a22 += Y[j] * g
+	}
+	det := a11*a22 - a12*a21
+	if det < 1e-300 && det > -1e-300 {
+		return nil, 0, false, -1
+	}
+	t := (a22 - a12) / det
+	sv := (a11 - a21) / det
+	alpha = grow(&s.alpha, m)
+	loadHint = -1
+	worst := 0.0
+	for r := 0; r < m; r++ {
+		alpha[r] = t*X[r] + sv*Y[r]
+		if math.IsNaN(alpha[r]) || math.IsInf(alpha[r], 0) {
+			return nil, 0, false, -1
+		}
+		if alpha[r] < worst {
+			worst, loadHint = alpha[r], r
+		}
+	}
+	if worst < -tol {
+		return nil, 0, false, loadHint
+	}
+	clampLoads(alpha)
+	// The slack row must hold as an inequality (worker k's idle time ≥ 0).
+	lhs := 0.0
+	for j := 0; j <= k; j++ {
+		lhs += alpha[j] * p.Workers[sub[j]].C
+	}
+	lhs += alpha[k] * p.Workers[sub[k]].W
+	for j := k; j < m; j++ {
+		lhs += alpha[j] * p.Workers[sub[j]].D
+	}
+	if lhs > 1+tol {
+		return nil, 0, false, -1
+	}
+	// Dual chain in (T, μ): λ_j = l0[j] + T·lT[j] + μ·lM[j], λ_k = 0.
+	l0 := grow(&s.d0, m)
+	lT := grow(&s.dT, m)
+	lM := grow(&s.dM, m)
+	p0, pT, pM := 0.0, 0.0, 0.0 // prefix sums P_{j-1} of the three parts
+	k0, kT, kM := 0.0, 0.0, 0.0 // prefix sums at column k
+	for j := 0; j < m; j++ {
+		if j == k {
+			l0[j], lT[j], lM[j] = 0, 0, 0
+			k0, kT, kM = p0, pT, pM
+			continue
+		}
+		w := p.Workers[sub[j]]
+		den := w.W + w.D
+		dc := w.D - w.C
+		g := w.C + w.D
+		l0[j] = (1 - dc*p0) / den
+		lT[j] = (-w.C - dc*pT) / den
+		lM[j] = (-g - dc*pM) / den
+		p0 += l0[j]
+		pT += lT[j]
+		pM += lM[j]
+	}
+	// Closure A: stationarity at column k:
+	//   c_k·(T − P_{k−1}) + d_k·P_{k−1} + μ·g_k = 1
+	// with P_{k−1} = k0 + T·kT + μ·kM.
+	wk := p.Workers[sub[k]]
+	dck := wk.D - wk.C
+	gk := wk.C + wk.D
+	// (c_k + dck·kT)·T + (g_k + dck·kM)·μ = 1 − dck·k0
+	b11 := wk.C + dck*kT
+	b12 := gk + dck*kM
+	r1 := 1 - dck*k0
+	// Closure B: Σλ = T → (ΣlT − 1)·T + ΣlM·μ = −Σl0.
+	b21 := pT - 1
+	b22 := pM
+	r2 := -p0
+	det = b11*b22 - b12*b21
+	if det < 1e-300 && det > -1e-300 {
+		return nil, 0, false, -1
+	}
+	T := (r1*b22 - b12*r2) / det
+	mu = (b11*r2 - r1*b21) / det
+	if !certOK(mu) {
+		return nil, 0, false, -1
+	}
+	lam := grow(&s.lam, m)
+	for j := 0; j < m; j++ {
+		lam[j] = l0[j] + T*lT[j] + mu*lM[j]
+		if !certOK(lam[j]) {
+			return nil, 0, false, -1
+		}
+	}
+	return alpha, mu, true, -1
+}
+
+// chainSearch runs the active-set descent for FIFO and LIFO scenarios
+// using the O(m) chains for every candidate. Per level, over the enrolled
+// subsequence:
+//
+//  1. solve the all-tight chain; if its loads, port check, dual chain and
+//     the dropped-worker checks all certify, done;
+//  2. on a port overrun (one-port FIFO only — LIFO never saturates the
+//     port): scan the port-tight vertices, slack row k = m−1 down to 0;
+//  3. otherwise drop the dual chain's most negative position (falling back
+//     to the vertices' load hints, then the last position) and descend.
+//
+// Returns loads by send position of the full scenario.
+func (s *Session) chainSearch(sc Scenario, lifo bool) ([]float64, bool) {
+	p := sc.Platform
+	q := len(sc.Send)
+	enrolled := growInt(&s.enrolled, q)
+	for i := range enrolled {
+		enrolled[i] = i
+	}
+	sub := growInt(&s.sub, q)
+	expand := func(E []int, alpha []float64) []float64 {
+		out := grow(&s.work, q)
+		for t := range out {
+			out[t] = 0
+		}
+		for r, pos := range E {
+			out[pos] = alpha[r]
+		}
+		return out
+	}
+	for m := q; m >= 1; m-- {
+		E := enrolled[:m]
+		// The enrolled subsequence as an order (worker indices).
+		for r, pos := range E {
+			sub[r] = sc.Send[pos]
+		}
+		subOrder := platform.Order(sub[:m])
+		var alpha []float64
+		var chainOK bool
+		if lifo {
+			alpha, chainOK = s.lifoTight(p, subOrder)
+		} else {
+			alpha, chainOK = s.fifoTight(p, subOrder)
+		}
+		if !chainOK {
+			return nil, false // degenerate chain; let the simplex decide
+		}
+		portOK := lifo || portFeasible(p, subOrder, alpha, sc.Model)
+		var hint int
+		var dualOK bool
+		if lifo {
+			hint, dualOK = s.lifoDualHint(p, subOrder)
+		} else {
+			hint, dualOK = s.fifoDualHint(p, subOrder)
+		}
+		if portOK && dualOK && s.chainDroppedOK(sc, E, alpha, s.lam[:m], 0, lifo) {
+			return expand(E, alpha), true
+		}
+		// Port-bound vertices: one-port FIFO only, and only when the dual
+		// chain is clean — a negative chain multiplier means resource
+		// selection wants a drop first, so scanning the port vertices of
+		// the current (too large) enrolled set would be wasted work.
+		if dualOK && !portOK && !lifo && sc.Model == schedule.OnePort {
+			loadHint := -1
+			for k := m - 1; k >= 0; k-- {
+				va, mu, ok, lh := s.fifoPortVertex(p, subOrder, k)
+				if ok && s.chainDroppedOK(sc, E, va, s.lam[:m], mu, lifo) {
+					return expand(E, va), true
+				}
+				if lh >= 0 && loadHint < 0 {
+					loadHint = lh
+				}
+			}
+			if hint < 0 {
+				hint = loadHint
+			}
+		}
+		if m == 1 {
+			break
+		}
+		drop := m - 1
+		if hint >= 0 {
+			drop = hint
+		}
+		copy(enrolled[drop:], enrolled[drop+1:m])
+	}
+	return nil, false
+}
+
+// chainDroppedOK verifies the full-LP certificate parts that concern the
+// dropped workers of a chain candidate, in O(q) via prefix sums:
+//
+//   - primal: every dropped worker's row must hold as an inequality,
+//     LHS_j = Σ_{i∈E, before j in σ1} α_i·c_i + Σ_{i∈E, after j in σ2} α_i·d_i ≤ 1
+//     (the dropped worker's own terms vanish with α_j = 0);
+//   - dual: Σ_{i∈E} λ_i·A_{ij} + μ·(c_j+d_j) ≥ 1 with
+//     A_{ij} = c_j·[j before i in σ1] + d_j·[j after i in σ2].
+//
+// For FIFO both conditions reduce to prefix/suffix sums over send
+// positions; for LIFO "after in σ2" is "before in σ1". alpha and lam are
+// indexed by enrolled index; mu is the port multiplier of the candidate
+// (zero for all-tight candidates).
+func (s *Session) chainDroppedOK(sc Scenario, E []int, alpha, lam []float64, mu float64, lifo bool) bool {
+	q := len(sc.Send)
+	m := len(E)
+	if m == q {
+		return true
+	}
+	p := sc.Platform
+	tol := numeric.CertTol
+	ei := 0 // enrolled index of the next enrolled position ≥ cursor
+	preAC, preAD, preLam := 0.0, 0.0, 0.0
+	totAD, totLam := 0.0, 0.0
+	for r := 0; r < m; r++ {
+		totAD += alpha[r] * p.Workers[sc.Send[E[r]]].D
+		totLam += lam[r]
+	}
+	for pos := 0; pos < q; pos++ {
+		if ei < m && E[ei] == pos {
+			preAC += alpha[ei] * p.Workers[sc.Send[pos]].C
+			preAD += alpha[ei] * p.Workers[sc.Send[pos]].D
+			preLam += lam[ei]
+			ei++
+			continue
+		}
+		// Dropped worker at this send position.
+		j := sc.Send[pos]
+		wj := p.Workers[j]
+		var rowLHS, dualLHS float64
+		if lifo {
+			// σ2 = reverse σ1: "after j in σ2" = "before j in σ1", so both
+			// the c and d terms of A_{ij} select enrolled rows after pos.
+			rowLHS = preAC + preAD
+			dualLHS = (wj.C + wj.D) * (totLam - preLam)
+		} else {
+			// FIFO: "after j in σ2" = "at or after j in σ1".
+			rowLHS = preAC + (totAD - preAD)
+			dualLHS = wj.C*(totLam-preLam) + wj.D*preLam
+		}
+		dualLHS += mu * (wj.C + wj.D)
+		if rowLHS > 1+tol || dualLHS < 1-tol {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,402 @@
+package eval
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/lp"
+	"repro/internal/numeric"
+	"repro/internal/platform"
+	"repro/internal/schedule"
+)
+
+// Session holds the scratch buffers of one evaluation pipeline: the tight
+// system matrix, pivot indices, load/dual vectors and the cached send base
+// of a FixedSend. Sessions make batch and exhaustive evaluation allocate
+// O(1) per scenario. A Session is NOT safe for concurrent use; obtain one
+// per goroutine via NewSession or the pool-backed GetSession/Release pair.
+type Session struct {
+	alpha      []float64 // candidate loads, by enrolled position
+	lam        []float64 // dual multipliers
+	u, v       []float64 // FIFO dual chain decomposition / expanded loads
+	a          []float64 // candidate system / LU factors (clobbered by solves)
+	work       []float64 // q×q assembled system kept intact across candidates
+	base       []float64 // FixedSend: return-order-independent half of the system
+	piv        []int     // LU row swaps
+	retPos     []int     // worker index → return position
+	mask       []int     // send position → enrolled index (active-set search)
+	enrolled   []int     // active-set descent: enrolled send positions
+	sub        []int     // enrolled subsequence as worker indices (chain search)
+	d0, dT, dM []float64 // (T, μ)-parameterised dual chain of a port vertex
+}
+
+// NewSession returns a fresh, unpooled session.
+func NewSession() *Session { return &Session{} }
+
+var sessionPool = sync.Pool{New: func() any { return NewSession() }}
+
+// GetSession returns a pooled session; pair it with Release.
+func GetSession() *Session { return sessionPool.Get().(*Session) }
+
+// Release returns the session to the pool. The session must not be used
+// afterwards (nor any FixedSend derived from it).
+func (s *Session) Release() { sessionPool.Put(s) }
+
+// grow returns *buf resized to n, reusing its capacity when possible.
+func grow(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+func growInt(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// Evaluate solves the scenario with the given mode and returns the
+// resulting schedule with horizon T = 1, zero-load workers pruned from the
+// orders (resource selection, Proposition 1), verified against the
+// independent feasibility checker.
+func (s *Session) Evaluate(sc Scenario, mode Mode) (*schedule.Schedule, error) {
+	alpha, _, err := s.loads(sc, mode)
+	if err != nil {
+		return nil, err
+	}
+	return buildSchedule(sc, alpha)
+}
+
+// Throughput is the raw fast path for search loops: it returns only the
+// optimal throughput ρ of the scenario, skipping schedule construction and
+// the feasibility checker. Searches re-evaluate their winner through
+// Evaluate, which verifies it.
+func (s *Session) Throughput(sc Scenario, mode Mode) (float64, error) {
+	_, rho, err := s.loads(sc, mode)
+	return rho, err
+}
+
+// ThroughputTrusted is Throughput minus the per-call scenario validation,
+// for search loops that enumerate (σ1, σ2) programmatically over an
+// already-validated platform. Validation allocates; skipping it keeps the
+// per-scenario cost allocation-free on the tight path.
+func (s *Session) ThroughputTrusted(sc Scenario, mode Mode) (float64, error) {
+	_, rho, err := s.loadsResolved(sc, mode)
+	return rho, err
+}
+
+// loads validates the scenario and dispatches it.
+func (s *Session) loads(sc Scenario, mode Mode) ([]float64, float64, error) {
+	if err := validate(sc); err != nil {
+		return nil, 0, err
+	}
+	return s.loadsResolved(sc, mode)
+}
+
+// loadsResolved dispatches the scenario to the backend(s) selected by mode
+// and returns the optimal loads by send position (session-owned; valid
+// until the next call) together with their sum ρ.
+func (s *Session) loadsResolved(sc Scenario, mode Mode) ([]float64, float64, error) {
+	switch mode {
+	case Simplex:
+		return s.simplexLoads(sc)
+	case ExactRational:
+		return s.exactLoads(sc)
+	case Auto, ClosedForm, Direct:
+		// Tight-system tiers below.
+	default:
+		return nil, 0, fmt.Errorf("eval: unknown mode %d", int(mode))
+	}
+	kind := kindOf(sc.Send, sc.Return)
+	switch mode {
+	case ClosedForm:
+		switch kind {
+		case kindFIFO:
+			alpha, rej := s.fifoTightCertified(sc)
+			if rej == rejectNone {
+				return alpha, sum(alpha), nil
+			}
+			// Port-bound FIFO optimum: a closed form exists on buses only
+			// (Theorem 2's constructive proof).
+			if rej == rejectPort && sc.Model == schedule.OnePort {
+				if alpha, ok := s.busFIFO(sc.Platform, sc.Send); ok {
+					return alpha, sum(alpha), nil
+				}
+			}
+			return nil, 0, ErrNotTight
+		case kindLIFO:
+			if alpha, ok := s.lifoTightCertified(sc); ok {
+				return alpha, sum(alpha), nil
+			}
+			return nil, 0, ErrNotTight
+		default:
+			return nil, 0, ErrNotApplicable
+		}
+	case Direct:
+		if alpha, ok := s.generalTight(sc); ok {
+			return alpha, sum(alpha), nil
+		}
+	case Auto:
+		// Tiering: the chain-based active-set descent where the shape
+		// admits it (O(p) per level, at most one LU candidate), the
+		// full-scan LU search for general pairs, the simplex whenever no
+		// certificate holds (degeneracy, a descent that guessed wrong).
+		switch kind {
+		case kindFIFO:
+			if alpha, ok := s.chainSearch(sc, false); ok {
+				return alpha, sum(alpha), nil
+			}
+		case kindLIFO:
+			if alpha, ok := s.chainSearch(sc, true); ok {
+				return alpha, sum(alpha), nil
+			}
+		default:
+			if alpha, ok := s.generalTight(sc); ok {
+				return alpha, sum(alpha), nil
+			}
+		}
+	}
+	return s.simplexLoads(sc)
+}
+
+func sum(xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// simplexLoads solves the full scenario LP with the float64 simplex.
+func (s *Session) simplexLoads(sc Scenario) ([]float64, float64, error) {
+	sol, err := buildLP(sc, false).Solve()
+	if err != nil {
+		return nil, 0, err
+	}
+	if sol.Status != lp.Optimal {
+		// The scheduling LPs are always feasible (α = 0) and bounded (the
+		// port constraint caps Σα), so any other status is an internal bug.
+		return nil, 0, fmt.Errorf("eval: scenario LP terminated %v (internal error)", sol.Status)
+	}
+	return sol.X, sol.Objective, nil
+}
+
+// exactLoads solves the full scenario LP in exact rational arithmetic and
+// returns the float64 view of the optimum.
+func (s *Session) exactLoads(sc Scenario) ([]float64, float64, error) {
+	sol, err := buildLP(sc, true).SolveExact()
+	if err != nil {
+		return nil, 0, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, 0, fmt.Errorf("eval: scenario LP terminated %v (internal error)", sol.Status)
+	}
+	obj, x := sol.Float()
+	return x, obj, nil
+}
+
+// buildSchedule converts loads (by send position) into a verified
+// canonical schedule, pruning zero-load workers from both orders.
+func buildSchedule(sc Scenario, alpha []float64) (*schedule.Schedule, error) {
+	p := sc.Platform
+	out := &schedule.Schedule{
+		Alpha: make([]float64, p.P()),
+		T:     1,
+	}
+	for k, i := range sc.Send {
+		out.Alpha[i] = alpha[k]
+	}
+	// Prune zero-load workers from both orders (resource selection).
+	for _, i := range sc.Send {
+		if out.Alpha[i] <= numeric.LoadEps {
+			out.Alpha[i] = 0
+			continue
+		}
+		out.SendOrder = append(out.SendOrder, i)
+	}
+	for _, i := range sc.Return {
+		if out.Alpha[i] > 0 {
+			out.ReturnOrder = append(out.ReturnOrder, i)
+		}
+	}
+	if len(out.SendOrder) == 0 {
+		return nil, fmt.Errorf("eval: LP assigned zero load to every worker (degenerate platform?)")
+	}
+	if err := out.Check(p, sc.Model); err != nil {
+		return nil, fmt.Errorf("eval: internal error: computed schedule fails verification: %w", err)
+	}
+	return out, nil
+}
+
+// --- Pair-search support --------------------------------------------------
+
+// FixedSend evaluates many return orders against one fixed send order,
+// reusing the send-prefix half of the tight system across calls (the
+// (p!)² pair search re-derives nothing it shares between return orders).
+// A Session supports one active FixedSend at a time; creating a new one
+// invalidates the previous.
+type FixedSend struct {
+	sess  *Session
+	sc    Scenario // Return is set per Throughput call
+	exact bool
+}
+
+// FixedSend prepares repeated evaluations sharing a send order. The mode
+// tiers like loads: tight system first (from the cached base), simplex
+// fallback; Simplex and ExactRational modes skip the tight attempt.
+func (s *Session) FixedSend(p *platform.Platform, send platform.Order, model schedule.Model, mode Mode) (*FixedSend, error) {
+	sc := Scenario{Platform: p, Send: send, Return: send, Model: model}
+	if err := validate(sc); err != nil {
+		return nil, err
+	}
+	if !mode.Valid() {
+		return nil, fmt.Errorf("eval: unknown mode %d", int(mode))
+	}
+	f := &FixedSend{sess: s, sc: sc, exact: mode == ExactRational}
+	if mode == Simplex || mode == ExactRational {
+		s.base = s.base[:0] // mark "no tight base": Throughput goes to the LP
+	} else {
+		q := len(send)
+		buildTightBase(grow(&s.base, q*q), p, send)
+	}
+	return f, nil
+}
+
+// Throughput evaluates one return order against the fixed send order. The
+// return order must be a permutation of the send order (checked without
+// allocating); the tight path reuses the cached send base, cascades to the
+// port-bound vertices, and falls back to the simplex.
+func (f *FixedSend) Throughput(ret platform.Order) (float64, error) {
+	sc := f.sc
+	sc.Return = ret
+	s := f.sess
+	if f.exact {
+		return s.Throughput(sc, ExactRational)
+	}
+	if len(s.base) == 0 {
+		return s.Throughput(sc, Simplex)
+	}
+	if err := s.checkReturnOrder(sc.Platform.P(), sc.Send, ret); err != nil {
+		return 0, err
+	}
+	q := len(sc.Send)
+	full := grow(&s.work, q*q)
+	copy(full, s.base)
+	s.addReturnTerms(full, sc.Platform, sc.Send, ret)
+	if alpha, ok := s.tightSearchOn(sc, full, false, -1); ok {
+		return sum(alpha), nil
+	}
+	_, rho, err := s.simplexLoads(sc)
+	return rho, err
+}
+
+// checkReturnOrder verifies that ret is a permutation of send using the
+// session's position scratch (no allocation): every send worker must
+// appear in ret exactly once.
+func (s *Session) checkReturnOrder(n int, send, ret platform.Order) error {
+	if len(ret) != len(send) {
+		return fmt.Errorf("eval: send order has %d workers, return order %d", len(send), len(ret))
+	}
+	pos := growInt(&s.retPos, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for k, i := range ret {
+		if i < 0 || i >= n {
+			return fmt.Errorf("eval: order references worker %d outside platform of %d workers", i, n)
+		}
+		if pos[i] >= 0 {
+			return fmt.Errorf("eval: worker %d appears twice in return order", i)
+		}
+		pos[i] = k
+	}
+	for _, i := range send {
+		if pos[i] < 0 {
+			return fmt.Errorf("eval: worker %d in send order but not in return order", i)
+		}
+	}
+	return nil
+}
+
+// SendBound returns an upper bound on the optimal throughput over EVERY
+// return order sharing the given send order: the optimum of the relaxed LP
+// whose per-worker rows keep only the send prefix, the computation term
+// and the worker's own return message,
+//
+//	Σ_{send pos ≤ s} α_j·c_j + α_i·(w_i + d_i) ≤ 1,
+//
+// with the port constraint(s) unchanged. Any σ2's per-worker constraint
+// only adds further d terms on the left, so the relaxation is valid for
+// all σ2 simultaneously. The pair-exhaustive search uses it to skip whole
+// p!-sized inner loops whose bound cannot beat the incumbent.
+func (s *Session) SendBound(p *platform.Platform, send platform.Order, model schedule.Model) (float64, error) {
+	sc := Scenario{Platform: p, Send: send, Return: send, Model: model}
+	if err := validate(sc); err != nil {
+		return 0, err
+	}
+	q := len(send)
+	prob := lp.NewMaximize()
+	for range send {
+		prob.AddVar("", 1)
+	}
+	coefs := make([]lp.Coef, 0, q+1)
+	for si, i := range send {
+		coefs = coefs[:0]
+		for t, j := range send[:si+1] {
+			coefs = append(coefs, lp.Coef{Var: t, Value: p.Workers[j].C})
+		}
+		w := p.Workers[i]
+		coefs = append(coefs, lp.Coef{Var: si, Value: w.W + w.D})
+		prob.AddConstraint("", coefs, lp.LE, 1)
+	}
+	port := make([]lp.Coef, 0, 2*q)
+	switch model {
+	case schedule.TwoPort:
+		for t, j := range send {
+			port = append(port, lp.Coef{Var: t, Value: p.Workers[j].C})
+		}
+		prob.AddConstraint("", port, lp.LE, 1)
+		port = port[:0]
+		for t, j := range send {
+			port = append(port, lp.Coef{Var: t, Value: p.Workers[j].D})
+		}
+		prob.AddConstraint("", port, lp.LE, 1)
+	default:
+		for t, j := range send {
+			port = append(port, lp.Coef{Var: t, Value: p.Workers[j].C + p.Workers[j].D})
+		}
+		prob.AddConstraint("", port, lp.LE, 1)
+	}
+	sol, err := prob.Solve()
+	if err != nil {
+		return 0, err
+	}
+	if sol.Status != lp.Optimal {
+		return 0, fmt.Errorf("eval: send-bound LP terminated %v (internal error)", sol.Status)
+	}
+	return sol.Objective, nil
+}
+
+// ExactObjective solves the scenario LP in exact rational arithmetic and
+// returns the optimal throughput as an exact rational string together with
+// its float64 value (used by the theory tests to verify closed forms as
+// identities).
+func ExactObjective(sc Scenario) (float64, string, error) {
+	prob, err := ScenarioLP(sc)
+	if err != nil {
+		return 0, "", err
+	}
+	sol, err := prob.SolveExact()
+	if err != nil {
+		return 0, "", err
+	}
+	if sol.Status != lp.Optimal {
+		return 0, "", fmt.Errorf("eval: scenario LP terminated %v", sol.Status)
+	}
+	f, _ := sol.Objective.Float64()
+	return f, sol.Objective.RatString(), nil
+}

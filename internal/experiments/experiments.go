@@ -56,6 +56,11 @@ type Config struct {
 	// Parallelism is the engine worker-pool size used for the per-size LP
 	// batches; 0 means GOMAXPROCS. Results are deterministic regardless.
 	Parallelism int
+	// Eval selects the scenario-evaluation backend for every engine
+	// request of the run. The zero value (EvalAuto) tiers the closed-form
+	// and tight-system backends over the simplex; the agreement between
+	// backends is itself covered by the internal/eval property tests.
+	Eval dls.EvalMode
 }
 
 // newEngine builds the dls solver every experiment runs on: a worker pool
@@ -226,6 +231,7 @@ func comparison(cfg Config, id, title string, family platform.Family, mod func(p
 				reqs = append(reqs, dls.Request{
 					Platform: plat,
 					Strategy: h.strategy,
+					Eval:     cfg.Eval,
 					Load:     float64(cfg.M),
 				})
 			}

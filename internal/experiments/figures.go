@@ -97,7 +97,7 @@ func Fig9Trace(cfg Config) (*Result, error) {
 	size := 100
 	app := platform.DefaultApp(size)
 	plat := sp.Platform(app)
-	solved, err := dls.Solve(context.Background(), dls.Request{Platform: plat, Strategy: dls.StrategyIncC})
+	solved, err := dls.Solve(context.Background(), dls.Request{Platform: plat, Strategy: dls.StrategyIncC, Eval: cfg.Eval})
 	if err != nil {
 		return nil, err
 	}
@@ -164,6 +164,7 @@ func Fig14Participation(cfg Config, x float64) (*Result, error) {
 		reqs[avail-1] = dls.Request{
 			Platform: sp.Platform(app),
 			Strategy: dls.StrategyIncC,
+			Eval:     cfg.Eval,
 			Load:     float64(cfg.M),
 		}
 	}

@@ -3,13 +3,17 @@ package lp
 import (
 	"fmt"
 	"math"
+	"sync"
+
+	"repro/internal/numeric"
 )
 
 // Numerical tolerances for the float64 simplex. The divisible-load LPs are
 // tiny and well scaled (coefficients are platform costs of comparable
-// magnitude, right-hand sides are 1), so a fixed tolerance is adequate.
+// magnitude, right-hand sides are 1), so the repository-wide fixed
+// tolerance is adequate.
 const (
-	eps = 1e-9
+	eps = numeric.LPEps
 	// blandAfter is the pivot count after which the solver abandons Dantzig
 	// pricing for Bland's rule, which cannot cycle.
 	blandAfter = 10_000
@@ -28,6 +32,7 @@ func (p *Problem) Solve() (*Solution, error) {
 		return nil, err
 	}
 	t := newTableau(p)
+	defer t.release()
 	status, iters, err := t.run()
 	if err != nil {
 		return nil, err
@@ -51,10 +56,15 @@ func (p *Problem) Solve() (*Solution, error) {
 // Column layout: [0, nVars) original variables, then one slack/surplus
 // column per inequality row, then one artificial column per row that needs
 // one. The right-hand side is held separately in b.
+//
+// Tableaus are pooled: newTableau draws one from a sync.Pool and reuses
+// its backing buffers, so repeated solves (batch fan-out, exhaustive
+// search fallbacks) allocate O(1) amortised per solve.
 type tableau struct {
 	m, n     int         // rows, total columns
 	nVars    int         // original variables
-	a        [][]float64 // m x n
+	buf      []float64   // m×n backing storage of a
+	a        [][]float64 // m row headers into buf
 	b        []float64   // m
 	basis    []int       // m, column index basic in each row
 	cost     []float64   // n, current phase cost vector
@@ -62,39 +72,51 @@ type tableau struct {
 	objVal   float64     // current phase objective value
 	artStart int         // first artificial column, == n if none
 	minimize []float64   // phase-2 cost vector (minimization form)
+	phase1   []float64   // phase-1 cost vector
 	pivots   int
+}
+
+var tableauPool = sync.Pool{New: func() any { return &tableau{} }}
+
+// release returns the tableau's buffers to the pool.
+func (t *tableau) release() { tableauPool.Put(t) }
+
+// growFloats resizes *buf to n entries, reusing capacity; contents are
+// unspecified.
+func growFloats(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+func growInts(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
 }
 
 func newTableau(p *Problem) *tableau {
 	m := len(p.rows)
 	nVars := len(p.varNames)
 
-	// Count auxiliary columns. Rows are normalised to non-negative RHS
-	// first, which may flip the sense.
-	type normRow struct {
-		coefs []float64
-		sense Sense
-		rhs   float64
-	}
-	rows := make([]normRow, m)
-	nSlack := 0
-	nArt := 0
-	for i, r := range p.rows {
-		nr := normRow{coefs: make([]float64, nVars), sense: r.sense, rhs: r.rhs}
-		copy(nr.coefs, r.coefs)
-		if nr.rhs < 0 {
-			for j := range nr.coefs {
-				nr.coefs[j] = -nr.coefs[j]
-			}
-			nr.rhs = -nr.rhs
-			switch nr.sense {
+	// First pass: count auxiliary columns. Rows are normalised to
+	// non-negative RHS, which may flip the sense.
+	nSlack, nArt := 0, 0
+	for _, r := range p.rows {
+		sense := r.sense
+		if r.rhs < 0 {
+			switch sense {
 			case LE:
-				nr.sense = GE
+				sense = GE
 			case GE:
-				nr.sense = LE
+				sense = LE
 			}
 		}
-		switch nr.sense {
+		switch sense {
 		case LE:
 			nSlack++ // slack becomes the initial basic variable
 		case GE:
@@ -103,45 +125,72 @@ func newTableau(p *Problem) *tableau {
 		case EQ:
 			nArt++
 		}
-		rows[i] = nr
 	}
 
 	n := nVars + nSlack + nArt
-	t := &tableau{
-		m:        m,
-		n:        n,
-		nVars:    nVars,
-		a:        make([][]float64, m),
-		b:        make([]float64, m),
-		basis:    make([]int, m),
-		artStart: nVars + nSlack,
+	t := tableauPool.Get().(*tableau)
+	t.m, t.n, t.nVars = m, n, nVars
+	t.artStart = nVars + nSlack
+	t.pivots = 0
+	t.objVal = 0
+	buf := growFloats(&t.buf, m*n)
+	for i := range buf {
+		buf[i] = 0
 	}
+	if cap(t.a) < m {
+		t.a = make([][]float64, m)
+	}
+	t.a = t.a[:m]
+	for i := 0; i < m; i++ {
+		t.a[i] = buf[i*n : (i+1)*n]
+	}
+	t.b = growFloats(&t.b, m)
+	t.basis = growInts(&t.basis, m)
+
+	// Second pass: fill rows and install the initial basis.
 	slackCol := nVars
 	artCol := t.artStart
-	for i, nr := range rows {
-		t.a[i] = make([]float64, n)
-		copy(t.a[i], nr.coefs)
-		t.b[i] = nr.rhs
-		switch nr.sense {
+	for i, r := range p.rows {
+		row := t.a[i]
+		sense, rhs := r.sense, r.rhs
+		if rhs < 0 {
+			for j, c := range r.coefs {
+				row[j] = -c
+			}
+			rhs = -rhs
+			switch sense {
+			case LE:
+				sense = GE
+			case GE:
+				sense = LE
+			}
+		} else {
+			copy(row, r.coefs)
+		}
+		t.b[i] = rhs
+		switch sense {
 		case LE:
-			t.a[i][slackCol] = 1
+			row[slackCol] = 1
 			t.basis[i] = slackCol
 			slackCol++
 		case GE:
-			t.a[i][slackCol] = -1
+			row[slackCol] = -1
 			slackCol++
-			t.a[i][artCol] = 1
+			row[artCol] = 1
 			t.basis[i] = artCol
 			artCol++
 		case EQ:
-			t.a[i][artCol] = 1
+			row[artCol] = 1
 			t.basis[i] = artCol
 			artCol++
 		}
 	}
 
 	// Phase-2 cost vector in minimization form.
-	t.minimize = make([]float64, n)
+	t.minimize = growFloats(&t.minimize, n)
+	for j := 0; j < n; j++ {
+		t.minimize[j] = 0
+	}
 	for j := 0; j < nVars; j++ {
 		if p.maximize {
 			t.minimize[j] = -p.obj[j]
@@ -156,7 +205,10 @@ func newTableau(p *Problem) *tableau {
 func (t *tableau) run() (Status, int, error) {
 	if t.artStart < t.n {
 		// Phase 1: minimise the sum of artificial variables.
-		phase1 := make([]float64, t.n)
+		phase1 := growFloats(&t.phase1, t.n)
+		for j := range phase1 {
+			phase1[j] = 0
+		}
 		for j := t.artStart; j < t.n; j++ {
 			phase1[j] = 1
 		}
@@ -188,7 +240,7 @@ func (t *tableau) run() (Status, int, error) {
 // objective value from the current basis.
 func (t *tableau) loadCost(cost []float64) {
 	t.cost = cost
-	t.cbar = make([]float64, t.n)
+	t.cbar = growFloats(&t.cbar, t.n)
 	copy(t.cbar, cost)
 	t.objVal = 0
 	for i := 0; i < t.m; i++ {

@@ -27,6 +27,7 @@ import (
 	"math"
 
 	"repro/internal/platform"
+	"repro/internal/schedule"
 )
 
 // Params configures a multi-round evaluation.
@@ -153,6 +154,22 @@ func Makespan(p Params) (float64, error) {
 		}
 	}
 	return port, nil
+}
+
+// FromSchedule builds multi-round parameters from a one-round schedule, as
+// produced by the scenario-evaluation pipeline: the schedule's loads and
+// send order seed the per-worker totals and FIFO order. This is the bridge
+// from the one-round optimum (this paper's setting) to the multi-round
+// extension — evaluate once, then sweep round counts over the same load
+// split.
+func FromSchedule(p *platform.Platform, s *schedule.Schedule, latency float64) Params {
+	return Params{
+		Platform: p,
+		Loads:    append([]float64(nil), s.Alpha...),
+		Order:    s.SendOrder.Clone(),
+		Rounds:   1,
+		Latency:  latency,
+	}
 }
 
 // Sweep returns the makespan for every round count 1..maxRounds.

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mmapp"
 	"repro/internal/platform"
+	"repro/internal/schedule"
 )
 
 func randomStar(rng *rand.Rand, p int) *platform.Platform {
@@ -261,5 +262,37 @@ func BenchmarkSweep16Rounds(b *testing.B) {
 		if _, err := Sweep(p, 16); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestFromSchedule(t *testing.T) {
+	p := platform.New(
+		platform.Worker{C: 0.05, W: 0.3, D: 0.025},
+		platform.Worker{C: 0.08, W: 0.2, D: 0.04},
+	)
+	s := &schedule.Schedule{
+		SendOrder:   platform.Order{0, 1},
+		ReturnOrder: platform.Order{0, 1},
+		Alpha:       []float64{600, 400},
+		T:           100,
+	}
+	params := FromSchedule(p, s, 0.01)
+	if err := params.Validate(); err != nil {
+		t.Fatalf("FromSchedule produced invalid params: %v", err)
+	}
+	if params.Rounds != 1 || params.Latency != 0.01 {
+		t.Errorf("params = %+v", params)
+	}
+	// The seed data is copied, not aliased.
+	params.Loads[0] = -1
+	params.Order[0] = 9
+	if s.Alpha[0] == -1 || s.SendOrder[0] == 9 {
+		t.Error("FromSchedule aliases the schedule's slices")
+	}
+	// One round of the schedule's own loads must be evaluable.
+	params = FromSchedule(p, s, 0)
+	m, err := Makespan(params)
+	if err != nil || m <= 0 {
+		t.Fatalf("Makespan = (%g, %v)", m, err)
 	}
 }

@@ -28,6 +28,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"repro/internal/numeric"
 )
 
 // Worker holds the linear per-load-unit costs of one worker.
@@ -106,8 +108,9 @@ func (p *Platform) Validate() error {
 
 // zTolerance is the relative tolerance used when checking D = z·C across
 // workers; platform parameters typically come from measured or generated
-// float data.
-const zTolerance = 1e-9
+// float data. It is the repository-wide shape-detection tolerance of
+// internal/numeric.
+const zTolerance = numeric.RatioTol
 
 // Z returns the common return/forward ratio z = D/C if it is shared (within
 // a relative tolerance) by all workers, and reports whether it exists. Many

@@ -20,6 +20,7 @@ import (
 	"math"
 	"strings"
 
+	"repro/internal/numeric"
 	"repro/internal/platform"
 )
 
@@ -219,8 +220,9 @@ func (s *Schedule) String() string {
 }
 
 // relTol is the relative tolerance used by the feasibility checker;
-// schedules typically come out of float64 linear programming.
-const relTol = 1e-7
+// schedules typically come out of float64 linear programming. See
+// internal/numeric for how it relates to the solver tolerances.
+const relTol = numeric.CheckTol
 
 func leq(a, b, scale float64) bool { return a <= b+relTol*(1+math.Abs(scale)) }
 

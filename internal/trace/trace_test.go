@@ -119,6 +119,103 @@ func TestConcurrentAdd(t *testing.T) {
 	}
 }
 
+func TestGanttRowOrdering(t *testing.T) {
+	// Rows must appear in process-rank order regardless of the order (or
+	// interleaving) in which events were recorded.
+	tr := New()
+	tr.Add(Event{Proc: 2, Kind: Compute, Start: 0, End: 2})
+	tr.Add(Event{Proc: 0, Kind: Send, Start: 1, End: 2})
+	tr.Add(Event{Proc: 1, Kind: Recv, Start: 0, End: 1})
+	g := tr.Gantt(3, 30, []string{"alpha", "beta", "gamma"})
+	ia := strings.Index(g, "alpha")
+	ib := strings.Index(g, "beta")
+	ic := strings.Index(g, "gamma")
+	if ia < 0 || ib < 0 || ic < 0 || !(ia < ib && ib < ic) {
+		t.Errorf("rows out of order (alpha@%d beta@%d gamma@%d):\n%s", ia, ib, ic, g)
+	}
+}
+
+func TestGanttGlyphMapping(t *testing.T) {
+	// One event per kind, in disjoint time ranges on separate rows: each
+	// row must be filled with exactly its kind's glyph.
+	tr := New()
+	tr.Add(Event{Proc: 0, Kind: Recv, Start: 0, End: 3})
+	tr.Add(Event{Proc: 1, Kind: Compute, Start: 0, End: 3})
+	tr.Add(Event{Proc: 2, Kind: Send, Start: 0, End: 3})
+	g := tr.Gantt(3, 20, nil)
+	lines := strings.Split(g, "\n")
+	// lines[0] is the time header; rows follow.
+	for i, want := range []struct {
+		glyph byte
+		wrong string
+	}{{'.', "#="}, {'#', ".="}, {'=', ".#"}} {
+		row := lines[1+i]
+		if !strings.ContainsRune(row, rune(want.glyph)) {
+			t.Errorf("row %d missing glyph %q:\n%s", i, want.glyph, g)
+		}
+		if strings.ContainsAny(row, want.wrong) {
+			t.Errorf("row %d contains foreign glyphs:\n%s", i, g)
+		}
+	}
+	if !strings.Contains(lines[len(lines)-2], "legend") {
+		t.Errorf("legend missing:\n%s", g)
+	}
+}
+
+func TestGanttOverlappingIntervals(t *testing.T) {
+	// Overlapping events on one row: the later event (in Events() order,
+	// sorted by start) overwrites the earlier one where they overlap.
+	tr := New()
+	tr.Add(Event{Proc: 0, Kind: Recv, Start: 0, End: 10})
+	tr.Add(Event{Proc: 0, Kind: Compute, Start: 5, End: 10})
+	g := tr.Gantt(1, 20, nil)
+	row := strings.Split(g, "\n")[1]
+	cells := row[strings.Index(row, "|")+1:]
+	first := cells[:10]
+	second := cells[10:20]
+	if strings.Contains(first, "#") {
+		t.Errorf("computation glyph leaked before its start:\n%s", g)
+	}
+	if strings.Contains(second, ".") {
+		t.Errorf("overlap not overwritten by the later event:\n%s", g)
+	}
+	if !strings.Contains(second, "#") {
+		t.Errorf("later event missing from overlap region:\n%s", g)
+	}
+}
+
+func TestConcurrentAddDeterministicGantt(t *testing.T) {
+	// The same event set recorded from concurrent goroutines must render
+	// byte-identically every time: Events() sorts, so arrival order (which
+	// the scheduler scrambles) cannot leak into the Gantt output.
+	render := func() string {
+		tr := New()
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					tr.Add(Event{
+						Proc:  g % 4,
+						Kind:  Kind(i % 3),
+						Start: float64((i*7 + g) % 40),
+						End:   float64((i*7+g)%40 + 2),
+					})
+				}
+			}(g)
+		}
+		wg.Wait()
+		return tr.Gantt(4, 60, nil)
+	}
+	ref := render()
+	for round := 0; round < 5; round++ {
+		if got := render(); got != ref {
+			t.Fatalf("round %d: concurrent recording changed the rendering:\n%s\nvs\n%s", round, got, ref)
+		}
+	}
+}
+
 func TestSVGRendering(t *testing.T) {
 	tr := sampleTrace()
 	svg := tr.SVG(2, []string{"master", "w<1>"})
