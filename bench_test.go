@@ -14,7 +14,10 @@ import (
 	"testing"
 
 	"repro/dls"
+	"repro/internal/eval"
 	"repro/internal/experiments"
+	"repro/internal/platform"
+	"repro/internal/schedule"
 )
 
 // benchConfig is the reduced sweep shared by the figure benchmarks.
@@ -273,6 +276,82 @@ func BenchmarkBestFIFOExhaustive7(b *testing.B) {
 			b.ReportMetric(rho, "rho")
 		})
 	}
+}
+
+// BenchmarkBestFIFOExhaustive8 runs the p! FIFO order search at p = 8
+// (40320 scenarios) under the incremental sweep — the scale PR 3's
+// transposition-aware engine opened up (the per-scenario active-set reuse
+// and dual screening keep the search polynomial-feeling even though the
+// enumeration is factorial). Auto only: the simplex-only path takes
+// seconds at this size.
+func BenchmarkBestFIFOExhaustive8(b *testing.B) {
+	rng := rand.New(rand.NewSource(62))
+	p := dls.RandomSpeeds(rng, 8, dls.Heterogeneous).Platform(dls.DefaultApp(100))
+	ctx := context.Background()
+	req := dls.Request{Platform: p, Strategy: dls.StrategyFIFOExhaustive, Eval: dls.EvalAuto}
+	var rho float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := dls.Solve(ctx, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rho = res.Throughput
+	}
+	b.ReportMetric(rho, "rho")
+}
+
+// BenchmarkBatchChainEval measures the structure-of-arrays batch chain
+// evaluator against per-scenario evaluation on the same 512 FIFO orders
+// of one compute-bound 11-worker platform (every lane certifies, so both
+// sides measure pure chain arithmetic; the batch runs the load and dual
+// recurrences 8 scenarios per lockstep step).
+func BenchmarkBatchChainEval(b *testing.B) {
+	rng := rand.New(rand.NewSource(65))
+	p := dls.RandomSpeeds(rng, 11, dls.Heterogeneous).Platform(dls.DefaultApp(100)).ScaleComputation(20)
+	const scenarios = 512
+	orders := make([]platform.Order, scenarios)
+	for i := range orders {
+		orders[i] = platform.Order(rng.Perm(p.P()))
+	}
+	b.Run("batch", func(b *testing.B) {
+		batch, err := eval.NewBatch(schedule.OnePort, false, p.P())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			batch.Reset()
+			for _, o := range orders {
+				if err := batch.Add(p, o); err != nil {
+					b.Fatal(err)
+				}
+			}
+			batch.Run()
+			for l := 0; l < batch.Len(); l++ {
+				if _, ok := batch.Throughput(l); !ok {
+					b.Fatal("lane failed to certify on a compute-bound platform")
+				}
+			}
+		}
+		b.ReportMetric(scenarios, "scenarios/op")
+	})
+	b.Run("scalar", func(b *testing.B) {
+		sess := eval.NewSession()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, o := range orders {
+				sc := eval.Scenario{Platform: p, Send: o, Return: o, Model: schedule.OnePort}
+				if _, err := sess.ThroughputTrusted(sc, eval.Auto); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(scenarios, "scenarios/op")
+	})
 }
 
 // BenchmarkBestPairExhaustive4 runs the (p!)² pair search at p = 4 (576

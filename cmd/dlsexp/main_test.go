@@ -96,3 +96,39 @@ func TestRunSeedOverrideChangesData(t *testing.T) {
 		t.Error("same seed must reproduce identical output")
 	}
 }
+
+func TestRunProfileCPU(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cpu.pprof")
+	var sb strings.Builder
+	if err := run(quickArgs("-figure", "8", "-profile", "cpu", "-profile-out", path), &sb); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Error("cpu profile file is empty")
+	}
+	if !strings.Contains(sb.String(), "cpu profile written to") {
+		t.Error("missing profile confirmation line")
+	}
+}
+
+func TestRunProfileMem(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mem.pprof")
+	var sb strings.Builder
+	if err := run(quickArgs("-figure", "8", "-profile", "mem", "-profile-out", path), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if info, err := os.Stat(path); err != nil || info.Size() == 0 {
+		t.Fatalf("mem profile missing or empty: %v", err)
+	}
+}
+
+func TestRunProfileUnknownKind(t *testing.T) {
+	var sb strings.Builder
+	if err := run(quickArgs("-figure", "8", "-profile", "goroutine"), &sb); err == nil {
+		t.Fatal("unknown -profile kind accepted")
+	}
+}

@@ -41,6 +41,16 @@ func (c *resultCache) get(key string) (*Result, bool) {
 	return el.Value.(*cacheEntry).res.clone(), true
 }
 
+// has reports whether key is cached, without cloning the entry or
+// promoting its recency (a membership peek for the batch prepass; the
+// pool path's real get still bumps the LRU order).
+func (c *resultCache) has(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[key]
+	return ok
+}
+
 // put stores a clone of res under key, evicting the least recently used
 // entry when the cache is full.
 func (c *resultCache) put(key string, res *Result) {

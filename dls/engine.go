@@ -343,10 +343,6 @@ func (s *Solver) SolveBatch(ctx context.Context, reqs []Request) ([]*Result, err
 	errs := make([]error, len(reqs))
 
 	// Deduplicate by cache key: one solve per distinct problem.
-	type group struct {
-		leader  int // first request index with this key
-		indices []int
-	}
 	groups := make(map[string]*group, len(reqs))
 	order := make([]*group, 0, len(reqs))
 	prepared := make([]Request, len(reqs))
@@ -360,20 +356,26 @@ func (s *Solver) SolveBatch(ctx context.Context, reqs []Request) ([]*Result, err
 		key := p.cacheKey()
 		g, ok := groups[key]
 		if !ok {
-			g = &group{leader: i}
+			g = &group{leader: i, key: key}
 			groups[key] = g
 			order = append(order, g)
 		}
 		g.indices = append(g.indices, i)
 	}
 
+	// Chain prepass: chain-shaped leaders of the same size are evaluated
+	// together by structure-of-arrays lockstep sweeps before the pool
+	// starts; everything it could not certify flows through the normal
+	// per-request path below.
+	handled := s.chainPrepass(ctx, prepared, order, results, errs)
+
 	// Solve one leader per group on the pool (never more workers than
 	// groups to solve).
 	jobs := make(chan *group)
 	var wg sync.WaitGroup
 	workers := s.parallelism
-	if workers > len(order) {
-		workers = len(order)
+	if workers > len(order)-len(handled) {
+		workers = len(order) - len(handled)
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -400,12 +402,164 @@ func (s *Solver) SolveBatch(ctx context.Context, reqs []Request) ([]*Result, err
 		}()
 	}
 	for _, g := range order {
+		if handled[g] {
+			continue
+		}
 		jobs <- g
 	}
 	close(jobs)
 	wg.Wait()
 
 	return results, errors.Join(errs...)
+}
+
+// chainScenario reports whether a prepared request is chain-shaped — its
+// strategy resolves to one fixed FIFO (σ2 = σ1) or LIFO (σ2 = reverse σ1)
+// scenario solvable by the closed-form chains under the tiered Auto
+// pipeline in float64 — and derives its send order. The order derivations
+// deliberately mirror the strategies in strategy.go (and OptimalLIFOEval
+// in internal/core); TestSolveBatchChainPrepassMatchesSolve pins the two
+// paths to identical results for every strategy listed here, so a drift
+// in either side fails the suite.
+func chainScenario(req Request) (send Order, lifo, ok bool) {
+	if req.Eval != EvalAuto || req.Arith != Float64 {
+		return nil, false, false
+	}
+	switch req.Strategy {
+	case StrategyIncC:
+		return req.Platform.ByC(), false, true
+	case StrategyIncW:
+		return req.Platform.ByW(), false, true
+	case StrategyDecC:
+		return req.Platform.ByCDesc(), false, true
+	case StrategyFIFOOrder:
+		return req.Send, false, true
+	case StrategyLIFOOrder:
+		return req.Send, true, true
+	case StrategyLIFO:
+		// The optimal one-port LIFO schedule enrolls everyone by
+		// non-decreasing c; the two-port variant routes differently.
+		if req.Model != OnePort {
+			return nil, false, false
+		}
+		return req.Platform.ByC(), true, true
+	case StrategyScenario:
+		if len(req.Send) == 0 || len(req.Send) != len(req.Return) {
+			return nil, false, false
+		}
+		fifo, rev := true, true
+		n := len(req.Send)
+		for k := 0; k < n; k++ {
+			if req.Return[k] != req.Send[k] {
+				fifo = false
+			}
+			if req.Return[k] != req.Send[n-1-k] {
+				rev = false
+			}
+		}
+		switch {
+		case fifo:
+			return req.Send, false, true
+		case rev:
+			return req.Send, true, true
+		}
+	}
+	return nil, false, false
+}
+
+// chainPrepass collapses chain-shaped requests of the same scenario size
+// into eval.Batch lockstep evaluations: the lanes' platform columns are
+// laid out structure-of-arrays and the closed-form load and dual chains
+// run across all lanes at each position step. Certified lanes produce
+// verified schedules identical to what their strategies would compute
+// (same tiers, same canonicalisation), and fan out to their duplicate
+// requests exactly like pool-solved groups; lanes whose chain certificate
+// fails — port-bound or resource-selecting optima — are left for the
+// normal path. Returns the set of fully answered groups. A done context
+// (cancelled, or a WithTimeout deadline that already expired) skips the
+// prepass entirely so every request uniformly reports ctx.Err() from the
+// pool path.
+func (s *Solver) chainPrepass(ctx context.Context, prepared []Request, order []*group, results []*Result, errs []error) map[*group]bool {
+	if ctx.Err() != nil {
+		return nil
+	}
+	type lane struct {
+		g    *group
+		send Order
+		lifo bool
+	}
+	byKey := make(map[batchKey][]lane)
+	for _, g := range order {
+		if errs[g.leader] != nil {
+			continue
+		}
+		req := prepared[g.leader]
+		send, lifo, ok := chainScenario(req)
+		if !ok || len(send) == 0 {
+			continue
+		}
+		if s.cache != nil && s.cache.has(g.key) {
+			continue // the pool path serves (and counts) the cache hit
+		}
+		key := batchKey{q: len(send), lifo: lifo, model: req.Model}
+		byKey[key] = append(byKey[key], lane{g: g, send: send, lifo: lifo})
+	}
+	handled := make(map[*group]bool)
+	for key, lanes := range byKey {
+		if len(lanes) < 2 {
+			continue // lockstep only pays with company; a lone lane solves normally
+		}
+		b, err := eval.NewBatch(key.model, key.lifo, key.q)
+		if err != nil {
+			continue
+		}
+		added := lanes[:0]
+		for _, ln := range lanes {
+			// Invalid orders fall through to the strategy, which reports
+			// the real error.
+			if b.Add(prepared[ln.g.leader].Platform, ln.send) == nil {
+				added = append(added, ln)
+			}
+		}
+		b.Run()
+		for i, ln := range added {
+			sched, err := b.Schedule(i)
+			if err != nil {
+				continue // uncertified: the pool path re-evaluates in full
+			}
+			req := prepared[ln.g.leader]
+			res := finish(&Result{Schedule: sched, Send: sched.SendOrder, Return: sched.ReturnOrder}, req, false)
+			if s.cache != nil {
+				s.misses.Add(1)
+				s.cache.put(ln.g.key, res)
+			}
+			s.solves.Add(1)
+			for _, idx := range ln.g.indices {
+				if idx == ln.g.leader {
+					results[idx] = res
+					continue
+				}
+				results[idx] = finish(res.clone(), prepared[idx], true)
+			}
+			handled[ln.g] = true
+		}
+	}
+	return handled
+}
+
+// batchKey groups chain-prepass lanes that can share one eval.Batch.
+type batchKey struct {
+	q     int
+	lifo  bool
+	model Model
+}
+
+// group is one deduplicated SolveBatch problem: the first request index
+// holding its cache key and every index it answers.
+type group struct {
+	leader  int
+	key     string
+	indices []int
 }
 
 // StreamResult is one element of a SolveStream: the result (or error) of

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/eval"
 	"repro/internal/platform"
@@ -23,37 +24,76 @@ const (
 // pruning never changes the reported optimum beyond ~1e-12 relative.
 const pruneMargin = 1e-12
 
-// forEachPermutation invokes fn with every permutation of {0..n-1}. The
-// slice passed to fn is reused; fn must copy it if it escapes. Heap's
-// algorithm, iterative.
-func forEachPermutation(n int, fn func([]int) error) error {
+// ctxPollMask throttles context polling in the order search's inner loop:
+// the context is checked every ctxPollMask+1 permutations, bounding the
+// cancellation latency to a few microseconds of chain evaluations while
+// keeping the per-permutation cost free of the atomic loads ctx.Err()
+// performs.
+const ctxPollMask = 0x3f
+
+// Pair-search instrumentation. pairPrunedInner counts inner loops skipped
+// whole by the send-bound pruning (cumulative across searches; atomic, as
+// searches may run concurrently). disablePairSeeding switches off the
+// batched FIFO/LIFO incumbent seeding. Both exist for tests — the seeding
+// property tests compare pruning counts with and without seeds — and are
+// not part of the package API.
+var (
+	pairPrunedInner    atomic.Uint64
+	disablePairSeeding bool
+)
+
+// forEachPermutation invokes fn with every permutation of {0..n-1},
+// enumerated by the Steinhaus–Johnson–Trotter algorithm: each emitted
+// order differs from its predecessor by exactly one transposition of
+// ADJACENT positions. fn receives the left index of that transposition —
+// the new order swapped positions (swapped, swapped+1) of the previous
+// one — or -1 on the first call, which emits the identity. The adjacency
+// contract is what makes incremental re-evaluation possible (eval.Sweep
+// re-derives only the chain state the swap invalidated) and is pinned by
+// a property test.
+//
+// The slice passed to fn is reused and mutated in place between calls: fn
+// must copy it if it escapes the callback (Clone an Order, never retain
+// the argument).
+func forEachPermutation(n int, fn func(perm []int, swapped int) error) error {
 	perm := make([]int, n)
+	pos := make([]int, n) // pos[v]: current index of value v
+	dir := make([]int, n) // dir[v]: direction v moves (±1)
 	for i := range perm {
-		perm[i] = i
+		perm[i], pos[i], dir[i] = i, i, -1
 	}
-	c := make([]int, n)
-	if err := fn(perm); err != nil {
+	if err := fn(perm, -1); err != nil {
 		return err
 	}
-	i := 0
-	for i < n {
-		if c[i] < i {
-			if i%2 == 0 {
-				perm[0], perm[i] = perm[i], perm[0]
-			} else {
-				perm[c[i]], perm[i] = perm[i], perm[c[i]]
+	for {
+		// Largest mobile value: the biggest v whose neighbour in dir[v]
+		// exists and is smaller.
+		v := -1
+		for val := n - 1; val >= 0; val-- {
+			k := pos[val]
+			if t := k + dir[val]; t >= 0 && t < n && perm[t] < val {
+				v = val
+				break
 			}
-			if err := fn(perm); err != nil {
-				return err
-			}
-			c[i]++
-			i = 0
-		} else {
-			c[i] = 0
-			i++
+		}
+		if v < 0 {
+			return nil // no mobile value: all n! permutations emitted
+		}
+		k := pos[v]
+		t := k + dir[v]
+		perm[k], perm[t] = perm[t], perm[k]
+		pos[v], pos[perm[k]] = t, k
+		for val := v + 1; val < n; val++ {
+			dir[val] = -dir[val]
+		}
+		left := k
+		if t < k {
+			left = t
+		}
+		if err := fn(perm, left); err != nil {
+			return err
 		}
 	}
-	return nil
 }
 
 // BestFIFOExhaustive tries every FIFO send order over all workers,
@@ -109,11 +149,16 @@ func BestLIFOExhaustiveEval(ctx context.Context, p *platform.Platform, model sch
 	return bestOrderExhaustive(ctx, p, model, mode, true)
 }
 
-// bestOrderExhaustive enumerates all p! send orders. Each candidate is
-// evaluated through the raw throughput fast path of one pooled eval
-// session (closed-form chains for the FIFO/LIFO shapes, simplex only when
-// a certificate fails); only the winning order is re-evaluated through the
-// verified schedule-producing path.
+// bestOrderExhaustive enumerates all p! send orders. Under the Auto
+// backend the Steinhaus–Johnson–Trotter enumeration drives an incremental
+// eval.Sweep: each adjacent transposition re-derives only the invalidated
+// prefix/suffix state of the FIFO/LIFO load-and-dual chains (O(p−i) after
+// a swap at position i instead of O(p) from scratch), and a permutation is
+// handed to the full tiered pipeline only when the chain certificate
+// fails (port-bound or resource-selecting optima). Other backends — and
+// the certificate failures — evaluate through the raw throughput fast
+// path of one pooled eval session. Only the winning order is re-evaluated
+// through the verified schedule-producing path.
 func bestOrderExhaustive(ctx context.Context, p *platform.Platform, model schedule.Model, mode eval.Mode, lifo bool) (*schedule.Schedule, platform.Order, error) {
 	if err := p.Validate(); err != nil {
 		return nil, nil, err
@@ -128,9 +173,38 @@ func bestOrderExhaustive(ctx context.Context, p *platform.Platform, model schedu
 	reversed := make(platform.Order, n) // scratch for the LIFO return order
 	bestRho := -1.0
 	var bestOrder platform.Order
-	err := forEachPermutation(n, func(perm []int) error {
-		if err := ctx.Err(); err != nil {
-			return err
+	var sweep *eval.Sweep
+	useSweep := mode == eval.Auto
+	iter := 0
+	err := forEachPermutation(n, func(perm []int, swapped int) error {
+		if iter&ctxPollMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		iter++
+		if useSweep {
+			if swapped < 0 {
+				var err error
+				if sweep, err = eval.NewSweep(p, perm, model, lifo); err != nil {
+					return err
+				}
+			} else {
+				sweep.Delta(swapped)
+			}
+			// ThroughputBound may return a certified upper bound (≤ bestRho)
+			// instead of the exact optimum when the cached dual multipliers
+			// prove this order cannot beat the incumbent; either way a
+			// pruned order never becomes the winner.
+			if rho, ok := sweep.ThroughputBound(bestRho); ok {
+				if rho > bestRho {
+					bestRho = rho
+					bestOrder = platform.Order(perm).Clone()
+				}
+				return nil
+			}
+			// Certificate failure: this permutation's optimum is not the
+			// all-tight chain; evaluate it through the full tiers below.
 		}
 		sc.Send = perm
 		if lifo {
@@ -195,9 +269,15 @@ func BestPairExhaustiveContext(ctx context.Context, p *platform.Platform, model 
 }
 
 // BestPairExhaustiveEval is the cancellable pair search with an explicit
-// evaluation backend. Two structural optimisations keep the (p!)² loop
+// evaluation backend. Three structural optimisations keep the (p!)² loop
 // from re-deriving shared work:
 //
+//   - incumbent seeding: before the outer loop starts, the FIFO and LIFO
+//     return orders of every send permutation — the two return orders
+//     with O(p) closed-form chains — are evaluated up front by a
+//     structure-of-arrays eval.Batch in lockstep; each send permutation's
+//     certified seeds raise the incumbent before its inner loop runs, so
+//     the bound below can prune from the very first send order;
 //   - per-prefix reuse: for each send order the send-prefix half of the
 //     tight system is assembled once (eval.Session.FixedSend) and shared
 //     by all p! return orders;
@@ -206,8 +286,9 @@ func BestPairExhaustiveContext(ctx context.Context, p *platform.Platform, model 
 //     compared against the incumbent — a send order whose bound cannot
 //     beat the best throughput found so far skips its entire inner loop.
 //
-// Pruning is disabled under ExactRational, where the bound (a float64 LP)
-// could not certify exact comparisons.
+// Seeding and pruning are disabled under ExactRational, where the seeds
+// and the bound (float64 computations) could not certify exact
+// comparisons.
 func BestPairExhaustiveEval(ctx context.Context, p *platform.Platform, model schedule.Model, mode eval.Mode) (*PairResult, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -221,7 +302,29 @@ func BestPairExhaustiveEval(ctx context.Context, p *platform.Platform, model sch
 	bestRho := -1.0
 	var bestSend, bestRet platform.Order
 	prune := mode != eval.ExactRational
-	err := forEachPermutation(n, func(sendPerm []int) error {
+	fifoSeeds, lifoSeeds, err := pairSeeds(p, model, n, prune && !disablePairSeeding)
+	if err != nil {
+		return nil, err
+	}
+	if fifoSeeds != nil {
+		// Raise the incumbent to the best certified seed before the outer
+		// loop starts: every seed is an achieved throughput of a scenario
+		// inside the search space, so the very first send order's bound is
+		// already checked against a near-optimal incumbent.
+		for k := 0; k < fifoSeeds.Len(); k++ {
+			if rho, ok := fifoSeeds.Throughput(k); ok && rho > bestRho {
+				bestRho = rho
+				bestSend = fifoSeeds.Scenario(k).Send.Clone()
+				bestRet = bestSend
+			}
+			if rho, ok := lifoSeeds.Throughput(k); ok && rho > bestRho {
+				bestRho = rho
+				bestSend = lifoSeeds.Scenario(k).Send.Clone()
+				bestRet = bestSend.Reverse()
+			}
+		}
+	}
+	err = forEachPermutation(n, func(sendPerm []int, _ int) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -232,6 +335,7 @@ func BestPairExhaustiveEval(ctx context.Context, p *platform.Platform, model sch
 				return err
 			}
 			if bound <= bestRho*(1+pruneMargin) {
+				pairPrunedInner.Add(1)
 				return nil // no σ2 under this σ1 can beat the incumbent
 			}
 		}
@@ -239,7 +343,7 @@ func BestPairExhaustiveEval(ctx context.Context, p *platform.Platform, model sch
 		if err != nil {
 			return err
 		}
-		return forEachPermutation(n, func(retPerm []int) error {
+		return forEachPermutation(n, func(retPerm []int, _ int) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
@@ -263,4 +367,35 @@ func BestPairExhaustiveEval(ctx context.Context, p *platform.Platform, model sch
 		return nil, err
 	}
 	return &PairResult{Schedule: best, Send: bestSend, Return: bestRet}, nil
+}
+
+// pairSeeds batch-evaluates the FIFO and LIFO scenarios of every send
+// permutation in enumeration order (the structure-of-arrays chains run
+// 8 permutations per lockstep chunk). Lanes whose chain certificate fails
+// simply contribute no seed — the inner loops evaluate those return
+// orders anyway, so seeding never affects the search result, only how
+// early the incumbent allows pruning. Returns nil batches when seeding is
+// disabled.
+func pairSeeds(p *platform.Platform, model schedule.Model, n int, enabled bool) (fifo, lifo *eval.Batch, err error) {
+	if !enabled {
+		return nil, nil, nil
+	}
+	if fifo, err = eval.NewBatch(model, false, n); err != nil {
+		return nil, nil, err
+	}
+	if lifo, err = eval.NewBatch(model, true, n); err != nil {
+		return nil, nil, err
+	}
+	err = forEachPermutation(n, func(perm []int, _ int) error {
+		if err := fifo.Add(p, perm); err != nil {
+			return err
+		}
+		return lifo.Add(p, perm)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	fifo.Run()
+	lifo.Run()
+	return fifo, lifo, nil
 }

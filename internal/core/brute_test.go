@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/platform"
+	"repro/internal/schedule"
+)
+
+// TestForEachPermutationAdjacentTranspositions pins the generator's
+// contract: every emitted order differs from its predecessor by exactly
+// one ADJACENT transposition, the reported index names it, all n! orders
+// are distinct, and the first emission is the identity with index -1.
+// The incremental sweep's O(p−i) updates are only sound under exactly
+// this contract.
+func TestForEachPermutationAdjacentTranspositions(t *testing.T) {
+	factorial := func(n int) int {
+		f := 1
+		for i := 2; i <= n; i++ {
+			f *= i
+		}
+		return f
+	}
+	for n := 1; n <= 7; n++ {
+		var prev []int
+		seen := make(map[string]bool)
+		count := 0
+		err := forEachPermutation(n, func(perm []int, swapped int) error {
+			count++
+			key := fmt.Sprint(perm)
+			if seen[key] {
+				return fmt.Errorf("permutation %v emitted twice", perm)
+			}
+			seen[key] = true
+			if prev == nil {
+				if swapped != -1 {
+					return fmt.Errorf("first emission reported swap index %d, want -1", swapped)
+				}
+				for i, v := range perm {
+					if v != i {
+						return fmt.Errorf("first emission %v is not the identity", perm)
+					}
+				}
+			} else {
+				if swapped < 0 || swapped+1 >= n {
+					return fmt.Errorf("swap index %d out of range for n=%d", swapped, n)
+				}
+				diff := 0
+				for i := range perm {
+					if perm[i] != prev[i] {
+						diff++
+					}
+				}
+				if diff != 2 ||
+					perm[swapped] != prev[swapped+1] || perm[swapped+1] != prev[swapped] {
+					return fmt.Errorf("emission %v does not differ from %v by the adjacent transposition (%d, %d)",
+						perm, prev, swapped, swapped+1)
+				}
+			}
+			prev = append(prev[:0], perm...)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count != factorial(n) {
+			t.Fatalf("n=%d: emitted %d permutations, want %d", n, count, factorial(n))
+		}
+	}
+}
+
+// TestForEachPermutationSliceReuse documents (and pins) the aliasing
+// hazard: the slice passed to the callback is mutated between calls, so
+// retaining it observes later permutations.
+func TestForEachPermutationSliceReuse(t *testing.T) {
+	var retained []int
+	first := ""
+	if err := forEachPermutation(4, func(perm []int, _ int) error {
+		if retained == nil {
+			retained = perm // deliberately aliased, violating the contract
+			first = fmt.Sprint(perm)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(retained) == first {
+		t.Fatal("retained slice did not change — the documented reuse hazard no longer holds, update the docs")
+	}
+}
+
+// randomPairPlatform draws a small heterogeneous platform for the pair
+// search tests.
+func randomPairPlatform(rng *rand.Rand, n int) *platform.Platform {
+	ws := make([]platform.Worker, n)
+	for i := range ws {
+		ws[i] = platform.Worker{
+			C: 0.02 + 0.2*rng.Float64(),
+			W: 0.05 + 0.5*rng.Float64(),
+			D: 0.01 + 0.3*rng.Float64(),
+		}
+	}
+	return platform.New(ws...)
+}
+
+// TestPairSeedsNeverExceedOptimum validates the incumbent seeding: every
+// certified FIFO/LIFO seed is an achieved throughput of a scenario inside
+// the pair-search space, so the maximum seed can never exceed the true
+// pair optimum — seeding an unachievable incumbent would silently prune
+// winning send orders.
+func TestPairSeedsNeverExceedOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(2)
+		p := randomPairPlatform(rng, n)
+		fifo, lifo, err := pairSeeds(p, schedule.OnePort, n, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxSeed := -1.0
+		for k := 0; k < fifo.Len(); k++ {
+			if rho, ok := fifo.Throughput(k); ok && rho > maxSeed {
+				maxSeed = rho
+			}
+			if rho, ok := lifo.Throughput(k); ok && rho > maxSeed {
+				maxSeed = rho
+			}
+		}
+		pr, err := BestPairExhaustive(p, schedule.OnePort, Float64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := pr.Schedule.Throughput()
+		if maxSeed > opt*(1+1e-9) {
+			t.Fatalf("trial %d: seeded incumbent %.12g exceeds the pair optimum %.12g", trial, maxSeed, opt)
+		}
+	}
+}
+
+// TestPairSeedingIncreasesPruning runs the pair search with and without
+// incumbent seeding on 50 random platforms, via the package test hooks:
+// the result must be identical either way, per-platform pruning must
+// never decrease with seeds, and across the sample seeding must prune
+// strictly more inner loops (the whole point of evaluating the two chain
+// scenarios first).
+func TestPairSeedingIncreasesPruning(t *testing.T) {
+	rng := rand.New(rand.NewSource(654))
+	totalSeeded, totalUnseeded := uint64(0), uint64(0)
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(2)
+		p := randomPairPlatform(rng, n)
+
+		run := func(disable bool) (*PairResult, uint64) {
+			disablePairSeeding = disable
+			defer func() { disablePairSeeding = false }()
+			before := pairPrunedInner.Load()
+			pr, err := BestPairExhaustive(p, schedule.OnePort, Float64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return pr, pairPrunedInner.Load() - before
+		}
+		seeded, prunedSeeded := run(false)
+		unseeded, prunedUnseeded := run(true)
+
+		if s, u := seeded.Schedule.Throughput(), unseeded.Schedule.Throughput(); s != u {
+			t.Fatalf("trial %d: seeding changed the optimum: %.17g != %.17g", trial, s, u)
+		}
+		if prunedSeeded < prunedUnseeded {
+			t.Fatalf("trial %d: seeding reduced pruning: %d < %d", trial, prunedSeeded, prunedUnseeded)
+		}
+		totalSeeded += prunedSeeded
+		totalUnseeded += prunedUnseeded
+	}
+	if totalSeeded <= totalUnseeded {
+		t.Fatalf("seeding did not increase pruning across the sample: %d (seeded) vs %d (unseeded)",
+			totalSeeded, totalUnseeded)
+	}
+}
+
+// TestSweepSearchAgreesAcrossBackends pins the incremental order search at
+// the strategy level: the Auto (sweep-driven) search must agree with the
+// simplex-only search on the winning throughput for FIFO and LIFO.
+func TestSweepSearchAgreesAcrossBackends(t *testing.T) {
+	rng := rand.New(rand.NewSource(987))
+	for trial := 0; trial < 12; trial++ {
+		n := 3 + rng.Intn(3)
+		p := randomPairPlatform(rng, n)
+		for _, lifo := range []bool{false, true} {
+			search := BestFIFOExhaustiveEval
+			if lifo {
+				search = BestLIFOExhaustiveEval
+			}
+			auto, _, err := search(t.Context(), p, schedule.OnePort, eval.Auto)
+			if err != nil {
+				t.Fatal(err)
+			}
+			simplex, _, err := search(t.Context(), p, schedule.OnePort, eval.Simplex)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, s := auto.Throughput(), simplex.Throughput()
+			if diff := a - s; diff > 1e-9*(1+a+s) || diff < -1e-9*(1+a+s) {
+				t.Fatalf("trial %d lifo=%v: auto search %.12g != simplex search %.12g", trial, lifo, a, s)
+			}
+		}
+	}
+}

@@ -82,7 +82,7 @@ func TestZEqualsOneOrderIrrelevant(t *testing.T) {
 	}
 	err = nil
 	count := 0
-	forEach := func(perm []int) error {
+	forEach := func(perm []int, _ int) error {
 		order := platform.Order(perm).Clone()
 		s, err := FIFOWithOrder(p, order, schedule.OnePort, Float64)
 		if err != nil {
@@ -416,7 +416,7 @@ func TestForEachPermutationCounts(t *testing.T) {
 	for n, want := range map[int]int{1: 1, 2: 2, 3: 6, 4: 24} {
 		count := 0
 		seen := map[string]bool{}
-		err := forEachPermutation(n, func(perm []int) error {
+		err := forEachPermutation(n, func(perm []int, _ int) error {
 			count++
 			key := ""
 			for _, v := range perm {

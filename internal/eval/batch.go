@@ -1,0 +1,323 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/numeric"
+	"repro/internal/platform"
+	"repro/internal/schedule"
+)
+
+// batchWidth is the lane count of one lockstep chunk. Eight float64 lanes
+// fill two AVX2 registers (or one AVX-512 register); the chain loops below
+// are written position-major, lane-minor so the compiler can keep each
+// position step branch-free across the whole chunk.
+const batchWidth = 8
+
+// Batch evaluates many same-size FIFO or LIFO scenarios in lockstep. The
+// scenarios' platform columns are laid out structure-of-arrays — for every
+// send position one contiguous row of per-lane worker constants — and the
+// closed-form load and dual chains run across all lanes of a chunk at each
+// position step (auto-chunked batchWidth wide). Each lane carries the full
+// KKT certificate of the all-rows-tight chain candidate, so a certified
+// lane's throughput and loads are exactly the scenario's LP optimum (the
+// value the tiered Auto pipeline produces); uncertified lanes — port
+// overruns, resource selection, degenerate closures — must be re-evaluated
+// individually through the full pipeline.
+//
+// The exhaustive pair search uses a Batch to seed its incumbent (the
+// FIFO/LIFO return orders of every send permutation, evaluated up front),
+// and dls.SolveBatch uses one to collapse chain-shaped requests of the same
+// size into lockstep sweeps. A Batch is not safe for concurrent use.
+type Batch struct {
+	model schedule.Model
+	lifo  bool
+	q     int
+
+	sends []int // lane-major: lane l's send order at [l*q : (l+1)*q]
+	plats []*platform.Platform
+
+	// Per-lane outputs, filled by Run.
+	rho   []float64
+	ok    []bool
+	loads []float64 // lane-major normalised loads by send position
+
+	// Chunk scratch: position-major, lane-minor columns of width batchWidth.
+	c, d, w, cw, wd, g, dc, invCW, invWD, invCWD []float64
+	chP, chU, chV                                []float64
+	sp, sc, sd, pu, pv, t, denom                 []float64
+	laneOK                                       []bool
+
+	stamp    []int // duplicate-detection scratch for Add
+	stampGen int
+}
+
+// NewBatch prepares a batch of scenarios enrolling q workers each: FIFO
+// (σ2 = σ1) when lifo is false, LIFO (σ2 = reverse σ1) when true.
+func NewBatch(model schedule.Model, lifo bool, q int) (*Batch, error) {
+	if model != schedule.OnePort && model != schedule.TwoPort {
+		return nil, fmt.Errorf("eval: unknown model %v", model)
+	}
+	if q < 1 {
+		return nil, fmt.Errorf("eval: batch scenario size %d must be >= 1", q)
+	}
+	n := batchWidth * q
+	return &Batch{
+		model: model, lifo: lifo, q: q,
+		c: make([]float64, n), d: make([]float64, n), w: make([]float64, n),
+		cw: make([]float64, n), wd: make([]float64, n), g: make([]float64, n),
+		dc: make([]float64, n), invCW: make([]float64, n), invWD: make([]float64, n),
+		invCWD: make([]float64, n),
+		chP:    make([]float64, n), chU: make([]float64, n), chV: make([]float64, n),
+		sp: make([]float64, batchWidth), sc: make([]float64, batchWidth),
+		sd: make([]float64, batchWidth), pu: make([]float64, batchWidth),
+		pv: make([]float64, batchWidth), t: make([]float64, batchWidth),
+		denom:  make([]float64, batchWidth),
+		laneOK: make([]bool, batchWidth),
+	}, nil
+}
+
+// Len returns the number of scenarios added so far.
+func (b *Batch) Len() int { return len(b.plats) }
+
+// Reset drops all added scenarios, keeping the allocated columns.
+func (b *Batch) Reset() {
+	b.sends = b.sends[:0]
+	b.plats = b.plats[:0]
+	b.rho = b.rho[:0]
+	b.ok = b.ok[:0]
+	b.loads = b.loads[:0]
+}
+
+// Add appends one scenario lane: the given send order (copied) over the
+// given platform. The order must enroll exactly q distinct workers of p.
+func (b *Batch) Add(p *platform.Platform, send platform.Order) error {
+	if len(send) != b.q {
+		return fmt.Errorf("eval: batch of size-%d scenarios got a %d-worker send order", b.q, len(send))
+	}
+	n := p.P()
+	if cap(b.stamp) < n {
+		b.stamp = make([]int, n)
+		b.stampGen = 0
+	}
+	b.stamp = b.stamp[:n]
+	b.stampGen++
+	for _, i := range send {
+		if i < 0 || i >= n {
+			return fmt.Errorf("eval: order references worker %d outside platform of %d workers", i, n)
+		}
+		if b.stamp[i] == b.stampGen {
+			return fmt.Errorf("eval: worker %d appears twice in send order", i)
+		}
+		b.stamp[i] = b.stampGen
+	}
+	b.sends = append(b.sends, send...)
+	b.plats = append(b.plats, p)
+	return nil
+}
+
+// Run evaluates every added lane, chunked batchWidth wide. Results are
+// available through Throughput, Loads and Schedule.
+func (b *Batch) Run() {
+	lanes := len(b.plats)
+	b.rho = append(b.rho[:0], make([]float64, lanes)...)
+	b.ok = append(b.ok[:0], make([]bool, lanes)...)
+	b.loads = append(b.loads[:0], make([]float64, lanes*b.q)...)
+	for base := 0; base < lanes; base += batchWidth {
+		wch := lanes - base
+		if wch > batchWidth {
+			wch = batchWidth
+		}
+		b.runChunk(base, wch)
+	}
+}
+
+// runChunk gathers the SoA columns of lanes [base, base+wch) and runs the
+// chains in lockstep.
+func (b *Batch) runChunk(base, wch int) {
+	q, W := b.q, batchWidth
+	// Gather: one row of per-lane worker constants per send position.
+	for l := 0; l < wch; l++ {
+		p := b.plats[base+l]
+		send := b.sends[(base+l)*q : (base+l+1)*q]
+		for pos, i := range send {
+			wc := deriveCosts(p.Workers[i])
+			at := pos*W + l
+			b.c[at], b.d[at], b.w[at] = wc.c, wc.d, wc.w
+			b.cw[at], b.wd[at], b.g[at], b.dc[at] = wc.cw, wc.wd, wc.g, wc.dc
+			b.invCW[at], b.invWD[at], b.invCWD[at] = wc.invCW, wc.invWD, wc.invCWD
+		}
+	}
+	if b.lifo {
+		b.runLIFO(base, wch)
+	} else {
+		b.runFIFO(base, wch)
+	}
+}
+
+func (b *Batch) runFIFO(base, wch int) {
+	q, W := b.q, batchWidth
+	tol := numeric.CertTol
+	P, u, v := b.chP, b.chU, b.chV
+	// Load chain P and its sums, all lanes per position step.
+	for l := 0; l < wch; l++ {
+		P[l] = 1
+		b.sp[l], b.sc[l], b.sd[l] = 1, b.c[l], b.d[l]
+	}
+	for pos := 1; pos < q; pos++ {
+		row, prev := pos*W, (pos-1)*W
+		for l := 0; l < wch; l++ {
+			pk := P[prev+l] * b.wd[prev+l] * b.invCW[row+l]
+			P[row+l] = pk
+			b.sp[l] += pk
+			b.sc[l] += pk * b.c[row+l]
+			b.sd[l] += pk * b.d[row+l]
+		}
+	}
+	// Dual chain prefixes.
+	for l := 0; l < wch; l++ {
+		b.pu[l], b.pv[l] = 0, 0
+	}
+	for pos := 0; pos < q; pos++ {
+		row := pos * W
+		for l := 0; l < wch; l++ {
+			uk := (1 - b.dc[row+l]*b.pu[l]) * b.invWD[row+l]
+			vk := (-b.c[row+l] - b.dc[row+l]*b.pv[l]) * b.invWD[row+l]
+			u[row+l], v[row+l] = uk, vk
+			b.pu[l] += uk
+			b.pv[l] += vk
+		}
+	}
+	// Closures and certificates per lane.
+	for l := 0; l < wch; l++ {
+		denom := b.cw[l] + b.sd[l]
+		rho := b.sp[l] / denom
+		ok := denom > 0 && !math.IsNaN(rho) && !math.IsInf(rho, 0)
+		lim := (1 + tol) * denom
+		if b.model == schedule.TwoPort {
+			ok = ok && b.sc[l] <= lim && b.sd[l] <= lim
+		} else {
+			ok = ok && b.sc[l]+b.sd[l] <= lim
+		}
+		onemv := 1 - b.pv[l]
+		ok = ok && (onemv >= 1e-12 || onemv <= -1e-12)
+		b.denom[l] = denom
+		b.t[l] = b.pu[l] / onemv
+		b.laneOK[l] = ok
+		b.rho[base+l] = rho
+	}
+	// λ scan, position-major again so the hot loop stays lane-parallel.
+	for pos := 0; pos < q; pos++ {
+		row := pos * W
+		for l := 0; l < wch; l++ {
+			if !(u[row+l]+b.t[l]*v[row+l] >= -tol) {
+				b.laneOK[l] = false
+			}
+		}
+	}
+	for l := 0; l < wch; l++ {
+		b.ok[base+l] = b.laneOK[l]
+		if !b.laneOK[l] {
+			continue
+		}
+		inv := 1 / b.denom[l]
+		dst := b.loads[(base+l)*q : (base+l+1)*q]
+		for pos := 0; pos < q; pos++ {
+			dst[pos] = P[pos*W+l] * inv
+		}
+	}
+}
+
+func (b *Batch) runLIFO(base, wch int) {
+	q, W := b.q, batchWidth
+	tol := numeric.CertTol
+	P := b.chP
+	// Lower-triangular load chain; loads are already normalised.
+	for l := 0; l < wch; l++ {
+		P[l] = b.invCWD[l]
+		b.sp[l] = P[l]
+	}
+	for pos := 1; pos < q; pos++ {
+		row, prev := pos*W, (pos-1)*W
+		for l := 0; l < wch; l++ {
+			pk := P[prev+l] * b.w[prev+l] * b.invCWD[row+l]
+			P[row+l] = pk
+			b.sp[l] += pk
+		}
+	}
+	// Backward dual chain; pu doubles as the suffix sum, laneOK as the
+	// running certificate.
+	for l := 0; l < wch; l++ {
+		b.pu[l] = 0
+		b.laneOK[l] = true
+	}
+	for pos := q - 1; pos >= 0; pos-- {
+		row := pos * W
+		for l := 0; l < wch; l++ {
+			lam := (1 - b.g[row+l]*b.pu[l]) * b.invCWD[row+l]
+			b.pu[l] += lam
+			if !(lam >= -tol) {
+				b.laneOK[l] = false
+			}
+		}
+	}
+	for l := 0; l < wch; l++ {
+		rho := b.sp[l]
+		ok := b.laneOK[l] && !math.IsNaN(rho) && !math.IsInf(rho, 0) && rho > 0
+		b.rho[base+l] = rho
+		b.ok[base+l] = ok
+		if !ok {
+			continue
+		}
+		dst := b.loads[(base+l)*q : (base+l+1)*q]
+		for pos := 0; pos < q; pos++ {
+			dst[pos] = P[pos*W+l]
+		}
+	}
+}
+
+// Throughput returns lane i's optimal throughput and whether its chain
+// certificate held (false means the lane needs a full re-evaluation).
+func (b *Batch) Throughput(i int) (float64, bool) {
+	if !b.ok[i] {
+		return 0, false
+	}
+	return b.rho[i], true
+}
+
+// Loads returns lane i's normalised loads by send position (a view into
+// the batch's buffers, valid until the next Run/Reset) and whether the
+// lane certified.
+func (b *Batch) Loads(i int) ([]float64, bool) {
+	if !b.ok[i] {
+		return nil, false
+	}
+	return b.loads[i*b.q : (i+1)*b.q], true
+}
+
+// Scenario reconstructs lane i's scenario (the LIFO return order is
+// allocated on each call).
+func (b *Batch) Scenario(i int) Scenario {
+	send := platform.Order(b.sends[i*b.q : (i+1)*b.q])
+	ret := send
+	if b.lifo {
+		ret = send.Reverse()
+	}
+	return Scenario{Platform: b.plats[i], Send: send, Return: ret, Model: b.model}
+}
+
+// Schedule builds the verified schedule of a certified lane, applying the
+// same degenerate-optimum canonicalisation as Session.Evaluate so batch
+// results are indistinguishable from individually evaluated ones. It
+// reports an error for uncertified lanes.
+func (b *Batch) Schedule(i int) (*schedule.Schedule, error) {
+	alpha, ok := b.Loads(i)
+	if !ok {
+		return nil, fmt.Errorf("eval: batch lane %d did not certify; evaluate it through the full pipeline", i)
+	}
+	sc := b.Scenario(i)
+	s := GetSession()
+	defer s.Release()
+	return buildSchedule(sc, s.canonicalLoads(sc, alpha))
+}

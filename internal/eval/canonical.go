@@ -1,0 +1,168 @@
+package eval
+
+import (
+	"math"
+
+	"repro/internal/lp"
+	"repro/internal/numeric"
+	"repro/internal/schedule"
+)
+
+// Degenerate-optimum canonicalisation. On platforms whose enrolled workers
+// share identical links (buses), a port-bound optimum is a degenerate face
+// of the scenario LP: with every link cost equal, any feasible point that
+// saturates the tight port row carries the same total load, so many load
+// vectors are simultaneously optimal and the backends would legitimately
+// return different vertices (the Theorem 2 construction, an active-set
+// port vertex, whatever vertex the simplex pivots into). Every schedule-
+// producing float64 evaluation therefore funnels through canonicalLoads,
+// which detects the degenerate regime and replaces the computed loads by
+// the lexicographically smallest optimal load vector (by send position) —
+// the same canonical vertex regardless of the backend that found the
+// optimum, making results byte-identical across backends.
+
+// degenTol is the port-row tightness threshold of the degeneracy
+// detection. It is deliberately the loose CheckTol: a genuinely slack port
+// sits far from 1, a genuinely tight one within LP noise of it, and a
+// false positive is harmless — the lex-min programs are only feasible on
+// the tight face, so a near-miss bails out and keeps the original loads.
+const degenTol = numeric.CheckTol
+
+// canonicalLoads returns alpha untouched unless the scenario's optimum is
+// detected degenerate (identical links across the send workers and a tight
+// port row at alpha), in which case it returns the lexicographically
+// smallest optimal loads, computed by minimising each send position in
+// turn over the tight-port face. Any failure along the way (an infeasible
+// or non-optimal lex-min program) falls back to the original loads.
+func (s *Session) canonicalLoads(sc Scenario, alpha []float64) []float64 {
+	q := len(sc.Send)
+	if q < 2 {
+		return alpha
+	}
+	// Identical links across the enrolled workers (the busFIFO criterion).
+	c0 := sc.Platform.Workers[sc.Send[0]].C
+	d0 := sc.Platform.Workers[sc.Send[0]].D
+	for _, i := range sc.Send {
+		w := sc.Platform.Workers[i]
+		if math.Abs(w.C-c0) > numeric.RatioTol*(1+c0) || math.Abs(w.D-d0) > numeric.RatioTol*(1+d0) {
+			return alpha
+		}
+	}
+	// A tight port row at the computed optimum.
+	sumC, sumD := 0.0, 0.0
+	for k, i := range sc.Send {
+		sumC += alpha[k] * sc.Platform.Workers[i].C
+		sumD += alpha[k] * sc.Platform.Workers[i].D
+	}
+	var tightSend, tightRecv bool
+	if sc.Model == schedule.OnePort {
+		tightSend = sumC+sumD >= 1-degenTol
+		tightRecv = tightSend
+	} else {
+		tightSend = sumC >= 1-degenTol
+		tightRecv = sumD >= 1-degenTol
+	}
+	if !tightSend && !tightRecv {
+		return alpha
+	}
+	if canon, ok := s.lexMinLoads(sc, tightSend, tightRecv); ok {
+		return canon
+	}
+	return alpha
+}
+
+// lexMinLoads computes the lexicographically smallest loads (by send
+// position) on the tight-port optimal face: for k = 0..q−1 it minimises
+// α_k subject to the scenario rows, the tight port row(s) as equalities
+// and the already-minimised positions bounded above by their minima. The
+// programs take no backend-derived inputs — only the scenario and the
+// tight-row selection — so every backend that detects the same degeneracy
+// solves the same sequence and lands on bit-identical loads.
+func (s *Session) lexMinLoads(sc Scenario, tightSend, tightRecv bool) ([]float64, bool) {
+	q := len(sc.Send)
+	fixed := make([]float64, 0, q)
+	var best []float64
+	for k := 0; k < q; k++ {
+		sol, err := buildLexMinLP(sc, k, tightSend, tightRecv, fixed).Solve()
+		if err != nil || sol.Status != lp.Optimal {
+			return nil, false
+		}
+		v := sol.X[k]
+		if v < 0 {
+			v = 0
+		}
+		fixed = append(fixed, v)
+		best = sol.X
+	}
+	clampLoads(best)
+	return best, true
+}
+
+// buildLexMinLP assembles the k-th lex-min program: maximise −α_k under
+// the Section 2.3 per-worker rows, the port row(s) — tight ones as
+// equalities — and α_t ≤ fixed_t (plus float slack) for t < k.
+func buildLexMinLP(sc Scenario, k int, tightSend, tightRecv bool, fixed []float64) *lp.Problem {
+	p, send, ret := sc.Platform, sc.Send, sc.Return
+	q := len(send)
+	prob := lp.NewMaximize()
+	for t := 0; t < q; t++ {
+		obj := 0.0
+		if t == k {
+			obj = -1
+		}
+		prob.AddVar("", obj)
+	}
+	varOf := make(map[int]int, q)
+	for t, i := range send {
+		varOf[i] = t
+	}
+	retPos := make(map[int]int, q)
+	for t, i := range ret {
+		retPos[i] = t
+	}
+	for t, i := range send {
+		coefs := make([]lp.Coef, 0, 2*q)
+		for _, j := range send[:t+1] {
+			coefs = append(coefs, lp.Coef{Var: varOf[j], Value: p.Workers[j].C})
+		}
+		coefs = append(coefs, lp.Coef{Var: varOf[i], Value: p.Workers[i].W})
+		for _, j := range ret[retPos[i]:] {
+			coefs = append(coefs, lp.Coef{Var: varOf[j], Value: p.Workers[j].D})
+		}
+		prob.AddConstraint("", coefs, lp.LE, 1)
+	}
+	switch sc.Model {
+	case schedule.OnePort:
+		coefs := make([]lp.Coef, 0, 2*q)
+		for _, j := range send {
+			coefs = append(coefs,
+				lp.Coef{Var: varOf[j], Value: p.Workers[j].C},
+				lp.Coef{Var: varOf[j], Value: p.Workers[j].D})
+		}
+		sense := lp.LE
+		if tightSend {
+			sense = lp.EQ
+		}
+		prob.AddConstraint("", coefs, sense, 1)
+	default: // two-port
+		sendCoefs := make([]lp.Coef, 0, q)
+		retCoefs := make([]lp.Coef, 0, q)
+		for _, j := range send {
+			sendCoefs = append(sendCoefs, lp.Coef{Var: varOf[j], Value: p.Workers[j].C})
+			retCoefs = append(retCoefs, lp.Coef{Var: varOf[j], Value: p.Workers[j].D})
+		}
+		sendSense, retSense := lp.LE, lp.LE
+		if tightSend {
+			sendSense = lp.EQ
+		}
+		if tightRecv {
+			retSense = lp.EQ
+		}
+		prob.AddConstraint("", sendCoefs, sendSense, 1)
+		prob.AddConstraint("", retCoefs, retSense, 1)
+	}
+	for t, v := range fixed {
+		prob.AddConstraint("", []lp.Coef{{Var: t, Value: 1}}, lp.LE, v+1e-12*(1+v))
+	}
+	return prob
+}

@@ -33,15 +33,15 @@ import (
 // most negative multiplier — the resource-selection descent hint. On
 // success s.lam holds the multipliers.
 func (s *Session) fifoDualHint(p *platform.Platform, send platform.Order) (hint int, ok bool) {
+	wc := s.derivedCosts(p)
 	q := len(send)
 	u := grow(&s.u, q)
 	v := grow(&s.v, q)
 	pu, pv := 0.0, 0.0
 	for k, i := range send {
-		w := p.Workers[i]
-		den := w.W + w.D
-		u[k] = (1 - (w.D-w.C)*pu) / den
-		v[k] = (-w.C - (w.D-w.C)*pv) / den
+		w := &wc[i]
+		u[k] = (1 - w.dc*pu) * w.invWD
+		v[k] = (-w.c - w.dc*pv) * w.invWD
 		pu += u[k]
 		pv += v[k]
 	}
@@ -67,13 +67,14 @@ func (s *Session) fifoDualHint(p *platform.Platform, send platform.Order) (hint 
 // lifoDualHint is the LIFO counterpart of fifoDualHint (back substitution
 // on the upper-triangular transpose); s.lam holds the multipliers.
 func (s *Session) lifoDualHint(p *platform.Platform, send platform.Order) (hint int, ok bool) {
+	wc := s.derivedCosts(p)
 	lam := grow(&s.lam, len(send))
 	suffix := 0.0
 	hint, ok = -1, true
 	worst := 0.0
 	for k := len(send) - 1; k >= 0; k-- {
-		w := p.Workers[send[k]]
-		lam[k] = (1 - (w.C+w.D)*suffix) / (w.C + w.W + w.D)
+		w := &wc[send[k]]
+		lam[k] = (1 - w.g*suffix) * w.invCWD
 		if !certOK(lam[k]) {
 			ok = false
 			if lam[k] < worst {
@@ -105,95 +106,97 @@ func (s *Session) lifoDualHint(p *platform.Platform, send platform.Order) (hint 
 // On success the loads are in s.alpha (by enrolled index), the worker-row
 // multipliers in s.lam, and the port multiplier is returned as mu. On
 // failure loadHint names the most negative load's enrolled index (-1 if
-// none).
-func (s *Session) fifoPortVertex(p *platform.Platform, sub platform.Order, k int) (alpha []float64, mu float64, ok bool, loadHint int) {
+// none) and loadWorst that load's value — the descent prefers the hint of
+// the least infeasible vertex, whose structure sits closest to the
+// optimum's.
+func (s *Session) fifoPortVertex(p *platform.Platform, sub platform.Order, k int) (alpha []float64, mu float64, ok bool, loadHint int, loadWorst float64) {
 	m := len(sub)
 	if m < 2 {
 		// A single enrolled worker has no tight worker row left once its
 		// own row goes slack; the all-tight candidate covers m = 1.
-		return nil, 0, false, -1
+		return nil, 0, false, -1, 0
 	}
+	wc := s.derivedCosts(p)
 	tol := numeric.CertTol
 	X := grow(&s.u, m)
 	Y := grow(&s.v, m)
+	// The first tight row f closes (t, s) together with the port row; its
+	// coefficients (a11, a12) and the port row's (a21, a22) accumulate in
+	// the same pass that chains X and Y.
+	f := 0
+	if k == 0 {
+		f = 1
+	}
+	a11, a12 := 0.0, 0.0
+	a21, a22 := 0.0, 0.0
 	for r := 0; r < m; r++ {
-		w := p.Workers[sub[r]]
+		w := &wc[sub[r]]
 		switch {
 		case r == k:
 			X[r], Y[r] = 0, 1
 		case r == 0:
 			X[r], Y[r] = 1, 0
 		case r == k+1 && k > 0:
-			prev := p.Workers[sub[k-1]]
-			wk := p.Workers[sub[k]]
-			X[r] = X[k-1] * (prev.W + prev.D) / (w.C + w.W)
-			Y[r] = (wk.D - wk.C) / (w.C + w.W)
+			X[r] = X[k-1] * wc[sub[k-1]].wd * w.invCW
+			Y[r] = wc[sub[k]].dc * w.invCW
 		case r == k+1: // k == 0: the tight chain restarts at row 1
 			X[r], Y[r] = 1, 0
 		default: // rows r-1 and r both tight
-			prev := p.Workers[sub[r-1]]
-			f := (prev.W + prev.D) / (w.C + w.W)
-			X[r] = X[r-1] * f
-			Y[r] = Y[r-1] * f
+			fct := wc[sub[r-1]].wd * w.invCW
+			X[r] = X[r-1] * fct
+			Y[r] = Y[r-1] * fct
+		}
+		a21 += X[r] * w.g
+		a22 += Y[r] * w.g
+		if r >= f { // row f's return suffix Σ_{j≥f} d_j·α_j
+			a11 += X[r] * w.d
+			a12 += Y[r] * w.d
 		}
 	}
-	// Closure 1: the first tight row f.
-	f := 0
-	if k == 0 {
-		f = 1
+	for j := 0; j <= f; j++ { // row f's send prefix Σ_{j≤f} c_j·α_j
+		cj := wc[sub[j]].c
+		a11 += X[j] * cj
+		a12 += Y[j] * cj
 	}
-	rowCoef := func(vec []float64) float64 {
-		lhs := 0.0
-		for j := 0; j <= f; j++ {
-			lhs += vec[j] * p.Workers[sub[j]].C
-		}
-		lhs += vec[f] * p.Workers[sub[f]].W
-		for j := f; j < m; j++ {
-			lhs += vec[j] * p.Workers[sub[j]].D
-		}
-		return lhs
-	}
-	a11, a12 := rowCoef(X), rowCoef(Y)
-	// Closure 2: the tight port row.
-	a21, a22 := 0.0, 0.0
-	for j := 0; j < m; j++ {
-		g := p.Workers[sub[j]].C + p.Workers[sub[j]].D
-		a21 += X[j] * g
-		a22 += Y[j] * g
-	}
+	wf := wc[sub[f]].w
+	a11 += X[f] * wf
+	a12 += Y[f] * wf
 	det := a11*a22 - a12*a21
 	if det < 1e-300 && det > -1e-300 {
-		return nil, 0, false, -1
+		return nil, 0, false, -1, 0
 	}
 	t := (a22 - a12) / det
 	sv := (a11 - a21) / det
 	alpha = grow(&s.alpha, m)
 	loadHint = -1
 	worst := 0.0
+	// Loads, the slack row's inequality (worker k's idle time ≥ 0) and the
+	// NaN guard share one pass; the slack row's send prefix stops at k.
+	slackLHS := 0.0
 	for r := 0; r < m; r++ {
-		alpha[r] = t*X[r] + sv*Y[r]
-		if math.IsNaN(alpha[r]) || math.IsInf(alpha[r], 0) {
-			return nil, 0, false, -1
+		w := &wc[sub[r]]
+		a := t*X[r] + sv*Y[r]
+		alpha[r] = a
+		if math.IsNaN(a) || math.IsInf(a, 0) {
+			return nil, 0, false, -1, 0
 		}
-		if alpha[r] < worst {
-			worst, loadHint = alpha[r], r
+		if a < worst {
+			worst, loadHint = a, r
+		}
+		if r <= k {
+			slackLHS += a * w.c
+		}
+		if r >= k {
+			slackLHS += a * w.d
 		}
 	}
 	if worst < -tol {
-		return nil, 0, false, loadHint
+		return nil, 0, false, loadHint, worst
 	}
 	clampLoads(alpha)
-	// The slack row must hold as an inequality (worker k's idle time ≥ 0).
-	lhs := 0.0
-	for j := 0; j <= k; j++ {
-		lhs += alpha[j] * p.Workers[sub[j]].C
-	}
-	lhs += alpha[k] * p.Workers[sub[k]].W
-	for j := k; j < m; j++ {
-		lhs += alpha[j] * p.Workers[sub[j]].D
-	}
-	if lhs > 1+tol {
-		return nil, 0, false, -1
+	slackLHS += alpha[k] * wc[sub[k]].w
+	if slackLHS > 1+tol {
+		return nil, 0, false, -1, 0
 	}
 	// Dual chain in (T, μ): λ_j = l0[j] + T·lT[j] + μ·lM[j], λ_k = 0.
 	l0 := grow(&s.d0, m)
@@ -207,13 +210,10 @@ func (s *Session) fifoPortVertex(p *platform.Platform, sub platform.Order, k int
 			k0, kT, kM = p0, pT, pM
 			continue
 		}
-		w := p.Workers[sub[j]]
-		den := w.W + w.D
-		dc := w.D - w.C
-		g := w.C + w.D
-		l0[j] = (1 - dc*p0) / den
-		lT[j] = (-w.C - dc*pT) / den
-		lM[j] = (-g - dc*pM) / den
+		w := &wc[sub[j]]
+		l0[j] = (1 - w.dc*p0) * w.invWD
+		lT[j] = (-w.c - w.dc*pT) * w.invWD
+		lM[j] = (-w.g - w.dc*pM) * w.invWD
 		p0 += l0[j]
 		pT += lT[j]
 		pM += lM[j]
@@ -221,34 +221,56 @@ func (s *Session) fifoPortVertex(p *platform.Platform, sub platform.Order, k int
 	// Closure A: stationarity at column k:
 	//   c_k·(T − P_{k−1}) + d_k·P_{k−1} + μ·g_k = 1
 	// with P_{k−1} = k0 + T·kT + μ·kM.
-	wk := p.Workers[sub[k]]
-	dck := wk.D - wk.C
-	gk := wk.C + wk.D
-	// (c_k + dck·kT)·T + (g_k + dck·kM)·μ = 1 − dck·k0
-	b11 := wk.C + dck*kT
-	b12 := gk + dck*kM
-	r1 := 1 - dck*k0
+	wk := &wc[sub[k]]
+	// (c_k + dc_k·kT)·T + (g_k + dc_k·kM)·μ = 1 − dc_k·k0
+	b11 := wk.c + wk.dc*kT
+	b12 := wk.g + wk.dc*kM
+	r1 := 1 - wk.dc*k0
 	// Closure B: Σλ = T → (ΣlT − 1)·T + ΣlM·μ = −Σl0.
 	b21 := pT - 1
 	b22 := pM
 	r2 := -p0
 	det = b11*b22 - b12*b21
 	if det < 1e-300 && det > -1e-300 {
-		return nil, 0, false, -1
+		return nil, 0, false, -1, 0
 	}
 	T := (r1*b22 - b12*r2) / det
 	mu = (b11*r2 - r1*b21) / det
 	if !certOK(mu) {
-		return nil, 0, false, -1
+		return nil, 0, false, -1, 0
 	}
 	lam := grow(&s.lam, m)
 	for j := 0; j < m; j++ {
 		lam[j] = l0[j] + T*lT[j] + mu*lM[j]
 		if !certOK(lam[j]) {
-			return nil, 0, false, -1
+			return nil, 0, false, -1, 0
 		}
 	}
-	return alpha, mu, true, -1
+	return alpha, mu, true, -1, 0
+}
+
+// chainOptRecord captures the structure of a certified chain-search
+// optimum for the incremental sweep's warm start: which send positions are
+// enrolled, the candidate shape (all-tight, or port-tight with a slack
+// worker), and the certificate pieces needed to re-verify the candidate
+// after an adjacent transposition. Slices are appended in place so a
+// long-lived record allocates only on growth.
+type chainOptRecord struct {
+	rho         float64
+	pos         []int     // enrolled send positions, ascending
+	alpha       []float64 // loads by enrolled rank
+	lam         []float64 // worker-row multipliers by enrolled rank
+	mu          float64   // port multiplier (0 for all-tight candidates)
+	slackWorker int       // worker index of the slack row, -1 if all tight
+}
+
+func (r *chainOptRecord) set(E []int, alpha, lam []float64, mu float64, slackWorker int) {
+	r.pos = append(r.pos[:0], E...)
+	r.alpha = append(r.alpha[:0], alpha...)
+	r.lam = append(r.lam[:0], lam...)
+	r.mu = mu
+	r.slackWorker = slackWorker
+	r.rho = sum(alpha)
 }
 
 // chainSearch runs the active-set descent for FIFO and LIFO scenarios
@@ -262,13 +284,39 @@ func (s *Session) fifoPortVertex(p *platform.Platform, sub platform.Order, k int
 //  3. otherwise drop the dual chain's most negative position (falling back
 //     to the vertices' load hints, then the last position) and descend.
 //
-// Returns loads by send position of the full scenario.
-func (s *Session) chainSearch(sc Scenario, lifo bool) ([]float64, bool) {
+// Returns loads by send position of the full scenario. When rec is non-nil
+// the certified optimum's structure is recorded into it. initE optionally
+// restricts the top of the descent to a subset of enrolled send positions
+// (ascending; nil enrolls everything) — the incremental sweep uses it to
+// resume from the previous permutation's optimal active set.
+func (s *Session) chainSearch(sc Scenario, lifo bool, rec *chainOptRecord, initE []int) ([]float64, bool) {
+	// The drop policy at a port-bound level with a clean relaxed dual is
+	// heuristic (certificates make a wrong drop slow, never wrong): the
+	// first attempt sheds the most port-hungry worker, and if that descent
+	// bottoms out uncertified a second attempt follows the port vertices'
+	// load hints instead. The retry runs only when the two policies
+	// actually diverged.
+	alpha, ok, ambiguous := s.chainDescent(sc, lifo, rec, initE, false)
+	if !ok && ambiguous {
+		alpha, ok, _ = s.chainDescent(sc, lifo, rec, initE, true)
+	}
+	return alpha, ok
+}
+
+// chainDescent is one greedy descent pass; see chainSearch. It reports
+// whether any level's drop choice was policy-dependent.
+func (s *Session) chainDescent(sc Scenario, lifo bool, rec *chainOptRecord, initE []int, preferLoadHint bool) ([]float64, bool, bool) {
 	p := sc.Platform
 	q := len(sc.Send)
+	top := q
+	ambiguous := false
 	enrolled := growInt(&s.enrolled, q)
-	for i := range enrolled {
-		enrolled[i] = i
+	if initE == nil {
+		for i := range enrolled {
+			enrolled[i] = i
+		}
+	} else {
+		top = copy(enrolled, initE)
 	}
 	sub := growInt(&s.sub, q)
 	expand := func(E []int, alpha []float64) []float64 {
@@ -281,7 +329,7 @@ func (s *Session) chainSearch(sc Scenario, lifo bool) ([]float64, bool) {
 		}
 		return out
 	}
-	for m := q; m >= 1; m-- {
+	for m := top; m >= 1; m-- {
 		E := enrolled[:m]
 		// The enrolled subsequence as an order (worker indices).
 		for r, pos := range E {
@@ -296,7 +344,7 @@ func (s *Session) chainSearch(sc Scenario, lifo bool) ([]float64, bool) {
 			alpha, chainOK = s.fifoTight(p, subOrder)
 		}
 		if !chainOK {
-			return nil, false // degenerate chain; let the simplex decide
+			return nil, false, ambiguous // degenerate chain; let the simplex decide
 		}
 		portOK := lifo || portFeasible(p, subOrder, alpha, sc.Model)
 		var hint int
@@ -307,37 +355,68 @@ func (s *Session) chainSearch(sc Scenario, lifo bool) ([]float64, bool) {
 			hint, dualOK = s.fifoDualHint(p, subOrder)
 		}
 		if portOK && dualOK && s.chainDroppedOK(sc, E, alpha, s.lam[:m], 0, lifo) {
-			return expand(E, alpha), true
+			if rec != nil {
+				rec.set(E, alpha, s.lam[:m], 0, -1)
+			}
+			return expand(E, alpha), true, ambiguous
 		}
 		// Port-bound vertices: one-port FIFO only, and only when the dual
 		// chain is clean — a negative chain multiplier means resource
 		// selection wants a drop first, so scanning the port vertices of
 		// the current (too large) enrolled set would be wasted work.
+		loadHint := -1
 		if dualOK && !portOK && !lifo && sc.Model == schedule.OnePort {
-			loadHint := -1
+			loadBest := math.Inf(-1)
 			for k := m - 1; k >= 0; k-- {
-				va, mu, ok, lh := s.fifoPortVertex(p, subOrder, k)
+				va, mu, ok, lh, lw := s.fifoPortVertex(p, subOrder, k)
 				if ok && s.chainDroppedOK(sc, E, va, s.lam[:m], mu, lifo) {
-					return expand(E, va), true
+					if rec != nil {
+						rec.set(E, va, s.lam[:m], mu, subOrder[k])
+					}
+					return expand(E, va), true, ambiguous
 				}
-				if lh >= 0 && loadHint < 0 {
-					loadHint = lh
+				// Prefer the hint of the least infeasible vertex: its
+				// structure sits closest to the optimum's.
+				if lh >= 0 && lw > loadBest {
+					loadBest, loadHint = lw, lh
 				}
-			}
-			if hint < 0 {
-				hint = loadHint
 			}
 		}
 		if m == 1 {
 			break
 		}
 		drop := m - 1
-		if hint >= 0 {
+		switch {
+		case hint >= 0:
 			drop = hint
+		case !portOK:
+			// Port-bound level with a clean relaxed dual: the port vertices'
+			// load hints conflate the slack row with the drop candidate (the
+			// most negative load sits at the slack row itself), so resource
+			// selection at a saturated port prefers shedding the worker that
+			// consumes the most port time per unit load (largest c+d); the
+			// retry pass trusts the vertices' load hints instead.
+			wc := s.derivedCosts(p)
+			worstG := -1.0
+			greedy := drop
+			for r, i := range subOrder {
+				if g := wc[i].g; g > worstG {
+					worstG, greedy = g, r
+				}
+			}
+			if loadHint >= 0 && loadHint != greedy {
+				ambiguous = true
+			}
+			drop = greedy
+			if preferLoadHint && loadHint >= 0 {
+				drop = loadHint
+			}
+		case loadHint >= 0:
+			drop = loadHint
 		}
 		copy(enrolled[drop:], enrolled[drop+1:m])
 	}
-	return nil, false
+	return nil, false, ambiguous
 }
 
 // chainDroppedOK verifies the full-LP certificate parts that concern the
@@ -359,38 +438,38 @@ func (s *Session) chainDroppedOK(sc Scenario, E []int, alpha, lam []float64, mu 
 	if m == q {
 		return true
 	}
-	p := sc.Platform
+	wc := s.derivedCosts(sc.Platform)
 	tol := numeric.CertTol
 	ei := 0 // enrolled index of the next enrolled position ≥ cursor
 	preAC, preAD, preLam := 0.0, 0.0, 0.0
 	totAD, totLam := 0.0, 0.0
 	for r := 0; r < m; r++ {
-		totAD += alpha[r] * p.Workers[sc.Send[E[r]]].D
+		totAD += alpha[r] * wc[sc.Send[E[r]]].d
 		totLam += lam[r]
 	}
 	for pos := 0; pos < q; pos++ {
 		if ei < m && E[ei] == pos {
-			preAC += alpha[ei] * p.Workers[sc.Send[pos]].C
-			preAD += alpha[ei] * p.Workers[sc.Send[pos]].D
+			w := &wc[sc.Send[pos]]
+			preAC += alpha[ei] * w.c
+			preAD += alpha[ei] * w.d
 			preLam += lam[ei]
 			ei++
 			continue
 		}
 		// Dropped worker at this send position.
-		j := sc.Send[pos]
-		wj := p.Workers[j]
+		wj := &wc[sc.Send[pos]]
 		var rowLHS, dualLHS float64
 		if lifo {
 			// σ2 = reverse σ1: "after j in σ2" = "before j in σ1", so both
 			// the c and d terms of A_{ij} select enrolled rows after pos.
 			rowLHS = preAC + preAD
-			dualLHS = (wj.C + wj.D) * (totLam - preLam)
+			dualLHS = wj.g * (totLam - preLam)
 		} else {
 			// FIFO: "after j in σ2" = "at or after j in σ1".
 			rowLHS = preAC + (totAD - preAD)
-			dualLHS = wj.C*(totLam-preLam) + wj.D*preLam
+			dualLHS = wj.c*(totLam-preLam) + wj.d*preLam
 		}
-		dualLHS += mu * (wj.C + wj.D)
+		dualLHS += mu * wj.g
 		if rowLHS > 1+tol || dualLHS < 1-tol {
 			return false
 		}

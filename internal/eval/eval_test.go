@@ -211,7 +211,7 @@ func TestThroughputMatchesEvaluate(t *testing.T) {
 	rng := rand.New(rand.NewSource(17))
 	s := NewSession()
 	for trial := 0; trial < 40; trial++ {
-		p, _ := randomAgreementPlatform(rng)
+		p := randomAgreementPlatform(rng)
 		sc := randomScenario(rng, p)
 		rho, err := s.Throughput(sc, Auto)
 		if err != nil {

@@ -28,6 +28,50 @@ type Session struct {
 	enrolled   []int     // active-set descent: enrolled send positions
 	sub        []int     // enrolled subsequence as worker indices (chain search)
 	d0, dT, dM []float64 // (T, μ)-parameterised dual chain of a port vertex
+
+	// costs caches per-worker derived constants (sums, differences and
+	// reciprocals of the cost triple) for the platform costsOf, so the hot
+	// chain kernels run division-free. Keyed by pointer identity: Platforms
+	// are immutable by convention throughout the repository (every
+	// transformation returns a fresh value).
+	costs   []workerCosts
+	costsOf *platform.Platform
+}
+
+// workerCosts are the per-worker constants of the chain recurrences.
+type workerCosts struct {
+	c, d, w              float64
+	cw, wd, g, dc        float64 // c+w, w+d, c+d, d−c
+	invCW, invWD, invCWD float64 // 1/(c+w), 1/(w+d), 1/(c+w+d)
+}
+
+// deriveCosts is the single definition of the chain recurrences' derived
+// constants; every consumer (Session.derivedCosts, Batch.runChunk's
+// gather, Sweep.gather) goes through it so the formulas cannot drift
+// apart.
+func deriveCosts(w platform.Worker) workerCosts {
+	return workerCosts{
+		c: w.C, d: w.D, w: w.W,
+		cw: w.C + w.W, wd: w.W + w.D, g: w.C + w.D, dc: w.D - w.C,
+		invCW: 1 / (w.C + w.W), invWD: 1 / (w.W + w.D), invCWD: 1 / (w.C + w.W + w.D),
+	}
+}
+
+// derivedCosts returns the derived-constant table of p, rebuilding it only
+// when the session last evaluated a different platform.
+func (s *Session) derivedCosts(p *platform.Platform) []workerCosts {
+	if s.costsOf == p && len(s.costs) == len(p.Workers) {
+		return s.costs
+	}
+	if cap(s.costs) < len(p.Workers) {
+		s.costs = make([]workerCosts, len(p.Workers))
+	}
+	s.costs = s.costs[:len(p.Workers)]
+	for i, w := range p.Workers {
+		s.costs[i] = deriveCosts(w)
+	}
+	s.costsOf = p
+	return s.costs
 }
 
 // NewSession returns a fresh, unpooled session.
@@ -62,11 +106,18 @@ func growInt(buf *[]int, n int) []int {
 // Evaluate solves the scenario with the given mode and returns the
 // resulting schedule with horizon T = 1, zero-load workers pruned from the
 // orders (resource selection, Proposition 1), verified against the
-// independent feasibility checker.
+// independent feasibility checker. Degenerate optima (tight-port bus
+// scenarios, where many load vectors tie) are canonicalised to the
+// lexicographically smallest optimal loads, so every float64 backend
+// returns the same vertex; the exact-rational mode reports its own vertex
+// untouched.
 func (s *Session) Evaluate(sc Scenario, mode Mode) (*schedule.Schedule, error) {
 	alpha, _, err := s.loads(sc, mode)
 	if err != nil {
 		return nil, err
+	}
+	if mode != ExactRational {
+		alpha = s.canonicalLoads(sc, alpha)
 	}
 	return buildSchedule(sc, alpha)
 }
@@ -147,11 +198,11 @@ func (s *Session) loadsResolved(sc Scenario, mode Mode) ([]float64, float64, err
 		// certificate holds (degeneracy, a descent that guessed wrong).
 		switch kind {
 		case kindFIFO:
-			if alpha, ok := s.chainSearch(sc, false); ok {
+			if alpha, ok := s.chainSearch(sc, false, nil, nil); ok {
 				return alpha, sum(alpha), nil
 			}
 		case kindLIFO:
-			if alpha, ok := s.chainSearch(sc, true); ok {
+			if alpha, ok := s.chainSearch(sc, true, nil, nil); ok {
 				return alpha, sum(alpha), nil
 			}
 		default:

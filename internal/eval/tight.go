@@ -59,18 +59,16 @@ func portFeasible(p *platform.Platform, send platform.Order, alpha []float64, mo
 // by construction (all costs are positive), so only the port constraint
 // and the dual certificate can reject the candidate.
 func (s *Session) fifoTight(p *platform.Platform, send platform.Order) ([]float64, bool) {
+	wc := s.derivedCosts(p)
 	q := len(send)
 	alpha := grow(&s.alpha, q)
 	alpha[0] = 1
-	for k := 1; k < q; k++ {
-		prev, cur := p.Workers[send[k-1]], p.Workers[send[k]]
-		alpha[k] = alpha[k-1] * (prev.W + prev.D) / (cur.C + cur.W)
-	}
 	// First row: α_0·(c_0 + w_0) + Σ_j α_j·d_j = 1.
-	w0 := p.Workers[send[0]]
-	denom := alpha[0] * (w0.C + w0.W)
-	for k, i := range send {
-		denom += alpha[k] * p.Workers[i].D
+	denom := wc[send[0]].cw + wc[send[0]].d
+	for k := 1; k < q; k++ {
+		a := alpha[k-1] * wc[send[k-1]].wd * wc[send[k]].invCW
+		alpha[k] = a
+		denom += a * wc[send[k]].d
 	}
 	if denom <= 0 || math.IsNaN(denom) || math.IsInf(denom, 0) {
 		return nil, false
@@ -98,14 +96,14 @@ func (s *Session) fifoTight(p *platform.Platform, send platform.Order) ([]float6
 // automatically: the last row gives Σα·(c+d) = 1 − α_{q-1}·w_{q-1} < 1.
 // Only the dual certificate can reject the candidate.
 func (s *Session) lifoTight(p *platform.Platform, send platform.Order) ([]float64, bool) {
+	wc := s.derivedCosts(p)
 	q := len(send)
 	alpha := grow(&s.alpha, q)
 	for k, i := range send {
-		w := p.Workers[i]
 		if k == 0 {
-			alpha[0] = 1 / (w.C + w.W + w.D)
+			alpha[0] = wc[i].invCWD
 		} else {
-			alpha[k] = alpha[k-1] * p.Workers[send[k-1]].W / (w.C + w.W + w.D)
+			alpha[k] = alpha[k-1] * wc[send[k-1]].w * wc[i].invCWD
 		}
 		if math.IsNaN(alpha[k]) || math.IsInf(alpha[k], 0) {
 			return nil, false
