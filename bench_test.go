@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"repro/dls"
+	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/experiments"
 	"repro/internal/platform"
@@ -356,10 +357,10 @@ func BenchmarkBatchChainEval(b *testing.B) {
 
 // BenchmarkBestPairExhaustive4 runs the (p!)² pair search at p = 4 (576
 // scenarios before pruning) under each backend; auto additionally exercises
-// the send-prefix reuse and the send-bound pruning of the search itself.
+// the incumbent seeding and the return-order branch-and-bound of the search
+// itself.
 func BenchmarkBestPairExhaustive4(b *testing.B) {
-	rng := rand.New(rand.NewSource(63))
-	p := dls.RandomSpeeds(rng, 4, dls.Heterogeneous).Platform(dls.DefaultApp(100))
+	p := benchPairPlatform(4)
 	ctx := context.Background()
 	for _, mode := range []dls.EvalMode{dls.EvalAuto, dls.EvalSimplex} {
 		b.Run(mode.String(), func(b *testing.B) {
@@ -373,6 +374,87 @@ func BenchmarkBestPairExhaustive4(b *testing.B) {
 			}
 		})
 	}
+}
+
+// benchPairPlatform draws the heterogeneous reference platform of the
+// pair-search benchmarks (the CI pruning gate watches the p = 6 instance).
+func benchPairPlatform(n int) *dls.Platform {
+	rng := rand.New(rand.NewSource(63))
+	return dls.RandomSpeeds(rng, n, dls.Heterogeneous).Platform(dls.DefaultApp(100))
+}
+
+// reportPairPruning attaches the branch-and-bound instrumentation of the
+// measured interval as benchmark metrics: subtrees cut per op and the
+// fraction of generated return-order children that were cut (the CI bench
+// job fails when the counter stops advancing — the bound silently stopped
+// firing). See BENCH.md for how to read the counters.
+func reportPairPruning(b *testing.B, before, after core.PairStats) {
+	pruned := after.SubtreesPruned - before.SubtreesPruned
+	nodes := after.NodesExpanded - before.NodesExpanded
+	leaves := after.LeavesEvaluated - before.LeavesEvaluated
+	outer := after.OuterPruned - before.OuterPruned
+	b.ReportMetric(float64(pruned)/float64(b.N), "pruned-subtrees/op")
+	b.ReportMetric(float64(outer)/float64(b.N), "pruned-outer/op")
+	if children := pruned + nodes + leaves; children > 0 {
+		b.ReportMetric(float64(pruned)/float64(children), "pruned-frac")
+	}
+}
+
+// BenchmarkBestPairExhaustive5 compares the two pair-search algorithms at
+// p = 5 under the auto backend: the flat double loop (send-prefix reuse +
+// whole-inner-loop SendBound pruning, the PR 3 search) against the
+// branch-and-bound recursion over return-order prefixes. The acceptance
+// criterion of the search-core refactor is bb ≥ 3× faster than flat here.
+func BenchmarkBestPairExhaustive5(b *testing.B) {
+	p := benchPairPlatform(5)
+	ctx := context.Background()
+	for _, tc := range []struct {
+		name string
+		algo core.PairAlgo
+	}{{"flat", core.PairFlat}, {"bb", core.PairBB}} {
+		b.Run(tc.name, func(b *testing.B) {
+			var rho float64
+			before := core.PairStatsSnapshot()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pr, err := core.BestPairExhaustiveAlgo(ctx, p, schedule.OnePort, eval.Auto, tc.algo)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rho = pr.Schedule.Throughput()
+			}
+			b.StopTimer()
+			b.ReportMetric(rho, "rho")
+			if tc.algo == core.PairBB {
+				reportPairPruning(b, before, core.PairStatsSnapshot())
+			}
+		})
+	}
+}
+
+// BenchmarkBestPairExhaustive6 runs the pair search at p = 6 — 720 send
+// orders over up to 720 return orders each, a scale only the
+// branch-and-bound reaches (the flat loop takes tens of seconds here). The
+// acceptance criterion: under 2 s/op with more than half of the generated
+// return-order subtrees cut by the prefix bound.
+func BenchmarkBestPairExhaustive6(b *testing.B) {
+	p := benchPairPlatform(6)
+	ctx := context.Background()
+	var rho float64
+	before := core.PairStatsSnapshot()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr, err := core.BestPairExhaustiveAlgo(ctx, p, schedule.OnePort, eval.Auto, core.PairBB)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rho = pr.Schedule.Throughput()
+	}
+	b.StopTimer()
+	b.ReportMetric(rho, "rho")
+	reportPairPruning(b, before, core.PairStatsSnapshot())
 }
 
 // BenchmarkScenarioEval solves one fixed 11-worker FIFO scenario under each

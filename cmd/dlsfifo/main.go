@@ -6,7 +6,7 @@
 //
 //	dlsfifo schedule -platform file.json [-discipline fifo|lifo|incw|<strategy>] [-model one-port|two-port] [-exact] [-eval auto|closed-form|direct|simplex|exact] [-load M] [-gantt]
 //	dlsfifo bus -c 0.1 -d 0.05 -w 0.4,0.6,0.8
-//	dlsfifo brute -platform file.json [-exact] [-eval direct] [-timeout 30s]
+//	dlsfifo brute -platform file.json [-exact] [-eval direct] [-timeout 30s] [-search auto|bb|flat]
 //	dlsfifo random -p 11 -family heterogeneous -size 100 -seed 42
 //	dlsfifo strategies
 //
@@ -373,10 +373,15 @@ func cmdBrute(args []string) error {
 	exact := fs.Bool("exact", false, "use exact rational LP arithmetic")
 	timeout := fs.Duration("timeout", 0, "abort the (p!)² search after this duration (0 = no limit)")
 	evalName := fs.String("eval", "auto", "scenario-evaluation backend: auto | closed-form | direct | simplex | exact")
+	search := fs.String("search", "auto", "pair-search algorithm: auto (branch-and-bound for float64 backends) | bb | flat")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	evalMode, err := dls.ParseEvalMode(*evalName)
+	if err != nil {
+		return err
+	}
+	pairStrategy, err := dls.PairStrategyForSearch(*search)
 	if err != nil {
 		return err
 	}
@@ -394,7 +399,7 @@ func cmdBrute(args []string) error {
 	// FIFO is solved separately because a star without a common z makes it
 	// fail with ErrNoCommonZ, which only drops its comparison line.
 	results, err := solver.SolveBatch(ctx, []dls.Request{
-		{Platform: p, Strategy: dls.StrategyPairExhaustive, Arith: arith, Eval: evalMode},
+		{Platform: p, Strategy: pairStrategy, Arith: arith, Eval: evalMode},
 		{Platform: p, Strategy: dls.StrategyLIFO, Arith: arith, Eval: evalMode},
 	})
 	if err != nil {

@@ -135,6 +135,28 @@ func TestCmdBrute(t *testing.T) {
 	}
 }
 
+// TestCmdBruteSearchFlag exercises the -search knob: both explicit
+// algorithms must run and report the same optimum as the default, the bb
+// algorithm must reject exact arithmetic (whose comparisons its float64
+// bounds cannot certify), and an unknown name must fail.
+func TestCmdBruteSearchFlag(t *testing.T) {
+	path := writePlatform(t)
+	for _, search := range []string{"bb", "flat"} {
+		if err := cmdBrute([]string{"-platform", path, "-search", search}); err != nil {
+			t.Errorf("brute -search %s: %v", search, err)
+		}
+	}
+	if err := cmdBrute([]string{"-platform", path, "-search", "nope"}); err == nil {
+		t.Error("unknown -search algorithm must fail")
+	}
+	if err := cmdBrute([]string{"-platform", path, "-search", "bb", "-exact"}); err == nil {
+		t.Error("brute -search bb -exact must fail: the bounds cannot certify exact comparisons")
+	}
+	if err := cmdBrute([]string{"-platform", path, "-search", "flat", "-exact"}); err != nil {
+		t.Errorf("brute -search flat -exact: %v", err)
+	}
+}
+
 func TestCmdRandom(t *testing.T) {
 	for _, fam := range []string{"homogeneous", "homcomm", "heterogeneous"} {
 		if err := cmdRandom([]string{"-p", "4", "-family", fam, "-seed", "9"}); err != nil {

@@ -278,8 +278,9 @@ func BestLIFOExhaustive(p *Platform, model Model, arith Arith) (*Schedule, Order
 	return res.Schedule, res.Send, nil
 }
 
-// BestPairExhaustive searches all (σ1, σ2) permutation pairs (p ≤ 5) — the
-// general problem whose complexity the paper leaves open.
+// BestPairExhaustive searches all (σ1, σ2) permutation pairs (p ≤ 7 in
+// float64, p ≤ 5 in exact arithmetic) — the general problem whose
+// complexity the paper leaves open.
 //
 // Deprecated: use [Solver.Solve] (or [Solve]) with [StrategyPairExhaustive];
 // the engine adds cancellation and deadlines for this (p!)² search.

@@ -260,6 +260,45 @@ func TestSolveCancellation(t *testing.T) {
 	}
 }
 
+// TestPairSearchStrategies pins the pair-search strategy knob at the
+// engine level: pair-bb and pair-flat must agree with pair-exhaustive on
+// the optimum, pair-bb must reject exact arithmetic, and a WithTimeout
+// deadline must abort a p = 7 pair-bb solve inside the return-order
+// recursion (the search is far too large to finish in a millisecond).
+func TestPairSearchStrategies(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	p := dls.RandomSpeeds(rng, 4, dls.Heterogeneous).Platform(dls.DefaultApp(100))
+	solver := mustSolver(t)
+	ctx := context.Background()
+	ref, err := solver.Solve(ctx, dls.Request{Platform: p, Strategy: dls.StrategyPairExhaustive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strat := range []string{dls.StrategyPairBB, dls.StrategyPairFlat} {
+		res, err := solver.Solve(ctx, dls.Request{Platform: p, Strategy: strat})
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		if d := res.Throughput - ref.Throughput; d > 1e-9*(1+ref.Throughput) || d < -1e-9*(1+ref.Throughput) {
+			t.Errorf("%s throughput %.12g != pair-exhaustive %.12g", strat, res.Throughput, ref.Throughput)
+		}
+	}
+	if _, err := solver.Solve(ctx, dls.Request{Platform: p, Strategy: dls.StrategyPairBB, Arith: dls.Exact}); err == nil {
+		t.Error("pair-bb with exact arithmetic must fail")
+	}
+
+	big := dls.RandomSpeeds(rng, 7, dls.Heterogeneous).Platform(dls.DefaultApp(100))
+	timed := mustSolver(t, dls.WithTimeout(time.Millisecond))
+	start := time.Now()
+	_, err = timed.Solve(ctx, dls.Request{Platform: big, Strategy: dls.StrategyPairBB})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("want context.DeadlineExceeded from the p=7 pair-bb solve, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v, the recursion is not polling the deadline", elapsed)
+	}
+}
+
 // batchRequests builds a mixed workload: several platforms × strategies,
 // with deliberate duplicates to exercise batch deduplication.
 func batchRequests(t *testing.T) []dls.Request {

@@ -44,8 +44,20 @@ const (
 	// StrategyLIFOExhaustive searches all LIFO send orders (p ≤ 8).
 	StrategyLIFOExhaustive = "lifo-exhaustive"
 	// StrategyPairExhaustive searches all (σ1, σ2) permutation pairs
-	// (p ≤ 5) — the general problem whose complexity the paper leaves open.
+	// (p ≤ 7; p ≤ 5 under exact arithmetic, whose flat loop runs
+	// unpruned) — the general problem whose complexity the paper leaves
+	// open. It explores with the default algorithm: the return-order
+	// branch-and-bound for float64 backends, the flat double loop under
+	// exact arithmetic.
 	StrategyPairExhaustive = "pair-exhaustive"
+	// StrategyPairBB forces the branch-and-bound pair search: return
+	// orders are explored as prefix trees and whole subtrees are cut by
+	// the eval-layer prefix bound. Float64 backends only.
+	StrategyPairBB = "pair-bb"
+	// StrategyPairFlat forces the flat p!×p! pair search (send-prefix
+	// reuse, whole-inner-loop pruning) — the agreement-testing baseline
+	// and the exact-arithmetic path.
+	StrategyPairFlat = "pair-flat"
 	// StrategyFIFOAffine searches participant subsets (p ≤ 16) for the best
 	// one-port FIFO schedule under the affine cost model of Request.Affine.
 	StrategyFIFOAffine = "fifo-affine"
@@ -53,6 +65,23 @@ const (
 	// affine cost model of Request.Affine.
 	StrategyScenarioAffine = "scenario-affine"
 )
+
+// PairStrategyForSearch maps the CLI pair-search spellings onto the
+// engine's pair-search strategies: "auto" → StrategyPairExhaustive,
+// "bb" → StrategyPairBB, "flat" → StrategyPairFlat. Both CLIs (`dlsfifo
+// brute -search`, `dlsexp -pair-search`) resolve their flags here, so the
+// spellings cannot diverge.
+func PairStrategyForSearch(name string) (string, error) {
+	switch name {
+	case "auto":
+		return StrategyPairExhaustive, nil
+	case "bb":
+		return StrategyPairBB, nil
+	case "flat":
+		return StrategyPairFlat, nil
+	}
+	return "", fmt.Errorf("dls: unknown pair-search algorithm %q (auto | bb | flat)", name)
+}
 
 // StrategyFunc computes a Result for a prepared Request. The engine has
 // already validated the platform, resolved the arithmetic default and
@@ -207,13 +236,18 @@ func init() {
 		}
 		return &Result{Schedule: s, Send: order, Return: order.Reverse()}, nil
 	})
-	mustRegisterStrategy(StrategyPairExhaustive, func(ctx context.Context, req Request) (*Result, error) {
-		pr, err := core.BestPairExhaustiveEval(ctx, req.Platform, req.Model, req.Eval)
-		if err != nil {
-			return nil, err
+	pairSearch := func(algo core.PairAlgo) StrategyFunc {
+		return func(ctx context.Context, req Request) (*Result, error) {
+			pr, err := core.BestPairExhaustiveAlgo(ctx, req.Platform, req.Model, req.Eval, algo)
+			if err != nil {
+				return nil, err
+			}
+			return &Result{Schedule: pr.Schedule, Send: pr.Send, Return: pr.Return}, nil
 		}
-		return &Result{Schedule: pr.Schedule, Send: pr.Send, Return: pr.Return}, nil
-	})
+	}
+	mustRegisterStrategy(StrategyPairExhaustive, pairSearch(core.PairAuto))
+	mustRegisterStrategy(StrategyPairBB, pairSearch(core.PairBB))
+	mustRegisterStrategy(StrategyPairFlat, pairSearch(core.PairFlat))
 	mustRegisterStrategy(StrategyFIFOAffine, func(ctx context.Context, req Request) (*Result, error) {
 		if req.Affine == nil {
 			return nil, fmt.Errorf("dls: strategy %q requires Request.Affine", StrategyFIFOAffine)

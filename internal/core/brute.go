@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync/atomic"
 
 	"repro/internal/eval"
@@ -11,36 +12,110 @@ import (
 )
 
 // Limits on the exhaustive searches: p! scenario evaluations for FIFO/LIFO
-// order search, (p!)² for permutation pairs. The limits keep worst cases
-// around a few hundred thousand tiny evaluations.
+// order search, (p!)² return-order nodes for permutation pairs. The order
+// limit keeps worst cases around a few hundred thousand tiny evaluations;
+// the pair limit rose from 5 to 7 when the branch-and-bound recursion over
+// return orders replaced the flat inner loop — the prefix bound cuts whole
+// σ2 subtrees, so the explored node count stays far below the (p!)²
+// ceiling. Exact-rational pair searches keep the historical cap: they run
+// the flat loop with seeding and pruning disabled (float64 bounds cannot
+// certify exact comparisons), so (7!)² exact simplex solves would take
+// days where the fail-fast error takes microseconds.
 const (
-	maxExhaustiveOrder = 8
-	maxExhaustivePair  = 5
+	maxExhaustiveOrder     = 8
+	maxExhaustivePair      = 7
+	maxExhaustivePairExact = 5 // ExactRational: unpruned flat loop only
 )
 
 // pruneMargin is the relative safety margin of the pair search's
-// upper-bound pruning: an inner loop is skipped only when its send-order
+// upper-bound pruning: a subtree (or inner loop) is skipped only when its
 // bound cannot beat the incumbent by more than floating-point noise, so
 // pruning never changes the reported optimum beyond ~1e-12 relative.
 const pruneMargin = 1e-12
 
-// ctxPollMask throttles context polling in the order search's inner loop:
-// the context is checked every ctxPollMask+1 permutations, bounding the
+// ctxPollMask throttles context polling in the search cores' hot loops:
+// the context is checked every ctxPollMask+1 nodes, bounding the
 // cancellation latency to a few microseconds of chain evaluations while
-// keeping the per-permutation cost free of the atomic loads ctx.Err()
-// performs.
+// keeping the per-node cost free of the atomic loads ctx.Err() performs.
 const ctxPollMask = 0x3f
 
-// Pair-search instrumentation. pairPrunedInner counts inner loops skipped
-// whole by the send-bound pruning (cumulative across searches; atomic, as
-// searches may run concurrently). disablePairSeeding switches off the
-// batched FIFO/LIFO incumbent seeding. Both exist for tests — the seeding
-// property tests compare pruning counts with and without seeds — and are
-// not part of the package API.
+// disablePairSeeding switches off the batched FIFO/LIFO incumbent seeding
+// of the pair searches. It exists for tests — the seeding property tests
+// compare pruning counts with and without seeds, and the cancellation test
+// steers a deadline into the recursion itself — and is not part of the
+// package API.
+var disablePairSeeding bool
+
+// PairStats is a snapshot of the pair searches' cumulative
+// instrumentation, kept as process-global atomics (searches may run
+// concurrently; each search accumulates locally and flushes once). The
+// counters make the branch-and-bound's effectiveness observable — the
+// bench CI job fails if SubtreesPruned stops advancing on the reference
+// platform, i.e. if the bound silently stopped firing.
+type PairStats struct {
+	// OuterPruned counts send orders whose entire return-order tree was
+	// skipped: the flat search's SendBound prunes and the B&B's root-node
+	// bound prunes land here.
+	OuterPruned uint64
+	// NodesExpanded counts branch-and-bound nodes whose children were
+	// generated (including the per-σ1 roots).
+	NodesExpanded uint64
+	// SubtreesPruned counts children cut by the return-prefix bound —
+	// whole subtrees of return orders discarded without evaluation
+	// (leaves pruned at full depth count too).
+	SubtreesPruned uint64
+	// LeavesEvaluated counts complete return orders whose throughput was
+	// actually computed (certified bound or fallback evaluation).
+	LeavesEvaluated uint64
+}
+
 var (
-	pairPrunedInner    atomic.Uint64
-	disablePairSeeding bool
+	pairOuterPruned    atomic.Uint64
+	pairNodesExpanded  atomic.Uint64
+	pairSubtreesPruned atomic.Uint64
+	pairLeavesEval     atomic.Uint64
 )
+
+// PairStatsSnapshot returns the cumulative pair-search counters. Callers
+// interested in one search (benchmarks, the CI pruning gate) subtract two
+// snapshots.
+func PairStatsSnapshot() PairStats {
+	return PairStats{
+		OuterPruned:     pairOuterPruned.Load(),
+		NodesExpanded:   pairNodesExpanded.Load(),
+		SubtreesPruned:  pairSubtreesPruned.Load(),
+		LeavesEvaluated: pairLeavesEval.Load(),
+	}
+}
+
+// PairAlgo selects how the pair search explores the return-order space of
+// each send order.
+type PairAlgo int
+
+const (
+	// PairAuto picks the branch-and-bound recursion for every float64
+	// backend and the flat double loop under ExactRational (whose exact
+	// comparisons the float64 bounds cannot certify).
+	PairAuto PairAlgo = iota
+	// PairBB forces the branch-and-bound recursion over σ2 prefixes.
+	PairBB
+	// PairFlat forces the flat p!×p! double loop (the PR 3 search,
+	// retained for agreement testing and as the exact-arithmetic path).
+	PairFlat
+)
+
+// String names the algorithm ("auto", "bb", "flat").
+func (a PairAlgo) String() string {
+	switch a {
+	case PairAuto:
+		return "auto"
+	case PairBB:
+		return "bb"
+	case PairFlat:
+		return "flat"
+	}
+	return fmt.Sprintf("PairAlgo(%d)", int(a))
+}
 
 // forEachPermutation invokes fn with every permutation of {0..n-1},
 // enumerated by the Steinhaus–Johnson–Trotter algorithm: each emitted
@@ -93,6 +168,57 @@ func forEachPermutation(n int, fn func(perm []int, swapped int) error) error {
 		if err := fn(perm, left); err != nil {
 			return err
 		}
+	}
+}
+
+// searchCore is the node state shared by every order-space search in this
+// package: throttled cancellation and incumbent tracking. The FIFO/LIFO
+// order searches are depth-1 instances — every SJT emission is a leaf
+// offered directly — while the pair searches thread the same core through
+// the σ1 enumeration and (for the branch-and-bound) every node of the
+// return-order recursion, which is what makes a WithTimeout deadline abort
+// a deep subtree promptly instead of waiting for the next outer
+// permutation.
+type searchCore struct {
+	ctx     context.Context
+	iter    int
+	bestRho float64
+	best    platform.Order // winning send order
+	bestRet platform.Order // winning return order (nil when implied)
+}
+
+func newSearchCore(ctx context.Context) *searchCore {
+	return &searchCore{ctx: ctx, bestRho: -1}
+}
+
+// poll checks the context every ctxPollMask+1 calls. Every node of every
+// search calls it, so cancellation latency is bounded by a few dozen chain
+// evaluations anywhere in the tree.
+func (s *searchCore) poll() error {
+	if s.iter&ctxPollMask == 0 {
+		if err := s.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	s.iter++
+	return nil
+}
+
+// prunable reports whether a subtree bound cannot beat the incumbent (with
+// the pruning safety margin). Searches never prune before the first
+// incumbent exists.
+func (s *searchCore) prunable(bound float64) bool {
+	return s.bestRho > 0 && bound <= s.bestRho*(1+pruneMargin)
+}
+
+// offer installs a strictly better leaf as the incumbent, cloning the live
+// enumeration slices. ret may be nil for searches whose return order is
+// implied by the send order (FIFO/LIFO).
+func (s *searchCore) offer(rho float64, send, ret platform.Order) {
+	if rho > s.bestRho {
+		s.bestRho = rho
+		s.best = send.Clone()
+		s.bestRet = ret.Clone()
 	}
 }
 
@@ -149,16 +275,18 @@ func BestLIFOExhaustiveEval(ctx context.Context, p *platform.Platform, model sch
 	return bestOrderExhaustive(ctx, p, model, mode, true)
 }
 
-// bestOrderExhaustive enumerates all p! send orders. Under the Auto
-// backend the Steinhaus–Johnson–Trotter enumeration drives an incremental
-// eval.Sweep: each adjacent transposition re-derives only the invalidated
-// prefix/suffix state of the FIFO/LIFO load-and-dual chains (O(p−i) after
-// a swap at position i instead of O(p) from scratch), and a permutation is
-// handed to the full tiered pipeline only when the chain certificate
-// fails (port-bound or resource-selecting optima). Other backends — and
-// the certificate failures — evaluate through the raw throughput fast
-// path of one pooled eval session. Only the winning order is re-evaluated
-// through the verified schedule-producing path.
+// bestOrderExhaustive enumerates all p! send orders — the depth-1 instance
+// of the search core: every SJT emission is a leaf offered straight to the
+// incumbent. Under the Auto backend the Steinhaus–Johnson–Trotter
+// enumeration drives an incremental eval.Sweep: each adjacent
+// transposition re-derives only the invalidated prefix/suffix state of the
+// FIFO/LIFO load-and-dual chains (O(p−i) after a swap at position i
+// instead of O(p) from scratch), and a permutation is handed to the full
+// tiered pipeline only when the chain certificate fails (port-bound or
+// resource-selecting optima). Other backends — and the certificate
+// failures — evaluate through the raw throughput fast path of one pooled
+// eval session. Only the winning order is re-evaluated through the
+// verified schedule-producing path.
 func bestOrderExhaustive(ctx context.Context, p *platform.Platform, model schedule.Model, mode eval.Mode, lifo bool) (*schedule.Schedule, platform.Order, error) {
 	if err := p.Validate(); err != nil {
 		return nil, nil, err
@@ -171,18 +299,13 @@ func bestOrderExhaustive(ctx context.Context, p *platform.Platform, model schedu
 	defer sess.Release()
 	sc := eval.Scenario{Platform: p, Model: model}
 	reversed := make(platform.Order, n) // scratch for the LIFO return order
-	bestRho := -1.0
-	var bestOrder platform.Order
+	core := newSearchCore(ctx)
 	var sweep *eval.Sweep
 	useSweep := mode == eval.Auto
-	iter := 0
 	err := forEachPermutation(n, func(perm []int, swapped int) error {
-		if iter&ctxPollMask == 0 {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
+		if err := core.poll(); err != nil {
+			return err
 		}
-		iter++
 		if useSweep {
 			if swapped < 0 {
 				var err error
@@ -192,15 +315,12 @@ func bestOrderExhaustive(ctx context.Context, p *platform.Platform, model schedu
 			} else {
 				sweep.Delta(swapped)
 			}
-			// ThroughputBound may return a certified upper bound (≤ bestRho)
-			// instead of the exact optimum when the cached dual multipliers
-			// prove this order cannot beat the incumbent; either way a
-			// pruned order never becomes the winner.
-			if rho, ok := sweep.ThroughputBound(bestRho); ok {
-				if rho > bestRho {
-					bestRho = rho
-					bestOrder = platform.Order(perm).Clone()
-				}
+			// ThroughputBound may return a certified upper bound (≤ the
+			// incumbent) instead of the exact optimum when the cached dual
+			// multipliers prove this order cannot beat the incumbent;
+			// either way a pruned order never becomes the winner.
+			if rho, ok := sweep.ThroughputBound(core.bestRho); ok {
+				core.offer(rho, platform.Order(perm), nil)
 				return nil
 			}
 			// Certificate failure: this permutation's optimum is not the
@@ -219,15 +339,13 @@ func bestOrderExhaustive(ctx context.Context, p *platform.Platform, model schedu
 		if err != nil {
 			return err
 		}
-		if rho > bestRho {
-			bestRho = rho
-			bestOrder = platform.Order(perm).Clone()
-		}
+		core.offer(rho, platform.Order(perm), nil)
 		return nil
 	})
 	if err != nil {
 		return nil, nil, err
 	}
+	bestOrder := core.best
 	sc.Send = bestOrder
 	if lifo {
 		sc.Return = bestOrder.Reverse()
@@ -250,16 +368,16 @@ type PairResult struct {
 
 // BestPairExhaustive searches every (σ1, σ2) permutation pair over all
 // workers — the general scheduling problem whose complexity the paper
-// leaves open (and conjectures NP-hard). Limited to very small platforms;
-// used to probe how far the optimal FIFO/LIFO schedules sit from the
+// leaves open (and conjectures NP-hard). Limited to small platforms; used
+// to probe how far the optimal FIFO/LIFO schedules sit from the
 // unrestricted optimum.
 func BestPairExhaustive(p *platform.Platform, model schedule.Model, arith Arith) (*PairResult, error) {
 	return BestPairExhaustiveContext(context.Background(), p, model, arith)
 }
 
 // BestPairExhaustiveContext is BestPairExhaustive with cancellation: the
-// (p!)² search checks the context between evaluations and aborts with
-// ctx.Err() once it is done.
+// search polls the context throughout — including inside the return-order
+// recursion — and aborts with ctx.Err() once it is done.
 func BestPairExhaustiveContext(ctx context.Context, p *platform.Platform, model schedule.Model, arith Arith) (*PairResult, error) {
 	mode, err := evalMode(arith)
 	if err != nil {
@@ -269,27 +387,33 @@ func BestPairExhaustiveContext(ctx context.Context, p *platform.Platform, model 
 }
 
 // BestPairExhaustiveEval is the cancellable pair search with an explicit
-// evaluation backend. Three structural optimisations keep the (p!)² loop
-// from re-deriving shared work:
+// evaluation backend, exploring with the default algorithm (PairAuto:
+// branch-and-bound for float64 backends, the flat loop under
+// ExactRational).
+func BestPairExhaustiveEval(ctx context.Context, p *platform.Platform, model schedule.Model, mode eval.Mode) (*PairResult, error) {
+	return BestPairExhaustiveAlgo(ctx, p, model, mode, PairAuto)
+}
+
+// BestPairExhaustiveAlgo is the pair search with an explicit exploration
+// algorithm. Both algorithms share the incumbent seeding (the FIFO and
+// LIFO return orders of every send permutation, batch-evaluated up front
+// in structure-of-arrays lockstep, raise the incumbent before any
+// exploration) and agree on the reported optimum to floating-point noise;
+// they differ in how the p! return orders of a send order are covered:
 //
-//   - incumbent seeding: before the outer loop starts, the FIFO and LIFO
-//     return orders of every send permutation — the two return orders
-//     with O(p) closed-form chains — are evaluated up front by a
-//     structure-of-arrays eval.Batch in lockstep; each send permutation's
-//     certified seeds raise the incumbent before its inner loop runs, so
-//     the bound below can prune from the very first send order;
-//   - per-prefix reuse: for each send order the send-prefix half of the
-//     tight system is assembled once (eval.Session.FixedSend) and shared
-//     by all p! return orders;
-//   - upper-bound pruning: before entering an inner loop, the send order's
-//     return-order-independent relaxation (eval.Session.SendBound) is
-//     compared against the incumbent — a send order whose bound cannot
-//     beat the best throughput found so far skips its entire inner loop.
+//   - PairFlat evaluates every return order against the shared send-prefix
+//     system (eval.Session.FixedSend), skipping whole inner loops whose
+//     send-order relaxation (eval.Session.SendBound) cannot beat the
+//     incumbent;
+//   - PairBB explores return orders as a tree, committing the last
+//     returner first, and discards every subtree whose prefix relaxation
+//     (eval.ReturnPrefix) cannot beat the incumbent — pruning WITHIN inner
+//     loops, which is what lifts the worker ceiling from 5 to 7.
 //
 // Seeding and pruning are disabled under ExactRational, where the seeds
-// and the bound (float64 computations) could not certify exact
-// comparisons.
-func BestPairExhaustiveEval(ctx context.Context, p *platform.Platform, model schedule.Model, mode eval.Mode) (*PairResult, error) {
+// and the bounds (float64 computations) could not certify exact
+// comparisons; PairBB is rejected there for the same reason.
+func BestPairExhaustiveAlgo(ctx context.Context, p *platform.Platform, model schedule.Model, mode eval.Mode, algo PairAlgo) (*PairResult, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -297,45 +421,67 @@ func BestPairExhaustiveEval(ctx context.Context, p *platform.Platform, model sch
 	if n > maxExhaustivePair {
 		return nil, fmt.Errorf("core: exhaustive pair search limited to %d workers, platform has %d", maxExhaustivePair, n)
 	}
+	if mode == eval.ExactRational && n > maxExhaustivePairExact {
+		return nil, fmt.Errorf("core: exact-rational pair search limited to %d workers (no pruning certifies exact comparisons), platform has %d", maxExhaustivePairExact, n)
+	}
+	switch algo {
+	case PairAuto:
+		if mode == eval.ExactRational {
+			algo = PairFlat
+		} else {
+			algo = PairBB
+		}
+	case PairBB:
+		if mode == eval.ExactRational {
+			return nil, fmt.Errorf("core: pair-bb requires a float64 evaluation backend (the prefix bounds cannot certify exact-rational comparisons); use pair-flat with exact")
+		}
+	case PairFlat:
+		// Always available.
+	default:
+		return nil, fmt.Errorf("core: unknown pair-search algorithm %v", algo)
+	}
 	sess := eval.GetSession()
 	defer sess.Release()
-	bestRho := -1.0
-	var bestSend, bestRet platform.Order
+	core := newSearchCore(ctx)
 	prune := mode != eval.ExactRational
-	fifoSeeds, lifoSeeds, err := pairSeeds(p, model, n, prune && !disablePairSeeding)
+	if err := seedPairIncumbent(ctx, core, p, model, n, prune && !disablePairSeeding); err != nil {
+		return nil, err
+	}
+	var err error
+	if algo == PairBB {
+		err = pairSearchBB(core, sess, p, model, mode, n)
+	} else {
+		err = pairSearchFlat(core, sess, p, model, mode, n, prune)
+	}
 	if err != nil {
 		return nil, err
 	}
-	if fifoSeeds != nil {
-		// Raise the incumbent to the best certified seed before the outer
-		// loop starts: every seed is an achieved throughput of a scenario
-		// inside the search space, so the very first send order's bound is
-		// already checked against a near-optimal incumbent.
-		for k := 0; k < fifoSeeds.Len(); k++ {
-			if rho, ok := fifoSeeds.Throughput(k); ok && rho > bestRho {
-				bestRho = rho
-				bestSend = fifoSeeds.Scenario(k).Send.Clone()
-				bestRet = bestSend
-			}
-			if rho, ok := lifoSeeds.Throughput(k); ok && rho > bestRho {
-				bestRho = rho
-				bestSend = lifoSeeds.Scenario(k).Send.Clone()
-				bestRet = bestSend.Reverse()
-			}
-		}
+	bestSend, bestRet := core.best, core.bestRet
+	best, err := sess.Evaluate(eval.Scenario{Platform: p, Send: bestSend, Return: bestRet, Model: model}, mode)
+	if err != nil {
+		return nil, err
 	}
-	err = forEachPermutation(n, func(sendPerm []int, _ int) error {
-		if err := ctx.Err(); err != nil {
+	return &PairResult{Schedule: best, Send: bestSend, Return: bestRet}, nil
+}
+
+// pairSearchFlat is the flat double loop: for each send order the
+// send-prefix half of the tight system is assembled once
+// (eval.Session.FixedSend) and shared by all p! return orders, and a send
+// order whose return-order-independent relaxation (eval.Session.SendBound)
+// cannot beat the incumbent skips its entire inner loop.
+func pairSearchFlat(core *searchCore, sess *eval.Session, p *platform.Platform, model schedule.Model, mode eval.Mode, n int, prune bool) error {
+	return forEachPermutation(n, func(sendPerm []int, _ int) error {
+		if err := core.ctx.Err(); err != nil {
 			return err
 		}
 		send := platform.Order(sendPerm)
-		if prune && bestRho > 0 {
+		if prune && core.bestRho > 0 {
 			bound, err := sess.SendBound(p, send, model)
 			if err != nil {
 				return err
 			}
-			if bound <= bestRho*(1+pruneMargin) {
-				pairPrunedInner.Add(1)
+			if core.prunable(bound) {
+				pairOuterPruned.Add(1)
 				return nil // no σ2 under this σ1 can beat the incumbent
 			}
 		}
@@ -344,58 +490,170 @@ func BestPairExhaustiveEval(ctx context.Context, p *platform.Platform, model sch
 			return err
 		}
 		return forEachPermutation(n, func(retPerm []int, _ int) error {
-			if err := ctx.Err(); err != nil {
+			if err := core.poll(); err != nil {
 				return err
 			}
 			rho, err := fixed.Throughput(retPerm)
 			if err != nil {
 				return err
 			}
-			if rho > bestRho {
-				bestRho = rho
-				bestSend = send.Clone()
-				bestRet = platform.Order(retPerm).Clone()
-			}
+			core.offer(rho, send, platform.Order(retPerm))
 			return nil
 		})
 	})
-	if err != nil {
-		return nil, err
-	}
-	best, err := sess.Evaluate(eval.Scenario{Platform: p, Send: bestSend, Return: bestRet, Model: model}, mode)
-	if err != nil {
-		return nil, err
-	}
-	return &PairResult{Schedule: best, Send: bestSend, Return: bestRet}, nil
 }
 
-// pairSeeds batch-evaluates the FIFO and LIFO scenarios of every send
-// permutation in enumeration order (the structure-of-arrays chains run
-// 8 permutations per lockstep chunk). Lanes whose chain certificate fails
-// simply contribute no seed — the inner loops evaluate those return
-// orders anyway, so seeding never affects the search result, only how
-// early the incumbent allows pruning. Returns nil batches when seeding is
-// disabled.
-func pairSeeds(p *platform.Platform, model schedule.Model, n int, enabled bool) (fifo, lifo *eval.Batch, err error) {
+// pairSearchBB drives the branch-and-bound: the outer SJT enumeration over
+// send orders, a pruned prefix recursion over return orders within each.
+// Counter flushes happen exactly once, including on cancellation.
+func pairSearchBB(core *searchCore, sess *eval.Session, p *platform.Platform, model schedule.Model, mode eval.Mode, n int) error {
+	rp, err := sess.NewReturnPrefix(p, model, mode)
+	if err != nil {
+		return err
+	}
+	bb := &pairBB{core: core, rp: rp, q: n}
+	defer bb.flush()
+	return forEachPermutation(n, func(sendPerm []int, _ int) error {
+		if err := core.poll(); err != nil {
+			return err
+		}
+		bb.send = platform.Order(sendPerm)
+		if err := rp.Reset(bb.send); err != nil {
+			return err
+		}
+		// Root bound: the same relaxation SendBound solves as an LP, here
+		// one triangular system. A send order that cannot beat the
+		// incumbent skips its whole return-order tree.
+		bound := math.Inf(1)
+		if b, _, ok := rp.Bound(); ok {
+			if core.prunable(b) {
+				bb.outerPruned++
+				return nil
+			}
+			bound = b
+		}
+		bb.nodes++
+		return bb.searchNode(bound)
+	})
+}
+
+// pairBB is one branch-and-bound run: the shared search core, the eval
+// prefix state and locally accumulated counters (flushed to the global
+// atomics once per search).
+type pairBB struct {
+	core *searchCore
+	rp   *eval.ReturnPrefix
+	send platform.Order
+	q    int
+
+	outerPruned, nodes, pruned, leaves uint64
+}
+
+func (b *pairBB) flush() {
+	pairOuterPruned.Add(b.outerPruned)
+	pairNodesExpanded.Add(b.nodes)
+	pairSubtreesPruned.Add(b.pruned)
+	pairLeavesEval.Add(b.leaves)
+}
+
+// searchNode expands one node: every still-open worker is committed in
+// turn to the deepest open return position, bounded, and either pruned
+// (the whole subtree of return orders sharing that prefix is discarded),
+// recursed into, or — at full depth — evaluated and offered to the
+// incumbent. bound is the tightest certified bound along the path; a node
+// whose own bound fails to compute inherits it (admissible by the bound's
+// monotonicity in prefix length).
+func (b *pairBB) searchNode(bound float64) error {
+	if err := b.core.poll(); err != nil {
+		return err
+	}
+	for pos := 0; pos < b.q; pos++ {
+		if !b.rp.Open(pos) {
+			continue
+		}
+		b.rp.Push(pos)
+		nb := bound
+		cb, exact, ok := b.rp.Bound()
+		if ok && cb < nb {
+			nb = cb
+		}
+		leaf := b.rp.Depth() == b.q
+		switch {
+		case b.core.prunable(nb):
+			b.pruned++
+		case leaf:
+			b.leaves++
+			rho := cb
+			if !(ok && exact) {
+				var err error
+				if rho, err = b.rp.LeafThroughput(); err != nil {
+					b.rp.Pop()
+					return err
+				}
+			}
+			b.core.offer(rho, b.send, b.rp.ReturnOrder())
+		default:
+			b.nodes++
+			if err := b.searchNode(nb); err != nil {
+				b.rp.Pop()
+				return err
+			}
+		}
+		b.rp.Pop()
+	}
+	return nil
+}
+
+// seedPairIncumbent batch-evaluates the FIFO and LIFO scenarios of every
+// send permutation in enumeration order (the structure-of-arrays chains
+// run 8 permutations per lockstep chunk) and raises the incumbent to the
+// best certified seed before any exploration starts: every seed is an
+// achieved throughput of a scenario inside the search space, so the very
+// first send order's bound is already checked against a near-optimal
+// incumbent. Lanes whose chain certificate fails simply contribute no seed
+// — the exploration covers those return orders anyway, so seeding never
+// affects the search result, only how early the bounds allow pruning. The
+// enumeration polls ctx so a deadline cannot hide inside the seeding
+// phase.
+func seedPairIncumbent(ctx context.Context, core *searchCore, p *platform.Platform, model schedule.Model, n int, enabled bool) error {
 	if !enabled {
-		return nil, nil, nil
+		return nil
 	}
-	if fifo, err = eval.NewBatch(model, false, n); err != nil {
-		return nil, nil, err
+	fifo, err := eval.NewBatch(model, false, n)
+	if err != nil {
+		return err
 	}
-	if lifo, err = eval.NewBatch(model, true, n); err != nil {
-		return nil, nil, err
+	lifo, err := eval.NewBatch(model, true, n)
+	if err != nil {
+		return err
 	}
+	iter := 0
 	err = forEachPermutation(n, func(perm []int, _ int) error {
+		if iter&ctxPollMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		iter++
 		if err := fifo.Add(p, perm); err != nil {
 			return err
 		}
 		return lifo.Add(p, perm)
 	})
 	if err != nil {
-		return nil, nil, err
+		return err
 	}
 	fifo.Run()
 	lifo.Run()
-	return fifo, lifo, nil
+	for k := 0; k < fifo.Len(); k++ {
+		if rho, ok := fifo.Throughput(k); ok && rho > core.bestRho {
+			sc := fifo.Scenario(k)
+			core.offer(rho, sc.Send, sc.Send)
+		}
+		if rho, ok := lifo.Throughput(k); ok && rho > core.bestRho {
+			sc := lifo.Scenario(k)
+			core.offer(rho, sc.Send, sc.Send.Reverse())
+		}
+	}
+	return nil
 }

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/eval"
 	"repro/internal/platform"
@@ -108,7 +111,7 @@ func randomPairPlatform(rng *rand.Rand, n int) *platform.Platform {
 
 // TestPairSeedsNeverExceedOptimum validates the incumbent seeding: every
 // certified FIFO/LIFO seed is an achieved throughput of a scenario inside
-// the pair-search space, so the maximum seed can never exceed the true
+// the pair-search space, so the seeded incumbent can never exceed the true
 // pair optimum — seeding an unachievable incumbent would silently prune
 // winning send orders.
 func TestPairSeedsNeverExceedOptimum(t *testing.T) {
@@ -116,19 +119,11 @@ func TestPairSeedsNeverExceedOptimum(t *testing.T) {
 	for trial := 0; trial < 50; trial++ {
 		n := 3 + rng.Intn(2)
 		p := randomPairPlatform(rng, n)
-		fifo, lifo, err := pairSeeds(p, schedule.OnePort, n, true)
-		if err != nil {
+		core := newSearchCore(t.Context())
+		if err := seedPairIncumbent(t.Context(), core, p, schedule.OnePort, n, true); err != nil {
 			t.Fatal(err)
 		}
-		maxSeed := -1.0
-		for k := 0; k < fifo.Len(); k++ {
-			if rho, ok := fifo.Throughput(k); ok && rho > maxSeed {
-				maxSeed = rho
-			}
-			if rho, ok := lifo.Throughput(k); ok && rho > maxSeed {
-				maxSeed = rho
-			}
-		}
+		maxSeed := core.bestRho
 		pr, err := BestPairExhaustive(p, schedule.OnePort, Float64)
 		if err != nil {
 			t.Fatal(err)
@@ -137,15 +132,29 @@ func TestPairSeedsNeverExceedOptimum(t *testing.T) {
 		if maxSeed > opt*(1+1e-9) {
 			t.Fatalf("trial %d: seeded incumbent %.12g exceeds the pair optimum %.12g", trial, maxSeed, opt)
 		}
+		// The seed's claimed orders must actually achieve the claimed
+		// throughput (the incumbent is an achieved point, not a bound).
+		rho, err := eval.NewSession().Throughput(eval.Scenario{
+			Platform: p, Send: core.best, Return: core.bestRet, Model: schedule.OnePort,
+		}, eval.Simplex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := maxSeed - rho; d > 1e-9*(1+rho) || d < -1e-9*(1+rho) {
+			t.Fatalf("trial %d: seed claims %.12g but its scenario evaluates to %.12g", trial, maxSeed, rho)
+		}
 	}
 }
 
-// TestPairSeedingIncreasesPruning runs the pair search with and without
-// incumbent seeding on 50 random platforms, via the package test hooks:
-// the result must be identical either way, per-platform pruning must
-// never decrease with seeds, and across the sample seeding must prune
+// TestPairSeedingIncreasesPruning runs the flat pair search with and
+// without incumbent seeding on 50 random platforms, via the package test
+// hooks: the result must be identical either way, per-platform pruning
+// must never decrease with seeds, and across the sample seeding must prune
 // strictly more inner loops (the whole point of evaluating the two chain
-// scenarios first).
+// scenarios first). The flat algorithm is pinned because its inner-loop
+// prunes are monotone in the incumbent; the branch-and-bound trades many
+// deep cuts for fewer shallow ones, so its seeding property is a work
+// bound instead (see TestPairBBSeedingReducesWork).
 func TestPairSeedingIncreasesPruning(t *testing.T) {
 	rng := rand.New(rand.NewSource(654))
 	totalSeeded, totalUnseeded := uint64(0), uint64(0)
@@ -156,12 +165,13 @@ func TestPairSeedingIncreasesPruning(t *testing.T) {
 		run := func(disable bool) (*PairResult, uint64) {
 			disablePairSeeding = disable
 			defer func() { disablePairSeeding = false }()
-			before := pairPrunedInner.Load()
-			pr, err := BestPairExhaustive(p, schedule.OnePort, Float64)
+			before := PairStatsSnapshot()
+			pr, err := BestPairExhaustiveAlgo(t.Context(), p, schedule.OnePort, eval.Auto, PairFlat)
 			if err != nil {
 				t.Fatal(err)
 			}
-			return pr, pairPrunedInner.Load() - before
+			after := PairStatsSnapshot()
+			return pr, after.OuterPruned - before.OuterPruned
 		}
 		seeded, prunedSeeded := run(false)
 		unseeded, prunedUnseeded := run(true)
@@ -178,6 +188,147 @@ func TestPairSeedingIncreasesPruning(t *testing.T) {
 	if totalSeeded <= totalUnseeded {
 		t.Fatalf("seeding did not increase pruning across the sample: %d (seeded) vs %d (unseeded)",
 			totalSeeded, totalUnseeded)
+	}
+}
+
+// TestPairBBSeedingReducesWork is the branch-and-bound counterpart of the
+// seeding test: the optimum must be identical with and without seeds, and
+// across the sample the seeded searches must expand strictly fewer nodes
+// and evaluate strictly fewer leaves — the incumbent from the batch seeds
+// lets the prefix bound cut subtrees from the very first send order.
+func TestPairBBSeedingReducesWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(655))
+	var seededWork, unseededWork uint64
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(2)
+		p := randomPairPlatform(rng, n)
+
+		run := func(disable bool) (*PairResult, uint64) {
+			disablePairSeeding = disable
+			defer func() { disablePairSeeding = false }()
+			before := PairStatsSnapshot()
+			pr, err := BestPairExhaustiveAlgo(t.Context(), p, schedule.OnePort, eval.Auto, PairBB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			after := PairStatsSnapshot()
+			return pr, (after.NodesExpanded - before.NodesExpanded) + (after.LeavesEvaluated - before.LeavesEvaluated)
+		}
+		seeded, workSeeded := run(false)
+		unseeded, workUnseeded := run(true)
+		if s, u := seeded.Schedule.Throughput(), unseeded.Schedule.Throughput(); s != u {
+			t.Fatalf("trial %d: seeding changed the optimum: %.17g != %.17g", trial, s, u)
+		}
+		seededWork += workSeeded
+		unseededWork += workUnseeded
+	}
+	if seededWork >= unseededWork {
+		t.Fatalf("seeding did not reduce branch-and-bound work across the sample: %d (seeded) vs %d (unseeded)",
+			seededWork, unseededWork)
+	}
+}
+
+// TestPairBBAgreesWithFlat pins the branch-and-bound pair search against
+// the flat double loop: on random platforms across models the two must
+// agree on the optimal throughput, the derived makespan and the winning
+// schedule's canonicalised loads to 1e-9, and — whenever the optimum is
+// not a floating-point tie — on the winning (σ1, σ2) pair itself. Both
+// algorithms prune with a 1e-12 relative margin, so two pairs within that
+// margin of each other are legitimately interchangeable winners; in that
+// case the loads of both reported schedules must still agree.
+func TestPairBBAgreesWithFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	const load = 1000.0
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(3)
+		p := randomPairPlatform(rng, n)
+		model := schedule.OnePort
+		if trial%5 == 4 {
+			model = schedule.TwoPort
+		}
+		bb, err := BestPairExhaustiveAlgo(t.Context(), p, model, eval.Auto, PairBB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flat, err := BestPairExhaustiveAlgo(t.Context(), p, model, eval.Auto, PairFlat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, rf := bb.Schedule.Throughput(), flat.Schedule.Throughput()
+		tol := 1e-9 * (1 + rb + rf)
+		if d := rb - rf; d > tol || d < -tol {
+			t.Fatalf("trial %d: bb throughput %.12g != flat %.12g\n%s", trial, rb, rf, p)
+		}
+		if d := load/rb - load/rf; d > 1e-9*(1+load/rb) || d < -1e-9*(1+load/rb) {
+			t.Fatalf("trial %d: makespan disagreement: bb %.12g != flat %.12g", trial, load/rb, load/rf)
+		}
+		sameOrders := fmt.Sprint(bb.Send) == fmt.Sprint(flat.Send) && fmt.Sprint(bb.Return) == fmt.Sprint(flat.Return)
+		if !sameOrders {
+			// A tie within the pruning margin: both pairs must achieve the
+			// same optimum (re-evaluated through the simplex to decouple the
+			// check from the search's own arithmetic).
+			sess := eval.NewSession()
+			vb, err := sess.Throughput(eval.Scenario{Platform: p, Send: bb.Send, Return: bb.Return, Model: model}, eval.Simplex)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vf, err := sess.Throughput(eval.Scenario{Platform: p, Send: flat.Send, Return: flat.Return, Model: model}, eval.Simplex)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := vb - vf; d > tol || d < -tol {
+				t.Fatalf("trial %d: winners differ beyond a tie: bb (σ1=%v σ2=%v)=%.12g, flat (σ1=%v σ2=%v)=%.12g",
+					trial, bb.Send, bb.Return, vb, flat.Send, flat.Return, vf)
+			}
+		}
+		// Canonicalised loads (Evaluate pins degenerate optima to the
+		// lex-min vertex) of the two reported schedules.
+		for i := range bb.Schedule.Alpha {
+			a, b := bb.Schedule.Alpha[i], flat.Schedule.Alpha[i]
+			if !sameOrders {
+				continue // tie winners may enroll different workers
+			}
+			if d := a - b; d > 1e-9*(1+a+b) || d < -1e-9*(1+a+b) {
+				t.Fatalf("trial %d: load of worker %d: bb %.12g != flat %.12g", trial, i, a, b)
+			}
+		}
+	}
+}
+
+// TestPairBBCancellationInsideRecursion pins the cancellation granularity
+// satellite: a deadline far shorter than the p = 7 search must surface as
+// ctx.Err() promptly, with the expiry landing inside the return-order
+// recursion (seeding is disabled so the deadline cannot be absorbed by the
+// seeding phase, and the incumbent therefore starts unseeded, keeping the
+// early subtrees deep).
+func TestPairBBCancellationInsideRecursion(t *testing.T) {
+	rng := rand.New(rand.NewSource(808))
+	p := randomPairPlatform(rng, 7)
+	disablePairSeeding = true
+	defer func() { disablePairSeeding = false }()
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Microsecond)
+	defer cancel()
+	start := time.Now()
+	_, err := BestPairExhaustiveAlgo(ctx, p, schedule.OnePort, eval.Auto, PairBB)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expected context.DeadlineExceeded, got %v (after %v)", err, elapsed)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v, the recursion is not polling the context", elapsed)
+	}
+}
+
+// TestPairBBRejectsExact pins the algorithm/backend compatibility rule:
+// the float64 prefix bounds cannot certify exact-rational comparisons.
+func TestPairBBRejectsExact(t *testing.T) {
+	p := randomPairPlatform(rand.New(rand.NewSource(1)), 3)
+	if _, err := BestPairExhaustiveAlgo(t.Context(), p, schedule.OnePort, eval.ExactRational, PairBB); err == nil {
+		t.Fatal("pair-bb accepted the exact-rational backend")
+	}
+	// PairAuto must route exact requests to the flat loop instead.
+	if _, err := BestPairExhaustiveAlgo(t.Context(), p, schedule.OnePort, eval.ExactRational, PairAuto); err != nil {
+		t.Fatalf("PairAuto with exact backend: %v", err)
 	}
 }
 

@@ -443,6 +443,13 @@ func TestExhaustiveLimits(t *testing.T) {
 	if _, err := BestPairExhaustive(med, schedule.OnePort, Float64); err == nil {
 		t.Error("exhaustive pair search must refuse oversized platforms")
 	}
+	// Exact arithmetic keeps the historical cap: the flat loop runs
+	// unpruned there, so the branch-and-bound's larger ceiling must not
+	// admit a days-long (p!)² exact simplex enumeration.
+	exactBig := randomStar(rand.New(rand.NewSource(112)), maxExhaustivePairExact+1, 0.5)
+	if _, err := BestPairExhaustive(exactBig, schedule.OnePort, Exact); err == nil {
+		t.Error("exact-rational pair search must refuse platforms beyond the unpruned cap")
+	}
 	if _, _, err := BestFIFOExhaustive(platform.New(), schedule.OnePort, Float64); err == nil {
 		t.Error("invalid platform must be rejected")
 	}

@@ -1,0 +1,121 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/schedule"
+)
+
+// repeatedCostPlatform builds the duplicate-cost regression platform: four
+// distinct (c, d) link pairs, each shared by two workers that differ only
+// in computation speed, with d-heavy links so the port binds and the
+// port-greedy drop criterion (largest c+d) ties exactly between twins.
+// Seed 2 is pinned because its descent failures are fully attributable to
+// the tie: without the duplicate branch the two-policy retry strands on
+// the wrong twin for ~60% of send orders, with it every order certifies.
+func repeatedCostPlatform(seed int64) *platform.Platform {
+	rng := rand.New(rand.NewSource(seed))
+	base := make([]platform.Worker, 4)
+	for i := range base {
+		base[i] = platform.Worker{
+			C: 0.05 + 0.15*rng.Float64(),
+			D: 0.05 + 0.2*rng.Float64(),
+		}
+	}
+	ws := make([]platform.Worker, 8)
+	for i := range ws {
+		ws[i] = base[i%4]
+		ws[i].W = 0.05 + 0.4*rng.Float64()
+	}
+	return platform.New(ws...)
+}
+
+// TestChainSearchDuplicateCostBranch is the regression test of the
+// duplicate-cost descent gap (ROADMAP): on a repeated-(c, d) platform the
+// branch-and-certify must strictly reduce descent failures versus the
+// two-policy retry alone, never lose a case the old policies certified,
+// and every rescued certificate must agree with the simplex to 1e-9.
+func TestChainSearchDuplicateCostBranch(t *testing.T) {
+	p := repeatedCostPlatform(2)
+	sess := NewSession()
+	fresh := NewSession()
+	oldFail, newFail, rescued := 0, 0, 0
+	sjtWalk(8, 5000, func(perm []int, _ int) {
+		send := append(platform.Order(nil), perm...)
+		sc := Scenario{Platform: p, Send: send, Return: send, Model: schedule.OnePort}
+		disableDupBranch = true
+		_, okOld := sess.chainSearch(sc, false, nil, nil)
+		disableDupBranch = false
+		alpha, okNew := sess.chainSearch(sc, false, nil, nil)
+		if okOld && !okNew {
+			t.Fatalf("perm %v: the duplicate branch lost a certificate the two-policy retry had", perm)
+		}
+		if !okOld {
+			oldFail++
+		}
+		if !okNew {
+			newFail++
+			return
+		}
+		if !okOld {
+			rescued++
+			// Rescued certificates must be the LP optimum, not merely
+			// feasible: compare against the simplex.
+			got := sum(alpha)
+			want, err := fresh.Throughput(sc, Simplex)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !agreeEq(got, want) {
+				t.Fatalf("perm %v: rescued certificate %.12g != simplex %.12g", perm, got, want)
+			}
+		}
+	})
+	if oldFail == 0 {
+		t.Fatal("the pinned platform no longer defeats the two-policy retry; pick a new regression seed")
+	}
+	if rescued == 0 {
+		t.Fatalf("the duplicate branch rescued nothing (%d old failures)", oldFail)
+	}
+	if newFail >= oldFail {
+		t.Fatalf("the duplicate branch did not reduce descent failures: %d -> %d", oldFail, newFail)
+	}
+	t.Logf("descent failures %d -> %d (%d rescued) over 5000 permutations", oldFail, newFail, rescued)
+}
+
+// TestSweepRepeatedCostAllocationFree pins the allocation discipline of
+// the p = 8 sweep on the duplicate-cost platform: with the branch closing
+// every descent miss, no permutation falls back to the allocating simplex,
+// so the full 40320-permutation sweep — beyond its setup — allocates
+// nothing. A reappearing simplex fallback would blow the budget by orders
+// of magnitude (each scenario LP build allocates dozens of times).
+func TestSweepRepeatedCostAllocationFree(t *testing.T) {
+	p := repeatedCostPlatform(2)
+	fallbacks := 0
+	allocs := testing.AllocsPerRun(1, func() {
+		var sw *Sweep
+		sjtWalk(8, 1<<30, func(perm []int, swapped int) {
+			if swapped < 0 {
+				var err error
+				if sw, err = NewSweep(p, perm, schedule.OnePort, false); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			sw.Delta(swapped)
+			if _, ok := sw.Throughput(); !ok {
+				fallbacks++
+			}
+		})
+	})
+	if fallbacks > 0 {
+		t.Fatalf("%d of 40320 permutations fell back past the chain search on the repeated-cost platform", fallbacks)
+	}
+	// The budget covers sweep construction and the descent's amortised
+	// buffer growth only — far below one allocation per permutation.
+	if allocs > 200 {
+		t.Fatalf("p = 8 sweep allocated %.0f times (> 200): a per-permutation allocation crept in", allocs)
+	}
+}

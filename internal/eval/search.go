@@ -1,0 +1,462 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+	"repro/internal/numeric"
+	"repro/internal/platform"
+	"repro/internal/schedule"
+)
+
+// This file implements the eval-layer state of the branch-and-bound search
+// over return orders: the pair search fixes a send order σ1 and explores
+// the space of return orders σ2 as a tree, committing one worker at a time
+// to the DEEPEST open return position (the last returner first, then the
+// second-to-last, ...). A ReturnPrefix maintains, across Push/Pop moves of
+// that exploration, the q×q matrix of the node's prefix relaxation:
+//
+//   - a committed worker's constraint row is EXACT — every worker returning
+//     at or after it is committed too (the committed set is a suffix of σ2),
+//     so its return-message terms are fully determined;
+//   - an uncommitted worker's row keeps the send prefix, its own w and d,
+//     and the d terms of every committed worker (all of which provably
+//     return after it) — a valid relaxation of its row under ANY completion
+//     of the prefix, since completions only add d terms of other
+//     uncommitted workers to the left-hand side.
+//
+// The relaxation therefore contains every completion's feasible region, so
+// its optimal throughput is an admissible upper bound on the subtree (an
+// admissible LOWER bound on the subtree's makespan, the branch-and-bound
+// view): the search can discard a whole subtree of return orders the
+// moment the bound cannot beat the incumbent. Committing one more worker
+// only adds d terms to the uncommitted rows and leaves the newly committed
+// row unchanged, so the bound is monotone non-increasing along a root-leaf
+// path, and at a leaf (all workers committed) the relaxation IS the
+// scenario's all-tight system — the bound collapses to the exact optimum
+// whenever the tight candidate certifies, making most leaf evaluations
+// free.
+//
+// With nothing committed the relaxation coincides with Session.SendBound's
+// LP (each row keeps only the send prefix, w and the worker's own d), but
+// it is solved here through the tight-system machinery of PR 2/3 instead
+// of a fresh simplex per send order: the root system is lower triangular
+// (a LIFO-shaped chain), deeper systems are one LU factorisation, and the
+// transpose solve reuses the cached-dual certificate logic — any
+// non-negative dual vector of the relaxation bounds the subtree by weak
+// duality even when the primal candidate is infeasible.
+
+// ReturnPrefix is the per-σ1 state of the return-order branch-and-bound.
+// It owns its matrix and factorisation scratch (no aliasing with the
+// Session buffers used by the leaf fallback), and is reused across send
+// orders via Reset. Not safe for concurrent use.
+type ReturnPrefix struct {
+	sess  *Session
+	p     *platform.Platform
+	model schedule.Model
+	mode  Mode
+	q     int
+
+	send platform.Order // fixed σ1 (copied by Reset)
+
+	r     []float64 // q×q relaxed tight matrix of the current node
+	lu    []float64 // factorisation scratch (copy of r, clobbered)
+	piv   []int
+	alpha []float64 // primal candidate of the relaxation
+	lam   []float64 // dual candidate (transpose solve)
+
+	// Dual-descent scratch (the bound-tightening loop of Bound).
+	rows   []int     // active dual rows
+	sub    []float64 // row/column-restricted system
+	subLam []float64 // multipliers of the restricted system
+	full   []float64 // restricted multipliers scattered back to all rows
+
+	tail []int  // committed send positions, deepest return slot first
+	open []bool // by send position: not yet committed
+	ret  []int  // scratch: materialised return order (worker indices)
+}
+
+// NewReturnPrefix prepares a return-order branch-and-bound state for
+// repeated use over send orders of the full platform (Reset fixes each
+// σ1). The float64 tight-system bounds cannot certify exact-rational
+// comparisons, so ExactRational is rejected.
+func (s *Session) NewReturnPrefix(p *platform.Platform, model schedule.Model, mode Mode) (*ReturnPrefix, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if model != schedule.OnePort && model != schedule.TwoPort {
+		return nil, fmt.Errorf("eval: unknown model %v", model)
+	}
+	if !mode.Valid() {
+		return nil, fmt.Errorf("eval: unknown mode %d", int(mode))
+	}
+	if mode == ExactRational {
+		return nil, fmt.Errorf("eval: return-prefix bounds are float64 computations and cannot certify exact-rational comparisons")
+	}
+	q := p.P()
+	return &ReturnPrefix{
+		sess: s, p: p, model: model, mode: mode, q: q,
+		send:   make(platform.Order, q),
+		r:      make([]float64, q*q),
+		lu:     make([]float64, q*q),
+		piv:    make([]int, q),
+		alpha:  make([]float64, q),
+		lam:    make([]float64, q),
+		rows:   make([]int, q),
+		sub:    make([]float64, q*q),
+		subLam: make([]float64, q),
+		full:   make([]float64, q),
+		tail:   make([]int, 0, q),
+		open:   make([]bool, q),
+		ret:    make([]int, q),
+	}, nil
+}
+
+// Reset fixes a new send order (copied; the branch-and-bound drivers pass
+// the live permutation slice of the enumeration) and empties the committed
+// tail. The root relaxation matrix — send-prefix c terms, diagonal w + d —
+// is rebuilt in O(q²).
+func (rp *ReturnPrefix) Reset(send platform.Order) error {
+	if len(send) != rp.q {
+		return fmt.Errorf("eval: return-prefix search enrolls all %d workers, got a %d-worker send order", rp.q, len(send))
+	}
+	copy(rp.send, send)
+	buildTightBase(rp.r, rp.p, rp.send)
+	for s := 0; s < rp.q; s++ {
+		rp.r[s*rp.q+s] += rp.p.Workers[rp.send[s]].D
+		rp.open[s] = true
+	}
+	rp.tail = rp.tail[:0]
+	return nil
+}
+
+// Depth returns the number of committed return positions.
+func (rp *ReturnPrefix) Depth() int { return len(rp.tail) }
+
+// Open reports whether the worker at send position pos is still
+// uncommitted.
+func (rp *ReturnPrefix) Open(pos int) bool { return rp.open[pos] }
+
+// Push commits the worker at send position pos to the deepest open return
+// position. Its own row is already exact (it carries its own d and every
+// previously committed worker's d); the other uncommitted rows each gain
+// its d term, since that worker now provably returns after them. O(q).
+func (rp *ReturnPrefix) Push(pos int) {
+	d := rp.p.Workers[rp.send[pos]].D
+	for s := 0; s < rp.q; s++ {
+		if rp.open[s] && s != pos {
+			rp.r[s*rp.q+pos] += d
+		}
+	}
+	rp.open[pos] = false
+	rp.tail = append(rp.tail, pos)
+}
+
+// Pop undoes the deepest Push.
+func (rp *ReturnPrefix) Pop() {
+	n := len(rp.tail) - 1
+	pos := rp.tail[n]
+	rp.tail = rp.tail[:n]
+	rp.open[pos] = true
+	d := rp.p.Workers[rp.send[pos]].D
+	for s := 0; s < rp.q; s++ {
+		if rp.open[s] && s != pos {
+			rp.r[s*rp.q+pos] -= d
+		}
+	}
+}
+
+// Bound evaluates the current node's relaxation through its all-tight
+// candidate: one LU factorisation, a primal solve α = A⁻¹·1 and a
+// transpose solve λ = A⁻ᵀ·1.
+//
+//   - ok reports that a usable bound was computed at all (false on a
+//     singular or numerically broken system — the caller keeps its parent
+//     bound, which remains admissible by monotonicity);
+//   - exact reports the full KKT certificate (α ≥ 0, port feasible,
+//     λ ≥ 0): the bound then equals the relaxation's LP optimum — at a
+//     leaf, the scenario's exact optimal throughput;
+//   - otherwise dualDescentBound finds a tight dual-feasible point of the
+//     relaxation; its value bounds the subtree from above by weak duality.
+func (rp *ReturnPrefix) Bound() (bound float64, exact, ok bool) {
+	q := rp.q
+	copy(rp.lu, rp.r)
+	if !luFactor(rp.lu, rp.piv, q) {
+		return 0, false, false
+	}
+	for i := range rp.alpha {
+		rp.alpha[i] = 1
+		rp.lam[i] = 1
+	}
+	luSolve(rp.lu, rp.piv, q, rp.alpha)
+	luSolveTranspose(rp.lu, rp.piv, q, rp.lam)
+	tol := numeric.CertTol
+	dualOK := true
+	for _, l := range rp.lam {
+		if math.IsNaN(l) || math.IsInf(l, 0) {
+			return 0, false, false
+		}
+		if l < -tol {
+			dualOK = false
+		}
+	}
+	primalOK := true
+	for _, a := range rp.alpha {
+		if math.IsNaN(a) || math.IsInf(a, 0) {
+			return 0, false, false
+		}
+		if a < -tol {
+			primalOK = false
+		}
+	}
+	if primalOK && dualOK && portFeasible(rp.p, rp.send, rp.alpha, rp.model) {
+		// Strong duality: all rows of the relaxation tight, duals
+		// non-negative, port row slack with a zero multiplier — the
+		// candidate is the relaxation's optimum.
+		return sum(rp.alpha), true, true
+	}
+	return rp.dualDescentBound(dualOK)
+}
+
+// dualDescentBound constructs a tight dual-feasible point of the node's
+// relaxation when the all-tight candidate failed its certificate, walking
+// the dual active set instead of merely clamping:
+//
+//  1. while some multiplier is negative, zero the most negative row's
+//     multiplier and re-solve stationarity on the remaining rows only
+//     ((R_EE)ᵀ·λ_E = 1 — the relaxation's resource selection, seen from
+//     the dual side);
+//  2. clamp whatever negativity survives the capped descent to zero —
+//     harmless for feasibility, since every matrix entry is non-negative;
+//  3. repair the dual constraints of columns the reduced row set leaves
+//     uncovered with the port-row multiplier: μ = max_j deficit_j/g_j
+//     restores Σ_i λ_i·R_ij + μ·g_j ≥ 1 for every column at once.
+//
+// The result is dual feasible by construction, so Σλ + μ·(#port rows)
+// bounds every completion of the prefix by weak duality; it is far tighter
+// than clamping alone because re-solving redistributes the dropped rows'
+// weight instead of keeping their inflated complements. rp.lam must hold
+// the full-system transpose solve on entry.
+func (rp *ReturnPrefix) dualDescentBound(dualOK bool) (bound float64, exact, ok bool) {
+	q := rp.q
+	tol := numeric.CertTol
+	lam := rp.full[:q]
+	copy(lam, rp.lam)
+	if !dualOK {
+		rows := rp.rows[:0]
+		for i := 0; i < q; i++ {
+			rows = append(rows, i)
+		}
+		// Each iteration drops one row and re-solves; q−1 drops would reach
+		// a single row, so the loop is bounded without an explicit cap.
+		for len(rows) > 1 {
+			worst, at := -tol, -1
+			for r, i := range rows {
+				if lam[i] < worst {
+					worst, at = lam[i], r
+				}
+			}
+			if at < 0 {
+				break // every remaining multiplier is (near) non-negative
+			}
+			rows[at] = rows[len(rows)-1]
+			rows = rows[:len(rows)-1]
+			m := len(rows)
+			sub := rp.sub[:m*m]
+			for r, i := range rows {
+				for c, j := range rows {
+					sub[r*m+c] = rp.r[i*q+j]
+				}
+			}
+			if !luFactor(sub, rp.piv[:m], m) {
+				// Singular restriction: keep the previous iterate (clamped
+				// below), still feasible.
+				break
+			}
+			subLam := rp.subLam[:m]
+			for r := range subLam {
+				subLam[r] = 1
+			}
+			luSolveTranspose(sub, rp.piv[:m], m, subLam)
+			bad := false
+			for _, l := range subLam {
+				if math.IsNaN(l) || math.IsInf(l, 0) {
+					bad = true
+					break
+				}
+			}
+			if bad {
+				break
+			}
+			for i := range lam {
+				lam[i] = 0
+			}
+			for r, i := range rows {
+				lam[i] = subLam[r]
+			}
+		}
+	}
+	lamSum := 0.0
+	for i, l := range lam {
+		if l < 0 {
+			lam[i] = 0
+			l = 0
+		}
+		lamSum += l
+	}
+	// Column repair: μ lifts every uncovered dual constraint at once. The
+	// deficit scan prices each column of the current matrix against the
+	// clamped multipliers.
+	deficit := 0.0
+	for j := 0; j < q; j++ {
+		col := 0.0
+		for i := 0; i < q; i++ {
+			col += lam[i] * rp.r[i*q+j]
+		}
+		w := rp.p.Workers[rp.send[j]]
+		if short := 1 - col; short > 0 {
+			if d := short / (w.C + w.D); d > deficit {
+				deficit = d
+			}
+		}
+	}
+	bound = lamSum + deficit
+	if rp.model == schedule.TwoPort {
+		// μ on both port rows (coefficients c_j and d_j sum to g_j), each
+		// contributing its right-hand side once.
+		bound = lamSum + 2*deficit
+	}
+	if math.IsNaN(bound) || math.IsInf(bound, 0) {
+		return 0, false, false
+	}
+	return bound / (1 - tol), false, true
+}
+
+// ReturnOrder materialises the committed return order (worker indices,
+// first returner first). Valid only at full depth; the slice is reused
+// across calls and must be cloned if retained.
+func (rp *ReturnPrefix) ReturnOrder() platform.Order {
+	for k, pos := range rp.tail {
+		rp.ret[rp.q-1-k] = rp.send[pos]
+	}
+	return rp.ret
+}
+
+// LeafThroughput evaluates the fully committed return order exactly when
+// Bound could not certify the leaf: the active-set descent over the
+// already-assembled full tight matrix (port-bound and resource-selection
+// vertices), then the simplex. Mirrors FixedSend.Throughput's tiers.
+func (rp *ReturnPrefix) LeafThroughput() (float64, error) {
+	if len(rp.tail) != rp.q {
+		return 0, fmt.Errorf("eval: LeafThroughput on a partial return prefix (%d of %d committed)", len(rp.tail), rp.q)
+	}
+	s := rp.sess
+	sc := Scenario{Platform: rp.p, Send: rp.send, Return: rp.ReturnOrder(), Model: rp.model}
+	if rp.mode == Simplex {
+		_, rho, err := s.simplexLoads(sc)
+		return rho, err
+	}
+	// tightSearchOn reads the session's retPos table (worker → return
+	// position) for the dropped-worker certificate terms.
+	retPos := growInt(&s.retPos, rp.p.P())
+	for k, i := range sc.Return {
+		retPos[i] = k
+	}
+	if alpha, ok := s.tightSearchOn(sc, rp.r, true, -1); ok {
+		return sum(alpha), nil
+	}
+	_, rho, err := s.simplexLoads(sc)
+	return rho, err
+}
+
+// ReturnPrefixBound returns the exact optimum of the σ2-prefix relaxation:
+// the best throughput achievable when the workers named by tail (send
+// positions, in commitment order — the LAST returner first) occupy the
+// last len(tail) return positions and every other row is relaxed to its
+// send prefix, own processing, own return message and the committed
+// returns. The bound dominates the true optimum of every completion of
+// the prefix (equivalently, the implied makespan bound load/ρ never
+// exceeds any completion's true makespan), it is monotone non-increasing
+// as the prefix grows, and at a full prefix it equals the scenario's
+// optimal throughput.
+//
+// The branch-and-bound search computes the same quantity incrementally
+// through ReturnPrefix; this one-shot form exists for property tests and
+// diagnostics, and falls back to solving the relaxation LP outright when
+// the tight candidate does not certify, so the returned value is always
+// the relaxation's exact optimum.
+func (s *Session) ReturnPrefixBound(p *platform.Platform, send platform.Order, model schedule.Model, tail []int) (float64, error) {
+	sc := Scenario{Platform: p, Send: send, Return: send, Model: model}
+	if err := validate(sc); err != nil {
+		return 0, err
+	}
+	if len(send) != p.P() {
+		return 0, fmt.Errorf("eval: return-prefix bound enrolls all %d workers, got %d", p.P(), len(send))
+	}
+	rp, err := s.NewReturnPrefix(p, model, Auto)
+	if err != nil {
+		return 0, err
+	}
+	if err := rp.Reset(send); err != nil {
+		return 0, err
+	}
+	for _, pos := range tail {
+		if pos < 0 || pos >= rp.q {
+			return 0, fmt.Errorf("eval: tail names send position %d outside [0, %d)", pos, rp.q)
+		}
+		if !rp.open[pos] {
+			return 0, fmt.Errorf("eval: tail commits send position %d twice", pos)
+		}
+		rp.Push(pos)
+	}
+	if bound, exact, ok := rp.Bound(); ok && exact {
+		return bound, nil
+	}
+	sol, err := rp.relaxationLP().Solve()
+	if err != nil {
+		return 0, err
+	}
+	if sol.Status != lp.Optimal {
+		return 0, fmt.Errorf("eval: return-prefix relaxation LP terminated %v (internal error)", sol.Status)
+	}
+	return sol.Objective, nil
+}
+
+// relaxationLP builds the node's relaxation as an explicit LP (the
+// always-correct fallback of the one-shot ReturnPrefixBound).
+func (rp *ReturnPrefix) relaxationLP() *lp.Problem {
+	q := rp.q
+	prob := lp.NewMaximize()
+	for range rp.send {
+		prob.AddVar("", 1)
+	}
+	coefs := make([]lp.Coef, 0, q)
+	for s := 0; s < q; s++ {
+		coefs = coefs[:0]
+		for t := 0; t < q; t++ {
+			if v := rp.r[s*q+t]; v != 0 {
+				coefs = append(coefs, lp.Coef{Var: t, Value: v})
+			}
+		}
+		prob.AddConstraint("", coefs, lp.LE, 1)
+	}
+	port := make([]lp.Coef, 0, q)
+	if rp.model == schedule.TwoPort {
+		for t, j := range rp.send {
+			port = append(port, lp.Coef{Var: t, Value: rp.p.Workers[j].C})
+		}
+		prob.AddConstraint("", port, lp.LE, 1)
+		port = port[:0]
+		for t, j := range rp.send {
+			port = append(port, lp.Coef{Var: t, Value: rp.p.Workers[j].D})
+		}
+		prob.AddConstraint("", port, lp.LE, 1)
+	} else {
+		for t, j := range rp.send {
+			port = append(port, lp.Coef{Var: t, Value: rp.p.Workers[j].C + rp.p.Workers[j].D})
+		}
+		prob.AddConstraint("", port, lp.LE, 1)
+	}
+	return prob
+}

