@@ -1,0 +1,118 @@
+// Command dlsd serves the scheduling engine over HTTP: POST /v1/solve and
+// /v1/solve/batch front a shared dls.Solver behind an admission-window
+// micro-batcher (concurrent requests coalesce into SolveBatch calls and
+// the SoA chain prepass), with load shedding, per-request deadlines via
+// the X-Timeout header, Prometheus metrics on /metrics and graceful
+// drain on SIGINT/SIGTERM.
+//
+//	dlsd -addr :8080 -window 2ms -window-size 64 -cache 4096
+//
+// Drive it with cmd/dlsload, or by hand:
+//
+//	curl -s localhost:8080/v1/solve -d '{
+//	  "platform": {"workers": [
+//	    {"c": 0.05, "w": 0.40, "d": 0.025},
+//	    {"c": 0.10, "w": 0.25, "d": 0.050}
+//	  ]},
+//	  "strategy": "fifo", "load": 1000
+//	}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/dls"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dlsd", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", ":8080", "listen address")
+		window      = fs.Duration("window", 2*time.Millisecond, "admission window; 0 disables micro-batching")
+		windowSize  = fs.Int("window-size", 64, "flush a window early at this many requests")
+		queueCap    = fs.Int("queue", 1024, "admission queue bound; requests beyond it are shed with 429")
+		workers     = fs.Int("workers", 2, "windows solved concurrently")
+		retryAfter  = fs.Duration("retry-after", 50*time.Millisecond, "advisory Retry-After on 429")
+		cacheSize   = fs.Int("cache", 4096, "LRU result-cache capacity; 0 disables caching")
+		parallelism = fs.Int("parallelism", runtime.GOMAXPROCS(0), "solver worker-pool size")
+		timeout     = fs.Duration("solve-timeout", 30*time.Second, "per-solve deadline; 0 for none")
+		drain       = fs.Duration("drain", 10*time.Second, "shutdown drain budget")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := []dls.Option{dls.WithParallelism(*parallelism)}
+	if *cacheSize > 0 {
+		opts = append(opts, dls.WithCache(*cacheSize))
+	}
+	if *timeout > 0 {
+		opts = append(opts, dls.WithTimeout(*timeout))
+	}
+	solver, err := dls.NewSolver(opts...)
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{
+		Solver:        solver,
+		Window:        *window,
+		NoBatchWindow: *window == 0,
+		WindowSize:    *windowSize,
+		QueueCap:      *queueCap,
+		Workers:       *workers,
+		RetryAfter:    *retryAfter,
+	})
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("dlsd: listening on %s (window=%v size=%d queue=%d workers=%d cache=%d parallelism=%d)",
+			*addr, *window, *windowSize, *queueCap, *workers, *cacheSize, *parallelism)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return fmt.Errorf("dlsd: serve: %w", err)
+	case s := <-sig:
+		log.Printf("dlsd: %v: draining (budget %v)", s, *drain)
+	}
+
+	// Stop accepting, then drain in-flight admission windows.
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("dlsd: shutdown: %v", err)
+	}
+	srv.Close()
+	st := solver.Stats()
+	log.Printf("dlsd: drained: %d solves, %d windows (%d batched, %d requests), %d shed, cache %d/%d/%d hit/miss/evict",
+		st.Solves, st.Windows, st.BatchedWindows, st.BatchedRequests, st.Shed, st.Hits, st.Misses, st.Evictions)
+	return nil
+}

@@ -1,0 +1,310 @@
+// Command dlsload is a closed-loop load generator for dlsd: a pool of
+// workers drives POST /v1/solve at a target rate (or flat out), over a
+// generated mix of platforms and strategies, and reports throughput,
+// status-code counts, latency percentiles and the server's micro-batching
+// counters (scraped from /metrics before and after the run).
+//
+//	dlsload -url http://localhost:8080 -duration 5s -concurrency 64 -mix chain
+//
+// CI uses it as a smoke gate: -fail-on-error fails the run on any
+// non-2xx/non-429 response, -min-batched-windows fails it when the
+// admission window never coalesced traffic, -min-rps gates throughput,
+// and -json writes the report for the benchmark artifact.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/dls"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// Report is the machine-readable outcome of one run (the -json artifact).
+type Report struct {
+	URL         string             `json:"url"`
+	Mix         string             `json:"mix"`
+	Concurrency int                `json:"concurrency"`
+	TargetRPS   float64            `json:"target_rps,omitempty"`
+	Duration    float64            `json:"duration_seconds"`
+	Requests    uint64             `json:"requests"`
+	RPS         float64            `json:"rps"`
+	Codes       map[string]uint64  `json:"codes"`
+	Transport   uint64             `json:"transport_errors"`
+	LatencyMS   map[string]float64 `json:"latency_ms"`
+	Server      map[string]float64 `json:"server_metrics_delta,omitempty"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dlsload", flag.ContinueOnError)
+	var (
+		url         = fs.String("url", "http://127.0.0.1:8080", "dlsd base URL")
+		duration    = fs.Duration("duration", 5*time.Second, "run length")
+		concurrency = fs.Int("concurrency", 64, "closed-loop workers")
+		rps         = fs.Float64("rps", 0, "target request rate; 0 = flat out")
+		p           = fs.Int("p", 6, "workers per generated platform")
+		platforms   = fs.Int("platforms", 32, "distinct platforms in the pool")
+		mix         = fs.String("mix", "chain", "workload mix: chain | mixed | search")
+		seed        = fs.Int64("seed", 1, "workload seed")
+		jsonOut     = fs.String("json", "", "write the report as JSON to this file")
+		failOnError = fs.Bool("fail-on-error", false, "exit non-zero on any transport error or non-2xx/non-429 response")
+		minBatched  = fs.Uint64("min-batched-windows", 0, "exit non-zero when fewer windows coalesced >= 2 requests")
+		minRPS      = fs.Float64("min-rps", 0, "exit non-zero below this achieved request rate")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	pool, err := workload(rand.New(rand.NewSource(*seed)), *mix, *p, *platforms)
+	if err != nil {
+		return err
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	before, err := scrapeMetrics(client, *url)
+	if err != nil {
+		return fmt.Errorf("dlsload: scraping %s/metrics before the run: %w", *url, err)
+	}
+
+	var (
+		total, transport atomic.Uint64
+		next             atomic.Int64
+		codes            sync.Map // status code -> *atomic.Uint64
+		wg               sync.WaitGroup
+	)
+	latencies := make([][]float64, *concurrency)
+	start := time.Now()
+	stop := start.Add(*duration)
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w) + 1))
+			for time.Now().Before(stop) {
+				if *rps > 0 {
+					// Schedule request n at start + n/rps; sleeping to the
+					// slot paces the whole pool without a central ticker.
+					n := next.Add(1) - 1
+					at := start.Add(time.Duration(float64(n) / *rps * float64(time.Second)))
+					if d := time.Until(at); d > 0 {
+						time.Sleep(d)
+					}
+					if !time.Now().Before(stop) {
+						return
+					}
+				}
+				body := pool[rng.Intn(len(pool))]
+				begin := time.Now()
+				resp, err := client.Post(*url+"/v1/solve", "application/json", bytes.NewReader(body))
+				lat := time.Since(begin)
+				total.Add(1)
+				if err != nil {
+					transport.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining for keep-alive
+				resp.Body.Close()
+				c, ok := codes.Load(resp.StatusCode)
+				if !ok {
+					c, _ = codes.LoadOrStore(resp.StatusCode, new(atomic.Uint64))
+				}
+				c.(*atomic.Uint64).Add(1)
+				latencies[w] = append(latencies[w], lat.Seconds())
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after, err := scrapeMetrics(client, *url)
+	if err != nil {
+		return fmt.Errorf("dlsload: scraping %s/metrics after the run: %w", *url, err)
+	}
+
+	report := Report{
+		URL:         *url,
+		Mix:         *mix,
+		Concurrency: *concurrency,
+		TargetRPS:   *rps,
+		Duration:    elapsed.Seconds(),
+		Requests:    total.Load(),
+		RPS:         float64(total.Load()) / elapsed.Seconds(),
+		Codes:       map[string]uint64{},
+		Transport:   transport.Load(),
+		LatencyMS:   map[string]float64{},
+		Server:      map[string]float64{},
+	}
+	codes.Range(func(k, v any) bool {
+		report.Codes[strconv.Itoa(k.(int))] = v.(*atomic.Uint64).Load()
+		return true
+	})
+	var all []float64
+	for _, ls := range latencies {
+		all = append(all, ls...)
+	}
+	sort.Float64s(all)
+	for _, q := range []struct {
+		name string
+		q    float64
+	}{{"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99}, {"max", 1}} {
+		report.LatencyMS[q.name] = percentile(all, q.q) * 1e3
+	}
+	for key, b := range before {
+		if a, ok := after[key]; ok && a >= b {
+			report.Server[key] = a - b
+		}
+	}
+
+	fmt.Fprintf(out, "dlsload: %d requests in %.2fs = %.0f req/s (mix=%s, concurrency=%d)\n",
+		report.Requests, report.Duration, report.RPS, report.Mix, report.Concurrency)
+	fmt.Fprintf(out, "  codes: %v, transport errors: %d\n", report.Codes, report.Transport)
+	fmt.Fprintf(out, "  latency ms: p50=%.3f p90=%.3f p99=%.3f max=%.3f\n",
+		report.LatencyMS["p50"], report.LatencyMS["p90"], report.LatencyMS["p99"], report.LatencyMS["max"])
+	fmt.Fprintf(out, "  server: windows=%.0f batched=%.0f batched_requests=%.0f prepass=%.0f shed=%.0f cache_hits=%.0f\n",
+		report.Server["dlsd_windows_total"], report.Server["dlsd_batched_windows_total"],
+		report.Server["dlsd_batched_requests_total"], report.Server["dlsd_prepass_requests_total"],
+		report.Server["dlsd_shed_total"], report.Server["dlsd_cache_hits_total"])
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+
+	if *failOnError {
+		if report.Transport > 0 {
+			return fmt.Errorf("dlsload: %d transport errors", report.Transport)
+		}
+		for code, n := range report.Codes {
+			if !strings.HasPrefix(code, "2") && code != "429" {
+				return fmt.Errorf("dlsload: %d responses with status %s", n, code)
+			}
+		}
+	}
+	if *minBatched > 0 && report.Server["dlsd_batched_windows_total"] < float64(*minBatched) {
+		return fmt.Errorf("dlsload: only %.0f batched windows, want >= %d: micro-batching is not firing",
+			report.Server["dlsd_batched_windows_total"], *minBatched)
+	}
+	if *minRPS > 0 && report.RPS < *minRPS {
+		return fmt.Errorf("dlsload: %.0f req/s under the %.0f floor", report.RPS, *minRPS)
+	}
+	return nil
+}
+
+// workload pre-marshals the request pool: chain-shaped strategies (the
+// micro-batcher's best case), a broader mix including exhaustive searches
+// and explicit scenarios, or a search-only pool of factorial-order
+// requests whose solves are expensive enough to be solver-bound — the
+// workload where window deduplication (thundering-herd collapse) shows up
+// directly in throughput.
+func workload(rng *rand.Rand, mix string, p, platforms int) ([][]byte, error) {
+	var reqs []dls.Request
+	for i := 0; i < platforms; i++ {
+		plat := dls.RandomSpeeds(rng, p, dls.Heterogeneous).Platform(dls.DefaultApp(100))
+		switch mix {
+		case "chain":
+			reqs = append(reqs,
+				dls.Request{Platform: plat, Strategy: dls.StrategyIncC, Load: 1000},
+				dls.Request{Platform: plat, Strategy: dls.StrategyIncW},
+				dls.Request{Platform: plat, Strategy: dls.StrategyDecC},
+				dls.Request{Platform: plat, Strategy: dls.StrategyLIFO},
+				dls.Request{Platform: plat, Strategy: dls.StrategyFIFOOrder, Send: plat.ByW()},
+			)
+		case "mixed":
+			send := plat.ByC()
+			reqs = append(reqs,
+				dls.Request{Platform: plat, Strategy: dls.StrategyIncC, Load: 1000},
+				dls.Request{Platform: plat, Strategy: dls.StrategyLIFO},
+				dls.Request{Platform: plat, Strategy: dls.StrategyFIFO},
+				dls.Request{Platform: plat, Strategy: dls.StrategyFIFOExhaustive},
+				dls.Request{Platform: plat, Strategy: dls.StrategyScenario, Send: send, Return: send.Reverse()},
+				dls.Request{Platform: plat, Strategy: dls.StrategyFIFO, Model: dls.TwoPort},
+			)
+		case "search":
+			reqs = append(reqs,
+				dls.Request{Platform: plat, Strategy: dls.StrategyFIFOExhaustive},
+				dls.Request{Platform: plat, Strategy: dls.StrategyLIFOExhaustive},
+			)
+		default:
+			return nil, fmt.Errorf("dlsload: unknown mix %q (chain | mixed | search)", mix)
+		}
+	}
+	pool := make([][]byte, len(reqs))
+	for i, req := range reqs {
+		data, err := json.Marshal(req)
+		if err != nil {
+			return nil, err
+		}
+		pool[i] = data
+	}
+	return pool, nil
+}
+
+// percentile reads the q-quantile from ascending samples (nearest rank).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// scrapeMetrics reads the untyped counter/gauge samples of a Prometheus
+// text page into a map (histogram series are skipped).
+func scrapeMetrics(client *http.Client, base string) (map[string]float64, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
+	}
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.Contains(line, "{") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		out[fields[0]] = v
+	}
+	return out, sc.Err()
+}

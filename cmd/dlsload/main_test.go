@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/dls"
+	"repro/internal/server"
+)
+
+func TestPercentile(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := percentile(s, 0.5); p != 5 {
+		t.Errorf("p50 = %g, want 5", p)
+	}
+	if p := percentile(s, 1); p != 10 {
+		t.Errorf("p100 = %g, want 10", p)
+	}
+	if p := percentile(nil, 0.5); p != 0 {
+		t.Errorf("empty percentile = %g, want 0", p)
+	}
+}
+
+func TestWorkloadPools(t *testing.T) {
+	for _, mix := range []string{"chain", "mixed"} {
+		pool, err := workload(rand.New(rand.NewSource(7)), mix, 5, 4)
+		if err != nil {
+			t.Fatalf("mix %s: %v", mix, err)
+		}
+		if len(pool) == 0 {
+			t.Fatalf("mix %s: empty pool", mix)
+		}
+		// Every pre-marshalled request must decode back to a request the
+		// engine accepts.
+		for i, body := range pool {
+			var req dls.Request
+			if err := json.Unmarshal(body, &req); err != nil {
+				t.Fatalf("mix %s: pool[%d] does not decode: %v", mix, i, err)
+			}
+			if req.Platform == nil || req.Strategy == "" {
+				t.Fatalf("mix %s: pool[%d] incomplete: %s", mix, i, body)
+			}
+		}
+	}
+	if _, err := workload(rand.New(rand.NewSource(7)), "bogus", 5, 4); err == nil {
+		t.Fatal("unknown mix accepted")
+	}
+}
+
+// TestRunAgainstServer drives a real in-process dlsd for a short burst
+// and checks the report, the error gates and the batching gate.
+func TestRunAgainstServer(t *testing.T) {
+	solver, err := dls.NewSolver(dls.WithCache(1024), dls.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Solver: solver, Window: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+
+	out := filepath.Join(t.TempDir(), "report.json")
+	var buf strings.Builder
+	err = run([]string{
+		"-url", ts.URL,
+		"-duration", "600ms",
+		"-concurrency", "16",
+		"-platforms", "8",
+		"-mix", "chain",
+		"-json", out,
+		"-fail-on-error",
+		"-min-batched-windows", "1",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run failed: %v\noutput:\n%s", err, buf.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report Report
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.Requests == 0 || report.RPS <= 0 {
+		t.Errorf("empty report: %+v", report)
+	}
+	if report.Codes["200"] == 0 {
+		t.Errorf("no 200s recorded: %+v", report.Codes)
+	}
+	if report.Server["dlsd_batched_windows_total"] == 0 {
+		t.Errorf("no batched windows observed: %+v", report.Server)
+	}
+	if report.LatencyMS["p50"] <= 0 {
+		t.Errorf("no latency percentiles: %+v", report.LatencyMS)
+	}
+
+	// The rps floor gate must fire when set absurdly high.
+	err = run([]string{
+		"-url", ts.URL, "-duration", "200ms", "-concurrency", "4",
+		"-platforms", "2", "-min-rps", "1e12",
+	}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "under the") {
+		t.Errorf("min-rps gate did not fire: %v", err)
+	}
+}

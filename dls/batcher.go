@@ -1,0 +1,376 @@
+package dls
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Errors reported by Batcher.Submit.
+var (
+	// ErrOverloaded is returned when the batcher's admission queue is full
+	// and the submission is shed instead of queued. Serving layers map it
+	// to 429 Too Many Requests.
+	ErrOverloaded = errors.New("dls: batcher overloaded: admission queue full")
+	// ErrBatcherClosed is returned by Submit after Close.
+	ErrBatcherClosed = errors.New("dls: batcher closed")
+)
+
+// BatcherConfig configures an admission-window micro-batcher.
+type BatcherConfig struct {
+	// MaxDelay is the admission window: a flush happens at most MaxDelay
+	// after the first request of a window was admitted, trading up to that
+	// much latency for batch collapse. MaxDelay = 0 disables
+	// micro-batching: Submit solves directly (bounded by QueueCap
+	// concurrent solves, shedding beyond), so a serving layer can expose
+	// batching as a knob that can be turned off.
+	MaxDelay time.Duration
+	// MaxSize flushes a window early once it holds this many requests.
+	// Default 64.
+	MaxSize int
+	// QueueCap bounds admission. A Submit that finds the queue full (or,
+	// with MaxDelay = 0, QueueCap solves in flight) is shed with
+	// ErrOverloaded instead of blocking, so overload surfaces immediately
+	// rather than as unbounded latency. Default 1024.
+	QueueCap int
+	// Workers bounds how many flushed windows are solved concurrently
+	// (each window is one SolveBatch, which fans out over the solver's own
+	// worker pool). Default 2: one window solving, one filling.
+	Workers int
+	// OnFlush, when set, observes the size of every flushed window (a
+	// metrics hook; called from the collector goroutine, must not block).
+	OnFlush func(size int)
+}
+
+// withDefaults fills the zero fields.
+func (cfg BatcherConfig) withDefaults() BatcherConfig {
+	if cfg.MaxSize <= 0 {
+		cfg.MaxSize = 64
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 1024
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	return cfg
+}
+
+// BatcherStats is a point-in-time view of a batcher's admission state; the
+// cumulative counters (windows, batched requests, shed submissions) live
+// in the owning solver's Stats.
+type BatcherStats struct {
+	// QueueDepth is the number of admitted submissions not yet collected
+	// into a window.
+	QueueDepth int
+	// WindowFill is the size of the currently filling window.
+	WindowFill int
+}
+
+// submission is one queued request and its reply slot.
+type submission struct {
+	ctx   context.Context
+	req   Request
+	res   *Result
+	err   error
+	ready chan struct{}
+}
+
+// Batcher is an admission-window micro-batcher over one Solver: Submit
+// queues a request into a bounded window that is flushed — when MaxSize
+// requests are waiting or MaxDelay after the window opened — as a single
+// SolveBatch call, so chain-shaped requests arriving together collapse
+// into the engine's structure-of-arrays prepass and duplicate requests
+// dedupe against each other, instead of solving one by one. Callers that
+// can see their own concurrency (SolveStream) bypass the window for
+// requests travelling alone; the Batcher itself always waits out the
+// window, which is what makes its batch sizes stable under load.
+//
+// A Batcher is safe for concurrent use. Close drains: admitted requests
+// are still solved and answered, then the workers exit.
+type Batcher struct {
+	s   *Solver
+	cfg BatcherConfig
+
+	mu     sync.RWMutex // guards closed vs. new admissions
+	closed bool
+	queue  chan *submission
+
+	direct   chan struct{} // MaxDelay = 0: concurrency slots instead of a queue
+	inflight sync.WaitGroup
+
+	flushes chan []*submission
+	fill    atomic.Int64
+	wg      sync.WaitGroup // collector + drain workers
+}
+
+// NewBatcher builds an admission-window micro-batcher over the solver.
+func (s *Solver) NewBatcher(cfg BatcherConfig) *Batcher {
+	cfg = cfg.withDefaults()
+	b := &Batcher{s: s, cfg: cfg}
+	if cfg.MaxDelay <= 0 {
+		b.direct = make(chan struct{}, cfg.QueueCap)
+		return b
+	}
+	b.queue = make(chan *submission, cfg.QueueCap)
+	b.flushes = make(chan []*submission, cfg.Workers)
+	b.wg.Add(1 + cfg.Workers)
+	go b.collect()
+	for w := 0; w < cfg.Workers; w++ {
+		go b.drain()
+	}
+	return b
+}
+
+// Submit queues req and blocks until its window is solved, returning the
+// request's own result (duplicates within a window are deduplicated by
+// SolveBatch and come back marked Cached). If admission is full the
+// request is shed immediately with ErrOverloaded. A ctx that expires
+// while the request is queued abandons it (the flush skips submissions
+// whose context is already done); a ctx that expires mid-solve returns
+// ctx.Err() without waiting for the window.
+func (b *Batcher) Submit(ctx context.Context, req Request) (*Result, error) {
+	if b.direct != nil {
+		return b.submitDirect(ctx, req)
+	}
+	sub := &submission{ctx: ctx, req: req, ready: make(chan struct{})}
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return nil, ErrBatcherClosed
+	}
+	select {
+	case b.queue <- sub:
+		b.mu.RUnlock()
+	default:
+		b.mu.RUnlock()
+		b.s.shed.Add(1)
+		return nil, ErrOverloaded
+	}
+	select {
+	case <-sub.ready:
+		return sub.res, sub.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// submitDirect is the MaxDelay = 0 path: no window, one direct solve,
+// still bounded (QueueCap concurrent solves, shed beyond) and still
+// honouring Close.
+func (b *Batcher) submitDirect(ctx context.Context, req Request) (*Result, error) {
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return nil, ErrBatcherClosed
+	}
+	select {
+	case b.direct <- struct{}{}:
+	default:
+		b.mu.RUnlock()
+		b.s.shed.Add(1)
+		return nil, ErrOverloaded
+	}
+	b.inflight.Add(1)
+	b.mu.RUnlock()
+	defer func() {
+		<-b.direct
+		b.inflight.Done()
+	}()
+	return b.s.Solve(ctx, req)
+}
+
+// Close stops admission and drains: every queued submission is still
+// flushed, solved and answered before Close returns. Further Submits
+// report ErrBatcherClosed.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	if !b.closed {
+		b.closed = true
+		if b.queue != nil {
+			close(b.queue)
+		}
+	}
+	b.mu.Unlock()
+	b.inflight.Wait()
+	b.wg.Wait()
+}
+
+// Stats returns the batcher's admission gauges.
+func (b *Batcher) Stats() BatcherStats {
+	if b.direct != nil {
+		return BatcherStats{QueueDepth: len(b.direct)}
+	}
+	return BatcherStats{
+		QueueDepth: len(b.queue),
+		WindowFill: int(b.fill.Load()),
+	}
+}
+
+// collect runs the admission loop: it gathers submissions into a window
+// and flushes when the window is full or when MaxDelay has passed since
+// the window opened.
+func (b *Batcher) collect() {
+	defer b.wg.Done()
+	defer close(b.flushes)
+	var (
+		win   []*submission
+		timer *time.Timer
+		fire  <-chan time.Time
+	)
+	flush := func() {
+		if timer != nil {
+			timer.Stop()
+			timer, fire = nil, nil
+		}
+		if len(win) == 0 {
+			return
+		}
+		if b.cfg.OnFlush != nil {
+			b.cfg.OnFlush(len(win))
+		}
+		b.s.windows.Add(1)
+		if len(win) >= 2 {
+			b.s.batchedWindows.Add(1)
+			b.s.batchedRequests.Add(uint64(len(win)))
+		}
+		b.flushes <- win
+		win = nil
+		b.fill.Store(0)
+	}
+	for {
+		select {
+		case sub, ok := <-b.queue:
+			if !ok {
+				flush()
+				return
+			}
+			win = append(win, sub)
+			b.fill.Store(int64(len(win)))
+			if len(win) == 1 {
+				timer = time.NewTimer(b.cfg.MaxDelay)
+				fire = timer.C
+			}
+			if len(win) >= b.cfg.MaxSize {
+				flush()
+			}
+		case <-fire:
+			timer, fire = nil, nil
+			flush()
+		}
+	}
+}
+
+// drain solves flushed windows.
+func (b *Batcher) drain() {
+	defer b.wg.Done()
+	for win := range b.flushes {
+		b.solveWindow(win)
+	}
+}
+
+// solveWindow answers every submission of one window with a single
+// SolveBatch call. Submissions whose context is already done are answered
+// with their ctx.Err() without solving; the batch context propagates the
+// callers' deadlines and cancellations (see windowContext).
+func (b *Batcher) solveWindow(win []*submission) {
+	live := win[:0]
+	for _, sub := range win {
+		if err := sub.ctx.Err(); err != nil {
+			sub.err = err
+			close(sub.ready)
+			continue
+		}
+		live = append(live, sub)
+	}
+	if len(live) == 0 {
+		return
+	}
+	ctx, cancel := b.windowContext(live)
+	if cancel != nil {
+		defer cancel()
+	}
+	reqs := make([]Request, len(live))
+	for i, sub := range live {
+		reqs[i] = sub.req
+	}
+	results, errs := b.s.solveBatch(ctx, reqs)
+	for i, sub := range live {
+		sub.res, sub.err = results[i], errs[i]
+		close(sub.ready)
+	}
+}
+
+// windowContext derives the context a window is solved under. A window
+// whose submissions share one context (the SolveStream case) solves under
+// it directly. A mixed window solves under a derived context that carries
+// the latest deadline across the window — no caller's budget is silently
+// extended past the solver timeout — and is cancelled once every caller
+// has gone away, so abandoned windows stop burning CPU. If any submission
+// is uncancellable (context.Background), the window is too.
+func (b *Batcher) windowContext(live []*submission) (context.Context, context.CancelFunc) {
+	shared := live[0].ctx
+	for _, sub := range live[1:] {
+		if sub.ctx != shared {
+			shared = nil
+			break
+		}
+	}
+	if shared != nil {
+		return shared, nil
+	}
+	var latest time.Time
+	haveDeadlines := true
+	for _, sub := range live {
+		if sub.ctx.Done() == nil {
+			// An uncancellable caller keeps the window alive regardless of
+			// the others, so there is nothing to watch.
+			return context.Background(), nil
+		}
+		if d, ok := sub.ctx.Deadline(); ok {
+			if d.After(latest) {
+				latest = d
+			}
+		} else {
+			haveDeadlines = false
+		}
+	}
+	var (
+		ctx    context.Context
+		cancel context.CancelFunc
+	)
+	if haveDeadlines {
+		ctx, cancel = context.WithDeadline(context.Background(), latest)
+	} else {
+		ctx, cancel = context.WithCancel(context.Background())
+	}
+	// Cancel the window once every caller is gone. AfterFunc registrations
+	// instead of watcher goroutines: windows flush at serving rate, and
+	// the returned cleanup drops the registrations with the window.
+	remaining := new(atomic.Int64)
+	remaining.Store(int64(len(live)))
+	stops := make([]func() bool, len(live))
+	for i, sub := range live {
+		stops[i] = context.AfterFunc(sub.ctx, func() {
+			if remaining.Add(-1) == 0 {
+				cancel()
+			}
+		})
+	}
+	cleanup := func() {
+		for _, stop := range stops {
+			stop()
+		}
+		cancel()
+	}
+	return ctx, cleanup
+}
+
+// String renders the batcher configuration compactly (for logs).
+func (b *Batcher) String() string {
+	return fmt.Sprintf("batcher(window=%v size=%d queue=%d workers=%d)",
+		b.cfg.MaxDelay, b.cfg.MaxSize, b.cfg.QueueCap, b.cfg.Workers)
+}

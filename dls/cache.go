@@ -3,6 +3,7 @@ package dls
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 )
 
 // resultCache is a size-bounded LRU of solved results, keyed by the request
@@ -14,6 +15,8 @@ type resultCache struct {
 	cap   int
 	ll    *list.List // front = most recently used
 	items map[string]*list.Element
+
+	evictions atomic.Uint64
 }
 
 type cacheEntry struct {
@@ -66,5 +69,6 @@ func (c *resultCache) put(key string, res *Result) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
 	}
 }

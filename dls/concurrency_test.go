@@ -1,0 +1,103 @@
+package dls_test
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/dls"
+)
+
+// TestCacheConcurrentHammer drives one cached Solver from 32 goroutines
+// with overlapping fingerprints (24 distinct problems, cache capacity 16,
+// so hits, misses and evictions all occur under contention) and checks
+// that every concurrent result is byte-identical to a serial reference
+// and that the counters stay mutually consistent. Run with -race in CI.
+func TestCacheConcurrentHammer(t *testing.T) {
+	rng := rand.New(rand.NewSource(3232))
+	var reqs []dls.Request
+	for i := 0; i < 8; i++ {
+		p := dls.RandomSpeeds(rng, 6, dls.Heterogeneous).Platform(dls.DefaultApp(100))
+		reqs = append(reqs,
+			dls.Request{Platform: p, Strategy: dls.StrategyIncC},
+			dls.Request{Platform: p, Strategy: dls.StrategyLIFO},
+			dls.Request{Platform: p, Strategy: dls.StrategyFIFOExhaustive},
+		)
+	}
+
+	// Serial reference on a cache-less solver.
+	serial := mustSolver(t)
+	want := make([]*dls.Result, len(reqs))
+	for i, req := range reqs {
+		res, err := serial.Solve(context.Background(), req)
+		if err != nil {
+			t.Fatalf("serial request %d: %v", i, err)
+		}
+		want[i] = res
+	}
+
+	const (
+		goroutines = 32
+		iterations = 50
+	)
+	solver := mustSolver(t, dls.WithCache(16))
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(3300 + g)))
+			for it := 0; it < iterations; it++ {
+				i := rng.Intn(len(reqs))
+				res, err := solver.Solve(context.Background(), reqs[i])
+				if err != nil {
+					t.Errorf("goroutine %d: request %d: %v", g, i, err)
+					return
+				}
+				if res.Throughput != want[i].Throughput {
+					t.Errorf("goroutine %d: request %d: throughput %.17g != serial %.17g",
+						g, i, res.Throughput, want[i].Throughput)
+					return
+				}
+				for w := range want[i].Schedule.Alpha {
+					if res.Schedule.Alpha[w] != want[i].Schedule.Alpha[w] {
+						t.Errorf("goroutine %d: request %d: load %d differs from serial", g, i, w)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st := solver.Stats()
+	lookups := goroutines * iterations
+	if st.Hits+st.Misses != uint64(lookups) {
+		t.Errorf("hits %d + misses %d != lookups %d", st.Hits, st.Misses, lookups)
+	}
+	if st.Hits == 0 {
+		t.Error("no cache hits across 1600 overlapping lookups")
+	}
+	// 24 distinct problems over capacity 16 under churn must evict.
+	if st.Evictions == 0 {
+		t.Errorf("no evictions with %d problems over capacity 16", len(reqs))
+	}
+	if st.Misses != st.Solves {
+		t.Errorf("misses %d != solves %d: cache-miss accounting drifted", st.Misses, st.Solves)
+	}
+	var byStrategy uint64
+	for _, n := range st.SolvesByStrategy {
+		byStrategy += n
+	}
+	if byStrategy != st.Solves {
+		t.Errorf("per-strategy solves %d != total %d", byStrategy, st.Solves)
+	}
+	// Hit-rate sanity: with 16 of 24 problems resident the steady-state
+	// hit rate is well above half; anything below says the LRU is
+	// thrashing pathologically.
+	if ratio := float64(st.Hits) / float64(lookups); ratio < 0.3 {
+		t.Errorf("hit rate %.2f suspiciously low (hits %d, misses %d, evictions %d)",
+			ratio, st.Hits, st.Misses, st.Evictions)
+	}
+}

@@ -42,7 +42,13 @@
 // searches, an LRU result cache ([WithCache]) keyed by platform
 // fingerprint, and concurrent batch solving ([Solver.SolveBatch],
 // [Solver.SolveStream]) with deterministic, parallelism-independent output
-// ordering ([WithParallelism]).
+// ordering ([WithParallelism]). An admission-window micro-batcher
+// ([Solver.NewBatcher]) coalesces concurrent submissions into SolveBatch
+// calls — [Solver.SolveStream] rides it ([WithStreamWindow]), and the
+// dlsd serving layer builds on it for load shedding and deadline
+// propagation. [Solver.Stats] exposes the engine's counters (cache
+// activity, solves by strategy, batch collapses); [Request] is JSON
+// round-trippable for the HTTP wire format.
 //
 // # Scenario evaluation
 //

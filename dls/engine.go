@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/eval"
 	"repro/internal/platform"
+	"repro/internal/stats"
 )
 
 // Request names one scheduling problem: a platform, a strategy from the
@@ -101,13 +102,32 @@ func (r *Result) clone() *Result {
 	return &c
 }
 
-// Stats are cumulative counters of one Solver's activity.
+// Stats are cumulative counters of one Solver's activity. The snapshot is
+// taken from atomic counters, so it is safe to call concurrently with
+// solves; the fields are mutually consistent only up to in-flight requests.
 type Stats struct {
-	// Hits and Misses count cache lookups (always zero without WithCache).
-	Hits, Misses uint64
+	// Hits and Misses count cache lookups (always zero without WithCache);
+	// Evictions counts entries dropped by the LRU when the cache is full.
+	Hits, Misses, Evictions uint64
 	// Solves counts strategy executions — the expensive LP work. A request
 	// answered by the cache or by batch deduplication does not solve.
 	Solves uint64
+	// SolvesByStrategy splits Solves by strategy name.
+	SolvesByStrategy map[string]uint64
+	// PrepassGroups counts deduplicated problems answered by the SoA chain
+	// prepass instead of a per-request solve; PrepassRequests counts the
+	// requests those groups answered (duplicates included). These are the
+	// batch-collapse counters: PrepassRequests - PrepassGroups requests
+	// never touched a solver goroutine of their own.
+	PrepassGroups, PrepassRequests uint64
+	// Windows counts admission windows flushed by batchers of this solver
+	// (micro-batching and SolveStream); BatchedWindows counts the windows
+	// that collapsed at least two requests into one SolveBatch, and
+	// BatchedRequests the requests that travelled in them.
+	Windows, BatchedWindows, BatchedRequests uint64
+	// Shed counts submissions rejected by a batcher because its admission
+	// queue was full (load shedding).
+	Shed uint64
 }
 
 // Solver is the scheduling engine: it resolves requests against the
@@ -116,12 +136,25 @@ type Stats struct {
 // concurrent use; the zero-argument NewSolver() yields a cache-less solver
 // with parallelism GOMAXPROCS.
 type Solver struct {
-	arith       Arith
-	timeout     time.Duration
-	parallelism int
-	cache       *resultCache
+	arith        Arith
+	timeout      time.Duration
+	parallelism  int
+	streamWindow time.Duration
+	cache        *resultCache
 
 	hits, misses, solves atomic.Uint64
+	solvesBy             stats.CounterMap[string]
+
+	prepassGroups, prepassRequests           atomic.Uint64
+	windows, batchedWindows, batchedRequests atomic.Uint64
+	shed                                     atomic.Uint64
+}
+
+// countSolve records one strategy execution, both globally and per
+// strategy.
+func (s *Solver) countSolve(strategy string) {
+	s.solves.Add(1)
+	s.solvesBy.Add(strategy, 1)
 }
 
 // Option configures a Solver; options report invalid settings as errors
@@ -183,11 +216,33 @@ func WithParallelism(n int) Option {
 	}
 }
 
+// DefaultStreamWindow is the admission window SolveStream batches under
+// when WithStreamWindow is not given: long enough for bursts to coalesce
+// into one SolveBatch (and its SoA chain prepass), short enough to be
+// invisible next to any LP solve.
+const DefaultStreamWindow = 2 * time.Millisecond
+
+// WithStreamWindow sets the admission window of SolveStream's micro-
+// batcher: requests arriving within d of each other are flushed as one
+// SolveBatch, so chain-shaped streams hit the SoA prepass. d = 0 disables
+// stream micro-batching (each request solves on its own, the historical
+// behaviour); the default is DefaultStreamWindow.
+func WithStreamWindow(d time.Duration) Option {
+	return func(s *Solver) error {
+		if d < 0 {
+			return fmt.Errorf("dls: WithStreamWindow: duration must be >= 0, got %v", d)
+		}
+		s.streamWindow = d
+		return nil
+	}
+}
+
 // NewSolver builds a Solver from the given options.
 func NewSolver(opts ...Option) (*Solver, error) {
 	s := &Solver{
-		arith:       Float64,
-		parallelism: runtime.GOMAXPROCS(0),
+		arith:        Float64,
+		parallelism:  runtime.GOMAXPROCS(0),
+		streamWindow: DefaultStreamWindow,
 	}
 	for _, opt := range opts {
 		if err := opt(s); err != nil {
@@ -199,11 +254,22 @@ func NewSolver(opts ...Option) (*Solver, error) {
 
 // Stats returns a snapshot of the solver's counters.
 func (s *Solver) Stats() Stats {
-	return Stats{
-		Hits:   s.hits.Load(),
-		Misses: s.misses.Load(),
-		Solves: s.solves.Load(),
+	st := Stats{
+		Hits:            s.hits.Load(),
+		Misses:          s.misses.Load(),
+		Solves:          s.solves.Load(),
+		PrepassGroups:   s.prepassGroups.Load(),
+		PrepassRequests: s.prepassRequests.Load(),
+		Windows:         s.windows.Load(),
+		BatchedWindows:  s.batchedWindows.Load(),
+		BatchedRequests: s.batchedRequests.Load(),
+		Shed:            s.shed.Load(),
 	}
+	if s.cache != nil {
+		st.Evictions = s.cache.evictions.Load()
+	}
+	st.SolvesByStrategy = s.solvesBy.Snapshot()
+	return st
 }
 
 // prepare validates a request, applies the solver's arithmetic default and
@@ -319,7 +385,7 @@ func (s *Solver) run(ctx context.Context, req Request, fn StrategyFunc) (*Result
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	s.solves.Add(1)
+	s.countSolve(req.Strategy)
 	res, err := fn(ctx, req)
 	if err != nil {
 		return nil, err
@@ -339,6 +405,19 @@ func (s *Solver) run(ctx context.Context, req Request, fn StrategyFunc) (*Result
 // requests leave a nil slot; the returned error joins the per-request
 // errors in request order.
 func (s *Solver) SolveBatch(ctx context.Context, reqs []Request) ([]*Result, error) {
+	results, errs := s.solveBatch(ctx, reqs)
+	for i, err := range errs {
+		if err != nil {
+			errs[i] = fmt.Errorf("dls: batch request %d: %w", i, err)
+		}
+	}
+	return results, errors.Join(errs...)
+}
+
+// solveBatch is SolveBatch with the per-slot errors kept individually (and
+// unwrapped), for callers — the micro-batcher, the serving layer — that
+// answer each request to a different consumer.
+func (s *Solver) solveBatch(ctx context.Context, reqs []Request) ([]*Result, []error) {
 	results := make([]*Result, len(reqs))
 	errs := make([]error, len(reqs))
 
@@ -349,7 +428,7 @@ func (s *Solver) SolveBatch(ctx context.Context, reqs []Request) ([]*Result, err
 	for i, req := range reqs {
 		p, _, err := s.prepare(req)
 		if err != nil {
-			errs[i] = fmt.Errorf("dls: batch request %d: %w", i, err)
+			errs[i] = err
 			continue
 		}
 		prepared[i] = p
@@ -385,7 +464,7 @@ func (s *Solver) SolveBatch(ctx context.Context, reqs []Request) ([]*Result, err
 				res, err := s.Solve(ctx, reqs[g.leader])
 				if err != nil {
 					for _, i := range g.indices {
-						errs[i] = fmt.Errorf("dls: batch request %d: %w", i, err)
+						errs[i] = err
 					}
 					continue
 				}
@@ -410,7 +489,7 @@ func (s *Solver) SolveBatch(ctx context.Context, reqs []Request) ([]*Result, err
 	close(jobs)
 	wg.Wait()
 
-	return results, errors.Join(errs...)
+	return results, errs
 }
 
 // chainScenario reports whether a prepared request is chain-shaped — its
@@ -533,7 +612,9 @@ func (s *Solver) chainPrepass(ctx context.Context, prepared []Request, order []*
 				s.misses.Add(1)
 				s.cache.put(ln.g.key, res)
 			}
-			s.solves.Add(1)
+			s.countSolve(req.Strategy)
+			s.prepassGroups.Add(1)
+			s.prepassRequests.Add(uint64(len(ln.g.indices)))
 			for _, idx := range ln.g.indices {
 				if idx == ln.g.leader {
 					results[idx] = res
@@ -570,50 +651,69 @@ type StreamResult struct {
 	Err    error
 }
 
-// SolveStream consumes requests from reqs as they arrive, solves them on
-// the worker pool, and emits results on the returned channel in input
-// order (a reorder buffer holds finished results until their predecessors
-// complete; admission is bounded, so one slow request at the head cannot
-// make the buffer grow past a small multiple of the parallelism). The
-// output channel closes after the last result once reqs is closed. The
-// caller must drain the output channel; cancelling ctx makes remaining
-// requests fail fast with ctx.Err().
+// SolveStream consumes requests from reqs as they arrive and emits results
+// on the returned channel in input order (a reorder buffer holds finished
+// results until their predecessors complete; admission is bounded, so one
+// slow request at the head cannot make the buffer grow past a small
+// multiple of the parallelism). Concurrent requests are solved through an
+// admission-window micro-batcher: arrivals within WithStreamWindow of
+// each other are flushed as one SolveBatch, so chain-shaped streams
+// collapse into the SoA batch prepass instead of solo solves. A request
+// travelling alone — nothing else in flight, so the window could not buy
+// company — skips the window and solves directly: sparse or sequential
+// streams pay no batching latency. At most WithParallelism requests are
+// in flight at once, as before the batcher. Results are identical on
+// either path — the prepass is pinned byte-identical to Solve — and the
+// output stays deterministic. The output channel closes after the last
+// result once reqs is closed. The caller must drain the output channel;
+// cancelling ctx makes remaining requests fail fast with ctx.Err().
 func (s *Solver) SolveStream(ctx context.Context, reqs <-chan Request) <-chan StreamResult {
 	out := make(chan StreamResult, s.parallelism)
-	type job struct {
-		idx int
-		req Request
-	}
-	jobs := make(chan job)
 	done := make(chan StreamResult, s.parallelism)
 	// window bounds dispatched-but-not-yet-emitted requests, capping the
-	// reorder buffer: the feeder acquires a slot per job, the reorderer
-	// releases it when the result is emitted in order.
-	window := make(chan struct{}, 4*s.parallelism)
+	// reorder buffer; slots caps requests between admission and result to
+	// the solver parallelism, preserving the WithParallelism contract
+	// (the batcher never sheds stream requests, it backpressures the
+	// feeder through the slots).
+	inFlight := 4 * s.parallelism
+	window := make(chan struct{}, inFlight)
+	slots := make(chan struct{}, s.parallelism)
+	b := s.NewBatcher(BatcherConfig{
+		MaxDelay: s.streamWindow,
+		MaxSize:  s.parallelism,
+		QueueCap: inFlight,
+	})
 
+	var wg sync.WaitGroup
 	go func() {
 		idx := 0
 		for req := range reqs {
 			window <- struct{}{}
-			jobs <- job{idx, req}
+			slots <- struct{}{}
+			// The feeder is the only slot producer, so observing exactly
+			// one occupied slot here means this request is alone in the
+			// stream right now (races only defer a request to the window,
+			// never lose one).
+			alone := len(slots) == 1
+			wg.Add(1)
+			go func(i int, r Request, alone bool) {
+				defer wg.Done()
+				var (
+					res *Result
+					err error
+				)
+				if alone {
+					res, err = s.Solve(ctx, r)
+				} else {
+					res, err = b.Submit(ctx, r)
+				}
+				<-slots
+				done <- StreamResult{Index: i, Result: res, Err: err}
+			}(idx, req, alone)
 			idx++
 		}
-		close(jobs)
-	}()
-
-	var wg sync.WaitGroup
-	for w := 0; w < s.parallelism; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				res, err := s.Solve(ctx, j.req)
-				done <- StreamResult{Index: j.idx, Result: res, Err: err}
-			}
-		}()
-	}
-	go func() {
 		wg.Wait()
+		b.Close()
 		close(done)
 	}()
 

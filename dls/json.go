@@ -1,0 +1,127 @@
+package dls
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// This file makes Request round-trippable through JSON, the wire format of
+// the dlsd serving layer: enums travel as their canonical names ("one-port",
+// "exact", "closed-form", ...), zero-valued knobs are omitted so a request
+// written by hand stays as small as the Go literal, and unmarshalling
+// rejects unknown names instead of smuggling them through as integers.
+
+// ModelName returns the wire name of a communication model ("one-port",
+// "two-port").
+func ModelName(m Model) string { return m.String() }
+
+// ParseModel parses a communication-model name.
+func ParseModel(s string) (Model, error) {
+	switch s {
+	case "", ModelName(OnePort):
+		return OnePort, nil
+	case ModelName(TwoPort):
+		return TwoPort, nil
+	}
+	return 0, fmt.Errorf("dls: unknown model %q (%s | %s)", s, ModelName(OnePort), ModelName(TwoPort))
+}
+
+// ArithName returns the wire name of an arithmetic mode ("float64",
+// "exact").
+func ArithName(a Arith) string { return a.String() }
+
+// ParseArith parses an arithmetic-mode name.
+func ParseArith(s string) (Arith, error) {
+	switch s {
+	case "", ArithName(Float64):
+		return Float64, nil
+	case ArithName(Exact):
+		return Exact, nil
+	}
+	return 0, fmt.Errorf("dls: unknown arithmetic %q (%s | %s)", s, ArithName(Float64), ArithName(Exact))
+}
+
+// affineWire is the JSON shape of an Affine extension.
+type affineWire struct {
+	In   []float64 `json:"in"`
+	Out  []float64 `json:"out"`
+	Comp []float64 `json:"comp"`
+}
+
+// requestWire is the JSON shape of a Request. Enum fields are strings;
+// empty strings mean the zero value, so marshalling omits defaults and
+// both spellings unmarshal identically.
+type requestWire struct {
+	Platform *Platform   `json:"platform,omitempty"`
+	Strategy string      `json:"strategy"`
+	Model    string      `json:"model,omitempty"`
+	Arith    string      `json:"arith,omitempty"`
+	Eval     string      `json:"eval,omitempty"`
+	Send     []int       `json:"send,omitempty"`
+	Return   []int       `json:"return,omitempty"`
+	Affine   *affineWire `json:"affine,omitempty"`
+	Load     float64     `json:"load,omitempty"`
+}
+
+// MarshalJSON encodes the request in the wire format. Zero-valued knobs
+// (one-port model, float64 arithmetic, auto eval, no load) are omitted.
+func (req Request) MarshalJSON() ([]byte, error) {
+	w := requestWire{
+		Platform: req.Platform,
+		Strategy: req.Strategy,
+		Send:     req.Send,
+		Return:   req.Return,
+		Load:     req.Load,
+	}
+	if req.Model != OnePort {
+		w.Model = ModelName(req.Model)
+	}
+	if req.Arith != Float64 {
+		w.Arith = ArithName(req.Arith)
+	}
+	if req.Eval != EvalAuto {
+		w.Eval = req.Eval.String()
+	}
+	if req.Affine != nil {
+		w.Affine = &affineWire{In: req.Affine.In, Out: req.Affine.Out, Comp: req.Affine.Comp}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes the wire format, rejecting unknown enum names.
+// The platform payload is validated by its own unmarshaller; full request
+// validation (strategy lookup, order shapes) stays with Solver.prepare.
+func (req *Request) UnmarshalJSON(data []byte) error {
+	var w requestWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	model, err := ParseModel(w.Model)
+	if err != nil {
+		return err
+	}
+	arith, err := ParseArith(w.Arith)
+	if err != nil {
+		return err
+	}
+	evalMode := EvalAuto
+	if w.Eval != "" {
+		if evalMode, err = ParseEvalMode(w.Eval); err != nil {
+			return err
+		}
+	}
+	*req = Request{
+		Platform: w.Platform,
+		Strategy: w.Strategy,
+		Model:    model,
+		Arith:    arith,
+		Eval:     evalMode,
+		Send:     w.Send,
+		Return:   w.Return,
+		Load:     w.Load,
+	}
+	if w.Affine != nil {
+		req.Affine = &Affine{In: w.Affine.In, Out: w.Affine.Out, Comp: w.Affine.Comp}
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package server
+
+import (
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// handleMetrics answers GET /metrics in the Prometheus text exposition
+// format: engine counters (cache, solves, prepass collapses), admission
+// state (queue depth, window fill, window sizes, sheds) and HTTP-level
+// series (codes, solve latency). See the README metrics glossary.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	m := stats.NewMetricWriter(w)
+
+	m.Gauge("dlsd_uptime_seconds", "Seconds since the server started.", time.Since(s.start).Seconds())
+
+	// HTTP surface.
+	codes := s.codes.Snapshot()
+	keys := make([]int, 0, len(codes))
+	for code := range codes {
+		keys = append(keys, code)
+	}
+	sort.Ints(keys)
+	for _, code := range keys {
+		m.Counter("dlsd_http_requests_total", "HTTP responses by status code.",
+			codes[code], stats.Label{Key: "code", Value: strconv.Itoa(code)})
+	}
+	m.Histogram("dlsd_solve_latency_seconds", "End-to-end latency of successful solves (admission wait + solve).", s.latency)
+
+	// Admission micro-batcher.
+	bs := s.batcher.Stats()
+	m.Gauge("dlsd_queue_depth", "Admitted requests waiting to join a window.", float64(bs.QueueDepth))
+	m.Gauge("dlsd_window_fill", "Requests in the currently filling window.", float64(bs.WindowFill))
+	m.Histogram("dlsd_window_size", "Flushed admission-window sizes.", s.windowSizes)
+
+	// Engine counters.
+	st := s.solver.Stats()
+	m.Counter("dlsd_windows_total", "Admission windows flushed.", st.Windows)
+	m.Counter("dlsd_batched_windows_total", "Windows that collapsed >= 2 requests into one batch solve.", st.BatchedWindows)
+	m.Counter("dlsd_batched_requests_total", "Requests that travelled in multi-request windows.", st.BatchedRequests)
+	m.Counter("dlsd_shed_total", "Submissions shed because the admission queue was full.", st.Shed)
+	m.Counter("dlsd_prepass_groups_total", "Distinct problems answered by the SoA chain prepass.", st.PrepassGroups)
+	m.Counter("dlsd_prepass_requests_total", "Requests answered by the SoA chain prepass.", st.PrepassRequests)
+	m.Counter("dlsd_cache_hits_total", "Result-cache hits.", st.Hits)
+	m.Counter("dlsd_cache_misses_total", "Result-cache misses.", st.Misses)
+	m.Counter("dlsd_cache_evictions_total", "Result-cache LRU evictions.", st.Evictions)
+	if lookups := st.Hits + st.Misses; lookups > 0 {
+		m.Gauge("dlsd_cache_hit_ratio", "Hits / lookups since start.", float64(st.Hits)/float64(lookups))
+	}
+	m.Counter("dlsd_solves_total", "Strategy executions (cache/dedup-answered requests excluded).", st.Solves)
+	strategies := make([]string, 0, len(st.SolvesByStrategy))
+	for name := range st.SolvesByStrategy {
+		strategies = append(strategies, name)
+	}
+	sort.Strings(strategies)
+	for _, name := range strategies {
+		m.Counter("dlsd_strategy_solves_total", "Strategy executions by strategy.",
+			st.SolvesByStrategy[name], stats.Label{Key: "strategy", Value: name})
+	}
+}

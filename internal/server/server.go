@@ -1,0 +1,316 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/dls"
+	"repro/internal/stats"
+)
+
+// Config configures a Server. The zero value of every knob picks a
+// production-shaped default.
+type Config struct {
+	// Solver is the shared engine. Required.
+	Solver *dls.Solver
+	// Window is the admission window: a solve request waits at most this
+	// long for company before its window is flushed as one SolveBatch.
+	// 0 disables micro-batching (every request solves on its own).
+	// Default 2ms.
+	Window time.Duration
+	// WindowSize flushes a window early once it holds this many requests.
+	// Default 64.
+	WindowSize int
+	// QueueCap bounds the admission queue; requests beyond it are shed
+	// with 429. Default 1024.
+	QueueCap int
+	// Workers bounds how many flushed windows solve concurrently.
+	// Default 2.
+	Workers int
+	// RetryAfter is the advisory delay stamped on 429 responses.
+	// Default 50ms.
+	RetryAfter time.Duration
+	// MaxBatch caps the request count of one /v1/solve/batch call.
+	// Default 1024.
+	MaxBatch int
+	// MaxBody caps request body sizes in bytes. Default 8 MiB.
+	MaxBody int64
+	// NoBatchWindow marks Window = 0 as deliberate (the zero Config value
+	// otherwise means "use the default window").
+	NoBatchWindow bool
+}
+
+// withDefaults fills the zero fields.
+func (cfg Config) withDefaults() Config {
+	if cfg.Window == 0 && !cfg.NoBatchWindow {
+		cfg.Window = 2 * time.Millisecond
+	}
+	if cfg.WindowSize <= 0 {
+		cfg.WindowSize = 64
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 1024
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = 50 * time.Millisecond
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 1024
+	}
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = 8 << 20
+	}
+	return cfg
+}
+
+// Server serves a dls.Solver over HTTP. Create with New, mount as an
+// http.Handler, Close on shutdown (drains in-flight windows).
+type Server struct {
+	cfg     Config
+	solver  *dls.Solver
+	batcher *dls.Batcher
+	mux     *http.ServeMux
+	start   time.Time
+
+	latency     *stats.Histogram      // end-to-end latency of successful solves, seconds
+	windowSizes *stats.Histogram      // flushed admission-window sizes
+	codes       stats.CounterMap[int] // HTTP responses by status code
+}
+
+// New builds a Server over cfg.Solver.
+func New(cfg Config) (*Server, error) {
+	if cfg.Solver == nil {
+		return nil, fmt.Errorf("server: Config.Solver is required")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:         cfg,
+		solver:      cfg.Solver,
+		start:       time.Now(),
+		latency:     stats.NewHistogram(stats.LatencyBounds()...),
+		windowSizes: stats.NewHistogram(stats.SizeBounds()...),
+	}
+	s.batcher = cfg.Solver.NewBatcher(dls.BatcherConfig{
+		MaxDelay: cfg.Window,
+		MaxSize:  cfg.WindowSize,
+		QueueCap: cfg.QueueCap,
+		Workers:  cfg.Workers,
+		OnFlush:  func(n int) { s.windowSizes.Observe(float64(n)) },
+	})
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/solve/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/strategies", s.handleStrategies)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(&countingWriter{ResponseWriter: w, server: s}, r)
+}
+
+// Close drains the micro-batcher: every admitted request is answered
+// before Close returns. Call after the HTTP listener has stopped
+// accepting (http.Server.Shutdown), so no new submissions race the drain.
+func (s *Server) Close() {
+	s.batcher.Close()
+}
+
+// countingWriter counts response codes for /metrics.
+type countingWriter struct {
+	http.ResponseWriter
+	server *Server
+	wrote  bool
+}
+
+func (cw *countingWriter) WriteHeader(code int) {
+	if !cw.wrote {
+		cw.wrote = true
+		cw.server.codes.Add(code, 1)
+	}
+	cw.ResponseWriter.WriteHeader(code)
+}
+
+func (cw *countingWriter) Write(b []byte) (int, error) {
+	if !cw.wrote {
+		cw.wrote = true
+		cw.server.codes.Add(http.StatusOK, 1)
+	}
+	return cw.ResponseWriter.Write(b)
+}
+
+// writeJSON writes a JSON body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone = nothing to do
+}
+
+// writeError writes an ErrorResponse.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// requestContext derives the solve context: the HTTP request context,
+// bounded by the X-Timeout header when present.
+func requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	ctx := r.Context()
+	header := r.Header.Get("X-Timeout")
+	if header == "" {
+		return ctx, func() {}, nil
+	}
+	d, err := time.ParseDuration(header)
+	if err != nil || d <= 0 {
+		return nil, nil, fmt.Errorf("invalid X-Timeout %q: want a positive Go duration like 250ms", header)
+	}
+	ctx, cancel := context.WithTimeout(ctx, d)
+	return ctx, cancel, nil
+}
+
+// solveStatus maps a solve error to an HTTP status.
+func (s *Server) solveStatus(err error) int {
+	switch {
+	case errors.Is(err, dls.ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, dls.ErrBatcherClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away; 499 in the nginx tradition.
+		return 499
+	default:
+		// Unsolvable request (unknown strategy, no common z, order shape):
+		// the request was understood but cannot be satisfied.
+		return http.StatusUnprocessableEntity
+	}
+}
+
+// writeSolveError answers a failed solve, stamping Retry-After on sheds.
+func (s *Server) writeSolveError(w http.ResponseWriter, err error) {
+	status := s.solveStatus(err)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", strconv.FormatFloat(s.cfg.RetryAfter.Seconds(), 'f', 3, 64))
+	}
+	writeError(w, status, "%s", err)
+}
+
+// handleSolve answers POST /v1/solve.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req dls.Request
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %s", err)
+		return
+	}
+	ctx, cancel, err := requestContext(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%s", err)
+		return
+	}
+	defer cancel()
+	begin := time.Now()
+	res, err := s.batcher.Submit(ctx, req)
+	if err != nil {
+		// Failed and shed submissions stay out of the latency histogram:
+		// near-instant 429s during overload would otherwise drag the
+		// percentiles down exactly when latency matters most.
+		s.writeSolveError(w, err)
+		return
+	}
+	s.latency.Observe(time.Since(begin).Seconds())
+	writeJSON(w, http.StatusOK, resultResponse(res))
+}
+
+// handleBatch answers POST /v1/solve/batch: every request of the body is
+// submitted to the admission batcher concurrently, so the batch shares
+// windows (and the SoA prepass) with whatever else is in flight. Slots
+// that fail keep their error message; if the whole batch was shed the
+// response is a single 429.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var batch BatchRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
+	if err := json.NewDecoder(body).Decode(&batch); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding batch: %s", err)
+		return
+	}
+	if len(batch.Requests) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(batch.Requests) > s.cfg.MaxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge, "batch of %d requests exceeds the %d cap", len(batch.Requests), s.cfg.MaxBatch)
+		return
+	}
+	ctx, cancel, err := requestContext(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%s", err)
+		return
+	}
+	defer cancel()
+	begin := time.Now()
+	results := make([]*dls.Result, len(batch.Requests))
+	errs := make([]error, len(batch.Requests))
+	var wg sync.WaitGroup
+	for i, req := range batch.Requests {
+		wg.Add(1)
+		go func(i int, req dls.Request) {
+			defer wg.Done()
+			results[i], errs[i] = s.batcher.Submit(ctx, req)
+		}(i, req)
+	}
+	wg.Wait()
+
+	resp := BatchResponse{Results: make([]*SolveResponse, len(results))}
+	allShed, anyErr, anyOK := true, false, false
+	for i, res := range results {
+		if errs[i] != nil {
+			anyErr = true
+			if !errors.Is(errs[i], dls.ErrOverloaded) {
+				allShed = false
+			}
+			continue
+		}
+		allShed, anyOK = false, true
+		resp.Results[i] = resultResponse(res)
+	}
+	if anyOK {
+		s.latency.Observe(time.Since(begin).Seconds())
+	}
+	if anyErr {
+		if allShed {
+			w.Header().Set("Retry-After", strconv.FormatFloat(s.cfg.RetryAfter.Seconds(), 'f', 3, 64))
+			writeError(w, http.StatusTooManyRequests, "batch shed: admission queue full")
+			return
+		}
+		resp.Errors = make([]string, len(results))
+		for i, err := range errs {
+			if err != nil {
+				resp.Errors[i] = err.Error()
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleStrategies answers GET /v1/strategies.
+func (s *Server) handleStrategies(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, StrategiesResponse{Strategies: dls.Strategies()})
+}
+
+// handleHealthz answers GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}

@@ -1,0 +1,39 @@
+package stats
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// CounterMap is a concurrent map of monotonically increasing counters
+// keyed by K — per-strategy solve counts, per-status-code responses.
+// Add is lock-free after a key's first use; Snapshot is consistent only
+// up to in-flight increments, like every counter read.
+type CounterMap[K comparable] struct {
+	m sync.Map // K -> *atomic.Uint64
+}
+
+// Add increments the counter for key by n.
+func (c *CounterMap[K]) Add(key K, n uint64) {
+	v, ok := c.m.Load(key)
+	if !ok {
+		v, _ = c.m.LoadOrStore(key, new(atomic.Uint64))
+	}
+	v.(*atomic.Uint64).Add(n)
+}
+
+// Snapshot returns the non-zero counters as a plain map (nil when there
+// are none).
+func (c *CounterMap[K]) Snapshot() map[K]uint64 {
+	var out map[K]uint64
+	c.m.Range(func(k, v any) bool {
+		if n := v.(*atomic.Uint64).Load(); n > 0 {
+			if out == nil {
+				out = make(map[K]uint64)
+			}
+			out[k.(K)] = n
+		}
+		return true
+	})
+	return out
+}

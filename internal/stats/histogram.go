@@ -1,0 +1,232 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// This file adds the serving-side observability primitives: a lock-free
+// fixed-bucket histogram and a Prometheus-text-format writer, used by the
+// dlsd /metrics endpoint. Only atomic counters are touched on the hot
+// path, so Observe is safe (and cheap) to call from every request.
+
+// Histogram counts observations into fixed buckets with atomic counters.
+// Buckets are cumulative-upper-bound style, as in Prometheus: bucket i
+// counts observations <= bounds[i], plus one implicit +Inf bucket.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds) + 1; last = +Inf
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram builds a histogram over the given strictly increasing,
+// finite upper bounds. Panics on invalid bounds (a construction bug, not
+// a runtime condition).
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("stats: histogram needs at least one bucket bound")
+	}
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic("stats: histogram bounds must be finite")
+		}
+		if i > 0 && b <= bounds[i-1] {
+			panic("stats: histogram bounds must be strictly increasing")
+		}
+	}
+	h := &Histogram{bounds: append([]float64(nil), bounds...)}
+	h.counts = make([]atomic.Uint64, len(bounds)+1)
+	return h
+}
+
+// LatencyBounds are the default solve-latency bucket bounds in seconds:
+// log-spaced from 50 µs to 10 s, bracketing everything from a cached
+// chain solve to a p = 7 pair search.
+func LatencyBounds() []float64 {
+	return []float64{
+		50e-6, 100e-6, 250e-6, 500e-6,
+		1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+		1, 2.5, 5, 10,
+	}
+}
+
+// SizeBounds are the default batch/window-size bucket bounds.
+func SizeBounds() []float64 {
+	return []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+}
+
+// Observe records one observation. NaN observations are dropped (they
+// would poison the sum without being countable in any bucket).
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Bucket is one cumulative histogram bucket: Count observations were
+// <= UpperBound (UpperBound is +Inf for the last bucket).
+type Bucket struct {
+	UpperBound float64
+	Count      uint64
+}
+
+// Buckets returns the cumulative bucket counts, ending with the +Inf
+// bucket (whose count equals Count up to concurrent observations).
+func (h *Histogram) Buckets() []Bucket {
+	out := make([]Bucket, len(h.counts))
+	cum := uint64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		bound := math.Inf(1)
+		if i < len(h.bounds) {
+			bound = h.bounds[i]
+		}
+		out[i] = Bucket{UpperBound: bound, Count: cum}
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear interpolation
+// within the owning bucket, the standard Prometheus histogram_quantile
+// estimate. Returns 0 for an empty histogram; observations in the +Inf
+// bucket clamp to the largest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 || math.IsNaN(q) {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := uint64(0)
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if float64(cum+c) >= rank && c > 0 {
+			if i >= len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			return lo + (h.bounds[i]-lo)*(rank-float64(cum))/float64(c)
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Label is one metric label pair.
+type Label struct {
+	Key, Value string
+}
+
+// MetricWriter renders metrics in the Prometheus text exposition format
+// (version 0.0.4), enough for any Prometheus-compatible scraper without
+// importing a client library.
+type MetricWriter struct {
+	w     io.Writer
+	err   error
+	typed map[string]bool
+}
+
+// NewMetricWriter wraps w. Errors are sticky; check Err once at the end.
+func NewMetricWriter(w io.Writer) *MetricWriter {
+	return &MetricWriter{w: w, typed: make(map[string]bool)}
+}
+
+// Err returns the first write error, if any.
+func (m *MetricWriter) Err() error { return m.err }
+
+func (m *MetricWriter) printf(format string, args ...any) {
+	if m.err != nil {
+		return
+	}
+	_, m.err = fmt.Fprintf(m.w, format, args...)
+}
+
+// header emits the HELP/TYPE preamble once per metric name.
+func (m *MetricWriter) header(name, help, typ string) {
+	if m.typed[name] {
+		return
+	}
+	m.typed[name] = true
+	m.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(v)
+}
+
+// labelString renders {k="v",...} or the empty string.
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = fmt.Sprintf("%s=%q", l.Key, escapeLabel(l.Value))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}
+
+// Counter emits one counter sample.
+func (m *MetricWriter) Counter(name, help string, value uint64, labels ...Label) {
+	m.header(name, help, "counter")
+	m.printf("%s%s %d\n", name, labelString(labels), value)
+}
+
+// Gauge emits one gauge sample.
+func (m *MetricWriter) Gauge(name, help string, value float64, labels ...Label) {
+	m.header(name, help, "gauge")
+	m.printf("%s%s %s\n", name, labelString(labels), formatValue(value))
+}
+
+// Histogram emits the cumulative buckets, sum and count of h.
+func (m *MetricWriter) Histogram(name, help string, h *Histogram, labels ...Label) {
+	m.header(name, help, "histogram")
+	for _, b := range h.Buckets() {
+		bl := append(append([]Label(nil), labels...), Label{"le", formatValue(b.UpperBound)})
+		m.printf("%s_bucket%s %d\n", name, labelString(bl), b.Count)
+	}
+	m.printf("%s_sum%s %s\n", name, labelString(labels), formatValue(h.Sum()))
+	m.printf("%s_count%s %d\n", name, labelString(labels), h.Count())
+}

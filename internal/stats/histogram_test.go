@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBasic(t *testing.T) {
+	h := NewHistogram(1, 2, 4)
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-106) > 1e-12 {
+		t.Errorf("sum = %g, want 106", h.Sum())
+	}
+	buckets := h.Buckets()
+	wantCum := []uint64{2, 3, 4, 5} // <=1: {0.5, 1}; <=2: +1.5; <=4: +3; +Inf: +100
+	for i, w := range wantCum {
+		if buckets[i].Count != w {
+			t.Errorf("bucket %d (le %g): %d, want %d", i, buckets[i].UpperBound, buckets[i].Count, w)
+		}
+	}
+	if !math.IsInf(buckets[3].UpperBound, 1) {
+		t.Errorf("last bucket bound = %g, want +Inf", buckets[3].UpperBound)
+	}
+	h.Observe(math.NaN())
+	if h.Count() != 5 {
+		t.Error("NaN observation was counted")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(10, 20, 30, 40)
+	for v := 1.0; v <= 40; v++ {
+		h.Observe(v)
+	}
+	// Uniform 1..40: the median interpolates to the middle of the range.
+	if q := h.Quantile(0.5); math.Abs(q-20) > 1 {
+		t.Errorf("p50 = %g, want ~20", q)
+	}
+	if q := h.Quantile(1); q != 40 {
+		t.Errorf("p100 = %g, want 40", q)
+	}
+	if q := h.Quantile(0.05); q <= 0 || q > 10 {
+		t.Errorf("p5 = %g, want in (0, 10]", q)
+	}
+	empty := NewHistogram(1)
+	if empty.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile != 0")
+	}
+	inf := NewHistogram(1)
+	inf.Observe(5) // lands in +Inf bucket
+	if q := inf.Quantile(0.99); q != 1 {
+		t.Errorf("overflow quantile = %g, want clamp to largest bound 1", q)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(LatencyBounds()...)
+	var wg sync.WaitGroup
+	const workers, per = 16, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i%100) * 1e-4)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Errorf("count = %d, want %d", h.Count(), workers*per)
+	}
+	want := float64(workers) * 1e-4 * (99 * 100 / 2) * (per / 100)
+	if math.Abs(h.Sum()-want) > 1e-6*want {
+		t.Errorf("sum = %g, want %g: concurrent float accumulation lost updates", h.Sum(), want)
+	}
+}
+
+func TestMetricWriter(t *testing.T) {
+	var b strings.Builder
+	m := NewMetricWriter(&b)
+	m.Counter("dlsd_requests_total", "Requests.", 7, Label{"code", "200"})
+	m.Counter("dlsd_requests_total", "Requests.", 2, Label{"code", "429"})
+	m.Gauge("dlsd_queue_depth", "Depth.", 3)
+	h := NewHistogram(0.1, 1)
+	h.Observe(0.05)
+	h.Observe(5)
+	m.Histogram("dlsd_latency_seconds", "Latency.", h)
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE dlsd_requests_total counter",
+		`dlsd_requests_total{code="200"} 7`,
+		`dlsd_requests_total{code="429"} 2`,
+		"# TYPE dlsd_queue_depth gauge",
+		"dlsd_queue_depth 3",
+		"# TYPE dlsd_latency_seconds histogram",
+		`dlsd_latency_seconds_bucket{le="0.1"} 1`,
+		`dlsd_latency_seconds_bucket{le="1"} 1`,
+		`dlsd_latency_seconds_bucket{le="+Inf"} 2`,
+		"dlsd_latency_seconds_sum 5.05",
+		"dlsd_latency_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+	// The HELP/TYPE preamble appears once per metric even with several
+	// labelled samples.
+	if strings.Count(out, "# TYPE dlsd_requests_total counter") != 1 {
+		t.Error("TYPE header repeated for labelled samples")
+	}
+}
