@@ -54,6 +54,8 @@ func run(args []string) error {
 		parallelism = fs.Int("parallelism", runtime.GOMAXPROCS(0), "solver worker-pool size")
 		timeout     = fs.Duration("solve-timeout", 30*time.Second, "per-solve deadline; 0 for none")
 		drain       = fs.Duration("drain", 10*time.Second, "shutdown drain budget")
+		adaptive    = fs.Bool("adaptive", false, "adaptive SLO-aware admission (window/window-size become the base)")
+		sloClasses  = fs.String("slo-classes", "", "SLO classes as name=deadline:priority,... (default: tight/standard/batch)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,7 +72,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	srv, err := server.New(server.Config{
+	scfg := server.Config{
 		Solver:        solver,
 		Window:        *window,
 		NoBatchWindow: *window == 0,
@@ -78,7 +80,16 @@ func run(args []string) error {
 		QueueCap:      *queueCap,
 		Workers:       *workers,
 		RetryAfter:    *retryAfter,
-	})
+	}
+	if *adaptive {
+		scfg.Adaptive = &dls.AdaptiveConfig{}
+	}
+	if *sloClasses != "" {
+		if scfg.Classes, err = dls.ParseSLOClasses(*sloClasses); err != nil {
+			return err
+		}
+	}
+	srv, err := server.New(scfg)
 	if err != nil {
 		return err
 	}
@@ -90,8 +101,12 @@ func run(args []string) error {
 	}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("dlsd: listening on %s (window=%v size=%d queue=%d workers=%d cache=%d parallelism=%d)",
-			*addr, *window, *windowSize, *queueCap, *workers, *cacheSize, *parallelism)
+		mode := "fixed"
+		if *adaptive {
+			mode = "adaptive"
+		}
+		log.Printf("dlsd: listening on %s (window=%v size=%d queue=%d workers=%d cache=%d parallelism=%d admission=%s)",
+			*addr, *window, *windowSize, *queueCap, *workers, *cacheSize, *parallelism, mode)
 		errc <- httpSrv.ListenAndServe()
 	}()
 

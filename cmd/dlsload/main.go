@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/dls"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -43,6 +44,8 @@ func main() {
 type Report struct {
 	URL         string             `json:"url"`
 	Mix         string             `json:"mix"`
+	Seed        int64              `json:"seed"`
+	SLOClass    string             `json:"slo_class,omitempty"`
 	Concurrency int                `json:"concurrency"`
 	TargetRPS   float64            `json:"target_rps,omitempty"`
 	Duration    float64            `json:"duration_seconds"`
@@ -65,6 +68,8 @@ func run(args []string, out io.Writer) error {
 		platforms   = fs.Int("platforms", 32, "distinct platforms in the pool")
 		mix         = fs.String("mix", "chain", "workload mix: chain | mixed | search")
 		seed        = fs.Int64("seed", 1, "workload seed")
+		sloClass    = fs.String("slo-class", "", "X-SLO-Class header stamped on every request")
+		capture     = fs.String("capture", "", "write the sent arrivals as a JSONL trace (replayable by dlssim -scenario trace)")
 		jsonOut     = fs.String("json", "", "write the report as JSON to this file")
 		failOnError = fs.Bool("fail-on-error", false, "exit non-zero on any transport error or non-2xx/non-429 response")
 		minBatched  = fs.Uint64("min-batched-windows", 0, "exit non-zero when fewer windows coalesced >= 2 requests")
@@ -92,6 +97,7 @@ func run(args []string, out io.Writer) error {
 		wg               sync.WaitGroup
 	)
 	latencies := make([][]float64, *concurrency)
+	captured := make([][]sim.TraceEvent, *concurrency)
 	start := time.Now()
 	stop := start.Add(*duration)
 	for w := 0; w < *concurrency; w++ {
@@ -112,9 +118,27 @@ func run(args []string, out io.Writer) error {
 						return
 					}
 				}
-				body := pool[rng.Intn(len(pool))]
+				entry := pool[rng.Intn(len(pool))]
 				begin := time.Now()
-				resp, err := client.Post(*url+"/v1/solve", "application/json", bytes.NewReader(body))
+				if *capture != "" {
+					captured[w] = append(captured[w], sim.TraceEvent{
+						TNanos:   begin.Sub(start).Nanoseconds(),
+						Class:    *sloClass,
+						Kind:     entry.kind,
+						Platform: entry.pb,
+					})
+				}
+				req, err := http.NewRequest(http.MethodPost, *url+"/v1/solve", bytes.NewReader(entry.body))
+				if err != nil {
+					transport.Add(1)
+					total.Add(1)
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				if *sloClass != "" {
+					req.Header.Set("X-SLO-Class", *sloClass)
+				}
+				resp, err := client.Do(req)
 				lat := time.Since(begin)
 				total.Add(1)
 				if err != nil {
@@ -143,6 +167,8 @@ func run(args []string, out io.Writer) error {
 	report := Report{
 		URL:         *url,
 		Mix:         *mix,
+		Seed:        *seed,
+		SLOClass:    *sloClass,
 		Concurrency: *concurrency,
 		TargetRPS:   *rps,
 		Duration:    elapsed.Seconds(),
@@ -193,6 +219,11 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
+	if *capture != "" {
+		if err := writeCapture(*capture, captured); err != nil {
+			return fmt.Errorf("dlsload: writing capture: %w", err)
+		}
+	}
 
 	if *failOnError {
 		if report.Transport > 0 {
@@ -214,53 +245,81 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
+// poolEntry is one pre-marshalled request with the capture metadata the
+// trace format carries (pool platform index, cost kind).
+type poolEntry struct {
+	body []byte
+	pb   int
+	kind string
+}
+
 // workload pre-marshals the request pool: chain-shaped strategies (the
 // micro-batcher's best case), a broader mix including exhaustive searches
 // and explicit scenarios, or a search-only pool of factorial-order
 // requests whose solves are expensive enough to be solver-bound — the
 // workload where window deduplication (thundering-herd collapse) shows up
 // directly in throughput.
-func workload(rng *rand.Rand, mix string, p, platforms int) ([][]byte, error) {
+func workload(rng *rand.Rand, mix string, p, platforms int) ([]poolEntry, error) {
 	var reqs []dls.Request
+	var kinds []string
+	var pbs []int
+	add := func(pb int, kind string, req dls.Request) {
+		reqs = append(reqs, req)
+		kinds = append(kinds, kind)
+		pbs = append(pbs, pb)
+	}
 	for i := 0; i < platforms; i++ {
 		plat := dls.RandomSpeeds(rng, p, dls.Heterogeneous).Platform(dls.DefaultApp(100))
 		switch mix {
 		case "chain":
-			reqs = append(reqs,
-				dls.Request{Platform: plat, Strategy: dls.StrategyIncC, Load: 1000},
-				dls.Request{Platform: plat, Strategy: dls.StrategyIncW},
-				dls.Request{Platform: plat, Strategy: dls.StrategyDecC},
-				dls.Request{Platform: plat, Strategy: dls.StrategyLIFO},
-				dls.Request{Platform: plat, Strategy: dls.StrategyFIFOOrder, Send: plat.ByW()},
-			)
+			add(i, "chain", dls.Request{Platform: plat, Strategy: dls.StrategyIncC, Load: 1000})
+			add(i, "chain", dls.Request{Platform: plat, Strategy: dls.StrategyIncW})
+			add(i, "chain", dls.Request{Platform: plat, Strategy: dls.StrategyDecC})
+			add(i, "chain", dls.Request{Platform: plat, Strategy: dls.StrategyLIFO})
+			add(i, "chain", dls.Request{Platform: plat, Strategy: dls.StrategyFIFOOrder, Send: plat.ByW()})
 		case "mixed":
 			send := plat.ByC()
-			reqs = append(reqs,
-				dls.Request{Platform: plat, Strategy: dls.StrategyIncC, Load: 1000},
-				dls.Request{Platform: plat, Strategy: dls.StrategyLIFO},
-				dls.Request{Platform: plat, Strategy: dls.StrategyFIFO},
-				dls.Request{Platform: plat, Strategy: dls.StrategyFIFOExhaustive},
-				dls.Request{Platform: plat, Strategy: dls.StrategyScenario, Send: send, Return: send.Reverse()},
-				dls.Request{Platform: plat, Strategy: dls.StrategyFIFO, Model: dls.TwoPort},
-			)
+			add(i, "chain", dls.Request{Platform: plat, Strategy: dls.StrategyIncC, Load: 1000})
+			add(i, "chain", dls.Request{Platform: plat, Strategy: dls.StrategyLIFO})
+			add(i, "chain", dls.Request{Platform: plat, Strategy: dls.StrategyFIFO})
+			add(i, "search", dls.Request{Platform: plat, Strategy: dls.StrategyFIFOExhaustive})
+			add(i, "chain", dls.Request{Platform: plat, Strategy: dls.StrategyScenario, Send: send, Return: send.Reverse()})
+			add(i, "chain", dls.Request{Platform: plat, Strategy: dls.StrategyFIFO, Model: dls.TwoPort})
 		case "search":
-			reqs = append(reqs,
-				dls.Request{Platform: plat, Strategy: dls.StrategyFIFOExhaustive},
-				dls.Request{Platform: plat, Strategy: dls.StrategyLIFOExhaustive},
-			)
+			add(i, "search", dls.Request{Platform: plat, Strategy: dls.StrategyFIFOExhaustive})
+			add(i, "search", dls.Request{Platform: plat, Strategy: dls.StrategyLIFOExhaustive})
 		default:
 			return nil, fmt.Errorf("dlsload: unknown mix %q (chain | mixed | search)", mix)
 		}
 	}
-	pool := make([][]byte, len(reqs))
+	pool := make([]poolEntry, len(reqs))
 	for i, req := range reqs {
 		data, err := json.Marshal(req)
 		if err != nil {
 			return nil, err
 		}
-		pool[i] = data
+		pool[i] = poolEntry{body: data, pb: pbs[i], kind: kinds[i]}
 	}
 	return pool, nil
+}
+
+// writeCapture merges the per-worker arrival records into one
+// time-ordered JSONL trace (the dlssim replay format).
+func writeCapture(path string, captured [][]sim.TraceEvent) error {
+	var all []sim.TraceEvent
+	for _, evs := range captured {
+		all = append(all, evs...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].TNanos < all[j].TNanos })
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := sim.WriteTrace(f, all); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // percentile reads the q-quantile from ascending samples (nearest rank).

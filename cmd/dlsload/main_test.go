@@ -37,14 +37,20 @@ func TestWorkloadPools(t *testing.T) {
 			t.Fatalf("mix %s: empty pool", mix)
 		}
 		// Every pre-marshalled request must decode back to a request the
-		// engine accepts.
-		for i, body := range pool {
+		// engine accepts, and carry its capture metadata.
+		for i, entry := range pool {
 			var req dls.Request
-			if err := json.Unmarshal(body, &req); err != nil {
+			if err := json.Unmarshal(entry.body, &req); err != nil {
 				t.Fatalf("mix %s: pool[%d] does not decode: %v", mix, i, err)
 			}
 			if req.Platform == nil || req.Strategy == "" {
-				t.Fatalf("mix %s: pool[%d] incomplete: %s", mix, i, body)
+				t.Fatalf("mix %s: pool[%d] incomplete: %s", mix, i, entry.body)
+			}
+			if entry.kind != "chain" && entry.kind != "search" {
+				t.Fatalf("mix %s: pool[%d] kind %q", mix, i, entry.kind)
+			}
+			if entry.pb < 0 || entry.pb >= 4 {
+				t.Fatalf("mix %s: pool[%d] platform index %d", mix, i, entry.pb)
 			}
 		}
 	}

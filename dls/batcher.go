@@ -12,11 +12,21 @@ import (
 // Errors reported by Batcher.Submit.
 var (
 	// ErrOverloaded is returned when the batcher's admission queue is full
-	// and the submission is shed instead of queued. Serving layers map it
-	// to 429 Too Many Requests.
+	// (or, under adaptive admission, when the request provably cannot meet
+	// its SLO deadline) and the submission is shed instead of queued.
+	// Serving layers map it to 429 Too Many Requests.
 	ErrOverloaded = errors.New("dls: batcher overloaded: admission queue full")
+	// ErrSLOUnmeetable is the deadline-aware shed: the adaptive admission
+	// policy estimated that the request could not complete before its SLO
+	// deadline and dropped it instead of burning a solve on a certain
+	// violation. It wraps ErrOverloaded, so serving layers that switch on
+	// errors.Is(err, ErrOverloaded) keep answering 429.
+	ErrSLOUnmeetable = fmt.Errorf("%w: SLO deadline unmeetable", ErrOverloaded)
 	// ErrBatcherClosed is returned by Submit after Close.
 	ErrBatcherClosed = errors.New("dls: batcher closed")
+	// ErrUnknownClass rejects a submission naming an SLO class that is
+	// not configured (see BatcherConfig.Classes).
+	ErrUnknownClass = errors.New("dls: unknown SLO class")
 )
 
 // BatcherConfig configures an admission-window micro-batcher.
@@ -29,7 +39,9 @@ type BatcherConfig struct {
 	// batching as a knob that can be turned off.
 	MaxDelay time.Duration
 	// MaxSize flushes a window early once it holds this many requests.
-	// Default 64.
+	// Default 64. Under Adaptive admission this is the no-backlog base
+	// size; the effective threshold grows toward Adaptive.MaxSize when
+	// the drain workers are behind.
 	MaxSize int
 	// QueueCap bounds admission. A Submit that finds the queue full (or,
 	// with MaxDelay = 0, QueueCap solves in flight) is shed with
@@ -40,9 +52,36 @@ type BatcherConfig struct {
 	// (each window is one SolveBatch, which fans out over the solver's own
 	// worker pool). Default 2: one window solving, one filling.
 	Workers int
+	// Clock is the time source for the window timer, deadline propagation
+	// and SLO accounting. Nil means SystemClock(); internal/sim injects a
+	// virtual clock.
+	Clock Clock
+	// Classes are the SLO classes SubmitSLO resolves against. Optional;
+	// plain Submit works regardless.
+	Classes []SLOClass
+	// Adaptive, when set, replaces the fixed MaxDelay/MaxSize window with
+	// the SLO-aware adaptive policy (see AdaptiveConfig). MaxDelay must
+	// be > 0 (the adaptive policy is meaningless in direct mode).
+	Adaptive *AdaptiveConfig
 	// OnFlush, when set, observes the size of every flushed window (a
 	// metrics hook; called from the collector goroutine, must not block).
 	OnFlush func(size int)
+	// OnShed, when set, observes every shed submission: its class name,
+	// owner tag (synchronous mode; nil otherwise) and the shed error
+	// (ErrOverloaded, or ErrSLOUnmeetable for deadline-aware drops).
+	// Called from whichever goroutine sheds; must not block.
+	OnShed func(class string, tag any, err error)
+	// OnWindow switches the batcher into synchronous (simulation) mode:
+	// NewBatcher spawns no goroutines, and the owner drives admission
+	// explicitly — Offer admits or sheds, WindowDeadline exposes the
+	// pending flush time, ExpireWindow fires it, and every flushed window
+	// is handed to OnWindow instead of the drain pool; the owner answers
+	// it with Window.Complete. The window bookkeeping, adaptive policy,
+	// SLO shedding and violation accounting are the same code the
+	// goroutine mode runs; only the channel/goroutine transport around
+	// them is absent. internal/sim replays millions of virtual arrivals
+	// through this surface.
+	OnWindow func(*Window)
 }
 
 // withDefaults fills the zero fields.
@@ -56,6 +95,9 @@ func (cfg BatcherConfig) withDefaults() BatcherConfig {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 2
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = SystemClock()
+	}
 	return cfg
 }
 
@@ -64,7 +106,8 @@ func (cfg BatcherConfig) withDefaults() BatcherConfig {
 // in the owning solver's Stats.
 type BatcherStats struct {
 	// QueueDepth is the number of admitted submissions not yet collected
-	// into a window.
+	// into a window (in synchronous mode: admitted submissions in flushed
+	// windows not yet completed).
 	QueueDepth int
 	// WindowFill is the size of the currently filling window.
 	WindowFill int
@@ -72,28 +115,38 @@ type BatcherStats struct {
 
 // submission is one queued request and its reply slot.
 type submission struct {
-	ctx   context.Context
-	req   Request
-	res   *Result
-	err   error
-	ready chan struct{}
+	ctx      context.Context
+	req      Request
+	class    SLOClass
+	deadline time.Time // zero: best effort
+	res      *Result
+	err      error
+	ready    chan struct{}
+	tag      any // owner value (synchronous mode; see Pending.SetTag)
 }
 
 // Batcher is an admission-window micro-batcher over one Solver: Submit
-// queues a request into a bounded window that is flushed — when MaxSize
-// requests are waiting or MaxDelay after the window opened — as a single
-// SolveBatch call, so chain-shaped requests arriving together collapse
-// into the engine's structure-of-arrays prepass and duplicate requests
-// dedupe against each other, instead of solving one by one. Callers that
-// can see their own concurrency (SolveStream) bypass the window for
-// requests travelling alone; the Batcher itself always waits out the
-// window, which is what makes its batch sizes stable under load.
+// queues a request into a bounded window that is flushed — when the size
+// threshold is reached or the window delay has passed since the window
+// opened — as a single SolveBatch call, so chain-shaped requests arriving
+// together collapse into the engine's structure-of-arrays prepass and
+// duplicate requests dedupe against each other, instead of solving one by
+// one. Callers that can see their own concurrency (SolveStream) bypass
+// the window for requests travelling alone; the Batcher itself always
+// waits out the window, which is what makes its batch sizes stable under
+// load.
+//
+// With BatcherConfig.Adaptive set, the window delay and size adapt to
+// observed backlog and solve cost, and requests that provably cannot meet
+// their SLO deadline are shed early; see AdaptiveConfig.
 //
 // A Batcher is safe for concurrent use. Close drains: admitted requests
 // are still solved and answered, then the workers exit.
 type Batcher struct {
-	s   *Solver
-	cfg BatcherConfig
+	s     *Solver
+	cfg   BatcherConfig
+	clock Clock
+	adapt *adaptive // nil unless cfg.Adaptive
 
 	mu     sync.RWMutex // guards closed vs. new admissions
 	closed bool
@@ -105,12 +158,25 @@ type Batcher struct {
 	flushes chan []*submission
 	fill    atomic.Int64
 	wg      sync.WaitGroup // collector + drain workers
+
+	// Synchronous mode state (OnWindow != nil); single-threaded by
+	// contract, no locking.
+	syncWin      []*submission
+	syncDeadline time.Time
+	syncSize     int
+	outstanding  int
 }
 
 // NewBatcher builds an admission-window micro-batcher over the solver.
 func (s *Solver) NewBatcher(cfg BatcherConfig) *Batcher {
 	cfg = cfg.withDefaults()
-	b := &Batcher{s: s, cfg: cfg}
+	b := &Batcher{s: s, cfg: cfg, clock: cfg.Clock}
+	if cfg.Adaptive != nil && cfg.MaxDelay > 0 {
+		b.adapt = newAdaptive(*cfg.Adaptive, cfg.Clock)
+	}
+	if cfg.OnWindow != nil {
+		return b // synchronous mode: the owner pumps
+	}
 	if cfg.MaxDelay <= 0 {
 		b.direct = make(chan struct{}, cfg.QueueCap)
 		return b
@@ -125,6 +191,65 @@ func (s *Solver) NewBatcher(cfg BatcherConfig) *Batcher {
 	return b
 }
 
+// AdaptiveState snapshots the adaptive admission controller; ok reports
+// false when the batcher runs the fixed window.
+func (b *Batcher) AdaptiveState() (AdaptiveState, bool) {
+	if b.adapt == nil {
+		return AdaptiveState{}, false
+	}
+	return b.adapt.state(), true
+}
+
+// Class resolves a configured SLO class by name ("" is the zero,
+// best-effort class); the error wraps ErrUnknownClass for names not in
+// BatcherConfig.Classes.
+func (b *Batcher) Class(name string) (SLOClass, error) { return b.resolveClass(name) }
+
+// resolveClass finds a configured SLO class by name ("" is the zero,
+// best-effort class).
+func (b *Batcher) resolveClass(name string) (SLOClass, error) {
+	if name == "" {
+		return SLOClass{}, nil
+	}
+	for _, c := range b.cfg.Classes {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return SLOClass{}, fmt.Errorf("%w %q", ErrUnknownClass, name)
+}
+
+// newSubmission builds a submission under its class: the class deadline
+// (measured on the batcher clock) is merged into the context so the
+// solve is cancelled at the deadline, and recorded for SLO shedding and
+// violation accounting. A context that already carries an earlier
+// deadline keeps it.
+func (b *Batcher) newSubmission(ctx context.Context, req Request, class SLOClass) (*submission, context.CancelFunc) {
+	sub := &submission{ctx: ctx, req: req, class: class, ready: make(chan struct{})}
+	cancel := context.CancelFunc(func() {})
+	if class.Deadline > 0 {
+		sub.deadline = b.clock.Now().Add(class.Deadline)
+		sub.ctx, cancel = b.clock.ContextWithDeadline(ctx, sub.deadline)
+	} else if d, ok := ctx.Deadline(); ok {
+		sub.deadline = d
+	}
+	return sub, cancel
+}
+
+// recordShed counts one shed submission (per class too) and answers it.
+func (b *Batcher) recordShed(sub *submission, err error) {
+	b.s.shed.Add(1)
+	if errors.Is(err, ErrSLOUnmeetable) {
+		b.s.shedSLO.Add(1)
+	}
+	b.s.shedByClass.Add(sub.class.Name, 1)
+	if b.cfg.OnShed != nil {
+		b.cfg.OnShed(sub.class.Name, sub.tag, err)
+	}
+	sub.err = err
+	close(sub.ready)
+}
+
 // Submit queues req and blocks until its window is solved, returning the
 // request's own result (duplicates within a window are deduplicated by
 // SolveBatch and come back marked Cached). If admission is full the
@@ -133,10 +258,30 @@ func (s *Solver) NewBatcher(cfg BatcherConfig) *Batcher {
 // whose context is already done); a ctx that expires mid-solve returns
 // ctx.Err() without waiting for the window.
 func (b *Batcher) Submit(ctx context.Context, req Request) (*Result, error) {
-	if b.direct != nil {
-		return b.submitDirect(ctx, req)
+	return b.submitClass(ctx, req, SLOClass{})
+}
+
+// SubmitSLO is Submit under a named SLO class (see BatcherConfig.Classes):
+// the class deadline bounds the solve, drives the adaptive policy's
+// deadline-aware shedding, and keys the per-class shed/violation counters
+// in the solver's Stats.
+func (b *Batcher) SubmitSLO(ctx context.Context, req Request, class string) (*Result, error) {
+	c, err := b.resolveClass(class)
+	if err != nil {
+		return nil, err
 	}
-	sub := &submission{ctx: ctx, req: req, ready: make(chan struct{})}
+	return b.submitClass(ctx, req, c)
+}
+
+func (b *Batcher) submitClass(ctx context.Context, req Request, class SLOClass) (*Result, error) {
+	if b.cfg.OnWindow != nil {
+		return nil, fmt.Errorf("dls: Submit on a synchronous batcher (drive it with Offer)")
+	}
+	sub, cancel := b.newSubmission(ctx, req, class)
+	defer cancel()
+	if b.direct != nil {
+		return b.submitDirect(sub)
+	}
 	b.mu.RLock()
 	if b.closed {
 		b.mu.RUnlock()
@@ -147,21 +292,21 @@ func (b *Batcher) Submit(ctx context.Context, req Request) (*Result, error) {
 		b.mu.RUnlock()
 	default:
 		b.mu.RUnlock()
-		b.s.shed.Add(1)
+		b.recordShed(sub, ErrOverloaded)
 		return nil, ErrOverloaded
 	}
 	select {
 	case <-sub.ready:
 		return sub.res, sub.err
-	case <-ctx.Done():
-		return nil, ctx.Err()
+	case <-sub.ctx.Done():
+		return nil, sub.ctx.Err()
 	}
 }
 
 // submitDirect is the MaxDelay = 0 path: no window, one direct solve,
 // still bounded (QueueCap concurrent solves, shed beyond) and still
 // honouring Close.
-func (b *Batcher) submitDirect(ctx context.Context, req Request) (*Result, error) {
+func (b *Batcher) submitDirect(sub *submission) (*Result, error) {
 	b.mu.RLock()
 	if b.closed {
 		b.mu.RUnlock()
@@ -171,7 +316,7 @@ func (b *Batcher) submitDirect(ctx context.Context, req Request) (*Result, error
 	case b.direct <- struct{}{}:
 	default:
 		b.mu.RUnlock()
-		b.s.shed.Add(1)
+		b.recordShed(sub, ErrOverloaded)
 		return nil, ErrOverloaded
 	}
 	b.inflight.Add(1)
@@ -180,18 +325,34 @@ func (b *Batcher) submitDirect(ctx context.Context, req Request) (*Result, error
 		<-b.direct
 		b.inflight.Done()
 	}()
-	return b.s.Solve(ctx, req)
+	res, err := b.s.Solve(sub.ctx, sub.req)
+	b.accountCompletion(sub, err)
+	return res, err
+}
+
+// accountCompletion records the SLO outcome of one answered submission.
+func (b *Batcher) accountCompletion(sub *submission, err error) {
+	if sub.deadline.IsZero() || err != nil {
+		return
+	}
+	if b.clock.Now().After(sub.deadline) {
+		b.s.violationsByClass.Add(sub.class.Name, 1)
+	}
 }
 
 // Close stops admission and drains: every queued submission is still
 // flushed, solved and answered before Close returns. Further Submits
-// report ErrBatcherClosed.
+// report ErrBatcherClosed. In synchronous mode the filling window is
+// flushed through OnWindow; completing it stays with the owner.
 func (b *Batcher) Close() {
 	b.mu.Lock()
 	if !b.closed {
 		b.closed = true
 		if b.queue != nil {
 			close(b.queue)
+		}
+		if b.cfg.OnWindow != nil && len(b.syncWin) > 0 {
+			b.flushSync()
 		}
 	}
 	b.mu.Unlock()
@@ -201,6 +362,12 @@ func (b *Batcher) Close() {
 
 // Stats returns the batcher's admission gauges.
 func (b *Batcher) Stats() BatcherStats {
+	if b.cfg.OnWindow != nil {
+		return BatcherStats{
+			QueueDepth: b.outstanding - len(b.syncWin),
+			WindowFill: len(b.syncWin),
+		}
+	}
 	if b.direct != nil {
 		return BatcherStats{QueueDepth: len(b.direct)}
 	}
@@ -210,33 +377,103 @@ func (b *Batcher) Stats() BatcherStats {
 	}
 }
 
+// windowDelay decides the admission delay for a window opened by sub.
+func (b *Batcher) windowDelay(sub *submission) time.Duration {
+	if b.adapt != nil {
+		return b.adapt.windowDelay(b.clock.Now(), sub.deadline)
+	}
+	return b.cfg.MaxDelay
+}
+
+// windowSize decides the early-flush threshold for the current window.
+func (b *Batcher) windowSize() int {
+	if b.adapt != nil {
+		return b.adapt.windowSize(b.cfg.MaxSize)
+	}
+	return b.cfg.MaxSize
+}
+
+// admitOrShed applies the deadline-aware admission check to a collected
+// submission: a deadline-carrying request whose estimated completion
+// (remaining window wait, backlog of windows ahead, its own solve)
+// already exceeds its deadline is shed now rather than solved into a
+// certain violation. flushAt is the scheduled flush of the filling
+// window (zero when this submission opens one). Reports whether the
+// submission was admitted.
+func (b *Batcher) admitOrShed(sub *submission, flushAt time.Time) bool {
+	if b.adapt == nil || sub.deadline.IsZero() {
+		return true
+	}
+	now := b.clock.Now()
+	if b.adapt.estCompletion(now, flushAt, b.cfg.Workers).After(sub.deadline) {
+		b.recordShed(sub, ErrSLOUnmeetable)
+		return false
+	}
+	return true
+}
+
+// dropDoomed re-applies the deadline check at flush time — the estimate
+// may have soured while the window filled — and sheds submissions that
+// can no longer make their deadline. Returns the surviving window.
+func (b *Batcher) dropDoomed(win []*submission) []*submission {
+	if b.adapt == nil {
+		return win
+	}
+	now := b.clock.Now()
+	est := b.adapt.estCompletion(now, time.Time{}, b.cfg.Workers)
+	live := win[:0]
+	for _, sub := range win {
+		if !sub.deadline.IsZero() && est.After(sub.deadline) {
+			b.recordShed(sub, ErrSLOUnmeetable)
+			continue
+		}
+		live = append(live, sub)
+	}
+	return live
+}
+
+// countFlush runs the shared flush bookkeeping (counters, hooks,
+// adaptive backlog) for a window about to leave the collector.
+func (b *Batcher) countFlush(win []*submission) {
+	if b.cfg.OnFlush != nil {
+		b.cfg.OnFlush(len(win))
+	}
+	b.s.windows.Add(1)
+	if len(win) >= 2 {
+		b.s.batchedWindows.Add(1)
+		b.s.batchedRequests.Add(uint64(len(win)))
+	}
+	if b.adapt != nil {
+		b.adapt.inFlight.Add(1)
+	}
+}
+
 // collect runs the admission loop: it gathers submissions into a window
-// and flushes when the window is full or when MaxDelay has passed since
-// the window opened.
+// and flushes when the window is full or when the window delay has
+// passed since the window opened.
 func (b *Batcher) collect() {
 	defer b.wg.Done()
 	defer close(b.flushes)
 	var (
-		win   []*submission
-		timer *time.Timer
-		fire  <-chan time.Time
+		win     []*submission
+		size    int
+		flushAt time.Time
+		timer   Timer
+		fire    <-chan time.Time
 	)
 	flush := func() {
 		if timer != nil {
 			timer.Stop()
 			timer, fire = nil, nil
 		}
+		flushAt = time.Time{}
+		win = b.dropDoomed(win)
 		if len(win) == 0 {
+			win = nil
+			b.fill.Store(0)
 			return
 		}
-		if b.cfg.OnFlush != nil {
-			b.cfg.OnFlush(len(win))
-		}
-		b.s.windows.Add(1)
-		if len(win) >= 2 {
-			b.s.batchedWindows.Add(1)
-			b.s.batchedRequests.Add(uint64(len(win)))
-		}
+		b.countFlush(win)
 		b.flushes <- win
 		win = nil
 		b.fill.Store(0)
@@ -248,13 +485,26 @@ func (b *Batcher) collect() {
 				flush()
 				return
 			}
+			if err := sub.ctx.Err(); err != nil {
+				// Abandoned while queued; answer without admitting so the
+				// adaptive estimates only see live traffic.
+				sub.err = err
+				close(sub.ready)
+				continue
+			}
+			if !b.admitOrShed(sub, flushAt) {
+				continue
+			}
 			win = append(win, sub)
 			b.fill.Store(int64(len(win)))
 			if len(win) == 1 {
-				timer = time.NewTimer(b.cfg.MaxDelay)
-				fire = timer.C
+				size = b.windowSize()
+				delay := b.windowDelay(sub)
+				flushAt = b.clock.Now().Add(delay)
+				timer = b.clock.NewTimer(delay)
+				fire = timer.C()
 			}
-			if len(win) >= b.cfg.MaxSize {
+			if len(win) >= size {
 				flush()
 			}
 		case <-fire:
@@ -272,11 +522,38 @@ func (b *Batcher) drain() {
 	}
 }
 
+// countGroups counts the deduplicated problems of a window — the number
+// of solves its SolveBatch actually runs — for the adaptive cost model.
+func countGroups(win []*submission) int {
+	seen := make(map[string]struct{}, len(win))
+	groups := 0
+	for _, sub := range win {
+		if sub.req.Platform == nil {
+			groups++ // invalid; errors individually, never solves
+			continue
+		}
+		key := sub.req.cacheKey()
+		if _, ok := seen[key]; !ok {
+			seen[key] = struct{}{}
+			groups++
+		}
+	}
+	return groups
+}
+
 // solveWindow answers every submission of one window with a single
 // SolveBatch call. Submissions whose context is already done are answered
 // with their ctx.Err() without solving; the batch context propagates the
 // callers' deadlines and cancellations (see windowContext).
 func (b *Batcher) solveWindow(win []*submission) {
+	groups := 0
+	start := b.clock.Now()
+	defer func() {
+		if b.adapt != nil {
+			b.adapt.inFlight.Add(-1)
+			b.adapt.observeSolve(b.clock.Now().Sub(start), groups)
+		}
+	}()
 	live := win[:0]
 	for _, sub := range win {
 		if err := sub.ctx.Err(); err != nil {
@@ -289,6 +566,7 @@ func (b *Batcher) solveWindow(win []*submission) {
 	if len(live) == 0 {
 		return
 	}
+	groups = countGroups(live)
 	ctx, cancel := b.windowContext(live)
 	if cancel != nil {
 		defer cancel()
@@ -300,6 +578,7 @@ func (b *Batcher) solveWindow(win []*submission) {
 	results, errs := b.s.solveBatch(ctx, reqs)
 	for i, sub := range live {
 		sub.res, sub.err = results[i], errs[i]
+		b.accountCompletion(sub, sub.err)
 		close(sub.ready)
 	}
 }
@@ -343,7 +622,7 @@ func (b *Batcher) windowContext(live []*submission) (context.Context, context.Ca
 		cancel context.CancelFunc
 	)
 	if haveDeadlines {
-		ctx, cancel = context.WithDeadline(context.Background(), latest)
+		ctx, cancel = b.clock.ContextWithDeadline(context.Background(), latest)
 	} else {
 		ctx, cancel = context.WithCancel(context.Background())
 	}
@@ -371,6 +650,10 @@ func (b *Batcher) windowContext(live []*submission) (context.Context, context.Ca
 
 // String renders the batcher configuration compactly (for logs).
 func (b *Batcher) String() string {
-	return fmt.Sprintf("batcher(window=%v size=%d queue=%d workers=%d)",
-		b.cfg.MaxDelay, b.cfg.MaxSize, b.cfg.QueueCap, b.cfg.Workers)
+	mode := "fixed"
+	if b.adapt != nil {
+		mode = "adaptive"
+	}
+	return fmt.Sprintf("batcher(window=%v size=%d queue=%d workers=%d mode=%s)",
+		b.cfg.MaxDelay, b.cfg.MaxSize, b.cfg.QueueCap, b.cfg.Workers, mode)
 }

@@ -1,0 +1,201 @@
+package dls
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// This file is the synchronous (simulation) driving surface of Batcher,
+// active when BatcherConfig.OnWindow is set: no goroutines, no channels —
+// the owner delivers arrivals with Offer, fires the window timer with
+// ExpireWindow when its clock reaches WindowDeadline, and completes
+// flushed windows with Window.Complete at whatever (virtual) time the
+// service model dictates. Admission, window bookkeeping, the adaptive
+// policy, SLO shedding and violation accounting are the same code paths
+// the goroutine mode runs; only the transport differs. internal/sim
+// drives millions of virtual arrivals through this surface in seconds of
+// wall clock. The surface is intentionally single-threaded: the owner
+// must serialize all calls.
+
+// Pending is the reply slot of one synchronously offered submission.
+type Pending struct{ sub *submission }
+
+// Done reports whether the submission has been answered (shed, errored
+// or completed).
+func (p *Pending) Done() bool {
+	select {
+	case <-p.sub.ready:
+		return true
+	default:
+		return false
+	}
+}
+
+// Err returns the submission's error (nil until Done, or on success).
+func (p *Pending) Err() error { return p.sub.err }
+
+// Result returns the submission's result, if any.
+func (p *Pending) Result() *Result { return p.sub.res }
+
+// Class returns the SLO class the submission was admitted under.
+func (p *Pending) Class() SLOClass { return p.sub.class }
+
+// Deadline returns the submission's absolute deadline (zero: none).
+func (p *Pending) Deadline() time.Time { return p.sub.deadline }
+
+// SetTag attaches an owner value to the submission; Window.Tag returns
+// it at completion. The simulator uses it to link completions back to
+// its arrival records without a side table.
+func (p *Pending) SetTag(v any) { p.sub.tag = v }
+
+// Tag returns the value set with SetTag.
+func (p *Pending) Tag() any { return p.sub.tag }
+
+// Window is one flushed admission window in synchronous mode, handed to
+// BatcherConfig.OnWindow. The owner inspects its composition (size,
+// dedup groups, classes) to model service time, then answers it with
+// Complete.
+type Window struct {
+	b       *Batcher
+	subs    []*submission
+	groups  int
+	flushed time.Time
+}
+
+// Size returns the number of submissions in the window.
+func (w *Window) Size() int { return len(w.subs) }
+
+// Groups returns the number of deduplicated problems in the window —
+// the solves a real SolveBatch would run after dedup.
+func (w *Window) Groups() int { return w.groups }
+
+// FlushedAt returns the window's flush time on the batcher clock.
+func (w *Window) FlushedAt() time.Time { return w.flushed }
+
+// Request returns the i-th submission's request.
+func (w *Window) Request(i int) Request { return w.subs[i].req }
+
+// Class returns the i-th submission's SLO class.
+func (w *Window) Class(i int) SLOClass { return w.subs[i].class }
+
+// Deadline returns the i-th submission's absolute deadline (zero: none).
+func (w *Window) Deadline(i int) time.Time { return w.subs[i].deadline }
+
+// Tag returns the i-th submission's owner tag (see Pending.SetTag).
+func (w *Window) Tag(i int) any { return w.subs[i].tag }
+
+// Complete answers every submission of the window at the current clock
+// time: results[i]/errs[i] answer submission i (both may be nil — the
+// simulator models cost, not solutions), deadline violations are counted
+// per class against the clock, and the adaptive controller observes the
+// window's service time (now - FlushedAt) over its dedup groups. Either
+// slice may be nil; non-nil slices must have length Size.
+func (w *Window) Complete(results []*Result, errs []error) error {
+	if results != nil && len(results) != len(w.subs) {
+		return fmt.Errorf("dls: Window.Complete: %d results for %d submissions", len(results), len(w.subs))
+	}
+	if errs != nil && len(errs) != len(w.subs) {
+		return fmt.Errorf("dls: Window.Complete: %d errors for %d submissions", len(errs), len(w.subs))
+	}
+	b := w.b
+	for i, sub := range w.subs {
+		if results != nil {
+			sub.res = results[i]
+		}
+		if errs != nil {
+			sub.err = errs[i]
+		}
+		b.accountCompletion(sub, sub.err)
+		close(sub.ready)
+	}
+	b.outstanding -= len(w.subs)
+	if b.adapt != nil {
+		b.adapt.inFlight.Add(-1)
+		b.adapt.observeSolve(b.clock.Now().Sub(w.flushed), w.groups)
+	}
+	return nil
+}
+
+// Offer admits or sheds one submission now, without blocking: it is the
+// synchronous-mode counterpart of Submit. The returned Pending is
+// answered immediately on shed, or by Window.Complete after the window
+// carrying it is flushed. Admission is bounded by QueueCap outstanding
+// (admitted, not yet completed) submissions; beyond it, and for
+// deadline-carrying requests the adaptive policy predicts cannot meet
+// their SLO, the submission is shed with ErrOverloaded /
+// ErrSLOUnmeetable exactly like the goroutine mode. tag is attached
+// before any shed or flush can observe the submission (see Pending.Tag
+// and BatcherConfig.OnShed) — Offer can flush a full window before it
+// returns, so setting the tag afterwards would be too late.
+func (b *Batcher) Offer(ctx context.Context, req Request, class string, tag any) (*Pending, error) {
+	if b.cfg.OnWindow == nil {
+		return nil, fmt.Errorf("dls: Offer on an asynchronous batcher (use Submit)")
+	}
+	if b.closed {
+		return nil, ErrBatcherClosed
+	}
+	c, err := b.resolveClass(class)
+	if err != nil {
+		return nil, err
+	}
+	sub := &submission{ctx: ctx, req: req, class: c, ready: make(chan struct{}), tag: tag}
+	if c.Deadline > 0 {
+		sub.deadline = b.clock.Now().Add(c.Deadline)
+	} else if d, ok := ctx.Deadline(); ok {
+		sub.deadline = d
+	}
+	p := &Pending{sub: sub}
+	if b.outstanding >= b.cfg.QueueCap {
+		b.recordShed(sub, ErrOverloaded)
+		return p, nil
+	}
+	if !b.admitOrShed(sub, b.syncDeadline) {
+		return p, nil
+	}
+	b.outstanding++
+	b.syncWin = append(b.syncWin, sub)
+	b.fill.Store(int64(len(b.syncWin)))
+	if len(b.syncWin) == 1 {
+		b.syncSize = b.windowSize()
+		b.syncDeadline = b.clock.Now().Add(b.windowDelay(sub))
+	}
+	if len(b.syncWin) >= b.syncSize {
+		b.flushSync()
+	}
+	return p, nil
+}
+
+// WindowDeadline returns the flush time of the currently filling window;
+// ok is false when no window is open. The owner is expected to call
+// ExpireWindow when its clock reaches the deadline.
+func (b *Batcher) WindowDeadline() (time.Time, bool) {
+	if b.cfg.OnWindow == nil || len(b.syncWin) == 0 {
+		return time.Time{}, false
+	}
+	return b.syncDeadline, true
+}
+
+// ExpireWindow fires the window timer: the filling window, if any, is
+// flushed through OnWindow regardless of fill.
+func (b *Batcher) ExpireWindow() {
+	if b.cfg.OnWindow != nil && len(b.syncWin) > 0 {
+		b.flushSync()
+	}
+}
+
+// flushSync flushes the filling window through OnWindow, applying the
+// same doomed-request shedding and flush bookkeeping as the goroutine
+// collector.
+func (b *Batcher) flushSync() {
+	win := b.dropDoomed(b.syncWin)
+	b.outstanding -= len(b.syncWin) - len(win)
+	b.syncWin = nil
+	b.syncDeadline = time.Time{}
+	b.fill.Store(0)
+	if len(win) == 0 {
+		return
+	}
+	b.countFlush(win)
+	b.cfg.OnWindow(&Window{b: b, subs: win, groups: countGroups(win), flushed: b.clock.Now()})
+}

@@ -1,0 +1,126 @@
+package dls
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Clock abstracts the time source the admission-window machinery runs
+// against: Batcher uses it for the window-expiry timer, deadline
+// propagation into window contexts, and SLO accounting. Production code
+// runs on SystemClock(); internal/sim injects a virtual clock so the
+// same admission code can be driven deterministically at simulated
+// 10⁶-user scale, and tests can probe timer/deadline races without
+// sleeping.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// NewTimer returns a timer that fires once after d.
+	NewTimer(d time.Duration) Timer
+	// AfterFunc runs fn after d (on an unspecified goroutine for the
+	// system clock; synchronously from Advance for virtual clocks).
+	// The returned Timer's Stop cancels a pending fn.
+	AfterFunc(d time.Duration, fn func()) Timer
+	// ContextWithDeadline derives a context that is done at the given
+	// clock time with context.DeadlineExceeded, mirroring
+	// context.WithDeadline but measured on this clock.
+	ContextWithDeadline(parent context.Context, deadline time.Time) (context.Context, context.CancelFunc)
+}
+
+// Timer is the Clock counterpart of *time.Timer (channel-based wait plus
+// Stop), narrowed to what the batcher needs.
+type Timer interface {
+	// C returns the firing channel. For timers created by AfterFunc the
+	// channel is nil.
+	C() <-chan time.Time
+	// Stop prevents the timer from firing, reporting whether it was
+	// still pending.
+	Stop() bool
+}
+
+// SystemClock returns the Clock backed by the time package — the
+// production time source and the default wherever a Clock is optional.
+func SystemClock() Clock { return systemClock{} }
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time { return time.Now() }
+
+func (systemClock) NewTimer(d time.Duration) Timer { return systemTimer{time.NewTimer(d)} }
+
+func (systemClock) AfterFunc(d time.Duration, fn func()) Timer {
+	return systemTimer{time.AfterFunc(d, fn)}
+}
+
+func (systemClock) ContextWithDeadline(parent context.Context, deadline time.Time) (context.Context, context.CancelFunc) {
+	return context.WithDeadline(parent, deadline)
+}
+
+type systemTimer struct{ t *time.Timer }
+
+func (t systemTimer) C() <-chan time.Time { return t.t.C }
+func (t systemTimer) Stop() bool          { return t.t.Stop() }
+
+// deadlineContext implements ContextWithDeadline for virtual clocks: a
+// child context whose Done fires either with the parent or when the
+// clock reaches the deadline, reporting context.DeadlineExceeded like
+// the real thing. Exported through NewDeadlineContext so clock
+// implementations outside this package (internal/sim) don't have to
+// re-derive the Err/Deadline semantics.
+type deadlineContext struct {
+	context.Context
+	deadline time.Time
+
+	mu   sync.Mutex
+	done chan struct{}
+	err  error
+}
+
+// NewDeadlineContext builds a deadline-carrying child context for a
+// custom Clock: the returned expire function marks the context done with
+// context.DeadlineExceeded (the clock calls it when its time reaches the
+// deadline), and cancel releases it early with context.Canceled. Both are
+// idempotent; whichever of {expire, cancel, parent.Done} happens first
+// wins.
+func NewDeadlineContext(parent context.Context, deadline time.Time) (ctx context.Context, expire func(), cancel context.CancelFunc) {
+	d := &deadlineContext{
+		Context:  parent,
+		deadline: deadline,
+		done:     make(chan struct{}),
+	}
+	if parent.Done() != nil {
+		stop := context.AfterFunc(parent, func() { d.finish(context.Cause(parent)) })
+		_ = stop // the registration dies with the parent; finish is idempotent
+	}
+	return d, func() { d.finish(context.DeadlineExceeded) }, func() { d.finish(context.Canceled) }
+}
+
+// finish closes the context with err if it is not already done.
+func (d *deadlineContext) finish(err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.err != nil {
+		return
+	}
+	if err == nil {
+		err = context.Canceled
+	}
+	d.err = err
+	close(d.done)
+}
+
+func (d *deadlineContext) Deadline() (time.Time, bool) {
+	if pd, ok := d.Context.Deadline(); ok && pd.Before(d.deadline) {
+		return pd, true
+	}
+	return d.deadline, true
+}
+
+func (d *deadlineContext) Done() <-chan struct{} { return d.done }
+
+func (d *deadlineContext) Err() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.err
+}

@@ -126,8 +126,16 @@ type Stats struct {
 	// BatchedRequests the requests that travelled in them.
 	Windows, BatchedWindows, BatchedRequests uint64
 	// Shed counts submissions rejected by a batcher because its admission
-	// queue was full (load shedding).
+	// queue was full (load shedding), including the SLO sheds below.
 	Shed uint64
+	// ShedSLO counts the subset of Shed dropped by the adaptive policy's
+	// deadline-aware check: requests that provably could not meet their
+	// SLO deadline (ErrSLOUnmeetable).
+	ShedSLO uint64
+	// ShedByClass and ViolationsByClass split load shedding and deadline
+	// violations (requests answered after their SLO deadline) by SLO
+	// class name ("" is the best-effort class).
+	ShedByClass, ViolationsByClass map[string]uint64
 }
 
 // Solver is the scheduling engine: it resolves requests against the
@@ -147,7 +155,8 @@ type Solver struct {
 
 	prepassGroups, prepassRequests           atomic.Uint64
 	windows, batchedWindows, batchedRequests atomic.Uint64
-	shed                                     atomic.Uint64
+	shed, shedSLO                            atomic.Uint64
+	shedByClass, violationsByClass           stats.CounterMap[string]
 }
 
 // countSolve records one strategy execution, both globally and per
@@ -264,11 +273,14 @@ func (s *Solver) Stats() Stats {
 		BatchedWindows:  s.batchedWindows.Load(),
 		BatchedRequests: s.batchedRequests.Load(),
 		Shed:            s.shed.Load(),
+		ShedSLO:         s.shedSLO.Load(),
 	}
 	if s.cache != nil {
 		st.Evictions = s.cache.evictions.Load()
 	}
 	st.SolvesByStrategy = s.solvesBy.Snapshot()
+	st.ShedByClass = s.shedByClass.Snapshot()
+	st.ViolationsByClass = s.violationsByClass.Snapshot()
 	return st
 }
 

@@ -9,6 +9,14 @@ import (
 	"repro/internal/stats"
 )
 
+// className labels the zero (unnamed, best-effort) class for metrics.
+func className(name string) string {
+	if name == "" {
+		return "none"
+	}
+	return name
+}
+
 // handleMetrics answers GET /metrics in the Prometheus text exposition
 // format: engine counters (cache, solves, prepass collapses), admission
 // state (queue depth, window fill, window sizes, sheds) and HTTP-level
@@ -37,6 +45,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	m.Gauge("dlsd_queue_depth", "Admitted requests waiting to join a window.", float64(bs.QueueDepth))
 	m.Gauge("dlsd_window_fill", "Requests in the currently filling window.", float64(bs.WindowFill))
 	m.Histogram("dlsd_window_size", "Flushed admission-window sizes.", s.windowSizes)
+	m.Gauge("dlsd_retry_after_seconds", "Current drain-rate-derived Retry-After advisory for 429s.", s.retryAfter().Seconds())
+	if as, ok := s.batcher.AdaptiveState(); ok {
+		m.Gauge("dlsd_adaptive_window_delay_seconds", "Most recent adaptive admission-window delay.", as.WindowDelay.Seconds())
+		m.Gauge("dlsd_adaptive_window_size", "Most recent adaptive early-flush threshold.", float64(as.WindowSize))
+		m.Gauge("dlsd_adaptive_backlog_windows", "Flushed-but-uncompleted windows.", float64(as.BacklogWindows))
+		m.Gauge("dlsd_adaptive_groups_per_window", "EWMA of dedup groups per window.", as.GroupsPerWindow)
+		m.Gauge("dlsd_adaptive_group_cost_seconds", "Median per-group solve-cost estimate.", as.GroupCostP50.Seconds())
+	}
 
 	// Engine counters.
 	st := s.solver.Stats()
@@ -44,6 +60,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	m.Counter("dlsd_batched_windows_total", "Windows that collapsed >= 2 requests into one batch solve.", st.BatchedWindows)
 	m.Counter("dlsd_batched_requests_total", "Requests that travelled in multi-request windows.", st.BatchedRequests)
 	m.Counter("dlsd_shed_total", "Submissions shed because the admission queue was full.", st.Shed)
+	m.Counter("dlsd_shed_slo_total", "Submissions shed because their SLO deadline was unmeetable.", st.ShedSLO)
+	shedClasses := make([]string, 0, len(st.ShedByClass))
+	for name := range st.ShedByClass {
+		shedClasses = append(shedClasses, name)
+	}
+	sort.Strings(shedClasses)
+	for _, name := range shedClasses {
+		m.Counter("dlsd_shed_by_class_total", "Shed submissions by SLO class.",
+			st.ShedByClass[name], stats.Label{Key: "class", Value: className(name)})
+	}
+	violClasses := make([]string, 0, len(st.ViolationsByClass))
+	for name := range st.ViolationsByClass {
+		violClasses = append(violClasses, name)
+	}
+	sort.Strings(violClasses)
+	for _, name := range violClasses {
+		m.Counter("dlsd_slo_violations_total", "Completed solves that missed their class deadline.",
+			st.ViolationsByClass[name], stats.Label{Key: "class", Value: className(name)})
+	}
 	m.Counter("dlsd_prepass_groups_total", "Distinct problems answered by the SoA chain prepass.", st.PrepassGroups)
 	m.Counter("dlsd_prepass_requests_total", "Requests answered by the SoA chain prepass.", st.PrepassRequests)
 	m.Counter("dlsd_cache_hits_total", "Result-cache hits.", st.Hits)

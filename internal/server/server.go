@@ -33,9 +33,20 @@ type Config struct {
 	// Workers bounds how many flushed windows solve concurrently.
 	// Default 2.
 	Workers int
-	// RetryAfter is the advisory delay stamped on 429 responses.
-	// Default 50ms.
+	// RetryAfter is the advisory delay stamped on 429 responses before
+	// the server has observed any window flushes; once traffic flows, the
+	// advisory is derived from the observed drain rate (queue depth over
+	// recent flush size × flush interval) instead. Default 50ms.
 	RetryAfter time.Duration
+	// Clock injects the time source for the admission batcher (tests and
+	// simulation; nil = the system clock).
+	Clock dls.Clock
+	// Classes are the SLO classes accepted via the X-SLO-Class header.
+	// Default: dls.DefaultSLOClasses.
+	Classes []dls.SLOClass
+	// Adaptive, when set, runs the adaptive SLO-aware admission policy
+	// instead of the fixed Window/WindowSize.
+	Adaptive *dls.AdaptiveConfig
 	// MaxBatch caps the request count of one /v1/solve/batch call.
 	// Default 1024.
 	MaxBatch int
@@ -84,6 +95,12 @@ type Server struct {
 	latency     *stats.Histogram      // end-to-end latency of successful solves, seconds
 	windowSizes *stats.Histogram      // flushed admission-window sizes
 	codes       stats.CounterMap[int] // HTTP responses by status code
+
+	// Flush-rate tracking behind the drain-rate-derived Retry-After.
+	flushMu       sync.Mutex
+	lastFlushAt   time.Time
+	flushInterval float64 // EWMA of seconds between flushes
+	flushSize     float64 // EWMA of flushed window sizes
 }
 
 // New builds a Server over cfg.Solver.
@@ -104,7 +121,10 @@ func New(cfg Config) (*Server, error) {
 		MaxSize:  cfg.WindowSize,
 		QueueCap: cfg.QueueCap,
 		Workers:  cfg.Workers,
-		OnFlush:  func(n int) { s.windowSizes.Observe(float64(n)) },
+		Clock:    cfg.Clock,
+		Classes:  cfg.Classes,
+		Adaptive: cfg.Adaptive,
+		OnFlush:  s.observeFlush,
 	})
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
@@ -197,11 +217,67 @@ func (s *Server) solveStatus(err error) int {
 	}
 }
 
+// observeFlush records each flushed window for /metrics and for the
+// drain-rate estimate behind Retry-After. Called from the collector
+// goroutine; the mutex is held only for a few arithmetic operations.
+func (s *Server) observeFlush(n int) {
+	s.windowSizes.Observe(float64(n))
+	now := s.now()
+	s.flushMu.Lock()
+	const alpha = 0.2
+	if !s.lastFlushAt.IsZero() {
+		iv := now.Sub(s.lastFlushAt).Seconds()
+		if s.flushInterval == 0 {
+			s.flushInterval = iv
+		} else {
+			s.flushInterval += alpha * (iv - s.flushInterval)
+		}
+	}
+	s.lastFlushAt = now
+	if s.flushSize == 0 {
+		s.flushSize = float64(n)
+	} else {
+		s.flushSize += alpha * (float64(n) - s.flushSize)
+	}
+	s.flushMu.Unlock()
+}
+
+func (s *Server) now() time.Time {
+	if s.cfg.Clock != nil {
+		return s.cfg.Clock.Now()
+	}
+	return time.Now()
+}
+
+// retryAfter derives the 429 advisory delay from the observed drain
+// rate: the queued requests fill queueDepth/flushSize windows, and the
+// batcher has been flushing one window every flushInterval — so that
+// many intervals (plus one for the retry itself) is when capacity
+// plausibly frees up. Before any flush is observed (cold start, or
+// batching disabled) it falls back to the configured constant.
+func (s *Server) retryAfter() time.Duration {
+	s.flushMu.Lock()
+	iv, size := s.flushInterval, s.flushSize
+	s.flushMu.Unlock()
+	if iv <= 0 || size < 1 {
+		return s.cfg.RetryAfter
+	}
+	depth := float64(s.batcher.Stats().QueueDepth)
+	ra := time.Duration((depth/size + 1) * iv * float64(time.Second))
+	if min := time.Millisecond; ra < min {
+		ra = min
+	}
+	if max := 5 * time.Second; ra > max {
+		ra = max
+	}
+	return ra
+}
+
 // writeSolveError answers a failed solve, stamping Retry-After on sheds.
 func (s *Server) writeSolveError(w http.ResponseWriter, err error) {
 	status := s.solveStatus(err)
 	if status == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", strconv.FormatFloat(s.cfg.RetryAfter.Seconds(), 'f', 3, 64))
+		w.Header().Set("Retry-After", strconv.FormatFloat(s.retryAfter().Seconds(), 'f', 3, 64))
 	}
 	writeError(w, status, "%s", err)
 }
@@ -221,8 +297,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	defer cancel()
 	begin := time.Now()
-	res, err := s.batcher.Submit(ctx, req)
+	res, err := s.batcher.SubmitSLO(ctx, req, r.Header.Get("X-SLO-Class"))
 	if err != nil {
+		if errors.Is(err, dls.ErrUnknownClass) {
+			writeError(w, http.StatusBadRequest, "%s", err)
+			return
+		}
 		// Failed and shed submissions stay out of the latency histogram:
 		// near-instant 429s during overload would otherwise drag the
 		// percentiles down exactly when latency matters most.
@@ -259,6 +339,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
+	class := r.Header.Get("X-SLO-Class")
+	if _, err := s.batcher.Class(class); err != nil {
+		writeError(w, http.StatusBadRequest, "%s", err)
+		return
+	}
 	begin := time.Now()
 	results := make([]*dls.Result, len(batch.Requests))
 	errs := make([]error, len(batch.Requests))
@@ -267,7 +352,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int, req dls.Request) {
 			defer wg.Done()
-			results[i], errs[i] = s.batcher.Submit(ctx, req)
+			results[i], errs[i] = s.batcher.SubmitSLO(ctx, req, class)
 		}(i, req)
 	}
 	wg.Wait()

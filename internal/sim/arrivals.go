@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Arrival is one generated arrival: the gap since the previous arrival,
+// plus optional workload hints (empty means "let the mix decide") used
+// by trace replay to reproduce a captured run exactly.
+type Arrival struct {
+	Gap      time.Duration
+	Class    string
+	Kind     string
+	Platform int // pool index hint; -1 = unset
+}
+
+// Process generates an arrival sequence. Next returns the next arrival
+// or ok = false when the source is exhausted (finite traces; the
+// synthetic processes never exhaust). Implementations draw all
+// randomness from the passed rng, in a fixed order, so a seeded run is
+// deterministic.
+type Process interface {
+	Next(rng *rand.Rand) (Arrival, bool)
+}
+
+// Poisson is a homogeneous Poisson arrival process: exponential
+// inter-arrival gaps at Rate arrivals per second.
+type Poisson struct {
+	Rate float64
+}
+
+func (p *Poisson) Next(rng *rand.Rand) (Arrival, bool) {
+	gap := time.Duration(rng.ExpFloat64() / p.Rate * float64(time.Second))
+	return Arrival{Gap: gap, Platform: -1}, true
+}
+
+// MMPP is a two-state Markov-modulated Poisson process — the classic
+// bursty-traffic model: arrivals are Poisson at BaseRate, except during
+// exponentially distributed burst episodes when they are Poisson at
+// BurstRate. Sojourn times in the base and burst states are exponential
+// with means MeanBase and MeanBurst.
+type MMPP struct {
+	BaseRate, BurstRate float64
+	MeanBase, MeanBurst time.Duration
+
+	burst   bool
+	sojourn time.Duration // remaining time in the current state
+}
+
+func (m *MMPP) Next(rng *rand.Rand) (Arrival, bool) {
+	gap := time.Duration(0)
+	for {
+		if m.sojourn <= 0 {
+			// Enter (or re-enter) a state with a fresh exponential sojourn.
+			mean := m.MeanBase
+			if m.burst {
+				mean = m.MeanBurst
+			}
+			m.sojourn = time.Duration(rng.ExpFloat64() * float64(mean))
+		}
+		rate := m.BaseRate
+		if m.burst {
+			rate = m.BurstRate
+		}
+		g := time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+		if g <= m.sojourn {
+			m.sojourn -= g
+			return Arrival{Gap: gap + g, Platform: -1}, true
+		}
+		// The state ends before the next arrival: burn the remaining
+		// sojourn and resample in the other state (memorylessness makes
+		// discarding the overshoot exact).
+		gap += m.sojourn
+		m.sojourn = 0
+		m.burst = !m.burst
+	}
+}
+
+// Pareto generates heavy-tailed inter-arrival gaps: gap = Scale ·
+// U^(-1/Alpha), the Pareto(Scale, Alpha) distribution. Alpha in (1, 2]
+// gives finite mean but infinite variance — long silences punctuated by
+// dense clusters. Mean gap = Scale · Alpha/(Alpha-1).
+type Pareto struct {
+	Scale time.Duration
+	Alpha float64
+}
+
+func (p *Pareto) Next(rng *rand.Rand) (Arrival, bool) {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	gap := time.Duration(float64(p.Scale) * math.Pow(u, -1/p.Alpha))
+	// Cap pathological draws at 10⁶× the scale so a single sample cannot
+	// swallow the whole horizon.
+	if max := p.Scale * 1e6; gap > max {
+		gap = max
+	}
+	return Arrival{Gap: gap, Platform: -1}, true
+}
+
+// Diurnal is a nonhomogeneous Poisson process whose rate ramps
+// sinusoidally between Low and High over Period — a compressed
+// day/night cycle: rate(t) = Low + (High-Low) · (1 - cos(2πt/Period))/2.
+type Diurnal struct {
+	Low, High float64
+	Period    time.Duration
+
+	t time.Duration // elapsed virtual time within the process
+}
+
+func (d *Diurnal) Next(rng *rand.Rand) (Arrival, bool) {
+	// Piecewise-constant approximation: sample at the instantaneous rate,
+	// which is accurate while gaps are short against Period.
+	phase := float64(d.t%d.Period) / float64(d.Period)
+	rate := d.Low + (d.High-d.Low)*(1-math.Cos(2*math.Pi*phase))/2
+	if rate < 1e-9 {
+		rate = 1e-9
+	}
+	gap := time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+	d.t += gap
+	return Arrival{Gap: gap, Platform: -1}, true
+}
+
+// Trace replays a captured arrival trace (see TraceEvent; the JSONL
+// format cmd/dlsload -capture writes).
+type Trace struct {
+	Events []TraceEvent
+
+	i    int
+	prev time.Duration
+}
+
+func (t *Trace) Next(_ *rand.Rand) (Arrival, bool) {
+	if t.i >= len(t.Events) {
+		return Arrival{}, false
+	}
+	ev := t.Events[t.i]
+	t.i++
+	at := time.Duration(ev.TNanos)
+	gap := at - t.prev
+	if gap < 0 {
+		gap = 0
+	}
+	t.prev = at
+	pb := ev.Platform
+	if pb == 0 && ev.Kind == "" && ev.Class == "" {
+		pb = -1
+	}
+	return Arrival{Gap: gap, Class: ev.Class, Kind: ev.Kind, Platform: pb}, true
+}
+
+// processFor builds the named arrival process with scenario parameters.
+func processFor(name string, base, peak float64) (Process, error) {
+	switch name {
+	case "poisson":
+		return &Poisson{Rate: base}, nil
+	case "mmpp":
+		return &MMPP{BaseRate: base, BurstRate: peak, MeanBase: 400 * time.Millisecond, MeanBurst: 60 * time.Millisecond}, nil
+	case "pareto":
+		// Scale so the mean rate is base: mean gap = Scale·α/(α-1).
+		alpha := 1.5
+		scale := time.Duration(float64(time.Second) / base * (alpha - 1) / alpha)
+		return &Pareto{Scale: scale, Alpha: alpha}, nil
+	case "diurnal":
+		return &Diurnal{Low: base, High: peak, Period: 10 * time.Second}, nil
+	default:
+		return nil, fmt.Errorf("sim: unknown arrival process %q", name)
+	}
+}

@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestClockAdvanceFiresInOrder(t *testing.T) {
+	c := NewClock()
+	var order []string
+	c.AfterFunc(2*time.Millisecond, func() { order = append(order, "b") })
+	c.AfterFunc(time.Millisecond, func() { order = append(order, "a") })
+	c.AfterFunc(2*time.Millisecond, func() { order = append(order, "c") }) // ties break by registration
+	c.Advance(3 * time.Millisecond)
+	if got := len(order); got != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("fire order %v, want [a b c]", order)
+	}
+	if !c.Now().Equal(Epoch.Add(3 * time.Millisecond)) {
+		t.Errorf("Now = %v, want Epoch+3ms", c.Now())
+	}
+	// Moving backwards is a no-op.
+	c.AdvanceTo(Epoch)
+	if !c.Now().Equal(Epoch.Add(3 * time.Millisecond)) {
+		t.Errorf("AdvanceTo the past moved time to %v", c.Now())
+	}
+}
+
+func TestClockTimerChannelAndStop(t *testing.T) {
+	c := NewClock()
+	tm := c.NewTimer(time.Millisecond)
+	select {
+	case <-tm.C():
+		t.Fatal("timer fired before Advance")
+	default:
+	}
+	stopped := c.NewTimer(time.Millisecond)
+	if !stopped.Stop() {
+		t.Fatal("Stop on a pending timer reported false")
+	}
+	if stopped.Stop() {
+		t.Fatal("second Stop reported true")
+	}
+	c.Advance(time.Millisecond)
+	select {
+	case at := <-tm.C():
+		if !at.Equal(Epoch.Add(time.Millisecond)) {
+			t.Errorf("tick at %v, want Epoch+1ms", at)
+		}
+	default:
+		t.Fatal("timer did not fire at its due time")
+	}
+	select {
+	case <-stopped.C():
+		t.Fatal("stopped timer fired")
+	default:
+	}
+}
+
+func TestClockNextTimer(t *testing.T) {
+	c := NewClock()
+	if _, ok := c.NextTimer(); ok {
+		t.Fatal("idle clock reported a pending timer")
+	}
+	c.NewTimer(5 * time.Millisecond)
+	early := c.NewTimer(2 * time.Millisecond)
+	if at, ok := c.NextTimer(); !ok || !at.Equal(Epoch.Add(2*time.Millisecond)) {
+		t.Fatalf("NextTimer = %v, %t; want Epoch+2ms", at, ok)
+	}
+	early.Stop()
+	if at, ok := c.NextTimer(); !ok || !at.Equal(Epoch.Add(5*time.Millisecond)) {
+		t.Fatalf("NextTimer after Stop = %v, %t; want Epoch+5ms", at, ok)
+	}
+}
+
+func TestClockContextDeadline(t *testing.T) {
+	c := NewClock()
+	ctx, cancel := c.ContextWithDeadline(context.Background(), Epoch.Add(time.Millisecond))
+	defer cancel()
+	if ctx.Err() != nil {
+		t.Fatalf("context done before its deadline: %v", ctx.Err())
+	}
+	if dl, ok := ctx.Deadline(); !ok || !dl.Equal(Epoch.Add(time.Millisecond)) {
+		t.Errorf("Deadline = %v, %t", dl, ok)
+	}
+	c.Advance(time.Millisecond)
+	select {
+	case <-ctx.Done():
+	default:
+		t.Fatal("context not done at its deadline")
+	}
+	if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		t.Errorf("Err = %v, want DeadlineExceeded", ctx.Err())
+	}
+
+	// A deadline at or before now expires immediately.
+	expired, cancel2 := c.ContextWithDeadline(context.Background(), Epoch)
+	defer cancel2()
+	if !errors.Is(expired.Err(), context.DeadlineExceeded) {
+		t.Errorf("already-passed deadline Err = %v", expired.Err())
+	}
+
+	// Cancel before the deadline wins and stays won.
+	ctx3, cancel3 := c.ContextWithDeadline(context.Background(), c.Now().Add(time.Hour))
+	cancel3()
+	if !errors.Is(ctx3.Err(), context.Canceled) {
+		t.Errorf("cancelled context Err = %v", ctx3.Err())
+	}
+	c.Advance(2 * time.Hour)
+	if !errors.Is(ctx3.Err(), context.Canceled) {
+		t.Errorf("cancelled context flipped to %v at its old deadline", ctx3.Err())
+	}
+}
+
+func TestClockWaitTimers(t *testing.T) {
+	c := NewClock()
+	if c.WaitTimers(1, 20*time.Millisecond) {
+		t.Fatal("WaitTimers reported timers on an idle clock")
+	}
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		c.NewTimer(time.Second)
+	}()
+	if !c.WaitTimers(1, 5*time.Second) {
+		t.Fatal("WaitTimers missed a timer armed from another goroutine")
+	}
+}

@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"time"
+)
+
+// CostDist is a solve-latency distribution specified by its quantiles —
+// the shape internal/stats.Histogram and the dlsload report expose, so a
+// model calibrates directly from a measured run. Samples interpolate the
+// quantile curve piecewise (linear below P50, between the pinned
+// quantiles, and a mild power tail beyond P99 capped at 10×P99).
+type CostDist struct {
+	P50 time.Duration `json:"p50"`
+	P90 time.Duration `json:"p90"`
+	P99 time.Duration `json:"p99"`
+}
+
+// Sample draws one latency.
+func (d CostDist) Sample(rng *rand.Rand) time.Duration {
+	u := rng.Float64()
+	switch {
+	case u <= 0.5:
+		return time.Duration(float64(d.P50) * u / 0.5)
+	case u <= 0.9:
+		f := (u - 0.5) / 0.4
+		return d.P50 + time.Duration(f*float64(d.P90-d.P50))
+	case u <= 0.99:
+		f := (u - 0.9) / 0.09
+		return d.P90 + time.Duration(f*float64(d.P99-d.P90))
+	default:
+		// Tail: P99 · (0.01/(1-u))^½, capped at 10× P99.
+		t := time.Duration(float64(d.P99) * math.Sqrt(0.01/(1-u)))
+		if max := 10 * d.P99; t > max {
+			t = max
+		}
+		return t
+	}
+}
+
+func (d CostDist) valid() bool {
+	return d.P50 > 0 && d.P90 >= d.P50 && d.P99 >= d.P90
+}
+
+// CostModel maps window composition to virtual service time. Per-group
+// (deduplicated problem) costs are drawn per kind; a window of n groups
+// solved over Parallelism engine workers takes
+//
+//	PerWindow + max(Σ costs / Parallelism, max cost)
+//
+// the standard makespan lower bound for list scheduling, which matches
+// how SolveBatch fans deduplicated groups over the solver pool. The
+// defaults are calibrated from the PR 5 reference-container measurements
+// (chain solves single-digit µs through the SoA prepass, p = 7
+// exhaustive searches ~1–3 ms).
+type CostModel struct {
+	// PerWindow is the fixed dispatch overhead of one flushed window.
+	PerWindow time.Duration `json:"per_window"`
+	// Kinds are the per-kind group-cost distributions.
+	Kinds map[string]CostDist `json:"kinds"`
+	// Parallelism is the engine worker-pool width a window fans over.
+	Parallelism int `json:"parallelism"`
+}
+
+// DefaultCostModel is the built-in calibration.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		PerWindow:   20 * time.Microsecond,
+		Parallelism: 8,
+		Kinds: map[string]CostDist{
+			"chain":  {P50: 8 * time.Microsecond, P90: 15 * time.Microsecond, P99: 40 * time.Microsecond},
+			"search": {P50: 1200 * time.Microsecond, P90: 2500 * time.Microsecond, P99: 6 * time.Millisecond},
+		},
+	}
+}
+
+// dist returns the distribution for kind, falling back to "chain".
+func (m CostModel) dist(kind string) CostDist {
+	if d, ok := m.Kinds[kind]; ok && d.valid() {
+		return d
+	}
+	if d, ok := m.Kinds["chain"]; ok && d.valid() {
+		return d
+	}
+	return CostDist{P50: 10 * time.Microsecond, P90: 20 * time.Microsecond, P99: 50 * time.Microsecond}
+}
+
+// WindowCost models the service time of a window whose deduplicated
+// groups have the given kinds. Costs are sampled in slice order from
+// rng, so callers that build the kind list deterministically get
+// deterministic service times.
+func (m CostModel) WindowCost(rng *rand.Rand, kinds []string) time.Duration {
+	if len(kinds) == 0 {
+		return m.PerWindow
+	}
+	p := m.Parallelism
+	if p < 1 {
+		p = 1
+	}
+	var sum, max time.Duration
+	for _, kind := range kinds {
+		c := m.dist(kind).Sample(rng)
+		sum += c
+		if c > max {
+			max = c
+		}
+	}
+	span := sum / time.Duration(p)
+	if max > span {
+		span = max
+	}
+	return m.PerWindow + span
+}
+
+// calibrationFile is the JSON schema of -calibrate: a cost model, with
+// durations as Go duration strings ("8us", "1.2ms").
+type calibrationFile struct {
+	PerWindow   string `json:"per_window"`
+	Parallelism int    `json:"parallelism"`
+	Kinds       map[string]struct {
+		P50 string `json:"p50"`
+		P90 string `json:"p90"`
+		P99 string `json:"p99"`
+	} `json:"kinds"`
+}
+
+// LoadCostModel reads a calibration JSON file (see calibrationFile; the
+// BENCH.md simulation section documents how to produce one from a real
+// dlsd run's latency histogram). Missing fields keep their defaults.
+func LoadCostModel(path string) (CostModel, error) {
+	m := DefaultCostModel()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return m, err
+	}
+	var cf calibrationFile
+	if err := json.Unmarshal(data, &cf); err != nil {
+		return m, fmt.Errorf("sim: calibration %s: %w", path, err)
+	}
+	parse := func(s string) (time.Duration, error) {
+		if s == "" {
+			return 0, nil
+		}
+		return time.ParseDuration(s)
+	}
+	if d, err := parse(cf.PerWindow); err != nil {
+		return m, fmt.Errorf("sim: calibration per_window: %w", err)
+	} else if d > 0 {
+		m.PerWindow = d
+	}
+	if cf.Parallelism > 0 {
+		m.Parallelism = cf.Parallelism
+	}
+	for kind, q := range cf.Kinds {
+		p50, err1 := parse(q.P50)
+		p90, err2 := parse(q.P90)
+		p99, err3 := parse(q.P99)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return m, fmt.Errorf("sim: calibration kind %q: bad duration", kind)
+		}
+		d := CostDist{P50: p50, P90: p90, P99: p99}
+		if !d.valid() {
+			return m, fmt.Errorf("sim: calibration kind %q: want 0 < p50 <= p90 <= p99", kind)
+		}
+		m.Kinds[kind] = d
+	}
+	return m, nil
+}

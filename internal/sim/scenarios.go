@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+)
+
+// Scenario is a named traffic experiment: an arrival process with tuned
+// rates sized against the default cost model's service capacity, so the
+// named scenarios mean the same thing across PRs (BENCH.md documents the
+// CI gates pinned to them).
+type Scenario struct {
+	Name string
+	// Describe is a one-line summary for -list output.
+	Describe string
+	// Build constructs the arrival process. TracePath is only used by the
+	// "trace" scenario.
+	Build func(tracePath string) (Process, error)
+}
+
+// Capacity anchor: the default cost model serves a 64-request window of
+// mostly-chain groups in roughly 100–300µs over Drain=2 lanes, i.e. a
+// few hundred thousand collapsed requests/s when windows run full, but
+// only ~5–10k/s when every request solves alone. The scenarios straddle
+// that band: "steady" sits comfortably inside it, "burst" alternates
+// idle with episodes well above it, "overload" pins the offered rate
+// above sustainable throughput for the whole horizon.
+var scenarios = []Scenario{
+	{
+		Name:     "steady",
+		Describe: "homogeneous Poisson at a comfortable 8k req/s",
+		Build: func(string) (Process, error) {
+			return &Poisson{Rate: 8000}, nil
+		},
+	},
+	{
+		Name:     "burst",
+		Describe: "Markov-modulated: 2k req/s base, 60k req/s bursts (~60ms episodes)",
+		Build: func(string) (Process, error) {
+			return &MMPP{
+				BaseRate:  2000,
+				BurstRate: 60000,
+				MeanBase:  400 * time.Millisecond,
+				MeanBurst: 60 * time.Millisecond,
+			}, nil
+		},
+	},
+	{
+		Name:     "diurnal",
+		Describe: "sinusoidal ramp 1k→30k req/s over a compressed 10s day",
+		Build: func(string) (Process, error) {
+			return &Diurnal{Low: 1000, High: 30000, Period: 10 * time.Second}, nil
+		},
+	},
+	{
+		Name:     "overload",
+		Describe: "sustained Poisson at 80k req/s, far beyond capacity",
+		Build: func(string) (Process, error) {
+			return &Poisson{Rate: 80000}, nil
+		},
+	},
+	{
+		Name:     "heavytail",
+		Describe: "Pareto(α=1.5) gaps, 10k req/s mean — silences and clusters",
+		Build: func(string) (Process, error) {
+			return processFor("pareto", 10000, 0)
+		},
+	},
+	{
+		Name:     "trace",
+		Describe: "replay a captured JSONL trace (see dlsload -capture)",
+		Build: func(tracePath string) (Process, error) {
+			if tracePath == "" {
+				return nil, fmt.Errorf("sim: the trace scenario needs -trace <file>")
+			}
+			f, err := os.Open(tracePath)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			events, err := ReadTrace(f)
+			if err != nil {
+				return nil, err
+			}
+			if len(events) == 0 {
+				return nil, fmt.Errorf("sim: trace %s is empty", tracePath)
+			}
+			return &Trace{Events: events}, nil
+		},
+	},
+}
+
+// Scenarios lists the scenario names in stable order.
+func Scenarios() []string {
+	names := make([]string, len(scenarios))
+	for i, sc := range scenarios {
+		names[i] = sc.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ScenarioByName finds a scenario.
+func ScenarioByName(name string) (Scenario, error) {
+	for _, sc := range scenarios {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("sim: unknown scenario %q (have %v)", name, Scenarios())
+}

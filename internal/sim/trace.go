@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// TraceEvent is one arrival of a captured (or synthesized) trace, in the
+// JSONL trace format shared between cmd/dlsload (-capture writes it from
+// a real load run) and the simulator (the "trace" arrival process
+// replays it): one JSON object per line, ordered by TNanos.
+type TraceEvent struct {
+	// TNanos is the arrival offset from the start of the capture, in
+	// nanoseconds.
+	TNanos int64 `json:"t"`
+	// Class is the SLO class the request was sent under ("" = none).
+	Class string `json:"class,omitempty"`
+	// Kind is the workload kind ("chain", "search", or a strategy name).
+	Kind string `json:"kind,omitempty"`
+	// Platform identifies the platform within the generating pool, so
+	// replay reproduces the duplicate structure of the capture.
+	Platform int `json:"pb,omitempty"`
+}
+
+// WriteTrace writes events as JSONL.
+func WriteTrace(w io.Writer, events []TraceEvent) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a JSONL trace, validating that arrival offsets are
+// non-decreasing.
+func ReadTrace(r io.Reader) ([]TraceEvent, error) {
+	var out []TraceEvent
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var ev TraceEvent
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return nil, fmt.Errorf("sim: trace line %d: %w", line, err)
+		}
+		if n := len(out); n > 0 && ev.TNanos < out[n-1].TNanos {
+			return nil, fmt.Errorf("sim: trace line %d: arrival time went backwards (%d < %d)", line, ev.TNanos, out[n-1].TNanos)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
