@@ -433,28 +433,143 @@ func BenchmarkBestPairExhaustive5(b *testing.B) {
 	}
 }
 
+// benchPairParallel runs the pair branch-and-bound on p at the given
+// worker counts as sub-benchmarks (par1 = the serial search), checking
+// every parallel result bitwise against the serial one — the scaling curve
+// in BENCH_pr7.json is only meaningful if the work done is identical.
+func benchPairParallel(b *testing.B, p *dls.Platform, workers []int) {
+	serial, err := core.BestPairExhaustiveAlgo(context.Background(), p, schedule.OnePort, eval.Auto, core.PairBB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	want := serial.Schedule.Throughput()
+	for _, w := range workers {
+		b.Run(fmt.Sprintf("par%d", w), func(b *testing.B) {
+			ctx := core.ContextWithSearchParallelism(context.Background(), w)
+			var rho float64
+			before := core.PairStatsSnapshot()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pr, err := core.BestPairExhaustiveAlgo(ctx, p, schedule.OnePort, eval.Auto, core.PairBB)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rho = pr.Schedule.Throughput()
+			}
+			b.StopTimer()
+			if rho != want {
+				b.Fatalf("parallel search (%d workers) returned ρ=%.17g, serial has %.17g", w, rho, want)
+			}
+			b.ReportMetric(rho, "rho")
+			reportPairPruning(b, before, core.PairStatsSnapshot())
+		})
+	}
+}
+
 // BenchmarkBestPairExhaustive6 runs the pair search at p = 6 — 720 send
 // orders over up to 720 return orders each, a scale only the
-// branch-and-bound reaches (the flat loop takes tens of seconds here). The
-// acceptance criterion: under 2 s/op with more than half of the generated
-// return-order subtrees cut by the prefix bound.
+// branch-and-bound reaches (the flat loop takes tens of seconds here) —
+// serial and on a 4-worker stealing pool. Acceptance criteria: more than
+// half of the generated return-order subtrees cut by the prefix bound
+// (the PR 4 gate, on every sub-benchmark), and par4 at least 2× faster
+// than par1 on a 4-core runner (the PR 7 gate).
 func BenchmarkBestPairExhaustive6(b *testing.B) {
-	p := benchPairPlatform(6)
-	ctx := context.Background()
-	var rho float64
-	before := core.PairStatsSnapshot()
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		pr, err := core.BestPairExhaustiveAlgo(ctx, p, schedule.OnePort, eval.Auto, core.PairBB)
-		if err != nil {
-			b.Fatal(err)
-		}
-		rho = pr.Schedule.Throughput()
+	benchPairParallel(b, benchPairPlatform(6), []int{1, 4})
+}
+
+// BenchmarkBestPairExhaustive7 is the p = 7 scale point — 5040 send orders,
+// up to 5040 return orders each. Run with -benchtime 1x unless you mean
+// it. The PR 7 acceptance criterion is sub-second wall clock on a 4-core
+// runner with the incremental bound path.
+func BenchmarkBestPairExhaustive7(b *testing.B) {
+	benchPairParallel(b, benchPairPlatform(7), []int{1, 4})
+}
+
+// BenchmarkReturnPrefixNode isolates the per-node cost of the pair
+// branch-and-bound's bound computation at q = 7: one fixed 512-move
+// Push/Pop walk through the return-prefix tree, a Bound() at every node.
+// "update" is the Sherman–Morrison incremental path (O(q²)/node, the
+// default), "refactor" pins SetIncremental(false) so every node pays a
+// fresh O(q³) LU — the PR 7 acceptance criterion is update ≥ 1.5× the
+// node throughput of refactor.
+func BenchmarkReturnPrefixNode(b *testing.B) {
+	const q = 7
+	p := benchPairPlatform(q)
+	send := make(platform.Order, q)
+	for i := range send {
+		send[i] = i
 	}
-	b.StopTimer()
-	b.ReportMetric(rho, "rho")
-	reportPairPruning(b, before, core.PairStatsSnapshot())
+	// A fixed walk replaying the search's traversal shape — expand every
+	// sibling (Push, Bound, Pop), then descend into one of them — over
+	// interior depths only: Bound() at full depth is from-scratch on both
+	// paths by design, and the search bounds after Push, never after Pop.
+	type move struct{ pos int } // pos >= 0: Push(pos) + Bound(); pos < 0: Pop
+	var moves []move
+	nodes := 0
+	var open [q]bool
+	for i := range open {
+		open[i] = true
+	}
+	var walk func(depth, rot int)
+	walk = func(depth, rot int) {
+		if nodes >= 512 || depth == q-1 {
+			return
+		}
+		var opens []int
+		for s := 0; s < q; s++ {
+			if open[s] {
+				opens = append(opens, s)
+			}
+		}
+		down := opens[rot%len(opens)]
+		for _, pos := range opens {
+			moves = append(moves, move{pos: pos})
+			nodes++
+			open[pos] = false
+			if pos == down {
+				walk(depth+1, rot+1)
+			}
+			open[pos] = true
+			moves = append(moves, move{pos: -1})
+		}
+	}
+	for rot := 0; nodes < 512; rot++ {
+		walk(0, rot)
+	}
+	for _, tc := range []struct {
+		name        string
+		incremental bool
+	}{{"update", true}, {"refactor", false}} {
+		b.Run(tc.name, func(b *testing.B) {
+			sess := eval.NewSession()
+			rp, err := sess.NewReturnPrefix(p, schedule.OnePort, eval.Auto)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rp.SetIncremental(tc.incremental)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := rp.Reset(send); err != nil {
+					b.Fatal(err)
+				}
+				for _, mv := range moves {
+					if mv.pos >= 0 {
+						rp.Push(mv.pos)
+						rp.Bound()
+					} else {
+						rp.Pop()
+					}
+				}
+				for rp.Depth() > 0 {
+					rp.Pop()
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(nodes), "nodes/op")
+		})
+	}
 }
 
 // BenchmarkScenarioEval solves one fixed 11-worker FIFO scenario under each

@@ -111,11 +111,14 @@ func arithFlag(exact bool) dls.Arith {
 }
 
 // newSolver builds the engine behind every scheduling subcommand.
-func newSolver(timeout time.Duration) (*dls.Solver, error) {
+// searchPar is the intra-request worker count of the exhaustive searches
+// (0 = one worker per CPU, 1 = serial); the result is byte-identical for
+// every setting.
+func newSolver(timeout time.Duration, searchPar int) (*dls.Solver, error) {
 	if timeout < 0 {
 		return nil, fmt.Errorf("-timeout must be >= 0, got %v", timeout)
 	}
-	opts := []dls.Option{dls.WithCache(64)}
+	opts := []dls.Option{dls.WithCache(64), dls.WithSearchParallelism(searchPar)}
 	if timeout > 0 {
 		opts = append(opts, dls.WithTimeout(timeout))
 	}
@@ -155,6 +158,7 @@ func cmdSchedule(args []string) error {
 	out := fs.String("out", "", "write the computed schedule as JSON to this file")
 	timeout := fs.Duration("timeout", 0, "abort the solve after this duration (0 = no limit)")
 	evalName := fs.String("eval", "auto", "scenario-evaluation backend: auto | closed-form | direct | simplex | exact")
+	searchPar := fs.Int("search-parallel", 0, "workers for the exhaustive searches (0 = one per CPU, 1 = serial; result is identical)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -179,7 +183,7 @@ func cmdSchedule(args []string) error {
 	if err != nil {
 		return err
 	}
-	solver, err := newSolver(*timeout)
+	solver, err := newSolver(*timeout, *searchPar)
 	if err != nil {
 		return err
 	}
@@ -374,6 +378,7 @@ func cmdBrute(args []string) error {
 	timeout := fs.Duration("timeout", 0, "abort the (p!)² search after this duration (0 = no limit)")
 	evalName := fs.String("eval", "auto", "scenario-evaluation backend: auto | closed-form | direct | simplex | exact")
 	search := fs.String("search", "auto", "pair-search algorithm: auto (branch-and-bound for float64 backends) | bb | flat")
+	searchPar := fs.Int("search-parallel", 0, "workers for the exhaustive searches (0 = one per CPU, 1 = serial; result is identical)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -389,7 +394,7 @@ func cmdBrute(args []string) error {
 	if err != nil {
 		return err
 	}
-	solver, err := newSolver(*timeout)
+	solver, err := newSolver(*timeout, *searchPar)
 	if err != nil {
 		return err
 	}

@@ -259,7 +259,7 @@ func IncW(p *Platform, model Model, arith Arith) (*Schedule, error) {
 	return scheduleOf(Solve(context.Background(), Request{Platform: p, Strategy: StrategyIncW, Model: model, Arith: arith}))
 }
 
-// BestFIFOExhaustive searches all FIFO send orders (p ≤ 8) and returns the
+// BestFIFOExhaustive searches all FIFO send orders (p ≤ 9) and returns the
 // best schedule and its order.
 //
 // Deprecated: use [Solver.Solve] (or [Solve]) with [StrategyFIFOExhaustive];
@@ -272,7 +272,7 @@ func BestFIFOExhaustive(p *Platform, model Model, arith Arith) (*Schedule, Order
 	return res.Schedule, res.Send, nil
 }
 
-// BestLIFOExhaustive searches all LIFO send orders (p ≤ 8).
+// BestLIFOExhaustive searches all LIFO send orders (p ≤ 9).
 //
 // Deprecated: use [Solver.Solve] (or [Solve]) with [StrategyLIFOExhaustive];
 // the engine adds cancellation and deadlines for this factorial search.
@@ -284,7 +284,7 @@ func BestLIFOExhaustive(p *Platform, model Model, arith Arith) (*Schedule, Order
 	return res.Schedule, res.Send, nil
 }
 
-// BestPairExhaustive searches all (σ1, σ2) permutation pairs (p ≤ 7 in
+// BestPairExhaustive searches all (σ1, σ2) permutation pairs (p ≤ 8 in
 // float64, p ≤ 5 in exact arithmetic) — the general problem whose
 // complexity the paper leaves open.
 //

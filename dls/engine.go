@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/platform"
 	"repro/internal/stats"
@@ -136,6 +137,28 @@ type Stats struct {
 	// violations (requests answered after their SLO deadline) by SLO
 	// class name ("" is the best-effort class).
 	ShedByClass, ViolationsByClass map[string]uint64
+	// PairSearch is the cumulative pair-search instrumentation (process
+	// global: every pair search in the process advances it, whichever
+	// Solver ran it).
+	PairSearch PairSearchStats
+}
+
+// PairSearchStats counts the exhaustive pair search's branch-and-bound
+// activity. The counters are process-global atomics shared by all solvers;
+// they make the bound's pruning effectiveness observable in production
+// (dlsd re-exports them on /metrics as dlsd_pair_search_*).
+type PairSearchStats struct {
+	// OuterPruned counts send orders whose entire return-order tree was
+	// discarded by the root bound before expansion.
+	OuterPruned uint64
+	// NodesExpanded counts branch-and-bound nodes whose children were
+	// generated.
+	NodesExpanded uint64
+	// SubtreesPruned counts subtrees cut by the return-prefix bound.
+	SubtreesPruned uint64
+	// LeavesEvaluated counts complete return orders whose throughput was
+	// actually computed.
+	LeavesEvaluated uint64
 }
 
 // Solver is the scheduling engine: it resolves requests against the
@@ -147,6 +170,7 @@ type Solver struct {
 	arith        Arith
 	timeout      time.Duration
 	parallelism  int
+	searchPar    int
 	streamWindow time.Duration
 	cache        *resultCache
 
@@ -225,6 +249,24 @@ func WithParallelism(n int) Option {
 	}
 }
 
+// WithSearchParallelism sets how many workers the exhaustive order-space
+// searches (brute, brute-lifo, brute-pair) use WITHIN one request: the
+// permutation space is split by SJT rank across a worker pool (work
+// stealing for the pair branch-and-bound, static ranges for the order
+// sweeps). n ≤ 0 — the default — uses one worker per CPU; n == 1 forces
+// the serial search. The search result is byte-identical for every
+// setting: worker count changes wall-clock time and nothing else. This is
+// independent of WithParallelism, which fans out ACROSS requests.
+func WithSearchParallelism(n int) Option {
+	return func(s *Solver) error {
+		if n <= 0 {
+			n = 0
+		}
+		s.searchPar = n
+		return nil
+	}
+}
+
 // DefaultStreamWindow is the admission window SolveStream batches under
 // when WithStreamWindow is not given: long enough for bursts to coalesce
 // into one SolveBatch (and its SoA chain prepass), short enough to be
@@ -281,6 +323,13 @@ func (s *Solver) Stats() Stats {
 	st.SolvesByStrategy = s.solvesBy.Snapshot()
 	st.ShedByClass = s.shedByClass.Snapshot()
 	st.ViolationsByClass = s.violationsByClass.Snapshot()
+	ps := core.PairStatsSnapshot()
+	st.PairSearch = PairSearchStats{
+		OuterPruned:     ps.OuterPruned,
+		NodesExpanded:   ps.NodesExpanded,
+		SubtreesPruned:  ps.SubtreesPruned,
+		LeavesEvaluated: ps.LeavesEvaluated,
+	}
 	return st
 }
 
@@ -387,13 +436,15 @@ func (s *Solver) Solve(ctx context.Context, req Request) (*Result, error) {
 	return finish(res, req, false), nil
 }
 
-// run executes the strategy under the solver timeout.
+// run executes the strategy under the solver timeout, with the solver's
+// search parallelism on the context for the exhaustive searches.
 func (s *Solver) run(ctx context.Context, req Request, fn StrategyFunc) (*Result, error) {
 	if s.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.timeout)
 		defer cancel()
 	}
+	ctx = core.ContextWithSearchParallelism(ctx, s.searchPar)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

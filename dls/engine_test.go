@@ -136,6 +136,51 @@ func TestOptionValidation(t *testing.T) {
 	}
 }
 
+// TestWithSearchParallelism pins the engine-level contract of the
+// intra-request search pool: a parallel solver must return byte-identical
+// results to a serial one on the exhaustive strategies, and running a
+// pair search must advance the Stats().PairSearch counters.
+func TestWithSearchParallelism(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	ws := make([]dls.Worker, 5)
+	for i := range ws {
+		ws[i] = dls.Worker{
+			C: 0.02 + 0.2*rng.Float64(),
+			W: 0.05 + 0.5*rng.Float64(),
+			D: 0.01 + 0.3*rng.Float64(),
+		}
+	}
+	p := dls.NewPlatform(ws...)
+	serial := mustSolver(t, dls.WithSearchParallelism(1))
+	par := mustSolver(t, dls.WithSearchParallelism(4))
+	for _, strategy := range []string{dls.StrategyFIFOExhaustive, dls.StrategyLIFOExhaustive, dls.StrategyPairExhaustive} {
+		req := dls.Request{Platform: p, Strategy: strategy}
+		want, err := serial.Solve(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := par.Solve(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Throughput != want.Throughput ||
+			!reflect.DeepEqual(got.Schedule.Alpha, want.Schedule.Alpha) ||
+			!reflect.DeepEqual(got.Send, want.Send) ||
+			!reflect.DeepEqual(got.Return, want.Return) {
+			t.Fatalf("%s: parallel result diverges from serial\nparallel: ρ=%v σ1=%v σ2=%v α=%v\nserial:   ρ=%v σ1=%v σ2=%v α=%v",
+				strategy, got.Throughput, got.Send, got.Return, got.Schedule.Alpha,
+				want.Throughput, want.Send, want.Return, want.Schedule.Alpha)
+		}
+	}
+	st := par.Stats()
+	if st.PairSearch.NodesExpanded == 0 || st.PairSearch.LeavesEvaluated == 0 {
+		t.Fatalf("pair search left no trace in Stats().PairSearch: %+v", st.PairSearch)
+	}
+	// WithSearchParallelism accepts any n: n <= 0 selects auto.
+	mustSolver(t, dls.WithSearchParallelism(0))
+	mustSolver(t, dls.WithSearchParallelism(-1))
+}
+
 func TestRequestValidation(t *testing.T) {
 	solver := mustSolver(t)
 	ctx := context.Background()

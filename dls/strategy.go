@@ -39,12 +39,12 @@ const (
 	// StrategyBusFIFO constructs the optimal one-port FIFO schedule on a bus
 	// platform via the constructive proof of Theorem 2.
 	StrategyBusFIFO = "bus-fifo"
-	// StrategyFIFOExhaustive searches all FIFO send orders (p ≤ 8).
+	// StrategyFIFOExhaustive searches all FIFO send orders (p ≤ 9).
 	StrategyFIFOExhaustive = "fifo-exhaustive"
-	// StrategyLIFOExhaustive searches all LIFO send orders (p ≤ 8).
+	// StrategyLIFOExhaustive searches all LIFO send orders (p ≤ 9).
 	StrategyLIFOExhaustive = "lifo-exhaustive"
 	// StrategyPairExhaustive searches all (σ1, σ2) permutation pairs
-	// (p ≤ 7; p ≤ 5 under exact arithmetic, whose flat loop runs
+	// (p ≤ 8; p ≤ 5 under exact arithmetic, whose flat loop runs
 	// unpruned) — the general problem whose complexity the paper leaves
 	// open. It explores with the default algorithm: the return-order
 	// branch-and-bound for float64 backends, the flat double loop under

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync/atomic"
@@ -13,25 +14,44 @@ import (
 
 // Limits on the exhaustive searches: p! scenario evaluations for FIFO/LIFO
 // order search, (p!)² return-order nodes for permutation pairs. The order
-// limit keeps worst cases around a few hundred thousand tiny evaluations;
-// the pair limit rose from 5 to 7 when the branch-and-bound recursion over
-// return orders replaced the flat inner loop — the prefix bound cuts whole
-// σ2 subtrees, so the explored node count stays far below the (p!)²
-// ceiling. Exact-rational pair searches keep the historical cap: they run
-// the flat loop with seeding and pruning disabled (float64 bounds cannot
-// certify exact comparisons), so (7!)² exact simplex solves would take
-// days where the fail-fast error takes microseconds.
+// limit keeps worst cases around a few million tiny evaluations; the pair
+// limit rose from 5 to 7 when the branch-and-bound recursion over return
+// orders replaced the flat inner loop — the prefix bound cuts whole σ2
+// subtrees, so the explored node count stays far below the (p!)² ceiling —
+// and from 7 to 8 (with the order limit moving 8 → 9) when the
+// work-stealing pool spread the searches over all cores and the incremental
+// factorisation cut the per-node bound to O(q²). Exact-rational pair
+// searches keep the historical cap: they run the flat loop with seeding and
+// pruning disabled (float64 bounds cannot certify exact comparisons), so
+// (7!)² exact simplex solves would take days where the fail-fast error
+// takes microseconds.
 const (
-	maxExhaustiveOrder     = 8
-	maxExhaustivePair      = 7
+	maxExhaustiveOrder     = 9
+	maxExhaustivePair      = 8
 	maxExhaustivePairExact = 5 // ExactRational: unpruned flat loop only
 )
 
-// pruneMargin is the relative safety margin of the pair search's
-// upper-bound pruning: a subtree (or inner loop) is skipped only when its
-// bound cannot beat the incumbent by more than floating-point noise, so
-// pruning never changes the reported optimum beyond ~1e-12 relative.
-const pruneMargin = 1e-12
+// pruneSlack is the relative safety margin of the searches' upper-bound
+// pruning: a subtree (or inner loop) is pruned only when its bound is
+// WORSE than the incumbent by more than this relative slack,
+// bound·(1+pruneSlack) < incumbent. The strict direction matters for the
+// parallel search's byte-identity guarantee: a subtree containing an
+// optimum-achieving leaf has bound ≥ ρ* ≥ incumbent and therefore can
+// never satisfy the prune test, REGARDLESS of how the shared incumbent
+// happened to rise — so the set of surviving optima (and with the lex-min
+// tie rule, the winner) does not depend on worker interleaving. The slack
+// is wide enough (1e-9 ≫ the incremental factorisation's refinement-
+// guarded drift) that bound noise cannot flip the test either.
+const pruneSlack = 1e-9
+
+// screenSlack derives the incumbent handed to the sweeps' dual screening
+// (eval.Sweep.ThroughputBound): the searches pass incumbent·(1-screenSlack)
+// so an order that exactly TIES the shared best is never screened — its
+// exact optimum is always computed, keeping the lex-min tie resolution
+// deterministic under any worker interleaving. Screened orders report a
+// value capped at the screening incumbent, i.e. strictly below the shared
+// best, so they can never become a winner either.
+const screenSlack = 1e-11
 
 // ctxPollMask throttles context polling in the search cores' hot loops:
 // the context is checked every ctxPollMask+1 nodes, bounding the
@@ -141,29 +161,9 @@ func forEachPermutation(n int, fn func(perm []int, swapped int) error) error {
 		return err
 	}
 	for {
-		// Largest mobile value: the biggest v whose neighbour in dir[v]
-		// exists and is smaller.
-		v := -1
-		for val := n - 1; val >= 0; val-- {
-			k := pos[val]
-			if t := k + dir[val]; t >= 0 && t < n && perm[t] < val {
-				v = val
-				break
-			}
-		}
-		if v < 0 {
+		left, ok := sjtStep(n, perm, pos, dir)
+		if !ok {
 			return nil // no mobile value: all n! permutations emitted
-		}
-		k := pos[v]
-		t := k + dir[v]
-		perm[k], perm[t] = perm[t], perm[k]
-		pos[v], pos[perm[k]] = t, k
-		for val := v + 1; val < n; val++ {
-			dir[val] = -dir[val]
-		}
-		left := k
-		if t < k {
-			left = t
 		}
 		if err := fn(perm, left); err != nil {
 			return err
@@ -171,16 +171,60 @@ func forEachPermutation(n int, fn func(perm []int, swapped int) error) error {
 	}
 }
 
-// searchCore is the node state shared by every order-space search in this
-// package: throttled cancellation and incumbent tracking. The FIFO/LIFO
-// order searches are depth-1 instances — every SJT emission is a leaf
-// offered directly — while the pair searches thread the same core through
-// the σ1 enumeration and (for the branch-and-bound) every node of the
-// return-order recursion, which is what makes a WithTimeout deadline abort
-// a deep subtree promptly instead of waiting for the next outer
-// permutation.
+// incumbent is the state one search's workers share: the best known
+// throughput as atomic float64 bits (throughputs are positive, so the IEEE
+// bit patterns order exactly like the values and a CAS-max loop suffices)
+// and the cooperative stop flag of the cancellation protocol — the first
+// worker that observes a done context (or fails) raises it, and every
+// other worker sees it at its next throttled poll.
+type incumbent struct {
+	bits atomic.Uint64
+	stop atomic.Bool
+}
+
+// load returns the shared best throughput (0 before the first offer).
+func (inc *incumbent) load() float64 {
+	return math.Float64frombits(inc.bits.Load())
+}
+
+// raise lifts the shared best to rho if it improves it.
+func (inc *incumbent) raise(rho float64) {
+	if rho <= 0 {
+		return
+	}
+	b := math.Float64bits(rho)
+	for {
+		cur := inc.bits.Load()
+		if cur >= b || inc.bits.CompareAndSwap(cur, b) {
+			return
+		}
+	}
+}
+
+// errSearchStopped is the sentinel a worker returns when it quits because
+// ANOTHER worker raised the stop flag: the real error (a done context, an
+// evaluation failure) travels up from the worker that hit it, and the
+// drivers drop the sentinels in favour of it.
+var errSearchStopped = errors.New("core: search stopped by another worker")
+
+// searchCore is one worker's view of an order-space search: its private
+// poll counter and local best (send, return, throughput) plus the shared
+// incumbent every worker prunes against. The FIFO/LIFO order searches are
+// depth-1 instances — every SJT emission is a leaf offered directly —
+// while the pair searches thread the same core through the σ1 enumeration
+// and (for the branch-and-bound) every node of the return-order recursion,
+// which is what makes a WithTimeout deadline abort a deep subtree promptly
+// instead of waiting for the next outer permutation.
+//
+// Ties are resolved lexicographically: among leaves of equal throughput
+// the worker keeps the lexicographically smallest (send, return) pair, and
+// the drivers merge worker bests under the same rule. Combined with the
+// strictly-worse prune rule (see pruneSlack) this makes the search result
+// a pure function of the platform — byte-identical across worker counts
+// and interleavings.
 type searchCore struct {
 	ctx     context.Context
+	inc     *incumbent
 	iter    int
 	bestRho float64
 	best    platform.Order // winning send order
@@ -188,37 +232,96 @@ type searchCore struct {
 }
 
 func newSearchCore(ctx context.Context) *searchCore {
-	return &searchCore{ctx: ctx, bestRho: -1}
+	return newSearchWorker(ctx, &incumbent{})
 }
 
-// poll checks the context every ctxPollMask+1 calls. Every node of every
-// search calls it, so cancellation latency is bounded by a few dozen chain
-// evaluations anywhere in the tree.
+// newSearchWorker is a worker-view core over a shared incumbent.
+func newSearchWorker(ctx context.Context, inc *incumbent) *searchCore {
+	return &searchCore{ctx: ctx, inc: inc, bestRho: -1}
+}
+
+// poll checks the stop flag and the context every ctxPollMask+1 calls.
+// Every node of every search calls it on its own counter, so cancellation
+// latency is bounded by a few dozen chain evaluations anywhere in the tree
+// of every worker.
 func (s *searchCore) poll() error {
 	if s.iter&ctxPollMask == 0 {
 		if err := s.ctx.Err(); err != nil {
+			s.inc.stop.Store(true)
 			return err
+		}
+		if s.inc.stop.Load() {
+			return errSearchStopped
 		}
 	}
 	s.iter++
 	return nil
 }
 
-// prunable reports whether a subtree bound cannot beat the incumbent (with
-// the pruning safety margin). Searches never prune before the first
-// incumbent exists.
+// prunable reports whether a subtree bound is strictly worse than the
+// shared incumbent (see pruneSlack for why strictness is load-bearing).
+// No worker prunes before the first incumbent exists.
 func (s *searchCore) prunable(bound float64) bool {
-	return s.bestRho > 0 && bound <= s.bestRho*(1+pruneMargin)
+	g := s.inc.load()
+	return g > 0 && bound*(1+pruneSlack) < g
 }
 
-// offer installs a strictly better leaf as the incumbent, cloning the live
-// enumeration slices. ret may be nil for searches whose return order is
-// implied by the send order (FIFO/LIFO).
+// screen returns the incumbent to hand to the sweeps' dual screening: a
+// hair below the shared best, so exact ties are never screened out (see
+// screenSlack).
+func (s *searchCore) screen() float64 {
+	g := s.inc.load()
+	if g <= 0 {
+		return -1
+	}
+	return g * (1 - screenSlack)
+}
+
+// offer installs a leaf as the worker's local best when it improves it —
+// strictly better throughput, or an exact tie with a lexicographically
+// smaller (send, return) pair — cloning the live enumeration slices, and
+// lifts the shared incumbent. ret may be nil for searches whose return
+// order is implied by the send order (FIFO/LIFO).
 func (s *searchCore) offer(rho float64, send, ret platform.Order) {
-	if rho > s.bestRho {
-		s.bestRho = rho
-		s.best = send.Clone()
-		s.bestRet = ret.Clone()
+	if rho < s.bestRho {
+		return
+	}
+	if rho == s.bestRho && !ordersLess(send, ret, s.best, s.bestRet) {
+		return
+	}
+	s.bestRho = rho
+	s.best = append(s.best[:0], send...)
+	s.bestRet = append(s.bestRet[:0], ret...)
+	s.inc.raise(rho)
+}
+
+// ordersLess is the lexicographic tie rule: send order first, return order
+// second. Orders compared by a search always have equal lengths.
+func ordersLess(aSend, aRet, bSend, bRet platform.Order) bool {
+	for i := range aSend {
+		if aSend[i] != bSend[i] {
+			return aSend[i] < bSend[i]
+		}
+	}
+	for i := range aRet {
+		if i >= len(bRet) || aRet[i] != bRet[i] {
+			return i >= len(bRet) || aRet[i] < bRet[i]
+		}
+	}
+	return false
+}
+
+// mergeWorkers folds worker-local bests into dst under the same
+// (throughput, lex) rule the workers applied locally, making the final
+// winner independent of which worker found it.
+func mergeWorkers(dst *searchCore, workers []*searchCore) {
+	for _, w := range workers {
+		if w == nil || w.bestRho < dst.bestRho {
+			continue
+		}
+		if w.bestRho > dst.bestRho || ordersLess(w.best, w.bestRet, dst.best, dst.bestRet) {
+			dst.bestRho, dst.best, dst.bestRet = w.bestRho, w.best, w.bestRet
+		}
 	}
 }
 
@@ -295,14 +398,47 @@ func bestOrderExhaustive(ctx context.Context, p *platform.Platform, model schedu
 	if n > maxExhaustiveOrder {
 		return nil, nil, fmt.Errorf("core: exhaustive order search limited to %d workers, platform has %d", maxExhaustiveOrder, n)
 	}
+	winner := newSearchCore(ctx)
+	run := func(core *searchCore, lo, hi int64) error {
+		return sweepRange(core, p, model, mode, lifo, lo, hi)
+	}
+	if err := runRangePool(ctx, winner, factorial(n), run); err != nil {
+		return nil, nil, err
+	}
+	sess := eval.GetSession()
+	defer sess.Release()
+	bestOrder := winner.best
+	sc := eval.Scenario{Platform: p, Model: model, Send: bestOrder}
+	if lifo {
+		sc.Return = bestOrder.Reverse()
+	} else {
+		sc.Return = bestOrder
+	}
+	best, err := sess.Evaluate(sc, mode)
+	if err != nil {
+		return nil, nil, err
+	}
+	return best, bestOrder, nil
+}
+
+// sweepRange runs one worker's contiguous permutation-rank range of the
+// FIFO/LIFO order search: under the Auto backend an incremental eval.Sweep
+// rides the SJT transpositions of the range (the range opener rebuilds the
+// chains from scratch, exactly like the full enumeration's identity
+// emission), other backends evaluate each order through one pooled
+// session. Sweep values are pure functions of the order — Delta recomputes
+// everything downstream of a transposition from unchanged prefix state —
+// so a range-partitioned search scores every order bit-identically to the
+// serial one.
+func sweepRange(core *searchCore, p *platform.Platform, model schedule.Model, mode eval.Mode, lifo bool, lo, hi int64) error {
+	n := p.P()
 	sess := eval.GetSession()
 	defer sess.Release()
 	sc := eval.Scenario{Platform: p, Model: model}
 	reversed := make(platform.Order, n) // scratch for the LIFO return order
-	core := newSearchCore(ctx)
 	var sweep *eval.Sweep
 	useSweep := mode == eval.Auto
-	err := forEachPermutation(n, func(perm []int, swapped int) error {
+	return forEachPermutationRange(n, lo, hi, func(perm []int, swapped int) error {
 		if err := core.poll(); err != nil {
 			return err
 		}
@@ -315,11 +451,13 @@ func bestOrderExhaustive(ctx context.Context, p *platform.Platform, model schedu
 			} else {
 				sweep.Delta(swapped)
 			}
-			// ThroughputBound may return a certified upper bound (≤ the
-			// incumbent) instead of the exact optimum when the cached dual
-			// multipliers prove this order cannot beat the incumbent;
-			// either way a pruned order never becomes the winner.
-			if rho, ok := sweep.ThroughputBound(core.bestRho); ok {
+			// ThroughputBound may return a certified upper bound instead of
+			// the exact optimum when the cached dual multipliers prove this
+			// order cannot beat the screening incumbent; the screen sits
+			// strictly below the shared best (see screenSlack), so a pruned
+			// order's capped value can never win and an exact tie is always
+			// computed exactly.
+			if rho, ok := sweep.ThroughputBound(core.screen()); ok {
 				core.offer(rho, platform.Order(perm), nil)
 				return nil
 			}
@@ -342,21 +480,6 @@ func bestOrderExhaustive(ctx context.Context, p *platform.Platform, model schedu
 		core.offer(rho, platform.Order(perm), nil)
 		return nil
 	})
-	if err != nil {
-		return nil, nil, err
-	}
-	bestOrder := core.best
-	sc.Send = bestOrder
-	if lifo {
-		sc.Return = bestOrder.Reverse()
-	} else {
-		sc.Return = bestOrder
-	}
-	best, err := sess.Evaluate(sc, mode)
-	if err != nil {
-		return nil, nil, err
-	}
-	return best, bestOrder, nil
 }
 
 // PairResult is the outcome of the general permutation-pair search.
@@ -442,21 +565,21 @@ func BestPairExhaustiveAlgo(ctx context.Context, p *platform.Platform, model sch
 	}
 	sess := eval.GetSession()
 	defer sess.Release()
-	core := newSearchCore(ctx)
+	winner := newSearchCore(ctx)
 	prune := mode != eval.ExactRational
-	if err := seedPairIncumbent(ctx, core, p, model, n, prune && !disablePairSeeding); err != nil {
+	if err := seedPairIncumbent(ctx, winner, p, model, n, prune && !disablePairSeeding); err != nil {
 		return nil, err
 	}
 	var err error
 	if algo == PairBB {
-		err = pairSearchBB(core, sess, p, model, mode, n)
+		err = pairSearchBB(ctx, winner, p, model, mode, n)
 	} else {
-		err = pairSearchFlat(core, sess, p, model, mode, n, prune)
+		err = pairSearchFlat(winner, sess, p, model, mode, n, prune)
 	}
 	if err != nil {
 		return nil, err
 	}
-	bestSend, bestRet := core.best, core.bestRet
+	bestSend, bestRet := winner.best, winner.bestRet
 	best, err := sess.Evaluate(eval.Scenario{Platform: p, Send: bestSend, Return: bestRet, Model: model}, mode)
 	if err != nil {
 		return nil, err
@@ -503,38 +626,37 @@ func pairSearchFlat(core *searchCore, sess *eval.Session, p *platform.Platform, 
 	})
 }
 
-// pairSearchBB drives the branch-and-bound: the outer SJT enumeration over
-// send orders, a pruned prefix recursion over return orders within each.
-// Counter flushes happen exactly once, including on cancellation.
-func pairSearchBB(core *searchCore, sess *eval.Session, p *platform.Platform, model schedule.Model, mode eval.Mode, n int) error {
-	rp, err := sess.NewReturnPrefix(p, model, mode)
-	if err != nil {
-		return err
-	}
-	bb := &pairBB{core: core, rp: rp, q: n}
-	defer bb.flush()
-	return forEachPermutation(n, func(sendPerm []int, _ int) error {
-		if err := core.poll(); err != nil {
+// pairSearchBB drives the branch-and-bound over the work-stealing pool:
+// send orders are tasks identified by their SJT rank, initially dealt to
+// the workers as contiguous blocks; each worker runs a pruned prefix
+// recursion over return orders per send order with its own pooled session
+// and ReturnPrefix, pruning against the shared incumbent. Counter flushes
+// happen exactly once per worker, including on cancellation.
+func pairSearchBB(ctx context.Context, winner *searchCore, p *platform.Platform, model schedule.Model, mode eval.Mode, n int) error {
+	run := func(core *searchCore, next func() (int64, bool)) error {
+		sess := eval.GetSession()
+		defer sess.Release()
+		rp, err := sess.NewReturnPrefix(p, model, mode)
+		if err != nil {
 			return err
 		}
-		bb.send = platform.Order(sendPerm)
-		if err := rp.Reset(bb.send); err != nil {
-			return err
-		}
-		// Root bound: the same relaxation SendBound solves as an LP, here
-		// one triangular system. A send order that cannot beat the
-		// incumbent skips its whole return-order tree.
-		bound := math.Inf(1)
-		if b, _, ok := rp.Bound(); ok {
-			if core.prunable(b) {
-				bb.outerPruned++
+		bb := &pairBB{core: core, rp: rp, q: n}
+		defer bb.flush()
+		perm := make([]int, n)
+		pos := make([]int, n)
+		dir := make([]int, n)
+		for {
+			rank, ok := next()
+			if !ok {
 				return nil
 			}
-			bound = b
+			sjtUnrank(n, rank, perm, pos, dir)
+			if err := bb.searchSend(platform.Order(perm)); err != nil {
+				return err
+			}
 		}
-		bb.nodes++
-		return bb.searchNode(bound)
-	})
+	}
+	return runStealingPool(ctx, winner, factorial(n), run)
 }
 
 // pairBB is one branch-and-bound run: the shared search core, the eval
@@ -554,6 +676,30 @@ func (b *pairBB) flush() {
 	pairNodesExpanded.Add(b.nodes)
 	pairSubtreesPruned.Add(b.pruned)
 	pairLeavesEval.Add(b.leaves)
+}
+
+// searchSend explores the return-order tree of one send order: root bound,
+// then the pruned prefix recursion. A send order whose root relaxation —
+// the same one SendBound solves as an LP, here one triangular system —
+// cannot beat the incumbent skips its whole tree.
+func (b *pairBB) searchSend(send platform.Order) error {
+	if err := b.core.poll(); err != nil {
+		return err
+	}
+	b.send = send
+	if err := b.rp.Reset(send); err != nil {
+		return err
+	}
+	bound := math.Inf(1)
+	if bd, _, ok := b.rp.Bound(); ok {
+		if b.core.prunable(bd) {
+			b.outerPruned++
+			return nil
+		}
+		bound = bd
+	}
+	b.nodes++
+	return b.searchNode(bound)
 }
 
 // searchNode expands one node: every still-open worker is committed in

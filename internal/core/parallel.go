@@ -1,0 +1,218 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// This file is the work-stealing search pool behind the exhaustive order
+// searches: the permutation space is addressed by SJT rank (see sjt.go),
+// split into contiguous per-worker blocks, and — for the pair search,
+// whose per-rank subtrees are wildly uneven — rebalanced by steal-half.
+// Every worker shares one incumbent (atomic float64-bits CAS) and keeps a
+// local (throughput, lex-min orders) best; the drivers merge the locals
+// under the same rule, which together with the strictly-worse prune rule
+// makes the result byte-identical to the serial search for every worker
+// count and interleaving (see searchCore).
+
+// searchParallelismKey carries the worker count of the order-space
+// searches through a context.
+type searchParallelismKey struct{}
+
+// ContextWithSearchParallelism returns a context that tells the exhaustive
+// order-space searches how many workers to use: n ≤ 0 means one worker per
+// CPU (GOMAXPROCS), n == 1 the serial path. Searches under a context
+// without the value run serially. The search result is byte-identical for
+// every setting; only wall-clock time changes.
+func ContextWithSearchParallelism(ctx context.Context, n int) context.Context {
+	return context.WithValue(ctx, searchParallelismKey{}, n)
+}
+
+// searchParallelism resolves the worker count for a search context.
+func searchParallelism(ctx context.Context) int {
+	n, ok := ctx.Value(searchParallelismKey{}).(int)
+	if !ok {
+		return 1
+	}
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// collectSearchErr reduces per-worker errors: the worker that actually hit
+// a failure (a done context, an evaluation error) reports it, workers that
+// merely observed the stop flag report errSearchStopped. Preferring the
+// real error keeps ctx.Err() semantics identical to the serial search.
+func collectSearchErr(ctx context.Context, errs []error) error {
+	stopped := false
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if err != errSearchStopped {
+			return err
+		}
+		stopped = true
+	}
+	if stopped {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return errSearchStopped
+	}
+	return nil
+}
+
+// runRangePool partitions [0, total) ranks into one contiguous block per
+// worker and runs fn on each block — the static split of the FIFO/LIFO
+// sweeps, whose per-rank cost is uniform enough that stealing would only
+// break the incremental sweep state. Worker bests merge into winner.
+func runRangePool(ctx context.Context, winner *searchCore, total int64, fn func(core *searchCore, lo, hi int64) error) error {
+	workers := searchParallelism(ctx)
+	if int64(workers) > total {
+		workers = int(total)
+	}
+	if workers <= 1 {
+		core := newSearchWorker(ctx, winner.inc)
+		if err := fn(core, 0, total); err != nil {
+			return err
+		}
+		mergeWorkers(winner, []*searchCore{core})
+		return nil
+	}
+	cores := make([]*searchCore, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		core := newSearchWorker(ctx, winner.inc)
+		cores[w] = core
+		lo := total * int64(w) / int64(workers)
+		hi := total * int64(w+1) / int64(workers)
+		wg.Add(1)
+		go func(w int, lo, hi int64) {
+			defer wg.Done()
+			if err := fn(core, lo, hi); err != nil {
+				winner.inc.stop.Store(true)
+				errs[w] = err
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	if err := collectSearchErr(ctx, errs); err != nil {
+		return err
+	}
+	mergeWorkers(winner, cores)
+	return nil
+}
+
+// rankDeque is one worker's share of the rank space: a contiguous interval
+// the owner pops from the front and thieves halve from the back. A mutex
+// is plenty — the owner locks once per send order (whose subtree costs
+// orders of magnitude more than the lock) and thieves only show up when
+// their own interval ran dry.
+type rankDeque struct {
+	mu     sync.Mutex
+	lo, hi int64
+}
+
+// pop takes the next rank from the front of the owner's interval.
+func (d *rankDeque) pop() (int64, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.lo >= d.hi {
+		return 0, false
+	}
+	r := d.lo
+	d.lo++
+	return r, true
+}
+
+// stealHalf removes and returns the upper half of the interval (victims
+// keep the lower half, preserving their front-pop locality). Intervals of
+// fewer than two ranks are not worth fighting the owner over.
+func (d *rankDeque) stealHalf() (lo, hi int64, ok bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n := d.hi - d.lo; n >= 2 {
+		mid := d.hi - n/2
+		lo, hi, ok = mid, d.hi, true
+		d.hi = mid
+	}
+	return
+}
+
+// install refills the owner's (drained) interval with a stolen one.
+func (d *rankDeque) install(lo, hi int64) {
+	d.mu.Lock()
+	d.lo, d.hi = lo, hi
+	d.mu.Unlock()
+}
+
+// runStealingPool deals [0, total) ranks to per-worker deques and runs fn
+// per worker with a next() source that drains the worker's own deque and
+// then steals half of a victim's remainder, scanning victims round-robin
+// from its right neighbour. Ranks never re-enter a deque once handed out,
+// so a worker that finds every deque empty is done. Worker bests merge
+// into winner.
+func runStealingPool(ctx context.Context, winner *searchCore, total int64, fn func(core *searchCore, next func() (int64, bool)) error) error {
+	workers := searchParallelism(ctx)
+	if int64(workers) > total {
+		workers = int(total)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	deques := make([]rankDeque, workers)
+	for w := range deques {
+		deques[w].lo = total * int64(w) / int64(workers)
+		deques[w].hi = total * int64(w+1) / int64(workers)
+	}
+	next := func(id int) func() (int64, bool) {
+		return func() (int64, bool) {
+			if r, ok := deques[id].pop(); ok {
+				return r, true
+			}
+			for k := 1; k < workers; k++ {
+				victim := (id + k) % workers
+				if lo, hi, ok := deques[victim].stealHalf(); ok {
+					if lo+1 < hi {
+						deques[id].install(lo+1, hi)
+					}
+					return lo, true
+				}
+			}
+			return 0, false
+		}
+	}
+	if workers == 1 {
+		core := newSearchWorker(ctx, winner.inc)
+		if err := fn(core, next(0)); err != nil {
+			return err
+		}
+		mergeWorkers(winner, []*searchCore{core})
+		return nil
+	}
+	cores := make([]*searchCore, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		core := newSearchWorker(ctx, winner.inc)
+		cores[w] = core
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if err := fn(core, next(w)); err != nil {
+				winner.inc.stop.Store(true)
+				errs[w] = err
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := collectSearchErr(ctx, errs); err != nil {
+		return err
+	}
+	mergeWorkers(winner, cores)
+	return nil
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/platform"
+	"repro/internal/schedule"
+)
+
+// scheduleBits flattens a schedule into its float64 bit patterns so two
+// schedules can be compared for BYTE identity, not mere numerical
+// closeness — the contract of the parallel searches is that worker count
+// and steal interleaving change wall-clock time and nothing else.
+func scheduleBits(s *schedule.Schedule) []uint64 {
+	out := []uint64{math.Float64bits(s.T)}
+	for _, a := range s.Alpha {
+		out = append(out, math.Float64bits(a))
+	}
+	return out
+}
+
+func bitsEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func ordersEqual(a, b platform.Order) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParallelSearchMatchesSerialByteIdentical is the agreement suite the
+// issue pins: across 240 random platforms, the pair branch-and-bound and
+// the FIFO/LIFO sweeps must return byte-identical results — the same
+// orders, the same load vector bit patterns, the same horizon bits — at
+// 2, 4 and 8 workers as the serial search does, on every platform.
+func TestParallelSearchMatchesSerialByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7171))
+	const trials = 240
+	workerCounts := []int{2, 4, 8}
+	for trial := 0; trial < trials; trial++ {
+		// Pair search: sizes 3-5 keep 240 trials fast while still giving
+		// every worker count ranks to steal (5! = 120 send orders).
+		n := 3 + trial%3
+		p := randomPairPlatform(rng, n)
+		serial, err := BestPairExhaustiveAlgo(context.Background(), p, schedule.OnePort, eval.Auto, PairBB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sBits := scheduleBits(serial.Schedule)
+		for _, w := range workerCounts {
+			ctx := ContextWithSearchParallelism(context.Background(), w)
+			got, err := BestPairExhaustiveAlgo(ctx, p, schedule.OnePort, eval.Auto, PairBB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ordersEqual(got.Send, serial.Send) || !ordersEqual(got.Return, serial.Return) {
+				t.Fatalf("trial %d workers %d: pair search returned (σ1=%v σ2=%v), serial has (σ1=%v σ2=%v)\n%s",
+					trial, w, got.Send, got.Return, serial.Send, serial.Return, p)
+			}
+			if !bitsEqual(scheduleBits(got.Schedule), sBits) {
+				t.Fatalf("trial %d workers %d: pair schedule diverges bitwise from serial\nparallel: T=%x α=%v\nserial:   T=%x α=%v\n%s",
+					trial, w, math.Float64bits(got.Schedule.T), got.Schedule.Alpha,
+					math.Float64bits(serial.Schedule.T), serial.Schedule.Alpha, p)
+			}
+		}
+
+		// Order sweeps: sizes 3-6, FIFO on even trials, LIFO on odd.
+		n = 3 + trial%4
+		p = randomPairPlatform(rng, n)
+		lifo := trial%2 == 1
+		search := BestFIFOExhaustiveEval
+		if lifo {
+			search = BestLIFOExhaustiveEval
+		}
+		serialSched, serialOrder, err := search(context.Background(), p, schedule.OnePort, eval.Auto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sBits = scheduleBits(serialSched)
+		for _, w := range workerCounts {
+			ctx := ContextWithSearchParallelism(context.Background(), w)
+			gotSched, gotOrder, err := search(ctx, p, schedule.OnePort, eval.Auto)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ordersEqual(gotOrder, serialOrder) {
+				t.Fatalf("trial %d workers %d lifo=%v: sweep returned σ=%v, serial has σ=%v\n%s",
+					trial, w, lifo, gotOrder, serialOrder, p)
+			}
+			if !bitsEqual(scheduleBits(gotSched), sBits) {
+				t.Fatalf("trial %d workers %d lifo=%v: sweep schedule diverges bitwise from serial\nparallel: T=%x α=%v\nserial:   T=%x α=%v\n%s",
+					trial, w, lifo, math.Float64bits(gotSched.T), gotSched.Alpha,
+					math.Float64bits(serialSched.T), serialSched.Alpha, p)
+			}
+		}
+	}
+}
+
+// TestStealingPoolCoversEveryRankOnce is the steal-storm stress test: many
+// workers over a small rank space with near-zero per-rank work, so the
+// deques drain instantly and the run is dominated by concurrent
+// steal-half traffic. Every rank must be delivered exactly once per run.
+// The -race CI job runs this test and makes the steal/install/pop locking
+// discipline part of the checked surface.
+func TestStealingPoolCoversEveryRankOnce(t *testing.T) {
+	const (
+		workers = 16
+		total   = int64(1000)
+		rounds  = 50
+	)
+	ctx := ContextWithSearchParallelism(context.Background(), workers)
+	for round := 0; round < rounds; round++ {
+		var mu sync.Mutex
+		seen := make(map[int64]int, total)
+		winner := newSearchCore(ctx)
+		err := runStealingPool(ctx, winner, total, func(core *searchCore, next func() (int64, bool)) error {
+			local := make([]int64, 0, 64)
+			for {
+				r, ok := next()
+				if !ok {
+					break
+				}
+				local = append(local, r)
+			}
+			mu.Lock()
+			for _, r := range local {
+				seen[r]++
+			}
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(seen)) != total {
+			t.Fatalf("round %d: %d of %d ranks delivered", round, len(seen), total)
+		}
+		for r, c := range seen {
+			if c != 1 {
+				t.Fatalf("round %d: rank %d delivered %d times", round, r, c)
+			}
+		}
+	}
+}
+
+// TestParallelPairSearchCancellation pins the parallel cancellation
+// satellite: with 4 workers on a p = 7 search far larger than its 500µs
+// deadline, the first worker to observe the expired context must stop the
+// whole pool through the shared flag, and the pool must surface
+// context.DeadlineExceeded — not the internal stop sentinel — promptly.
+func TestParallelPairSearchCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(808))
+	p := randomPairPlatform(rng, 7)
+	disablePairSeeding = true
+	defer func() { disablePairSeeding = false }()
+	ctx, cancel := context.WithTimeout(ContextWithSearchParallelism(context.Background(), 4), 500*time.Microsecond)
+	defer cancel()
+	start := time.Now()
+	_, err := BestPairExhaustiveAlgo(ctx, p, schedule.OnePort, eval.Auto, PairBB)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expected context.DeadlineExceeded, got %v (after %v)", err, elapsed)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v, the workers are not sharing the stop flag", elapsed)
+	}
+}
+
+// TestRankDequeStealHalf pins the deque arithmetic: the thief takes the
+// upper half (rounded down), the victim keeps the front, singleton
+// intervals are not stealable.
+func TestRankDequeStealHalf(t *testing.T) {
+	d := &rankDeque{lo: 10, hi: 20}
+	lo, hi, ok := d.stealHalf()
+	if !ok || lo != 15 || hi != 20 {
+		t.Fatalf("stealHalf of [10,20) = [%d,%d) ok=%v, want [15,20) true", lo, hi, ok)
+	}
+	if d.lo != 10 || d.hi != 15 {
+		t.Fatalf("victim keeps [%d,%d), want [10,15)", d.lo, d.hi)
+	}
+	d.install(7, 8)
+	if _, _, ok := d.stealHalf(); ok {
+		t.Fatal("stole from a singleton interval")
+	}
+	if r, ok := d.pop(); !ok || r != 7 {
+		t.Fatalf("pop = %d,%v want 7,true", r, ok)
+	}
+	if _, ok := d.pop(); ok {
+		t.Fatal("pop from an empty deque succeeded")
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+// Steinhaus–Johnson–Trotter enumeration, factored so the parallel search
+// pool can hand each worker a CONTIGUOUS RANGE of permutation ranks and
+// still honour the adjacent-transposition contract inside the range: the
+// emission sequence of forEachPermutationRange(n, lo, hi) is exactly
+// emissions lo..hi-1 of forEachPermutation(n), with the first emission
+// reported as swapped == -1 (a range opener rebuilds its sweep state from
+// scratch, like the full enumeration's identity emission).
+//
+// The resume state at an arbitrary rank comes from the mixed-radix
+// structure of SJT: write the rank in the factorial-like digit chain
+// r_{n-1} = rank, r_{k-1} = ⌊r_k/(k+1)⌋, and let i_k = r_k mod (k+1).
+// Value k has then made i_k steps of its current sweep through the
+// arrangement of the values below it, and the values below it have moved
+// r_{k-1} times in total — each move of a smaller value flips k's
+// direction, so k sweeps leftward when r_{k-1} is even (insertion slot
+// k - i_k) and rightward when odd (slot i_k). The insertion recursion
+// rebuilds the permutation in O(n²); the property test in sjt_test.go pins
+// range-concatenation equality against the full enumeration for n ≤ 8.
+
+// factorial returns n! (n ≤ 20 fits int64; the search caps keep n ≤ 9).
+func factorial(n int) int64 {
+	f := int64(1)
+	for k := 2; k <= n; k++ {
+		f *= int64(k)
+	}
+	return f
+}
+
+// sjtUnrank reconstructs the full SJT loop state — the permutation, the
+// value→index table and the per-value directions — as it stands when the
+// enumeration has emitted `rank` (0-based: rank 0 is the identity). The
+// three slices must have length n.
+func sjtUnrank(n int, rank int64, perm, pos, dir []int) {
+	// Digit chain, top value down: digits[k] = r_k mod (k+1) and
+	// moves[k] = r_{k-1} (total moves of values below k).
+	perm = perm[:n]
+	if n == 0 {
+		return
+	}
+	perm[0] = 0
+	dir[0] = -1
+	r := rank
+	type kd struct{ steps, below int64 }
+	var chain [16]kd
+	for k := n - 1; k >= 1; k-- {
+		chain[k] = kd{steps: r % int64(k+1), below: r / int64(k+1)}
+		r /= int64(k + 1)
+	}
+	length := 1
+	for k := 1; k < n; k++ {
+		steps, below := chain[k].steps, chain[k].below
+		slot := int(steps)
+		if below%2 == 0 {
+			slot = k - int(steps) // leftward sweep: started at the right end
+			dir[k] = -1
+		} else {
+			dir[k] = 1
+		}
+		copy(perm[slot+1:length+1], perm[slot:length])
+		perm[slot] = k
+		length++
+	}
+	for i, v := range perm {
+		pos[v] = i
+	}
+}
+
+// sjtStep advances the SJT state by one transposition: it moves the largest
+// mobile value one step in its direction, flips the directions of all
+// larger values, and returns the left index of the swapped adjacent pair.
+// ok == false means the enumeration is exhausted (no mobile value).
+func sjtStep(n int, perm, pos, dir []int) (left int, ok bool) {
+	v := -1
+	for val := n - 1; val >= 0; val-- {
+		k := pos[val]
+		if t := k + dir[val]; t >= 0 && t < n && perm[t] < val {
+			v = val
+			break
+		}
+	}
+	if v < 0 {
+		return 0, false
+	}
+	k := pos[v]
+	t := k + dir[v]
+	perm[k], perm[t] = perm[t], perm[k]
+	pos[v], pos[perm[k]] = t, k
+	for val := v + 1; val < n; val++ {
+		dir[val] = -dir[val]
+	}
+	if t < k {
+		return t, true
+	}
+	return k, true
+}
+
+// forEachPermutationRange invokes fn with emissions lo..hi-1 (by rank) of
+// the SJT enumeration of {0..n-1}. The first call reports swapped == -1;
+// every later call reports the left index of the adjacent transposition
+// that produced it, exactly as the full enumeration would. The slice passed
+// to fn is reused and mutated between calls (clone to retain).
+func forEachPermutationRange(n int, lo, hi int64, fn func(perm []int, swapped int) error) error {
+	if lo >= hi {
+		return nil
+	}
+	perm := make([]int, n)
+	pos := make([]int, n)
+	dir := make([]int, n)
+	sjtUnrank(n, lo, perm, pos, dir)
+	if err := fn(perm, -1); err != nil {
+		return err
+	}
+	for r := lo + 1; r < hi; r++ {
+		left, ok := sjtStep(n, perm, pos, dir)
+		if !ok {
+			return nil
+		}
+		if err := fn(perm, left); err != nil {
+			return err
+		}
+	}
+	return nil
+}

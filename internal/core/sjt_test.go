@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// emission is one (permutation, swapped) pair of an SJT enumeration.
+type emission struct {
+	perm    string
+	swapped int
+}
+
+func collectFull(t *testing.T, n int) []emission {
+	t.Helper()
+	var out []emission
+	err := forEachPermutation(n, func(perm []int, swapped int) error {
+		out = append(out, emission{fmt.Sprint(perm), swapped})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestForEachPermutationRangeMatchesFull pins the contract the parallel
+// searches rely on: for ANY partition of [0, n!) into contiguous rank
+// ranges, concatenating the range enumerations reproduces the full SJT
+// enumeration — the same permutations at the same ranks, and the same
+// adjacent-transposition indices except at range openers (swapped == -1,
+// where a worker rebuilds its sweep state from scratch).
+func TestForEachPermutationRangeMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for n := 1; n <= 8; n++ {
+		full := collectFull(t, n)
+		total := factorial(n)
+		if int64(len(full)) != total {
+			t.Fatalf("n=%d: full enumeration emitted %d of %d permutations", n, len(full), total)
+		}
+		// A handful of random partitions plus the edge splits.
+		for trial := 0; trial < 5; trial++ {
+			var cuts []int64
+			switch trial {
+			case 0: // one range
+				cuts = []int64{0, total}
+			case 1: // singleton ranges (every emission a range opener)
+				for r := int64(0); r <= total; r++ {
+					cuts = append(cuts, r)
+				}
+			default:
+				cuts = []int64{0}
+				for r := int64(1); r < total; r++ {
+					if rng.Intn(4) == 0 {
+						cuts = append(cuts, r)
+					}
+				}
+				cuts = append(cuts, total)
+			}
+			rank := int64(0)
+			for c := 0; c+1 < len(cuts); c++ {
+				lo, hi := cuts[c], cuts[c+1]
+				first := true
+				err := forEachPermutationRange(n, lo, hi, func(perm []int, swapped int) error {
+					want := full[rank]
+					if got := fmt.Sprint(perm); got != want.perm {
+						t.Fatalf("n=%d rank=%d range [%d,%d): got perm %s, full enumeration has %s", n, rank, lo, hi, got, want.perm)
+					}
+					if first {
+						if swapped != -1 {
+							t.Fatalf("n=%d rank=%d: range opener reported swapped=%d, want -1", n, rank, swapped)
+						}
+					} else if swapped != want.swapped {
+						t.Fatalf("n=%d rank=%d: swapped=%d, full enumeration has %d", n, rank, swapped, want.swapped)
+					}
+					first = false
+					rank++
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			if rank != total {
+				t.Fatalf("n=%d: partition covered %d of %d ranks", n, rank, total)
+			}
+		}
+	}
+}
+
+// TestSJTUnrankResumesDirections pins the direction reconstruction: the
+// state unranked at rank r must step to exactly the same successor the
+// full enumeration produces, for every r (covered implicitly above via the
+// singleton partition, and explicitly here at n = 7 for a larger stride).
+func TestSJTUnrankResumesDirections(t *testing.T) {
+	const n = 7
+	full := collectFull(t, n)
+	perm := make([]int, n)
+	pos := make([]int, n)
+	dir := make([]int, n)
+	for r := int64(0); r < factorial(n)-1; r += 97 {
+		sjtUnrank(n, r, perm, pos, dir)
+		if got := fmt.Sprint(perm); got != full[r].perm {
+			t.Fatalf("rank %d: unranked %s, want %s", r, got, full[r].perm)
+		}
+		left, ok := sjtStep(n, perm, pos, dir)
+		if !ok {
+			t.Fatalf("rank %d: no mobile value before the last rank", r)
+		}
+		if got, want := fmt.Sprint(perm), full[r+1].perm; got != want {
+			t.Fatalf("rank %d: stepped to %s, want %s", r, got, want)
+		}
+		if left != full[r+1].swapped {
+			t.Fatalf("rank %d: step swapped %d, want %d", r, left, full[r+1].swapped)
+		}
+	}
+}

@@ -183,3 +183,76 @@ func TestReturnPrefixIncrementalMatchesOneShot(t *testing.T) {
 		}
 	}
 }
+
+// TestReturnPrefixUpdateMatchesRefactor pins the Sherman–Morrison bound
+// path to the from-scratch one: two ReturnPrefix instances walk the SAME
+// random Push/Pop trajectory — one on the maintained-inverse path, one
+// with SetIncremental(false) so every Bound refactorises — and at every
+// node their bounds must agree to 1e-12 relative with identical exact/ok
+// flags. 5000+ walk steps across platforms up to p = 8 drive the inverse
+// through long update chains (well past refactorPeriod on no trial, so
+// the per-call refinement alone must hold the agreement).
+func TestReturnPrefixUpdateMatchesRefactor(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	sess := NewSession()
+	steps := 0
+	for trial := 0; steps < 5000; trial++ {
+		p := randomAgreementPlatform(rng)
+		n := p.P()
+		send := platform.Order(rng.Perm(n))
+		model := schedule.OnePort
+		if trial%4 == 0 {
+			model = schedule.TwoPort
+		}
+		inc, err := sess.NewReturnPrefix(p, model, Auto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := sess.NewReturnPrefix(p, model, Auto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref.SetIncremental(false)
+		if err := inc.Reset(send); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Reset(send); err != nil {
+			t.Fatal(err)
+		}
+		depth := 0
+		for step := 0; step < 60; step++ {
+			var open []int
+			for pos := 0; pos < n; pos++ {
+				if inc.Open(pos) {
+					open = append(open, pos)
+				}
+			}
+			if len(open) > 0 && (depth == 0 || rng.Intn(3) > 0) {
+				pos := open[rng.Intn(len(open))]
+				inc.Push(pos)
+				ref.Push(pos)
+				depth++
+			} else if depth > 0 {
+				inc.Pop()
+				ref.Pop()
+				depth--
+			} else {
+				continue
+			}
+			steps++
+			gb, gx, gok := inc.Bound()
+			wb, wx, wok := ref.Bound()
+			if gok != wok || gx != wx {
+				t.Fatalf("trial %d step %d depth %d: incremental flags (exact=%v ok=%v) != from-scratch (exact=%v ok=%v)\nσ1=%v\n%s",
+					trial, step, depth, gx, gok, wx, wok, send, p)
+			}
+			if !gok {
+				continue
+			}
+			if d := math.Abs(gb - wb); d > 1e-12*(1+math.Abs(wb)) {
+				t.Fatalf("trial %d step %d depth %d: incremental bound %.17g vs from-scratch %.17g (diff %.3g)\nσ1=%v\n%s",
+					trial, step, depth, gb, wb, d, send, p)
+			}
+		}
+	}
+}

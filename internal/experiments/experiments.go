@@ -67,6 +67,13 @@ type Config struct {
 	// StrategyPairBB / StrategyPairFlat to pin one algorithm for
 	// agreement runs (the CLI's -pair-search knob).
 	PairStrategy string
+	// SearchParallelism is the intra-request worker count of the
+	// exhaustive order-space searches (the "pair" figure): 0 uses one
+	// worker per CPU, 1 the serial search. Results are byte-identical at
+	// every setting. The experiment default is 1: the per-size batches
+	// already saturate the CPU across requests, so nesting intra-search
+	// workers inside them only adds scheduling noise.
+	SearchParallelism int
 }
 
 // newEngine builds the dls solver every experiment runs on: a worker pool
@@ -78,21 +85,23 @@ func newEngine(cfg Config) (*dls.Solver, error) {
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
-	return dls.NewSolver(dls.WithParallelism(par), dls.WithCache(512))
+	return dls.NewSolver(dls.WithParallelism(par), dls.WithCache(512),
+		dls.WithSearchParallelism(cfg.SearchParallelism))
 }
 
 // DefaultConfig returns the paper's experimental setup with the simulator
 // realism knobs documented in DESIGN.md.
 func DefaultConfig() Config {
 	return Config{
-		Platforms:   50,
-		Workers:     11,
-		Sizes:       []int{40, 60, 80, 100, 120, 140, 160, 180, 200},
-		M:           1000,
-		Seed:        2006,
-		Latency:     5e-5,
-		Jitter:      0.05,
-		CacheFactor: 0.002,
+		Platforms:         50,
+		Workers:           11,
+		Sizes:             []int{40, 60, 80, 100, 120, 140, 160, 180, 200},
+		M:                 1000,
+		Seed:              2006,
+		Latency:           5e-5,
+		Jitter:            0.05,
+		CacheFactor:       0.002,
+		SearchParallelism: 1,
 	}
 }
 

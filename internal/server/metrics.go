@@ -97,4 +97,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		m.Counter("dlsd_strategy_solves_total", "Strategy executions by strategy.",
 			st.SolvesByStrategy[name], stats.Label{Key: "strategy", Value: name})
 	}
+	m.Counter("dlsd_pair_search_outer_pruned_total", "Send orders whose whole return-order tree was pruned at the root.", st.PairSearch.OuterPruned)
+	m.Counter("dlsd_pair_search_nodes_expanded_total", "Pair branch-and-bound nodes expanded.", st.PairSearch.NodesExpanded)
+	m.Counter("dlsd_pair_search_subtrees_pruned_total", "Return-order subtrees cut by the prefix bound.", st.PairSearch.SubtreesPruned)
+	m.Counter("dlsd_pair_search_leaves_evaluated_total", "Complete return orders evaluated by the pair search.", st.PairSearch.LeavesEvaluated)
 }

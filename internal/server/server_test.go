@@ -326,6 +326,8 @@ func TestServeMetricsAndStrategies(t *testing.T) {
 		"dlsd_strategy_solves_total{strategy=\"inc-c\"}",
 		"dlsd_prepass_groups_total",
 		"dlsd_cache_hits_total",
+		"dlsd_pair_search_nodes_expanded_total",
+		"dlsd_pair_search_subtrees_pruned_total",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("/metrics missing %s", want)
