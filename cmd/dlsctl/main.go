@@ -1,0 +1,219 @@
+// Command dlsctl supervises a local fleet of dlsd replicas: it spawns
+// one process per slot on consecutive ports, probes /healthz, restarts
+// crashes with jittered exponential backoff (giving up on crash loops),
+// performs rolling restarts on SIGHUP, and drains the whole fleet
+// gracefully on SIGINT/SIGTERM.
+//
+//	dlsctl -replicas 3 -base-port 8080 -dlsd ./dlsd -- -window 2ms -cache 4096
+//
+// Flags after "--" are passed through to every dlsd replica (dlsctl
+// appends -addr itself). The optional -status-addr serves the fleet
+// control plane: GET /fleet returns per-replica JSON status and GET
+// /healthz answers 200 only while every slot is healthy.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/resilience"
+	"repro/internal/supervisor"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// splitArgs separates dlsctl's own flags from the dlsd passthrough
+// arguments at the first "--".
+func splitArgs(args []string) (own, passthrough []string) {
+	for i, a := range args {
+		if a == "--" {
+			return args[:i], args[i+1:]
+		}
+	}
+	return args, nil
+}
+
+// fleetView is the slice of Supervisor the status endpoints need.
+type fleetView interface {
+	Snapshot() []supervisor.ReplicaStatus
+	HealthyCount() int
+}
+
+// statusHandler serves the dlsctl control plane: /fleet (JSON status)
+// and /healthz (200 iff the whole fleet is healthy).
+func statusHandler(sup fleetView, replicas int) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fleet", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		snap := sup.Snapshot()
+		healthy := sup.HealthyCount()
+		_ = json.NewEncoder(w).Encode(struct {
+			Replicas int                        `json:"replicas"`
+			Healthy  int                        `json:"healthy"`
+			Fleet    []supervisor.ReplicaStatus `json:"fleet"`
+		}{Replicas: replicas, Healthy: healthy, Fleet: snap})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if sup.HealthyCount() == replicas {
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "%d/%d healthy\n", sup.HealthyCount(), replicas)
+	})
+	return mux
+}
+
+func run(args []string, out io.Writer) error {
+	own, passthrough := splitArgs(args)
+	fs := flag.NewFlagSet("dlsctl", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		replicas       = fs.Int("replicas", 3, "fleet size")
+		basePort       = fs.Int("base-port", 8080, "first data port; slot i serves on base-port+i (alternates above)")
+		host           = fs.String("host", "127.0.0.1", "host the replicas bind and are probed on")
+		dlsdBin        = fs.String("dlsd", "dlsd", "dlsd binary to launch")
+		statusAddr     = fs.String("status-addr", "", "control-plane listen address for /fleet and /healthz; empty disables")
+		probeInterval  = fs.Duration("probe-interval", 500*time.Millisecond, "health-check period")
+		probeTimeout   = fs.Duration("probe-timeout", 2*time.Second, "per-probe timeout")
+		startupTimeout = fs.Duration("startup-timeout", 15*time.Second, "budget for a fresh replica's first healthy probe")
+		unhealthyAfter = fs.Int("unhealthy-after", 3, "consecutive probe failures before a replica is restarted")
+		backoffBase    = fs.Duration("backoff-base", 200*time.Millisecond, "restart backoff base (doubles per consecutive failure)")
+		backoffMax     = fs.Duration("backoff-max", 10*time.Second, "restart backoff cap")
+		crashWindow    = fs.Duration("crash-loop-window", time.Minute, "window for crash-loop detection")
+		crashMax       = fs.Int("crash-loop-max", 5, "rapid failures within the window before a slot is given up")
+		drainTimeout   = fs.Duration("drain", 10*time.Second, "SIGTERM-to-SIGKILL budget per replica")
+		seed           = fs.Int64("seed", 0, "backoff-jitter seed")
+		runFor         = fs.Duration("run-for", 0, "exit cleanly after this long (0: run until signalled)")
+	)
+	if err := fs.Parse(own); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("dlsctl: unexpected argument %q (dlsd flags go after --)", fs.Arg(0))
+	}
+
+	logger := log.New(out, "dlsctl: ", log.LstdFlags|log.Lmsgprefix)
+	probeClient := &http.Client{Timeout: *probeTimeout}
+	cfg := supervisor.Config{
+		Replicas: *replicas,
+		BasePort: *basePort,
+		Host:     *host,
+		Start:    supervisor.ExecStarter(*dlsdBin, passthrough, *host, out),
+		Probe: func(ctx context.Context, addr string) error {
+			return resilience.CheckHealth(ctx, probeClient, "http://"+addr, "/healthz")
+		},
+		ProbeInterval:   *probeInterval,
+		ProbeTimeout:    *probeTimeout,
+		StartupTimeout:  *startupTimeout,
+		UnhealthyAfter:  *unhealthyAfter,
+		BackoffBase:     *backoffBase,
+		BackoffMax:      *backoffMax,
+		Seed:            *seed,
+		CrashLoopWindow: *crashWindow,
+		CrashLoopMax:    *crashMax,
+		DrainTimeout:    *drainTimeout,
+		OnEvent: func(ev supervisor.Event) {
+			switch ev.Kind {
+			case supervisor.EventProbeFailed:
+				// Too chatty for steady-state logs; failures that matter
+				// escalate to unhealthy.
+			case supervisor.EventBackingOff:
+				logger.Printf("slot %d (%s): %v for %v", ev.Slot, ev.Addr, ev.Kind, ev.Delay.Round(time.Millisecond))
+			default:
+				if ev.Err != nil {
+					logger.Printf("slot %d (%s): %v: %v", ev.Slot, ev.Addr, ev.Kind, ev.Err)
+				} else {
+					logger.Printf("slot %d (%s): %v", ev.Slot, ev.Addr, ev.Kind)
+				}
+			}
+		},
+	}
+	sup, err := supervisor.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var statusSrv *http.Server
+	if *statusAddr != "" {
+		statusSrv = &http.Server{
+			Addr:              *statusAddr,
+			Handler:           statusHandler(sup, *replicas),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			logger.Printf("control plane on %s (/fleet, /healthz)", *statusAddr)
+			if err := statusSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("control plane: %v", err)
+			}
+		}()
+	}
+
+	// SIGINT/SIGTERM drain the fleet; SIGHUP triggers a rolling restart.
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
+	defer signal.Stop(sig)
+	go func() {
+		var timeout <-chan time.Time
+		if *runFor > 0 {
+			timeout = time.After(*runFor)
+		}
+		for {
+			select {
+			case s := <-sig:
+				if s == syscall.SIGHUP {
+					logger.Printf("SIGHUP: rolling restart")
+					go func() {
+						if err := sup.RollingRestart(ctx); err != nil {
+							logger.Printf("rolling restart: %v", err)
+						} else {
+							logger.Printf("rolling restart complete")
+						}
+					}()
+					continue
+				}
+				logger.Printf("%v: draining fleet", s)
+				cancel()
+				return
+			case <-timeout:
+				logger.Printf("run-for %v elapsed: draining fleet", *runFor)
+				cancel()
+				return
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	logger.Printf("supervising %d replicas of %s on %s ports %d-%d",
+		*replicas, *dlsdBin, *host, *basePort, *basePort+*replicas-1)
+	err = sup.Run(ctx)
+	if statusSrv != nil {
+		sctx, scancel := context.WithTimeout(context.Background(), time.Second)
+		defer scancel()
+		_ = statusSrv.Shutdown(sctx)
+	}
+	if err != nil {
+		return fmt.Errorf("dlsctl: %w", err)
+	}
+	logger.Printf("fleet drained")
+	return nil
+}

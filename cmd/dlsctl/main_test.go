@@ -1,0 +1,336 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"reflect"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/supervisor"
+)
+
+// TestMain doubles as a fake dlsd: when dlsctl's ExecStarter launches
+// the test binary with DLSCTL_FAKE_DLSD=1, we serve /healthz on the
+// -addr dlsctl appended and drain on SIGTERM, instead of running tests.
+func TestMain(m *testing.M) {
+	if os.Getenv("DLSCTL_FAKE_DLSD") == "1" {
+		fakeDlsd()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+func fakeDlsd() {
+	fs := flag.NewFlagSet("fake-dlsd", flag.ExitOnError)
+	addr := fs.String("addr", "", "listen address")
+	crash := fs.Bool("fake-crash", false, "exit 1 immediately (exercises restart)")
+	_ = fs.Parse(os.Args[1:])
+	if *crash {
+		fmt.Println("fake dlsd: crashing")
+		os.Exit(1)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGTERM)
+		<-sig
+		_ = srv.Close()
+	}()
+	fmt.Printf("fake dlsd: listening on %s\n", *addr)
+	_ = srv.ListenAndServe()
+}
+
+// syncBuffer makes the shared test log safe for the concurrent writers
+// run wires into it (event logger + replica output copiers).
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestSplitArgs(t *testing.T) {
+	cases := []struct {
+		in        []string
+		own, pass []string
+	}{
+		{in: []string{"-replicas", "3"}, own: []string{"-replicas", "3"}, pass: nil},
+		{in: []string{"-replicas", "3", "--", "-cache", "0"}, own: []string{"-replicas", "3"}, pass: []string{"-cache", "0"}},
+		{in: []string{"--"}, own: []string{}, pass: []string{}},
+		{in: nil, own: nil, pass: nil},
+	}
+	for _, c := range cases {
+		own, pass := splitArgs(c.in)
+		if !sameStrings(own, c.own) || !sameStrings(pass, c.pass) {
+			t.Errorf("splitArgs(%v) = %v, %v; want %v, %v", c.in, own, pass, c.own, c.pass)
+		}
+	}
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	var buf syncBuffer
+	if err := run([]string{"-no-such-flag"}, &buf); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"stray"}, &buf); err == nil || !strings.Contains(err.Error(), "dlsd flags go after --") {
+		t.Errorf("stray positional: err = %v, want hint about --", err)
+	}
+	if err := run([]string{"-replicas", "0", "-run-for", "1ms"}, &buf); err == nil {
+		t.Error("zero replicas accepted")
+	}
+}
+
+// stubFleet implements fleetView for status-endpoint tests.
+type stubFleet struct {
+	snap    []supervisor.ReplicaStatus
+	healthy int
+}
+
+func (s *stubFleet) Snapshot() []supervisor.ReplicaStatus { return s.snap }
+func (s *stubFleet) HealthyCount() int                    { return s.healthy }
+
+func TestStatusHandler(t *testing.T) {
+	fleet := &stubFleet{
+		snap: []supervisor.ReplicaStatus{
+			{Slot: 0, Addr: "127.0.0.1:8080", State: "healthy", Restarts: 1},
+			{Slot: 1, Addr: "127.0.0.1:8081", State: "backoff", LastErr: "crash"},
+		},
+		healthy: 1,
+	}
+	h := statusHandler(fleet, 2)
+
+	rec := newRecorder()
+	h.ServeHTTP(rec, mustReq(t, "/fleet"))
+	var got struct {
+		Replicas int                        `json:"replicas"`
+		Healthy  int                        `json:"healthy"`
+		Fleet    []supervisor.ReplicaStatus `json:"fleet"`
+	}
+	if err := json.Unmarshal(rec.body.Bytes(), &got); err != nil {
+		t.Fatalf("decode /fleet: %v (%s)", err, rec.body.String())
+	}
+	if got.Replicas != 2 || got.Healthy != 1 || !reflect.DeepEqual(got.Fleet, fleet.snap) {
+		t.Errorf("/fleet = %+v, want snapshot passthrough", got)
+	}
+
+	rec = newRecorder()
+	h.ServeHTTP(rec, mustReq(t, "/healthz"))
+	if rec.code != http.StatusServiceUnavailable {
+		t.Errorf("/healthz with 1/2 healthy = %d, want 503", rec.code)
+	}
+	fleet.healthy = 2
+	rec = newRecorder()
+	h.ServeHTTP(rec, mustReq(t, "/healthz"))
+	if rec.code != http.StatusOK {
+		t.Errorf("/healthz with 2/2 healthy = %d, want 200", rec.code)
+	}
+}
+
+type recorder struct {
+	code   int
+	header http.Header
+	body   bytes.Buffer
+}
+
+func newRecorder() *recorder             { return &recorder{code: http.StatusOK, header: http.Header{}} }
+func (r *recorder) Header() http.Header  { return r.header }
+func (r *recorder) WriteHeader(code int) { r.code = code }
+func (r *recorder) Write(p []byte) (int, error) {
+	return r.body.Write(p)
+}
+
+func mustReq(t *testing.T, path string) *http.Request {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return req
+}
+
+// freePortPair finds a base port p with p and p+1 both bindable (slot
+// 0's data port and its rolling-restart alternate).
+func freePortPair(t *testing.T) int {
+	t.Helper()
+	for attempt := 0; attempt < 20; attempt++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := l.Addr().(*net.TCPAddr).Port
+		l2, err := net.Listen("tcp", "127.0.0.1:"+strconv.Itoa(p+1))
+		l.Close()
+		if err != nil {
+			continue
+		}
+		l2.Close()
+		return p
+	}
+	t.Fatal("no free port pair found")
+	return 0
+}
+
+// TestRunSupervisesFakeFleet exercises the full dlsctl path end to end:
+// the test binary is re-executed as a fake dlsd (see TestMain), dlsctl
+// probes it healthy, serves its control plane, and drains on -run-for.
+func TestRunSupervisesFakeFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv("DLSCTL_FAKE_DLSD", "1") // inherited by the child only; tests already run
+	basePort := freePortPair(t)
+	statusPort := freePortPair(t)
+	statusAddr := "127.0.0.1:" + strconv.Itoa(statusPort)
+
+	var buf syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-replicas", "1",
+			"-base-port", strconv.Itoa(basePort),
+			"-dlsd", exe,
+			"-status-addr", statusAddr,
+			"-probe-interval", "20ms",
+			"-startup-timeout", "5s",
+			"-run-for", "1500ms",
+		}, &buf)
+	}()
+
+	// The control plane must report the slot healthy well within run-for.
+	deadline := time.Now().Add(5 * time.Second)
+	healthy := false
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + statusAddr + "/healthz")
+		if err == nil {
+			ok := resp.StatusCode == http.StatusOK
+			resp.Body.Close()
+			if ok {
+				healthy = true
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !healthy {
+		t.Fatalf("fleet never became healthy; log:\n%s", buf.String())
+	}
+
+	resp, err := http.Get("http://" + statusAddr + "/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fleet struct {
+		Replicas int                        `json:"replicas"`
+		Healthy  int                        `json:"healthy"`
+		Fleet    []supervisor.ReplicaStatus `json:"fleet"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&fleet); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if fleet.Replicas != 1 || fleet.Healthy != 1 || len(fleet.Fleet) != 1 {
+		t.Fatalf("/fleet = %+v, want one healthy replica", fleet)
+	}
+	wantAddr := "127.0.0.1:" + strconv.Itoa(basePort)
+	if fleet.Fleet[0].Addr != wantAddr || fleet.Fleet[0].State != "healthy" {
+		t.Fatalf("replica status = %+v, want healthy on %s", fleet.Fleet[0], wantAddr)
+	}
+
+	// run-for elapses; the fleet drains via SIGTERM and run returns nil.
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v\nlog:\n%s", err, buf.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("run did not return after run-for; log:\n%s", buf.String())
+	}
+	log := buf.String()
+	if !strings.Contains(log, "fleet drained") {
+		t.Errorf("log missing drain confirmation:\n%s", log)
+	}
+	// Replica output is captured with the slot prefix.
+	if !strings.Contains(log, "[slot-0:"+strconv.Itoa(basePort)+"] fake dlsd: listening") {
+		t.Errorf("log missing prefixed replica output:\n%s", log)
+	}
+}
+
+// TestRunGivesUpOnCrashLoop points dlsctl at a binary that exits
+// immediately: crash-loop detection must retire the slot and surface an
+// error.
+func TestRunGivesUpOnCrashLoop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv("DLSCTL_FAKE_DLSD", "1")
+	basePort := freePortPair(t)
+
+	var buf syncBuffer
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{
+			"-replicas", "1",
+			"-base-port", strconv.Itoa(basePort),
+			"-dlsd", exe,
+			"-probe-interval", "10ms",
+			"-backoff-base", "10ms",
+			"-backoff-max", "20ms",
+			"-crash-loop-max", "3",
+			"-run-for", "30s", // give-up should end the run long before this
+			"--", "-fake-crash",
+		}, &buf)
+	}()
+	select {
+	case err := <-errc:
+		if err == nil || !strings.Contains(err.Error(), "gave up") {
+			t.Fatalf("run = %v, want crash-loop give-up error\nlog:\n%s", err, buf.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("run did not give up on a crash-looping binary; log:\n%s", buf.String())
+	}
+}

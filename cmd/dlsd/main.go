@@ -56,12 +56,26 @@ func run(args []string) error {
 		drain       = fs.Duration("drain", 10*time.Second, "shutdown drain budget")
 		adaptive    = fs.Bool("adaptive", false, "adaptive SLO-aware admission (window/window-size become the base)")
 		sloClasses  = fs.String("slo-classes", "", "SLO classes as name=deadline:priority,... (default: tight/standard/batch)")
+		degrade     = fs.Bool("degrade", true, "degrade deadline-busting exhaustive searches to the best closed-form heuristic")
+
+		chaosSeed      = fs.Int64("chaos-seed", 1, "seed for the fault-injection RNG")
+		chaosError     = fs.Float64("chaos-error", 0, "probability of an injected 503 per data-plane request")
+		chaosLatency   = fs.Float64("chaos-latency", 0, "probability of injected latency per data-plane request")
+		chaosLatencyD  = fs.Duration("chaos-latency-ms", 20*time.Millisecond, "injected latency duration")
+		chaosDrop      = fs.Float64("chaos-drop", 0, "probability of an injected connection drop per data-plane request")
+		chaosSlow      = fs.Float64("chaos-slow", 0, "probability of a slow-loris body read per data-plane request")
+		chaosDownEvery = fs.Duration("chaos-down-every", 0, "blackout period: every this often the data plane goes dark")
+		chaosDownFor   = fs.Duration("chaos-down-for", 0, "blackout length within each -chaos-down-every period")
+		chaosCrash     = fs.Int64("chaos-crash-after", 0, "exit(1) after this many data-plane requests (exercises supervisors)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	opts := []dls.Option{dls.WithParallelism(*parallelism)}
+	if *degrade {
+		opts = append(opts, dls.WithDegradation())
+	}
 	if *cacheSize > 0 {
 		opts = append(opts, dls.WithCache(*cacheSize))
 	}
@@ -94,9 +108,37 @@ func run(args []string) error {
 		return err
 	}
 
+	var handler http.Handler = srv
+	ccfg := server.ChaosConfig{
+		Seed:        *chaosSeed,
+		ErrorRate:   *chaosError,
+		LatencyRate: *chaosLatency,
+		Latency:     *chaosLatencyD,
+		DropRate:    *chaosDrop,
+		SlowRate:    *chaosSlow,
+		DownEvery:   *chaosDownEvery,
+		DownFor:     *chaosDownFor,
+		CrashAfter:  *chaosCrash,
+		OnCrash: func() {
+			log.Printf("dlsd: chaos: crashing after %d requests", *chaosCrash)
+			os.Exit(1)
+		},
+	}
+	if ccfg.Enabled() {
+		chaos := server.NewChaos(ccfg, srv)
+		handler = chaos
+		defer func() {
+			cs := chaos.Stats()
+			log.Printf("dlsd: chaos injected: %d errors, %d latencies, %d drops, %d slow reads, %d blackouts over %d requests",
+				cs.Errors, cs.Latencies, cs.Drops, cs.SlowReads, cs.Blackouts, cs.Requests)
+		}()
+		log.Printf("dlsd: chaos enabled (seed=%d error=%g latency=%g drop=%g slow=%g down=%v/%v crash-after=%d)",
+			*chaosSeed, *chaosError, *chaosLatency, *chaosDrop, *chaosSlow, *chaosDownFor, *chaosDownEvery, *chaosCrash)
+	}
+
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv,
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	errc := make(chan error, 1)

@@ -4,17 +4,28 @@
 // status-code counts, latency percentiles and the server's micro-batching
 // counters (scraped from /metrics before and after the run).
 //
-//	dlsload -url http://localhost:8080 -duration 5s -concurrency 64 -mix chain
+// Requests travel through the fleet-aware resilience client: -url takes
+// a comma-separated replica list, 429s are retried after their
+// Retry-After, transient 5xx/transport faults are retried with capped
+// jittered backoff, and per-replica circuit breakers short-circuit dead
+// replicas until a half-open probe succeeds. The report classifies every
+// logical request as ok / shed / failed / injected (a final fault the
+// server marked with X-Chaos) and derives availability = ok/(ok+failed),
+// chaos-injected faults excluded.
+//
+//	dlsload -url http://localhost:8080,http://localhost:8081 -duration 5s
 //
 // CI uses it as a smoke gate: -fail-on-error fails the run on any
 // non-2xx/non-429 response, -min-batched-windows fails it when the
 // admission window never coalesced traffic, -min-rps gates throughput,
-// and -json writes the report for the benchmark artifact.
+// -min-availability gates the non-injected success rate under chaos,
+// -min-breaker-cycles demands completed open → half-open → close breaker
+// recoveries, and -json writes the report for the benchmark artifact.
 package main
 
 import (
 	"bufio"
-	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -31,6 +42,8 @@ import (
 	"time"
 
 	"repro/dls"
+	"repro/internal/resilience"
+	"repro/internal/server"
 	"repro/internal/sim"
 )
 
@@ -42,25 +55,37 @@ func main() {
 
 // Report is the machine-readable outcome of one run (the -json artifact).
 type Report struct {
-	URL         string             `json:"url"`
-	Mix         string             `json:"mix"`
-	Seed        int64              `json:"seed"`
-	SLOClass    string             `json:"slo_class,omitempty"`
-	Concurrency int                `json:"concurrency"`
-	TargetRPS   float64            `json:"target_rps,omitempty"`
-	Duration    float64            `json:"duration_seconds"`
-	Requests    uint64             `json:"requests"`
-	RPS         float64            `json:"rps"`
-	Codes       map[string]uint64  `json:"codes"`
-	Transport   uint64             `json:"transport_errors"`
-	LatencyMS   map[string]float64 `json:"latency_ms"`
-	Server      map[string]float64 `json:"server_metrics_delta,omitempty"`
+	URL         string   `json:"url"`
+	Replicas    []string `json:"replicas"`
+	Mix         string   `json:"mix"`
+	Seed        int64    `json:"seed"`
+	SLOClass    string   `json:"slo_class,omitempty"`
+	Concurrency int      `json:"concurrency"`
+	TargetRPS   float64  `json:"target_rps,omitempty"`
+	Duration    float64  `json:"duration_seconds"`
+	Requests    uint64   `json:"requests"`
+	RPS         float64  `json:"rps"`
+	// Codes counts final status codes — after retries, not per attempt.
+	Codes     map[string]uint64 `json:"codes"`
+	Transport uint64            `json:"transport_errors"`
+	// OK (2xx) / Shed (final 429) / Failed (final 5xx or transport
+	// error) / Injected (final fault the server stamped with X-Chaos)
+	// partition Requests. Availability is ok/(ok+failed): shedding is
+	// backpressure and injected faults are the experiment, not outages.
+	OK           uint64             `json:"ok"`
+	Shed         uint64             `json:"shed"`
+	Failed       uint64             `json:"failed"`
+	Injected     uint64             `json:"injected"`
+	Availability float64            `json:"availability"`
+	LatencyMS    map[string]float64 `json:"latency_ms"`
+	Resilience   *resilience.Stats  `json:"resilience,omitempty"`
+	Server       map[string]float64 `json:"server_metrics_delta,omitempty"`
 }
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("dlsload", flag.ContinueOnError)
 	var (
-		url         = fs.String("url", "http://127.0.0.1:8080", "dlsd base URL")
+		urlFlag     = fs.String("url", "http://127.0.0.1:8080", "dlsd base URL(s), comma-separated for a fleet")
 		duration    = fs.Duration("duration", 5*time.Second, "run length")
 		concurrency = fs.Int("concurrency", 64, "closed-loop workers")
 		rps         = fs.Float64("rps", 0, "target request rate; 0 = flat out")
@@ -69,14 +94,30 @@ func run(args []string, out io.Writer) error {
 		mix         = fs.String("mix", "chain", "workload mix: chain | mixed | search")
 		seed        = fs.Int64("seed", 1, "workload seed")
 		sloClass    = fs.String("slo-class", "", "X-SLO-Class header stamped on every request")
+		retries     = fs.Int("retries", 3, "retry attempts per request beyond the first (negative disables)")
+		reqTimeout  = fs.Duration("request-timeout", 10*time.Second, "per-logical-request budget (attempts + backoffs)")
+		brkThresh   = fs.Int("breaker-threshold", 5, "consecutive failures that open a replica's breaker (negative disables)")
+		brkCooldown = fs.Duration("breaker-cooldown", 500*time.Millisecond, "breaker open -> half-open cooldown")
 		capture     = fs.String("capture", "", "write the sent arrivals as a JSONL trace (replayable by dlssim -scenario trace)")
 		jsonOut     = fs.String("json", "", "write the report as JSON to this file")
 		failOnError = fs.Bool("fail-on-error", false, "exit non-zero on any transport error or non-2xx/non-429 response")
 		minBatched  = fs.Uint64("min-batched-windows", 0, "exit non-zero when fewer windows coalesced >= 2 requests")
 		minRPS      = fs.Float64("min-rps", 0, "exit non-zero below this achieved request rate")
+		minAvail    = fs.Float64("min-availability", 0, "exit non-zero below this ok/(ok+failed) rate (chaos-injected faults excluded)")
+		minCycles   = fs.Uint64("min-breaker-cycles", 0, "exit non-zero below this many completed breaker open->half-open->close cycles")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var replicas []string
+	for _, u := range strings.Split(*urlFlag, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			replicas = append(replicas, strings.TrimSuffix(u, "/"))
+		}
+	}
+	if len(replicas) == 0 {
+		return fmt.Errorf("dlsload: -url lists no replicas")
 	}
 
 	pool, err := workload(rand.New(rand.NewSource(*seed)), *mix, *p, *platforms)
@@ -84,17 +125,36 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	client := &http.Client{Timeout: 30 * time.Second}
-	before, err := scrapeMetrics(client, *url)
+	client, err := resilience.New(resilience.Config{
+		Replicas:         replicas,
+		MaxRetries:       *retries,
+		Seed:             *seed,
+		BreakerThreshold: *brkThresh,
+		BreakerCooldown:  *brkCooldown,
+		AttemptTimeout:   *reqTimeout,
+	})
 	if err != nil {
-		return fmt.Errorf("dlsload: scraping %s/metrics before the run: %w", *url, err)
+		return err
+	}
+
+	scraper := &http.Client{Timeout: 30 * time.Second}
+	before, err := scrapeFleet(scraper, replicas)
+	if err != nil {
+		return fmt.Errorf("dlsload: scraping /metrics before the run: %w", err)
+	}
+
+	header := http.Header{}
+	header.Set("Content-Type", "application/json")
+	if *sloClass != "" {
+		header.Set("X-SLO-Class", *sloClass)
 	}
 
 	var (
-		total, transport atomic.Uint64
-		next             atomic.Int64
-		codes            sync.Map // status code -> *atomic.Uint64
-		wg               sync.WaitGroup
+		total, transport         atomic.Uint64
+		ok, shed, fail, injected atomic.Uint64
+		next                     atomic.Int64
+		codes                    sync.Map // status code -> *atomic.Uint64
+		wg                       sync.WaitGroup
 	)
 	latencies := make([][]float64, *concurrency)
 	captured := make([][]sim.TraceEvent, *concurrency)
@@ -128,30 +188,34 @@ func run(args []string, out io.Writer) error {
 						Platform: entry.pb,
 					})
 				}
-				req, err := http.NewRequest(http.MethodPost, *url+"/v1/solve", bytes.NewReader(entry.body))
-				if err != nil {
-					transport.Add(1)
-					total.Add(1)
-					continue
-				}
-				req.Header.Set("Content-Type", "application/json")
-				if *sloClass != "" {
-					req.Header.Set("X-SLO-Class", *sloClass)
-				}
-				resp, err := client.Do(req)
+				ctx, cancel := context.WithTimeout(context.Background(), *reqTimeout)
+				resp, err := client.Do(ctx, http.MethodPost, "/v1/solve", entry.body, header)
 				lat := time.Since(begin)
 				total.Add(1)
 				if err != nil {
+					cancel()
 					transport.Add(1)
+					fail.Add(1)
 					continue
 				}
 				io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining for keep-alive
 				resp.Body.Close()
-				c, ok := codes.Load(resp.StatusCode)
-				if !ok {
+				cancel()
+				c, found := codes.Load(resp.StatusCode)
+				if !found {
 					c, _ = codes.LoadOrStore(resp.StatusCode, new(atomic.Uint64))
 				}
 				c.(*atomic.Uint64).Add(1)
+				switch {
+				case resp.StatusCode >= 200 && resp.StatusCode < 300:
+					ok.Add(1)
+				case resp.StatusCode == http.StatusTooManyRequests:
+					shed.Add(1)
+				case resp.Header.Get(server.ChaosHeader) != "":
+					injected.Add(1)
+				default:
+					fail.Add(1)
+				}
 				latencies[w] = append(latencies[w], lat.Seconds())
 			}
 		}(w)
@@ -159,13 +223,15 @@ func run(args []string, out io.Writer) error {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	after, err := scrapeMetrics(client, *url)
+	after, err := scrapeFleet(scraper, replicas)
 	if err != nil {
-		return fmt.Errorf("dlsload: scraping %s/metrics after the run: %w", *url, err)
+		return fmt.Errorf("dlsload: scraping /metrics after the run: %w", err)
 	}
 
+	rstats := client.Stats()
 	report := Report{
-		URL:         *url,
+		URL:         *urlFlag,
+		Replicas:    replicas,
 		Mix:         *mix,
 		Seed:        *seed,
 		SLOClass:    *sloClass,
@@ -176,8 +242,16 @@ func run(args []string, out io.Writer) error {
 		RPS:         float64(total.Load()) / elapsed.Seconds(),
 		Codes:       map[string]uint64{},
 		Transport:   transport.Load(),
+		OK:          ok.Load(),
+		Shed:        shed.Load(),
+		Failed:      fail.Load(),
+		Injected:    injected.Load(),
 		LatencyMS:   map[string]float64{},
+		Resilience:  &rstats,
 		Server:      map[string]float64{},
+	}
+	if denom := report.OK + report.Failed; denom > 0 {
+		report.Availability = float64(report.OK) / float64(denom)
 	}
 	codes.Range(func(k, v any) bool {
 		report.Codes[strconv.Itoa(k.(int))] = v.(*atomic.Uint64).Load()
@@ -195,20 +269,26 @@ func run(args []string, out io.Writer) error {
 		report.LatencyMS[q.name] = percentile(all, q.q) * 1e3
 	}
 	for key, b := range before {
-		if a, ok := after[key]; ok && a >= b {
+		if a, found := after[key]; found && a >= b {
 			report.Server[key] = a - b
 		}
 	}
 
-	fmt.Fprintf(out, "dlsload: %d requests in %.2fs = %.0f req/s (mix=%s, concurrency=%d)\n",
-		report.Requests, report.Duration, report.RPS, report.Mix, report.Concurrency)
+	fmt.Fprintf(out, "dlsload: %d requests in %.2fs = %.0f req/s (mix=%s, concurrency=%d, replicas=%d)\n",
+		report.Requests, report.Duration, report.RPS, report.Mix, report.Concurrency, len(replicas))
+	fmt.Fprintf(out, "  ok=%d shed=%d failed=%d injected=%d availability=%.4f\n",
+		report.OK, report.Shed, report.Failed, report.Injected, report.Availability)
 	fmt.Fprintf(out, "  codes: %v, transport errors: %d\n", report.Codes, report.Transport)
+	fmt.Fprintf(out, "  retries=%d backoffs=%d retry_after=%d short_circuits=%d breaker open/half/close=%d/%d/%d\n",
+		rstats.Retries, rstats.Backoffs, rstats.RetryAfterHonored, rstats.ShortCircuits,
+		rstats.BreakerOpens, rstats.BreakerHalfOpens, rstats.BreakerCloses)
 	fmt.Fprintf(out, "  latency ms: p50=%.3f p90=%.3f p99=%.3f max=%.3f\n",
 		report.LatencyMS["p50"], report.LatencyMS["p90"], report.LatencyMS["p99"], report.LatencyMS["max"])
-	fmt.Fprintf(out, "  server: windows=%.0f batched=%.0f batched_requests=%.0f prepass=%.0f shed=%.0f cache_hits=%.0f\n",
+	fmt.Fprintf(out, "  server: windows=%.0f batched=%.0f batched_requests=%.0f prepass=%.0f shed=%.0f cache_hits=%.0f degraded=%.0f\n",
 		report.Server["dlsd_windows_total"], report.Server["dlsd_batched_windows_total"],
 		report.Server["dlsd_batched_requests_total"], report.Server["dlsd_prepass_requests_total"],
-		report.Server["dlsd_shed_total"], report.Server["dlsd_cache_hits_total"])
+		report.Server["dlsd_shed_total"], report.Server["dlsd_cache_hits_total"],
+		report.Server["dlsd_degraded_total"])
 
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(report, "", "  ")
@@ -241,6 +321,14 @@ func run(args []string, out io.Writer) error {
 	}
 	if *minRPS > 0 && report.RPS < *minRPS {
 		return fmt.Errorf("dlsload: %.0f req/s under the %.0f floor", report.RPS, *minRPS)
+	}
+	if *minAvail > 0 && report.Availability < *minAvail {
+		return fmt.Errorf("dlsload: availability %.4f under the %.4f floor (%d ok, %d failed)",
+			report.Availability, *minAvail, report.OK, report.Failed)
+	}
+	if *minCycles > 0 && rstats.BreakerCloses < *minCycles {
+		return fmt.Errorf("dlsload: %d completed breaker recovery cycles, want >= %d",
+			rstats.BreakerCloses, *minCycles)
 	}
 	return nil
 }
@@ -335,6 +423,31 @@ func percentile(sorted []float64, q float64) float64 {
 		i = len(sorted) - 1
 	}
 	return sorted[i]
+}
+
+// scrapeFleet sums each replica's /metrics samples per key. Replicas
+// that fail to answer (down, restarting) are skipped; only a fully dark
+// fleet is an error, so a chaos blackout mid-scrape doesn't kill the
+// run's bookkeeping.
+func scrapeFleet(client *http.Client, replicas []string) (map[string]float64, error) {
+	out := make(map[string]float64)
+	reached := 0
+	var lastErr error
+	for _, base := range replicas {
+		m, err := scrapeMetrics(client, base)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		reached++
+		for k, v := range m {
+			out[k] += v
+		}
+	}
+	if reached == 0 {
+		return nil, fmt.Errorf("no replica answered /metrics: %w", lastErr)
+	}
+	return out, nil
 }
 
 // scrapeMetrics reads the untyped counter/gauge samples of a Prometheus

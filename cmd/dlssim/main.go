@@ -41,6 +41,7 @@ func main() {
 		searchMix  = flag.Float64("search-share", 0.1, "fraction of search-kind (expensive) arrivals")
 		zipfS      = flag.Float64("zipf", 1.1, "platform popularity skew (<=1: uniform)")
 		calibrate  = flag.String("calibrate", "", "cost-model calibration JSON (default: built-in)")
+		failures   = flag.String("failures", "", "injected replica crashes as at:down,... (e.g. 3s:500ms,10s:1s)")
 		traceFile  = flag.String("trace", "", "JSONL arrival trace for -scenario trace")
 		jsonOut    = flag.String("json", "", "write the report (or comparison) JSON here")
 		logOut     = flag.String("log", "", "write the JSONL event log here")
@@ -82,6 +83,11 @@ func main() {
 		}
 	}
 
+	crashPlan, err := sim.ParseFailures(*failures)
+	if err != nil {
+		fatal(err)
+	}
+
 	cfg := sim.Config{
 		Seed:        *seed,
 		Horizon:     *duration,
@@ -97,6 +103,7 @@ func main() {
 		WindowSize:  *windowSize,
 		QueueCap:    *queue,
 		Drain:       *drain,
+		Failures:    crashPlan,
 	}
 	if *adaptive {
 		cfg.Adaptive = &dls.AdaptiveConfig{}
@@ -262,6 +269,10 @@ func printSummary(rep *sim.Report) {
 		rep.Arrivals, rep.VirtualSeconds, rep.Events, rep.WallSeconds)
 	fmt.Printf("  completed %d, shed %d (%d SLO), violations %d\n",
 		rep.Completed, rep.Shed, rep.ShedSLO, rep.Violations)
+	if rep.Crashes > 0 {
+		fmt.Printf("  crashes %d: %d in-flight failed, %d arrivals lost\n",
+			rep.Crashes, rep.CrashFailed, rep.CrashLost)
+	}
 	fmt.Printf("  windows %d, fill %.1f, collapse %.2f\n",
 		rep.Windows, rep.AvgWindowFill, rep.CollapseRatio)
 	for _, name := range sortedClassNames(rep) {

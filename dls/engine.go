@@ -83,6 +83,13 @@ type Result struct {
 	// deduplicated against an identical request in the same batch) rather
 	// than recomputed.
 	Cached bool
+	// Degraded reports that the solver answered with a closed-form
+	// heuristic instead of running the requested exhaustive search,
+	// because the solve-cost estimate predicted the search would bust the
+	// deadline (WithDegradation). DegradedTo names the strategy actually
+	// used; Strategy still echoes the request.
+	Degraded   bool
+	DegradedTo string
 }
 
 // clone returns a deep copy so cached results stay immutable.
@@ -137,6 +144,11 @@ type Stats struct {
 	// violations (requests answered after their SLO deadline) by SLO
 	// class name ("" is the best-effort class).
 	ShedByClass, ViolationsByClass map[string]uint64
+	// Degraded counts solves answered by a closed-form heuristic in place
+	// of the requested exhaustive search (WithDegradation);
+	// DegradedByStrategy splits them by the heuristic actually used.
+	Degraded           uint64
+	DegradedByStrategy map[string]uint64
 	// PairSearch is the cumulative pair-search instrumentation (process
 	// global: every pair search in the process advances it, whichever
 	// Solver ran it).
@@ -173,9 +185,13 @@ type Solver struct {
 	searchPar    int
 	streamWindow time.Duration
 	cache        *resultCache
+	degrade      bool
+	costs        costTracker
 
 	hits, misses, solves atomic.Uint64
 	solvesBy             stats.CounterMap[string]
+	degraded             atomic.Uint64
+	degradedBy           stats.CounterMap[string]
 
 	prepassGroups, prepassRequests           atomic.Uint64
 	windows, batchedWindows, batchedRequests atomic.Uint64
@@ -316,11 +332,13 @@ func (s *Solver) Stats() Stats {
 		BatchedRequests: s.batchedRequests.Load(),
 		Shed:            s.shed.Load(),
 		ShedSLO:         s.shedSLO.Load(),
+		Degraded:        s.degraded.Load(),
 	}
 	if s.cache != nil {
 		st.Evictions = s.cache.evictions.Load()
 	}
 	st.SolvesByStrategy = s.solvesBy.Snapshot()
+	st.DegradedByStrategy = s.degradedBy.Snapshot()
 	st.ShedByClass = s.shedByClass.Snapshot()
 	st.ViolationsByClass = s.violationsByClass.Snapshot()
 	ps := core.PairStatsSnapshot()
@@ -430,7 +448,10 @@ func (s *Solver) Solve(ctx context.Context, req Request) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if s.cache != nil {
+	// Degraded answers are deadline-driven substitutes, not the
+	// strategy's optimum: caching one would serve a heuristic to later
+	// callers with generous deadlines.
+	if s.cache != nil && !res.Degraded {
 		s.cache.put(key, res)
 	}
 	return finish(res, req, false), nil
@@ -448,7 +469,11 @@ func (s *Solver) run(ctx context.Context, req Request, fn StrategyFunc) (*Result
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if res, ok := s.maybeDegrade(ctx, req); ok {
+		return res, nil
+	}
 	s.countSolve(req.Strategy)
+	start := time.Now()
 	res, err := fn(ctx, req)
 	if err != nil {
 		return nil, err
@@ -456,6 +481,7 @@ func (s *Solver) run(ctx context.Context, req Request, fn StrategyFunc) (*Result
 	if res == nil {
 		return nil, fmt.Errorf("dls: strategy %q returned neither result nor error", req.Strategy)
 	}
+	s.costs.observe(req.Strategy, req.Platform.P(), time.Since(start))
 	return res, nil
 }
 

@@ -1,0 +1,185 @@
+// Package resilience provides the client-side fault-tolerance layer of
+// the serving stack: a retrying HTTP client with capped exponential
+// backoff and jitter, Retry-After honoring, deadline-budget propagation,
+// and a per-replica circuit breaker. cmd/dlsload drives fleets through
+// it and cmd/dlsctl probes replica health with it.
+package resilience
+
+import (
+	"sync"
+	"time"
+
+	"repro/dls"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed passes requests through, counting consecutive
+	// failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen short-circuits every request until the cooldown
+	// elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits a single probe request; its outcome decides
+	// between closing and re-opening.
+	BreakerHalfOpen
+)
+
+// String names the state for reports and logs.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Breaker is a per-replica circuit breaker. Closed, it counts
+// consecutive failures; at the threshold it opens and short-circuits
+// requests for a cooldown, then admits one probe at a time (half-open).
+// A successful probe closes it, a failed probe re-opens it. All methods
+// are safe for concurrent use; time comes from the injected dls.Clock so
+// tests drive transitions deterministically.
+type Breaker struct {
+	mu        sync.Mutex
+	clock     dls.Clock
+	threshold int
+	cooldown  time.Duration
+
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probing  bool
+
+	opens, halfOpens, closes, shortCircuits uint64
+}
+
+// BreakerStats is a snapshot of one breaker's transition counters.
+type BreakerStats struct {
+	// State is the position at snapshot time.
+	State BreakerState `json:"state"`
+	// Opens counts closed/half-open -> open transitions.
+	Opens uint64 `json:"opens"`
+	// HalfOpens counts open -> half-open transitions (cooldown expiry).
+	HalfOpens uint64 `json:"half_opens"`
+	// Closes counts half-open -> closed transitions: each one is a
+	// completed open -> half-open -> close recovery cycle.
+	Closes uint64 `json:"closes"`
+	// ShortCircuits counts requests rejected without touching the
+	// replica.
+	ShortCircuits uint64 `json:"short_circuits"`
+}
+
+// NewBreaker builds a breaker that opens after threshold consecutive
+// failures and probes again after cooldown. threshold <= 0 disables the
+// breaker: Allow always admits and Report never transitions.
+func NewBreaker(threshold int, cooldown time.Duration, clock dls.Clock) *Breaker {
+	if clock == nil {
+		clock = dls.SystemClock()
+	}
+	return &Breaker{clock: clock, threshold: threshold, cooldown: cooldown}
+}
+
+// Allow reports whether a request may proceed. In the open state it
+// transitions to half-open once the cooldown has elapsed; in half-open
+// only one probe is in flight at a time. Every Allow() == true MUST be
+// followed by exactly one Report with the request's outcome.
+func (b *Breaker) Allow() bool {
+	if b.threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.clock.Now().Sub(b.openedAt) < b.cooldown {
+			b.shortCircuits++
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.halfOpens++
+		b.probing = true
+		return true
+	default: // BreakerHalfOpen
+		if b.probing {
+			b.shortCircuits++
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Report feeds back the outcome of a request admitted by Allow.
+func (b *Breaker) Report(success bool) {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		if success {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= b.threshold {
+			b.open()
+		}
+	case BreakerHalfOpen:
+		b.probing = false
+		if success {
+			b.state = BreakerClosed
+			b.failures = 0
+			b.closes++
+		} else {
+			b.open()
+		}
+	default:
+		// A late Report after another goroutine's probe already re-opened
+		// the breaker: the failure is stale, drop it.
+	}
+}
+
+// open transitions to the open state; callers hold b.mu.
+func (b *Breaker) open() {
+	b.state = BreakerOpen
+	b.openedAt = b.clock.Now()
+	b.failures = 0
+	b.probing = false
+	b.opens++
+}
+
+// State returns the current position, applying the open -> half-open
+// cooldown transition lazily (so observers see half-open once the
+// cooldown elapsed even if no request has probed yet).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.clock.Now().Sub(b.openedAt) >= b.cooldown {
+		return BreakerHalfOpen
+	}
+	return b.state
+}
+
+// Stats snapshots the transition counters.
+func (b *Breaker) Stats() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStats{
+		State:         b.state,
+		Opens:         b.opens,
+		HalfOpens:     b.halfOpens,
+		Closes:        b.closes,
+		ShortCircuits: b.shortCircuits,
+	}
+}

@@ -1,0 +1,106 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestBreakerLifecycle(t *testing.T) {
+	clk := sim.NewClock()
+	b := NewBreaker(3, time.Second, clk)
+
+	if b.State() != BreakerClosed {
+		t.Fatalf("initial state = %v, want closed", b.State())
+	}
+	// Failures below the threshold keep it closed; a success resets.
+	b.Allow()
+	b.Report(false)
+	b.Allow()
+	b.Report(false)
+	b.Allow()
+	b.Report(true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after reset = %v, want closed", b.State())
+	}
+
+	// Threshold consecutive failures open it.
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatalf("Allow refused while closed (i=%d)", i)
+		}
+		b.Report(false)
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("Allow admitted while open")
+	}
+
+	// Cooldown elapses: half-open admits exactly one probe.
+	clk.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("Allow refused after cooldown")
+	}
+	if b.Allow() {
+		t.Fatal("second probe admitted while one is in flight")
+	}
+	// Failed probe re-opens.
+	b.Report(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+
+	// Second cooldown, successful probe closes: one full cycle.
+	clk.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("Allow refused after second cooldown")
+	}
+	b.Report(true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+
+	st := b.Stats()
+	if st.Opens != 2 || st.HalfOpens != 2 || st.Closes != 1 {
+		t.Fatalf("stats = %+v, want opens=2 halfOpens=2 closes=1", st)
+	}
+	if st.ShortCircuits == 0 {
+		t.Fatalf("stats = %+v, want short circuits > 0", st)
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := NewBreaker(0, time.Second, sim.NewClock())
+	for i := 0; i < 100; i++ {
+		if !b.Allow() {
+			t.Fatal("disabled breaker refused a request")
+		}
+		b.Report(false)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("disabled breaker state = %v, want closed", b.State())
+	}
+}
+
+func TestBreakerConcurrent(t *testing.T) {
+	clk := sim.NewClock()
+	b := NewBreaker(5, time.Millisecond, clk)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 1000; i++ {
+				if b.Allow() {
+					b.Report(i%3 != 0)
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	b.Stats() // must not race
+}

@@ -1,0 +1,387 @@
+package resilience
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/dls"
+)
+
+// ErrNoReplica is returned (possibly after retries) when every replica's
+// circuit breaker short-circuits the request.
+var ErrNoReplica = errors.New("resilience: all replica breakers open")
+
+// Config parameterises a Client. Zero values take the documented
+// defaults.
+type Config struct {
+	// Replicas are the base URLs of the fleet, e.g.
+	// "http://127.0.0.1:8080". At least one is required.
+	Replicas []string
+	// MaxRetries bounds retry attempts beyond the first try (default 3;
+	// negative disables retries).
+	MaxRetries int
+	// BaseBackoff is the first retry delay (default 25ms); each retry
+	// doubles it up to MaxBackoff (default 1s). A server Retry-After
+	// overrides the exponential schedule, still capped at MaxBackoff.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Jitter spreads every delay uniformly over [1-Jitter, 1+Jitter]
+	// (default 0.2; negative disables jitter).
+	Jitter float64
+	// Seed seeds the jitter RNG, making retry schedules reproducible.
+	Seed int64
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// replica's breaker (default 5; negative disables the breakers).
+	// BreakerCooldown is the open -> half-open delay (default 500ms).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// AttemptTimeout bounds each individual attempt, body read included
+	// (default 10s). Ignored when HTTPClient is supplied.
+	AttemptTimeout time.Duration
+	// Clock supplies time for backoff sleeps and breaker cooldowns
+	// (default the system clock).
+	Clock dls.Clock
+	// HTTPClient overrides the underlying transport (tests).
+	HTTPClient *http.Client
+}
+
+// Stats is a snapshot of a Client's activity, aggregated over all
+// replicas.
+type Stats struct {
+	// Attempts counts HTTP attempts actually sent (first tries plus
+	// retries); Retries counts the re-sends alone.
+	Attempts uint64 `json:"attempts"`
+	Retries  uint64 `json:"retries"`
+	// Backoffs counts backoff sleeps and BackoffTotal their summed
+	// duration; RetryAfterHonored counts the sleeps whose delay came from
+	// a server Retry-After header instead of the exponential schedule.
+	Backoffs          uint64        `json:"backoffs"`
+	BackoffTotal      time.Duration `json:"backoff_total_ns"`
+	RetryAfterHonored uint64        `json:"retry_after_honored"`
+	// ShortCircuits counts attempts rejected locally because every
+	// breaker was open.
+	ShortCircuits uint64 `json:"short_circuits"`
+	// BreakerOpens/HalfOpens/Closes sum the per-replica breaker
+	// transitions; Closes is the number of completed
+	// open -> half-open -> close recovery cycles.
+	BreakerOpens     uint64 `json:"breaker_opens"`
+	BreakerHalfOpens uint64 `json:"breaker_half_opens"`
+	BreakerCloses    uint64 `json:"breaker_closes"`
+	// Breakers holds the per-replica snapshots, indexed like
+	// Config.Replicas.
+	Breakers []BreakerStats `json:"breakers,omitempty"`
+}
+
+// Client is a fleet-aware retrying HTTP client: round-robin replica
+// selection skipping open breakers, capped exponential backoff with
+// jitter, Retry-After honoring, and deadline-budget propagation — a
+// retry is attempted only if its backoff still fits inside the caller's
+// context deadline, and each attempt carries the remaining budget in
+// X-Timeout so the server never works past it.
+type Client struct {
+	cfg      Config
+	clock    dls.Clock
+	http     *http.Client
+	breakers []*Breaker
+	next     atomic.Uint64
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	attempts, retries, backoffs, retryAfter, shortCircuits atomic.Uint64
+	backoffNanos                                           atomic.Int64
+}
+
+// New builds a Client over cfg.Replicas.
+func New(cfg Config) (*Client, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, errors.New("resilience: no replicas configured")
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 3
+	} else if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 25 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = time.Second
+	}
+	if cfg.Jitter == 0 {
+		cfg.Jitter = 0.2
+	} else if cfg.Jitter < 0 {
+		cfg.Jitter = 0
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = 5
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 500 * time.Millisecond
+	}
+	if cfg.AttemptTimeout <= 0 {
+		cfg.AttemptTimeout = 10 * time.Second
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = dls.SystemClock()
+	}
+	c := &Client{
+		cfg:   cfg,
+		clock: cfg.Clock,
+		http:  cfg.HTTPClient,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if c.http == nil {
+		c.http = &http.Client{Timeout: cfg.AttemptTimeout}
+	}
+	c.breakers = make([]*Breaker, len(cfg.Replicas))
+	for i := range c.breakers {
+		c.breakers[i] = NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Clock)
+	}
+	return c, nil
+}
+
+// Replicas returns the configured base URLs.
+func (c *Client) Replicas() []string { return c.cfg.Replicas }
+
+// Breaker exposes the breaker of replica i (for tests and fleet status).
+func (c *Client) Breaker(i int) *Breaker { return c.breakers[i] }
+
+// Stats snapshots the client's counters.
+func (c *Client) Stats() Stats {
+	st := Stats{
+		Attempts:          c.attempts.Load(),
+		Retries:           c.retries.Load(),
+		Backoffs:          c.backoffs.Load(),
+		BackoffTotal:      time.Duration(c.backoffNanos.Load()),
+		RetryAfterHonored: c.retryAfter.Load(),
+		ShortCircuits:     c.shortCircuits.Load(),
+	}
+	st.Breakers = make([]BreakerStats, len(c.breakers))
+	for i, b := range c.breakers {
+		bs := b.Stats()
+		st.Breakers[i] = bs
+		st.BreakerOpens += bs.Opens
+		st.BreakerHalfOpens += bs.HalfOpens
+		st.BreakerCloses += bs.Closes
+	}
+	return st
+}
+
+// retryable classifies an attempt outcome: transport errors, 5xx and 429
+// are retryable; 2xx and other 4xx are final.
+func retryable(resp *http.Response, err error) bool {
+	if err != nil {
+		return true
+	}
+	return resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests
+}
+
+// Do sends one logical request (method + path + body) to the fleet,
+// retrying transient failures with backoff. The final attempt's response
+// is returned unread — the caller owns resp.Body. The body is replayed
+// from the byte slice on every attempt. Non-retryable responses
+// (including 4xx other than 429) return immediately with err == nil.
+func (c *Client) Do(ctx context.Context, method, path string, body []byte, header http.Header) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, err, admitted := c.attempt(ctx, method, path, body, header)
+		if admitted {
+			if !retryable(resp, err) {
+				return resp, err
+			}
+		}
+		if err != nil {
+			lastErr = err
+		}
+		if attempt >= c.cfg.MaxRetries {
+			// Out of retries: surface whatever we have.
+			if admitted {
+				return resp, err
+			}
+			if lastErr == nil {
+				lastErr = ErrNoReplica
+			}
+			return nil, lastErr
+		}
+		delay, fromServer := c.delay(attempt, resp)
+		if deadline, ok := ctx.Deadline(); ok {
+			if c.clock.Now().Add(delay).After(deadline) {
+				// The backoff would overshoot the caller's budget: this
+				// attempt is final.
+				if admitted {
+					return resp, err
+				}
+				if lastErr == nil {
+					lastErr = ErrNoReplica
+				}
+				return nil, lastErr
+			}
+		}
+		if resp != nil {
+			drain(resp)
+		}
+		if !c.sleep(ctx, delay, fromServer) {
+			if lastErr == nil {
+				lastErr = ctx.Err()
+			}
+			return nil, lastErr
+		}
+		c.retries.Add(1)
+	}
+}
+
+// attempt sends the request to the next replica whose breaker admits it.
+// admitted reports whether any replica accepted the attempt; when false,
+// resp and err describe the short-circuit.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, header http.Header) (resp *http.Response, err error, admitted bool) {
+	idx, br := c.pick()
+	if br == nil {
+		c.shortCircuits.Add(1)
+		return nil, ErrNoReplica, false
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.cfg.Replicas[idx]+path, bytes.NewReader(body))
+	if err != nil {
+		br.Report(true) // a malformed request is not the replica's fault
+		return nil, err, true
+	}
+	for k, vs := range header {
+		req.Header[k] = vs
+	}
+	if len(body) > 0 && req.Header.Get("Content-Type") == "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	// Deadline-budget propagation: tell the server how much of the
+	// caller's budget remains, so the fleet never works past it.
+	if deadline, ok := ctx.Deadline(); ok {
+		if remaining := deadline.Sub(c.clock.Now()); remaining > 0 {
+			req.Header.Set("X-Timeout", remaining.String())
+		} else {
+			br.Report(true)
+			return nil, context.DeadlineExceeded, true
+		}
+	}
+	c.attempts.Add(1)
+	resp, err = c.http.Do(req)
+	// Breaker success means "the replica answered": any response — even a
+	// 429 shed or a 4xx rejection — proves liveness; only transport
+	// errors and 5xx count against the breaker.
+	br.Report(err == nil && resp.StatusCode < 500)
+	return resp, err, true
+}
+
+// pick selects the next replica round-robin, skipping replicas whose
+// breaker refuses the request. Returns (-1, nil) when every breaker
+// short-circuits.
+func (c *Client) pick() (int, *Breaker) {
+	n := uint64(len(c.breakers))
+	start := c.next.Add(1) - 1
+	for i := uint64(0); i < n; i++ {
+		idx := int((start + i) % n)
+		if c.breakers[idx].Allow() {
+			return idx, c.breakers[idx]
+		}
+	}
+	return -1, nil
+}
+
+// delay computes the backoff before retry number attempt (0-based),
+// honoring the server's Retry-After when resp carries one. fromServer
+// reports whether the delay came from the header.
+func (c *Client) delay(attempt int, resp *http.Response) (time.Duration, bool) {
+	d := c.cfg.BaseBackoff << uint(attempt)
+	if d <= 0 || d > c.cfg.MaxBackoff {
+		d = c.cfg.MaxBackoff
+	}
+	fromServer := false
+	if resp != nil {
+		if ra := parseRetryAfter(resp.Header.Get("Retry-After")); ra > 0 {
+			d = ra
+			if d > c.cfg.MaxBackoff {
+				d = c.cfg.MaxBackoff
+			}
+			fromServer = true
+		}
+	}
+	if j := c.cfg.Jitter; j > 0 {
+		c.rngMu.Lock()
+		f := 1 + j*(2*c.rng.Float64()-1)
+		c.rngMu.Unlock()
+		d = time.Duration(float64(d) * f)
+	}
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d, fromServer
+}
+
+// sleep waits delay on the clock, aborting early when ctx is done. It
+// reports whether the full delay elapsed.
+func (c *Client) sleep(ctx context.Context, delay time.Duration, fromServer bool) bool {
+	c.backoffs.Add(1)
+	c.backoffNanos.Add(int64(delay))
+	if fromServer {
+		c.retryAfter.Add(1)
+	}
+	t := c.clock.NewTimer(delay)
+	defer t.Stop()
+	select {
+	case <-t.C():
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// parseRetryAfter reads a Retry-After value in seconds — dlsd emits
+// fractional seconds ("0.050"), the standard allows integers.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.ParseFloat(v, 64)
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	return time.Duration(secs * float64(time.Second))
+}
+
+// drain discards and closes a response body so the transport connection
+// can be reused by the next attempt.
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+}
+
+// Get is a convenience wrapper for body-less GETs.
+func (c *Client) Get(ctx context.Context, path string) (*http.Response, error) {
+	return c.Do(ctx, http.MethodGet, path, nil, nil)
+}
+
+// CheckHealth GETs path on a single absolute base URL with this client's
+// transport (no breaker, no retry) and returns an error unless the
+// response is 200. Supervisor probers use it per-address.
+func CheckHealth(ctx context.Context, httpClient *http.Client, base, path string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := httpClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("resilience: %s%s: status %d", base, path, resp.StatusCode)
+	}
+	return nil
+}

@@ -1,0 +1,288 @@
+package resilience
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testConfig returns a Config with fast real-time backoffs for
+// httptest-driven tests.
+func testConfig(urls ...string) Config {
+	return Config{
+		Replicas:         urls,
+		MaxRetries:       3,
+		BaseBackoff:      time.Millisecond,
+		MaxBackoff:       5 * time.Millisecond,
+		Jitter:           -1,
+		BreakerThreshold: 2,
+		BreakerCooldown:  5 * time.Millisecond,
+		AttemptTimeout:   2 * time.Second,
+	}
+}
+
+func TestClientRetriesTransientFailures(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	cfg := testConfig(srv.URL)
+	cfg.BreakerThreshold = -1 // isolate the retry path
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Get(context.Background(), "/")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "ok" {
+		t.Fatalf("body = %q, want ok", body)
+	}
+	st := c.Stats()
+	if st.Attempts != 3 || st.Retries != 2 {
+		t.Fatalf("stats = %+v, want 3 attempts / 2 retries", st)
+	}
+}
+
+func TestClientBoundedRetries(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	cfg := testConfig(srv.URL)
+	cfg.BreakerThreshold = -1 // isolate the retry cap
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Get(context.Background(), "/")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if got := calls.Load(); got != 4 { // 1 try + MaxRetries
+		t.Fatalf("server saw %d calls, want 4", got)
+	}
+}
+
+func TestClientNonRetryableReturnsImmediately(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "bad request", http.StatusUnprocessableEntity)
+	}))
+	defer srv.Close()
+
+	c, err := New(testConfig(srv.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Get(context.Background(), "/")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity || calls.Load() != 1 {
+		t.Fatalf("status=%d calls=%d, want 422 after exactly 1 call", resp.StatusCode, calls.Load())
+	}
+}
+
+func TestClientHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0.002")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	c, err := New(testConfig(srv.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Get(context.Background(), "/")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if st := c.Stats(); st.RetryAfterHonored != 1 {
+		t.Fatalf("stats = %+v, want RetryAfterHonored = 1", st)
+	}
+}
+
+func TestClientDeadlineBudget(t *testing.T) {
+	var sawTimeout atomic.Bool
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		if r.Header.Get("X-Timeout") != "" {
+			sawTimeout.Store(true)
+		}
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	cfg := testConfig(srv.URL)
+	cfg.BaseBackoff = 200 * time.Millisecond // overshoots the 50ms budget
+	cfg.MaxBackoff = 200 * time.Millisecond
+	cfg.BreakerThreshold = -1
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	resp, err := c.Get(ctx, "/")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	resp.Body.Close()
+	// The first backoff would bust the deadline, so the client stops
+	// after one attempt instead of sleeping past the budget.
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1 (no retry past the deadline)", got)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("Do took %v, want well under the backoff", elapsed)
+	}
+	if !sawTimeout.Load() {
+		t.Fatal("attempt did not carry X-Timeout budget header")
+	}
+}
+
+func TestClientBreakerShortCircuitsAndRecovers(t *testing.T) {
+	var fail atomic.Bool
+	fail.Store(true)
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		if fail.Load() {
+			http.Error(w, "down", http.StatusInternalServerError)
+			return
+		}
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	cfg := testConfig(srv.URL)
+	cfg.MaxRetries = 0
+	cfg.BreakerCooldown = 100 * time.Millisecond
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Two failures open the breaker (threshold 2).
+	for i := 0; i < 2; i++ {
+		if resp, err := c.Get(ctx, "/"); err == nil {
+			resp.Body.Close()
+		}
+	}
+	if st := c.Breaker(0).State(); st != BreakerOpen {
+		t.Fatalf("breaker state = %v, want open", st)
+	}
+	// While open, requests short-circuit without touching the server.
+	before := calls.Load()
+	if _, err := c.Get(ctx, "/"); err == nil {
+		t.Fatal("expected short-circuit error while breaker open")
+	}
+	if calls.Load() != before {
+		t.Fatal("open breaker let a request through")
+	}
+	// After the cooldown the half-open probe succeeds and closes it.
+	fail.Store(false)
+	time.Sleep(2 * cfg.BreakerCooldown)
+	resp, err := c.Get(ctx, "/")
+	if err != nil {
+		t.Fatalf("Get after cooldown: %v", err)
+	}
+	resp.Body.Close()
+	st := c.Stats()
+	if st.BreakerOpens < 1 || st.BreakerHalfOpens < 1 || st.BreakerCloses < 1 {
+		t.Fatalf("stats = %+v, want a full open -> half-open -> close cycle", st)
+	}
+}
+
+func TestClientRoundRobinSkipsOpenBreaker(t *testing.T) {
+	var okCalls atomic.Int64
+	ok := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		okCalls.Add(1)
+		io.WriteString(w, "ok")
+	}))
+	defer ok.Close()
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	bad.Close() // hard connection failures
+
+	cfg := testConfig(bad.URL, ok.URL)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		resp, err := c.Get(ctx, "/")
+		if err != nil {
+			t.Fatalf("Get %d: %v", i, err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("Get %d: status %d", i, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	if okCalls.Load() < 10 {
+		t.Fatalf("healthy replica saw %d calls, want >= 10", okCalls.Load())
+	}
+	// The dead replica's breaker must have opened after 2 failures.
+	if st := c.Breaker(0).Stats(); st.Opens == 0 {
+		t.Fatalf("dead replica breaker stats = %+v, want at least one open", st)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"0.050", 50 * time.Millisecond},
+		{"2", 2 * time.Second},
+		{"-1", 0},
+		{"soon", 0},
+	}
+	for _, tc := range cases {
+		if got := parseRetryAfter(tc.in); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}

@@ -41,6 +41,11 @@ type SolveResponse struct {
 	Send       []int     `json:"send,omitempty"`
 	Return     []int     `json:"return,omitempty"`
 	Alpha      []float64 `json:"alpha,omitempty"`
+	// Degraded marks a deadline-driven downgrade: the solver answered
+	// with the closed-form DegradedTo strategy instead of running the
+	// requested exhaustive search (see dls.WithDegradation).
+	Degraded   bool   `json:"degraded,omitempty"`
+	DegradedTo string `json:"degraded_to,omitempty"`
 }
 
 // BatchResponse answers POST /v1/solve/batch: Results[i] answers
@@ -75,6 +80,8 @@ func resultResponse(res *dls.Result) *SolveResponse {
 		Cached:     res.Cached,
 		Send:       res.Send,
 		Return:     res.Return,
+		Degraded:   res.Degraded,
+		DegradedTo: res.DegradedTo,
 	}
 	switch {
 	case res.Schedule != nil:

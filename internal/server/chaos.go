@@ -1,0 +1,213 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ChaosHeader marks responses whose failure was injected by the chaos
+// middleware rather than produced by the server: load generators use it
+// to separate injected faults from real ones when computing
+// availability.
+const ChaosHeader = "X-Chaos"
+
+// ChaosConfig parameterises the fault-injection middleware. All fault
+// draws come from one seeded RNG, so a fixed request sequence sees a
+// fixed fault sequence.
+type ChaosConfig struct {
+	// Seed seeds the fault RNG.
+	Seed int64
+	// ErrorRate is the probability of answering 503 without touching the
+	// handler; the response carries "X-Chaos: error".
+	ErrorRate float64
+	// LatencyRate is the probability of sleeping Latency before the
+	// handler runs ("X-Chaos: latency"). Latency defaults to 20ms.
+	LatencyRate float64
+	Latency     time.Duration
+	// DropRate is the probability of aborting the connection mid-request
+	// (the client sees a transport error, not an HTTP status).
+	DropRate float64
+	// SlowRate is the probability of a slow-loris body read: the request
+	// body is consumed one byte at a time with SlowPause between bytes
+	// (default 1ms) before the handler runs.
+	SlowRate  float64
+	SlowPause time.Duration
+	// DownEvery/DownFor, when both positive, blackout the data plane
+	// periodically: for DownFor out of every DownEvery, every request is
+	// answered 503 ("X-Chaos: down"). The deterministic schedule
+	// guarantees circuit breakers see sustained failure runs.
+	DownEvery time.Duration
+	DownFor   time.Duration
+	// CrashAfter, when positive, invokes OnCrash after that many
+	// data-plane requests — dlsd wires it to os.Exit so supervisors can
+	// be exercised end to end.
+	CrashAfter int64
+	OnCrash    func()
+}
+
+// Enabled reports whether any fault is configured.
+func (c ChaosConfig) Enabled() bool {
+	return c.ErrorRate > 0 || c.LatencyRate > 0 || c.DropRate > 0 || c.SlowRate > 0 ||
+		(c.DownEvery > 0 && c.DownFor > 0) || c.CrashAfter > 0
+}
+
+// ChaosStats counts injected faults.
+type ChaosStats struct {
+	Requests  uint64 `json:"requests"`
+	Errors    uint64 `json:"errors"`
+	Latencies uint64 `json:"latencies"`
+	Drops     uint64 `json:"drops"`
+	SlowReads uint64 `json:"slow_reads"`
+	Blackouts uint64 `json:"blackouts"`
+}
+
+// Chaos is the fault-injection middleware: it wraps a handler and
+// deterministically injects latency, 5xx errors, connection drops and
+// slow-loris reads per ChaosConfig. Control-plane paths (/healthz,
+// /metrics) are exempt so supervision keeps working while the data
+// plane burns.
+type Chaos struct {
+	cfg   ChaosConfig
+	next  http.Handler
+	start time.Time
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	requests, errors, latencies, drops, slowReads, blackouts atomic.Uint64
+	crashed                                                  atomic.Bool
+}
+
+// NewChaos wraps next with fault injection.
+func NewChaos(cfg ChaosConfig, next http.Handler) *Chaos {
+	if cfg.Latency <= 0 {
+		cfg.Latency = 20 * time.Millisecond
+	}
+	if cfg.SlowPause <= 0 {
+		cfg.SlowPause = time.Millisecond
+	}
+	return &Chaos{
+		cfg:   cfg,
+		next:  next,
+		start: time.Now(),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Stats snapshots the injected-fault counters.
+func (c *Chaos) Stats() ChaosStats {
+	return ChaosStats{
+		Requests:  c.requests.Load(),
+		Errors:    c.errors.Load(),
+		Latencies: c.latencies.Load(),
+		Drops:     c.drops.Load(),
+		SlowReads: c.slowReads.Load(),
+		Blackouts: c.blackouts.Load(),
+	}
+}
+
+// draw pulls one fault decision per category from the seeded RNG. A
+// fixed number of uniforms per request keeps the fault schedule a pure
+// function of (seed, request index) regardless of which faults fire.
+func (c *Chaos) draw() (errF, latF, dropF, slowF bool) {
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	u1, u2, u3, u4 := c.rng.Float64(), c.rng.Float64(), c.rng.Float64(), c.rng.Float64()
+	return u1 < c.cfg.ErrorRate, u2 < c.cfg.LatencyRate, u3 < c.cfg.DropRate, u4 < c.cfg.SlowRate
+}
+
+// blackedOut reports whether the periodic DownEvery/DownFor blackout is
+// currently active.
+func (c *Chaos) blackedOut() bool {
+	if c.cfg.DownEvery <= 0 || c.cfg.DownFor <= 0 {
+		return false
+	}
+	phase := time.Since(c.start) % c.cfg.DownEvery
+	return phase < c.cfg.DownFor
+}
+
+func (c *Chaos) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// The control plane stays honest: health probes and metrics scrapes
+	// bypass injection so supervisors observe the real process.
+	if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
+		c.next.ServeHTTP(w, r)
+		return
+	}
+	n := c.requests.Add(1)
+	if c.cfg.CrashAfter > 0 && int64(n) == c.cfg.CrashAfter && c.cfg.OnCrash != nil {
+		if c.crashed.CompareAndSwap(false, true) {
+			c.cfg.OnCrash()
+		}
+	}
+	if c.blackedOut() {
+		c.blackouts.Add(1)
+		w.Header().Set(ChaosHeader, "down")
+		w.Header().Set("Retry-After", "0.050")
+		http.Error(w, "chaos: replica blacked out", http.StatusServiceUnavailable)
+		return
+	}
+	errF, latF, dropF, slowF := c.draw()
+	if dropF {
+		c.drops.Add(1)
+		// Abort the connection without writing a response: the client
+		// sees io.ErrUnexpectedEOF / ECONNRESET, exercising the
+		// transport-error retry path.
+		panic(http.ErrAbortHandler)
+	}
+	if latF {
+		c.latencies.Add(1)
+		time.Sleep(c.cfg.Latency)
+	}
+	if errF {
+		c.errors.Add(1)
+		w.Header().Set(ChaosHeader, "error")
+		http.Error(w, "chaos: injected error", http.StatusServiceUnavailable)
+		return
+	}
+	if slowF && r.Body != nil && r.ContentLength != 0 {
+		c.slowReads.Add(1)
+		body, err := slurpSlowly(r.Body, c.cfg.SlowPause)
+		if err != nil {
+			http.Error(w, "chaos: body read failed", http.StatusBadRequest)
+			return
+		}
+		r.Body = io.NopCloser(body)
+	}
+	c.next.ServeHTTP(w, r)
+}
+
+// slurpSlowly consumes rc one byte at a time with a pause between
+// bytes, emulating a slow client from the handler's point of view, and
+// returns the buffered body. The read is capped so chaos cannot be used
+// to buffer unbounded bodies.
+func slurpSlowly(rc io.ReadCloser, pause time.Duration) (io.Reader, error) {
+	defer rc.Close()
+	const cap = 1 << 20
+	var buf []byte
+	one := make([]byte, 1)
+	// Pause every stride bytes (pausing per byte would stall large
+	// bodies for minutes); the first bytes always pause so the slow path
+	// is observable even for tiny bodies.
+	const stride = 256
+	for i := 0; len(buf) < cap; i++ {
+		n, err := rc.Read(one)
+		if n > 0 {
+			buf = append(buf, one[0])
+			if i < 4 || i%stride == 0 {
+				time.Sleep(pause)
+			}
+		}
+		if err == io.EOF {
+			return bytes.NewReader(buf), nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return bytes.NewReader(buf), nil
+}

@@ -1,0 +1,160 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			body, _ := io.ReadAll(r.Body)
+			if len(body) > 0 {
+				w.Write(body)
+				return
+			}
+		}
+		io.WriteString(w, "ok")
+	})
+}
+
+func TestChaosDeterministicSchedule(t *testing.T) {
+	run := func() []int {
+		c := NewChaos(ChaosConfig{Seed: 42, ErrorRate: 0.3}, okHandler())
+		codes := make([]int, 0, 50)
+		for i := 0; i < 50; i++ {
+			rec := httptest.NewRecorder()
+			c.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/solve", nil))
+			codes = append(codes, rec.Code)
+		}
+		return codes
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault schedule diverged at request %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	saw503 := false
+	for _, code := range a {
+		if code == http.StatusServiceUnavailable {
+			saw503 = true
+		}
+	}
+	if !saw503 {
+		t.Fatal("30% error rate injected no 503 in 50 requests")
+	}
+}
+
+func TestChaosMarksInjectedFaults(t *testing.T) {
+	c := NewChaos(ChaosConfig{Seed: 1, ErrorRate: 1}, okHandler())
+	rec := httptest.NewRecorder()
+	c.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/solve", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("code = %d, want 503", rec.Code)
+	}
+	if rec.Header().Get(ChaosHeader) != "error" {
+		t.Fatalf("X-Chaos = %q, want error", rec.Header().Get(ChaosHeader))
+	}
+	if st := c.Stats(); st.Errors != 1 || st.Requests != 1 {
+		t.Fatalf("stats = %+v, want 1 request / 1 error", st)
+	}
+}
+
+func TestChaosExemptsControlPlane(t *testing.T) {
+	c := NewChaos(ChaosConfig{Seed: 1, ErrorRate: 1, DropRate: 1}, okHandler())
+	for _, path := range []string{"/healthz", "/metrics"} {
+		rec := httptest.NewRecorder()
+		c.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: code = %d, want 200 (control plane must bypass chaos)", path, rec.Code)
+		}
+	}
+	if st := c.Stats(); st.Requests != 0 {
+		t.Fatalf("control-plane requests counted as data plane: %+v", st)
+	}
+}
+
+func TestChaosConnectionDrop(t *testing.T) {
+	srv := httptest.NewServer(NewChaos(ChaosConfig{Seed: 1, DropRate: 1}, okHandler()))
+	defer srv.Close()
+	_, err := srv.Client().Get(srv.URL + "/v1/solve")
+	if err == nil {
+		t.Fatal("dropped connection produced a response, want transport error")
+	}
+}
+
+func TestChaosLatency(t *testing.T) {
+	c := NewChaos(ChaosConfig{Seed: 1, LatencyRate: 1, Latency: 30 * time.Millisecond}, okHandler())
+	start := time.Now()
+	rec := httptest.NewRecorder()
+	c.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/solve", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code = %d, want 200 (latency injection must not fail the request)", rec.Code)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("request took %v, want >= 30ms injected latency", elapsed)
+	}
+	if st := c.Stats(); st.Latencies != 1 {
+		t.Fatalf("stats = %+v, want 1 latency injection", st)
+	}
+}
+
+func TestChaosSlowLorisPreservesBody(t *testing.T) {
+	c := NewChaos(ChaosConfig{Seed: 1, SlowRate: 1, SlowPause: 100 * time.Microsecond}, okHandler())
+	body := strings.Repeat("x", 600)
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/v1/solve", strings.NewReader(body))
+	c.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code = %d, want 200", rec.Code)
+	}
+	if got := rec.Body.String(); got != body {
+		t.Fatalf("handler saw %d bytes, want the full %d-byte body intact", len(got), len(body))
+	}
+	if st := c.Stats(); st.SlowReads != 1 {
+		t.Fatalf("stats = %+v, want 1 slow read", st)
+	}
+}
+
+func TestChaosBlackout(t *testing.T) {
+	// DownFor == DownEvery: permanently blacked out.
+	c := NewChaos(ChaosConfig{Seed: 1, DownEvery: time.Hour, DownFor: time.Hour}, okHandler())
+	rec := httptest.NewRecorder()
+	c.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/solve", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("code = %d, want 503 during blackout", rec.Code)
+	}
+	if rec.Header().Get(ChaosHeader) != "down" {
+		t.Fatalf("X-Chaos = %q, want down", rec.Header().Get(ChaosHeader))
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("blackout response missing Retry-After")
+	}
+}
+
+func TestChaosCrashAfter(t *testing.T) {
+	var crashed atomic.Int64
+	c := NewChaos(ChaosConfig{Seed: 1, CrashAfter: 3, OnCrash: func() { crashed.Add(1) }}, okHandler())
+	for i := 0; i < 5; i++ {
+		rec := httptest.NewRecorder()
+		c.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/solve", nil))
+	}
+	if got := crashed.Load(); got != 1 {
+		t.Fatalf("OnCrash fired %d times, want exactly once at request 3", got)
+	}
+}
+
+func TestChaosDisabledByDefault(t *testing.T) {
+	if (ChaosConfig{}).Enabled() {
+		t.Fatal("zero ChaosConfig reports enabled")
+	}
+	if !(ChaosConfig{ErrorRate: 0.01}).Enabled() {
+		t.Fatal("error-rate config reports disabled")
+	}
+}

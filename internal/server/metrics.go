@@ -87,6 +87,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if lookups := st.Hits + st.Misses; lookups > 0 {
 		m.Gauge("dlsd_cache_hit_ratio", "Hits / lookups since start.", float64(st.Hits)/float64(lookups))
 	}
+	m.Counter("dlsd_degraded_total", "Solves answered by a closed-form heuristic instead of the requested exhaustive search.", st.Degraded)
+	degradedTo := make([]string, 0, len(st.DegradedByStrategy))
+	for name := range st.DegradedByStrategy {
+		degradedTo = append(degradedTo, name)
+	}
+	sort.Strings(degradedTo)
+	for _, name := range degradedTo {
+		m.Counter("dlsd_degraded_to_total", "Degraded solves by the heuristic actually used.",
+			st.DegradedByStrategy[name], stats.Label{Key: "strategy", Value: name})
+	}
 	m.Counter("dlsd_solves_total", "Strategy executions (cache/dedup-answered requests excluded).", st.Solves)
 	strategies := make([]string, 0, len(st.SolvesByStrategy))
 	for name := range st.SolvesByStrategy {

@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ErrReplicaCrashed answers every request that was in flight — flushed
+// into a window but not yet completed — when an injected replica
+// failure fired.
+var ErrReplicaCrashed = errors.New("sim: replica crashed mid-window")
+
+// Failure is one injected replica crash: at virtual time At the
+// simulated batcher/replica dies — every in-service and queued window
+// fails with ErrReplicaCrashed, the filling window is flushed and fails
+// too, and arrivals are lost until the replica restarts Down later.
+type Failure struct {
+	At   time.Duration `json:"at"`
+	Down time.Duration `json:"down"`
+}
+
+// ParseFailures parses a failure schedule of the form
+// "at:down[,at:down...]", e.g. "3s:500ms,10s:1s". Entries are returned
+// sorted by At. A crash that fires while the replica is already down is
+// ignored at run time.
+func ParseFailures(s string) ([]Failure, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []Failure
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		at, down, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("sim: failure %q: want at:down (e.g. 3s:500ms)", part)
+		}
+		f := Failure{}
+		var err error
+		if f.At, err = time.ParseDuration(strings.TrimSpace(at)); err != nil {
+			return nil, fmt.Errorf("sim: failure %q: bad crash time: %w", part, err)
+		}
+		if f.Down, err = time.ParseDuration(strings.TrimSpace(down)); err != nil {
+			return nil, fmt.Errorf("sim: failure %q: bad downtime: %w", part, err)
+		}
+		if f.At < 0 || f.Down <= 0 {
+			return nil, fmt.Errorf("sim: failure %q: crash time must be >= 0 and downtime > 0", part)
+		}
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out, nil
+}

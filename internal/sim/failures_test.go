@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseFailures(t *testing.T) {
+	got, err := ParseFailures(" 10s:1s , 3s:500ms ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Failure{
+		{At: 3 * time.Second, Down: 500 * time.Millisecond},
+		{At: 10 * time.Second, Down: time.Second},
+	}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("ParseFailures = %v, want sorted %v", got, want)
+	}
+	if got, err := ParseFailures(""); err != nil || got != nil {
+		t.Errorf("empty schedule: %v, %v; want nil, nil", got, err)
+	}
+	for _, bad := range []string{"3s", "x:1s", "3s:y", "-1s:1s", "3s:0s"} {
+		if _, err := ParseFailures(bad); err == nil {
+			t.Errorf("ParseFailures(%q) accepted", bad)
+		}
+	}
+}
+
+// TestRunWithFailures drives a steady arrival stream through two
+// injected crashes and checks the crash accounting: every arrival ends
+// up exactly one of completed / shed / crash-failed / lost, and the
+// blackout loses arrivals while in-flight windows die with the replica.
+func TestRunWithFailures(t *testing.T) {
+	var log bytes.Buffer
+	rep, err := Run(Config{
+		Seed:        3,
+		MaxArrivals: 20000,
+		Process:     &Poisson{Rate: 8000},
+		Failures: []Failure{
+			{At: 500 * time.Millisecond, Down: 300 * time.Millisecond},
+			{At: 1500 * time.Millisecond, Down: 200 * time.Millisecond},
+		},
+		Log: &log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Crashes != 2 {
+		t.Errorf("Crashes = %d, want 2", rep.Crashes)
+	}
+	if rep.CrashLost == 0 {
+		t.Error("no arrivals lost despite 500ms of downtime under an 8k/s stream")
+	}
+	if rep.CrashFailed == 0 {
+		t.Error("no in-flight requests failed despite crashes under load")
+	}
+	// Conservation: completed + shed + failed covers every arrival.
+	var failed int64
+	for _, cr := range rep.Classes {
+		failed += cr.Failed
+	}
+	if failed != rep.CrashFailed+rep.CrashLost {
+		t.Errorf("per-class failed %d != crash_failed %d + crash_lost %d",
+			failed, rep.CrashFailed, rep.CrashLost)
+	}
+	if got := rep.Completed + rep.Shed + failed; got != rep.Arrivals {
+		t.Errorf("completed %d + shed %d + failed %d = %d, want arrivals %d",
+			rep.Completed, rep.Shed, failed, got, rep.Arrivals)
+	}
+	// Service resumed after each blackout.
+	if rep.Completed == 0 {
+		t.Error("nothing completed despite service resuming between crashes")
+	}
+	logStr := log.String()
+	for _, ev := range []string{`"e":"crash"`, `"e":"crash-fail"`, `"e":"lost"`, `"e":"restore"`} {
+		if !strings.Contains(logStr, ev) {
+			t.Errorf("event log missing %s", ev)
+		}
+	}
+}
+
+// TestRunFailuresDeterministic: the crash schedule is part of the
+// experiment — same seed + same failures means byte-identical logs and
+// reports.
+func TestRunFailuresDeterministic(t *testing.T) {
+	run := func() ([]byte, []byte) {
+		t.Helper()
+		var log bytes.Buffer
+		rep, err := Run(Config{
+			Seed:        11,
+			MaxArrivals: 10000,
+			Process:     burstProcess(),
+			Failures:    []Failure{{At: 200 * time.Millisecond, Down: 100 * time.Millisecond}},
+			Log:         &log,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return log.Bytes(), js
+	}
+	log1, rep1 := run()
+	log2, rep2 := run()
+	if !bytes.Equal(log1, log2) {
+		t.Fatal("event logs differ between identically seeded failure runs")
+	}
+	if !bytes.Equal(rep1, rep2) {
+		t.Fatalf("reports differ between identically seeded failure runs:\n%s\n%s", rep1, rep2)
+	}
+}
+
+// TestRunOverlappingFailureIgnored: a crash during an ongoing blackout
+// is swallowed — only the first counts, and only its restore fires.
+func TestRunOverlappingFailureIgnored(t *testing.T) {
+	rep, err := Run(Config{
+		Seed:        5,
+		MaxArrivals: 5000,
+		Process:     &Poisson{Rate: 8000},
+		Failures: []Failure{
+			{At: 100 * time.Millisecond, Down: 400 * time.Millisecond},
+			{At: 200 * time.Millisecond, Down: 10 * time.Second}, // inside the first blackout
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Crashes != 1 {
+		t.Errorf("Crashes = %d, want 1 (overlapping crash ignored)", rep.Crashes)
+	}
+	if rep.Completed == 0 {
+		t.Error("nothing completed: the ignored crash's downtime leaked into the run")
+	}
+}

@@ -60,6 +60,11 @@ type Config struct {
 	// Adaptive, when set, enables the adaptive admission policy.
 	Adaptive *dls.AdaptiveConfig
 
+	// Failures injects replica crashes (see Failure and ParseFailures):
+	// in-flight windows fail with ErrReplicaCrashed, arrivals during the
+	// downtime are lost, and service resumes at At+Down.
+	Failures []Failure
+
 	// Log, when set, receives the JSONL event log (arrive / shed / flush
 	// / done lines in virtual-time order — byte-identical across runs of
 	// the same seeded config).
@@ -128,6 +133,9 @@ type Report struct {
 	Windows        int64                   `json:"windows"`
 	AvgWindowFill  float64                 `json:"avg_window_fill"`
 	CollapseRatio  float64                 `json:"collapse_ratio"` // requests per dedup group
+	Crashes        int64                   `json:"crashes,omitempty"`
+	CrashFailed    int64                   `json:"crash_failed,omitempty"` // in-flight requests failed by crashes
+	CrashLost      int64                   `json:"crash_lost,omitempty"`   // arrivals lost while the replica was down
 	Classes        map[string]*ClassReport `json:"classes"`
 	WindowTrace    []WindowSample          `json:"window_trace,omitempty"`
 	Events         int64                   `json:"events"`
@@ -143,6 +151,7 @@ type ClassReport struct {
 	Completed  int64   `json:"completed"`
 	Shed       int64   `json:"shed"`
 	ShedSLO    int64   `json:"shed_slo"`
+	Failed     int64   `json:"failed,omitempty"` // crash-failed in-flight + arrivals lost to downtime
 	Violations int64   `json:"violations"`
 	ShedRate   float64 `json:"shed_rate"`
 	P50MS      float64 `json:"p50_ms"`
@@ -199,15 +208,18 @@ func (h *eventHeap) Pop() any {
 	return ev
 }
 
-// job is one flushed window awaiting (or in) virtual service.
+// job is one flushed window awaiting (or in) virtual service. failed is
+// set when an injected crash already answered the window, so the stale
+// finishService event recognizes itself and does nothing.
 type job struct {
-	win   *dls.Window
-	kinds []string
+	win    *dls.Window
+	kinds  []string
+	failed bool
 }
 
 type classAcc struct {
-	arrivals, completed, shed, shedSLO, violations int64
-	lat                                            []time.Duration
+	arrivals, completed, shed, shedSLO, failed, violations int64
+	lat                                                    []time.Duration
 }
 
 // simulator is the single-threaded event-loop state.
@@ -234,6 +246,10 @@ type simulator struct {
 	busy      int
 	ready     []*job
 	readyHead int
+	inService []*job
+
+	down                            bool
+	crashes, crashFailed, crashLost int64
 
 	nextID      int64
 	generated   int
@@ -307,6 +323,10 @@ func Run(cfg Config) (*Report, error) {
 
 	start := time.Now()
 	s.scheduleNextArrival()
+	for _, f := range cfg.Failures {
+		f := f
+		s.schedule(Epoch.Add(f.At), func() { s.crash(f.Down) })
+	}
 	for len(s.events) > 0 && s.err == nil {
 		ev := heap.Pop(&s.events).(*event)
 		s.clock.AdvanceTo(ev.at)
@@ -432,6 +452,16 @@ func (s *simulator) admit(arr Arrival) {
 	if acc := s.perClass[class]; acc != nil {
 		acc.arrivals++
 	}
+	if s.down {
+		// The replica is dark: the arrival never reaches admission
+		// (connection refused) and is lost.
+		s.crashLost++
+		if acc := s.perClass[class]; acc != nil {
+			acc.failed++
+		}
+		s.logf(`{"t":%d,"e":"lost","id":%d,"class":%q}`+"\n", s.tns(now), meta.id, class)
+		return
+	}
 	s.logf(`{"t":%d,"e":"arrive","id":%d,"class":%q,"kind":%q,"pb":%d}`+"\n",
 		s.tns(now), meta.id, class, kind, pb)
 	if _, err := s.b.Offer(context.Background(), req, class, meta); err != nil {
@@ -503,6 +533,12 @@ func (s *simulator) onShed(class string, tag any, err error) {
 // into the Drain-bounded virtual service stage.
 func (s *simulator) onWindow(w *dls.Window) {
 	s.winGen++
+	if s.down {
+		// The crash flushed the filling window (or a stale expiry fired
+		// during the blackout): everything in it dies with the replica.
+		s.failWindow(w)
+		return
+	}
 	s.flushes++
 	s.sizeSum += int64(w.Size())
 	s.groupSum += int64(w.Groups())
@@ -545,11 +581,77 @@ func (s *simulator) windowKinds(w *dls.Window) []string {
 
 func (s *simulator) startService(j *job) {
 	s.busy++
+	s.inService = append(s.inService, j)
 	cost := s.cfg.Cost.WindowCost(s.rng, j.kinds)
 	s.schedule(s.clock.Now().Add(cost), func() { s.finishService(j, cost) })
 }
 
+// crash fires one injected replica failure: every window in service or
+// queued fails with ErrReplicaCrashed, the filling window is flushed
+// into the same fate, and arrivals are lost until the restart fires
+// `down` later. A crash while already down is ignored (the blackout in
+// progress already covers it).
+func (s *simulator) crash(down time.Duration) {
+	if s.down {
+		return
+	}
+	now := s.clock.Now()
+	s.down = true
+	s.crashes++
+	s.logf(`{"t":%d,"e":"crash","down":%d}`+"\n", s.tns(now), int64(down))
+	for _, j := range s.inService {
+		j.failed = true
+		s.failWindow(j.win)
+	}
+	s.inService = s.inService[:0]
+	s.busy = 0
+	for i := s.readyHead; i < len(s.ready); i++ {
+		s.failWindow(s.ready[i].win)
+	}
+	s.ready = s.ready[:0]
+	s.readyHead = 0
+	s.b.ExpireWindow() // the filling window fails via the down-path in onWindow
+	s.schedule(now.Add(down), s.restore)
+}
+
+func (s *simulator) restore() {
+	s.down = false
+	s.logf(`{"t":%d,"e":"restore"}`+"\n", s.tns(s.clock.Now()))
+}
+
+// failWindow answers every submission of w with ErrReplicaCrashed.
+func (s *simulator) failWindow(w *dls.Window) {
+	errs := make([]error, w.Size())
+	for i := range errs {
+		errs[i] = ErrReplicaCrashed
+	}
+	if err := w.Complete(nil, errs); err != nil {
+		s.err = fmt.Errorf("sim: %w", err)
+		return
+	}
+	for i := 0; i < w.Size(); i++ {
+		if m, ok := w.Tag(i).(*arrivalMeta); ok {
+			if acc := s.perClass[m.class]; acc != nil {
+				acc.failed++
+			}
+		}
+	}
+	s.crashFailed += int64(w.Size())
+	s.logf(`{"t":%d,"e":"crash-fail","n":%d}`+"\n", s.tns(s.clock.Now()), w.Size())
+}
+
 func (s *simulator) finishService(j *job, cost time.Duration) {
+	if j.failed {
+		// A crash already answered this window; busy/ready were reset.
+		return
+	}
+	for i, sj := range s.inService {
+		if sj == j {
+			s.inService[i] = s.inService[len(s.inService)-1]
+			s.inService = s.inService[:len(s.inService)-1]
+			break
+		}
+	}
 	now := s.clock.Now()
 	w := j.win
 	if err := w.Complete(nil, nil); err != nil {
@@ -637,6 +739,9 @@ func (s *simulator) report() *Report {
 		Drain:          s.cfg.Drain,
 		VirtualSeconds: s.clock.Now().Sub(Epoch).Seconds(),
 		Windows:        s.flushes,
+		Crashes:        s.crashes,
+		CrashFailed:    s.crashFailed,
+		CrashLost:      s.crashLost,
 		Classes:        make(map[string]*ClassReport, len(s.perClass)),
 		WindowTrace:    s.trace,
 		Events:         s.eventCount,
@@ -659,6 +764,7 @@ func (s *simulator) report() *Report {
 			Completed:  acc.completed,
 			Shed:       acc.shed,
 			ShedSLO:    acc.shedSLO,
+			Failed:     acc.failed,
 			Violations: acc.violations,
 		}
 		if acc.arrivals > 0 {

@@ -1,0 +1,104 @@
+package supervisor
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+)
+
+// Process is one running replica as the supervisor sees it: a handle it
+// can signal for graceful drain, kill outright, and wait on.
+// Implementations must make Done's channel close exactly once, after
+// which Err reports the exit error (nil for a clean exit).
+type Process interface {
+	// Signal delivers sig to the process (SIGTERM starts a graceful
+	// drain in dlsd).
+	Signal(sig os.Signal) error
+	// Kill terminates the process immediately.
+	Kill() error
+	// Done is closed when the process has exited.
+	Done() <-chan struct{}
+	// Err returns the exit error once Done is closed.
+	Err() error
+}
+
+// Starter launches the replica of one fleet slot on the given port and
+// returns its handle. The supervisor calls it again after every crash or
+// rolling replacement (with the slot's alternate port).
+type Starter func(slot, port int) (Process, error)
+
+// execProcess wraps an *exec.Cmd as a Process.
+type execProcess struct {
+	cmd  *exec.Cmd
+	done chan struct{}
+	err  error
+}
+
+func (p *execProcess) Signal(sig os.Signal) error { return p.cmd.Process.Signal(sig) }
+func (p *execProcess) Kill() error                { return p.cmd.Process.Kill() }
+func (p *execProcess) Done() <-chan struct{}      { return p.done }
+func (p *execProcess) Err() error {
+	<-p.done
+	return p.err
+}
+
+// ExecStarter returns a Starter that runs binary with args plus
+// "-addr host:port", capturing interleaved stdout/stderr into logs with
+// a "[slot-N:port] " line prefix so a fleet's logs stay attributable.
+// logs may be nil to discard replica output.
+func ExecStarter(binary string, args []string, host string, logs io.Writer) Starter {
+	var mu sync.Mutex // one writer mutex across all replicas
+	return func(slot, port int) (Process, error) {
+		full := append(append([]string(nil), args...), "-addr", fmt.Sprintf("%s:%d", host, port))
+		cmd := exec.Command(binary, full...)
+		if logs != nil {
+			w := &prefixWriter{
+				mu:     &mu,
+				out:    logs,
+				prefix: []byte(fmt.Sprintf("[slot-%d:%d] ", slot, port)),
+			}
+			cmd.Stdout = w
+			cmd.Stderr = w
+		}
+		if err := cmd.Start(); err != nil {
+			return nil, fmt.Errorf("supervisor: start slot %d on port %d: %w", slot, port, err)
+		}
+		p := &execProcess{cmd: cmd, done: make(chan struct{})}
+		go func() {
+			p.err = cmd.Wait()
+			close(p.done)
+		}()
+		return p, nil
+	}
+}
+
+// prefixWriter prepends a per-replica prefix to every output line,
+// buffering partial lines between writes. All replicas share one mutex
+// so interleaved fleet output never tears mid-line.
+type prefixWriter struct {
+	mu     *sync.Mutex
+	out    io.Writer
+	prefix []byte
+	buf    bytes.Buffer
+}
+
+func (w *prefixWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf.Write(p)
+	for {
+		line, err := w.buf.ReadBytes('\n')
+		if err != nil {
+			// Partial line: keep it buffered for the next write.
+			w.buf.Write(line)
+			break
+		}
+		if _, err := w.out.Write(append(append([]byte(nil), w.prefix...), line...)); err != nil {
+			return len(p), nil // log loss is not a replica failure
+		}
+	}
+	return len(p), nil
+}

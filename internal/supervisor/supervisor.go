@@ -1,0 +1,731 @@
+// Package supervisor manages the lifecycle of a local fleet of dlsd
+// replicas: it spawns one process per slot with a per-replica port,
+// probes /healthz on the injected dls.Clock, restarts crashes with
+// jittered exponential backoff, detects crash loops (giving a slot up
+// after too many rapid failures), drains gracefully on shutdown
+// (SIGTERM, then SIGKILL after a budget), and performs rolling restarts
+// that only kill a predecessor once its successor is healthy.
+//
+// Everything time-shaped — probe intervals, backoff, drain budgets —
+// runs on a dls.Clock, so the whole state machine is testable on the
+// virtual clock without sleeping.
+package supervisor
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/dls"
+)
+
+// Prober checks one replica's health: nil means healthy. The supervisor
+// bounds each call with Config.ProbeTimeout via ctx. addr is
+// "host:port".
+type Prober func(ctx context.Context, addr string) error
+
+// State is a replica slot's position in the supervision state machine.
+type State int
+
+const (
+	// StateStarting: process launched, waiting for the first healthy
+	// probe.
+	StateStarting State = iota
+	// StateHealthy: probes are passing.
+	StateHealthy
+	// StateBackoff: the process died (or never got healthy); the slot is
+	// waiting out its restart backoff.
+	StateBackoff
+	// StateDraining: SIGTERM sent, waiting for exit.
+	StateDraining
+	// StateStopped: the supervisor shut the slot down (context
+	// cancelled).
+	StateStopped
+	// StateGivenUp: crash-loop detection fired; the slot will not be
+	// restarted.
+	StateGivenUp
+)
+
+// String names the state for status endpoints and logs.
+func (s State) String() string {
+	switch s {
+	case StateStarting:
+		return "starting"
+	case StateHealthy:
+		return "healthy"
+	case StateBackoff:
+		return "backoff"
+	case StateDraining:
+		return "draining"
+	case StateStopped:
+		return "stopped"
+	case StateGivenUp:
+		return "given-up"
+	}
+	return "unknown"
+}
+
+// EventKind discriminates supervision events.
+type EventKind int
+
+const (
+	// EventStarted: a process was launched for the slot.
+	EventStarted EventKind = iota
+	// EventHealthy: the slot's first passing probe after a start.
+	EventHealthy
+	// EventProbeFailed: one failed health probe (not yet fatal).
+	EventProbeFailed
+	// EventUnhealthy: consecutive probe failures crossed the threshold;
+	// the process will be drained and restarted.
+	EventUnhealthy
+	// EventExited: the process exited on its own.
+	EventExited
+	// EventBackingOff: the slot sleeps Event.Delay before restarting.
+	EventBackingOff
+	// EventGaveUp: crash-loop detection retired the slot.
+	EventGaveUp
+	// EventDraining: SIGTERM sent.
+	EventDraining
+	// EventKilled: the drain budget lapsed; SIGKILL sent.
+	EventKilled
+	// EventReplaced: a rolling restart swapped in a healthy successor.
+	EventReplaced
+	// EventReplaceFailed: the successor never became healthy; the
+	// predecessor keeps serving.
+	EventReplaceFailed
+	// EventStopped: the slot shut down because the supervisor is
+	// stopping.
+	EventStopped
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventStarted:
+		return "started"
+	case EventHealthy:
+		return "healthy"
+	case EventProbeFailed:
+		return "probe-failed"
+	case EventUnhealthy:
+		return "unhealthy"
+	case EventExited:
+		return "exited"
+	case EventBackingOff:
+		return "backing-off"
+	case EventGaveUp:
+		return "gave-up"
+	case EventDraining:
+		return "draining"
+	case EventKilled:
+		return "killed"
+	case EventReplaced:
+		return "replaced"
+	case EventReplaceFailed:
+		return "replace-failed"
+	case EventStopped:
+		return "stopped"
+	}
+	return "unknown"
+}
+
+// Event is one supervision occurrence, delivered to Config.OnEvent.
+type Event struct {
+	Slot  int
+	Kind  EventKind
+	Addr  string
+	Delay time.Duration // EventBackingOff: the chosen backoff
+	Err   error         // probe/exit error when there is one
+}
+
+// Config parameterises a Supervisor.
+type Config struct {
+	// Replicas is the fleet size (required, >= 1). BasePort is the first
+	// data port; slot i serves on BasePort+i, with BasePort+Replicas+i as
+	// its alternate for rolling restarts. Host defaults to 127.0.0.1.
+	Replicas int
+	BasePort int
+	Host     string
+	// Start launches a slot's process (required). Probe checks health
+	// (required).
+	Start Starter
+	Probe Prober
+	// Clock drives every delay (default: system clock).
+	Clock dls.Clock
+	// ProbeInterval is the health-check period (default 500ms);
+	// ProbeTimeout bounds each probe (default 2s).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	// StartupTimeout bounds the wait for a fresh process's first healthy
+	// probe; past it the process is killed and the restart path taken
+	// (default 15s). ReplaceTimeout is the same budget for a rolling
+	// restart's successor (default: StartupTimeout).
+	StartupTimeout time.Duration
+	ReplaceTimeout time.Duration
+	// UnhealthyAfter is the consecutive-probe-failure threshold that
+	// restarts a healthy replica (default 3).
+	UnhealthyAfter int
+	// BackoffBase/BackoffMax shape the restart backoff: base doubles per
+	// consecutive failure up to max (defaults 200ms / 10s), scaled by
+	// +-Jitter (default 0.2; negative disables). Seed fixes the jitter
+	// sequence.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	Jitter      float64
+	Seed        int64
+	// CrashLoopWindow/CrashLoopMax: when a slot fails CrashLoopMax times
+	// within CrashLoopWindow, the supervisor gives it up instead of
+	// restarting forever (defaults: 1min / 5).
+	CrashLoopWindow time.Duration
+	CrashLoopMax    int
+	// DrainTimeout is the SIGTERM -> SIGKILL budget (default 10s).
+	DrainTimeout time.Duration
+	// OnEvent observes every supervision event (optional; called from
+	// replica goroutines, must not block).
+	OnEvent func(Event)
+}
+
+func (cfg Config) withDefaults() (Config, error) {
+	if cfg.Replicas < 1 {
+		return cfg, errors.New("supervisor: Replicas must be >= 1")
+	}
+	if cfg.Start == nil {
+		return cfg, errors.New("supervisor: Start is required")
+	}
+	if cfg.Probe == nil {
+		return cfg, errors.New("supervisor: Probe is required")
+	}
+	if cfg.Host == "" {
+		cfg.Host = "127.0.0.1"
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = dls.SystemClock()
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 500 * time.Millisecond
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	if cfg.StartupTimeout <= 0 {
+		cfg.StartupTimeout = 15 * time.Second
+	}
+	if cfg.ReplaceTimeout <= 0 {
+		cfg.ReplaceTimeout = cfg.StartupTimeout
+	}
+	if cfg.UnhealthyAfter <= 0 {
+		cfg.UnhealthyAfter = 3
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 200 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 10 * time.Second
+	}
+	if cfg.Jitter == 0 {
+		cfg.Jitter = 0.2
+	} else if cfg.Jitter < 0 {
+		cfg.Jitter = 0
+	}
+	if cfg.CrashLoopWindow <= 0 {
+		cfg.CrashLoopWindow = time.Minute
+	}
+	if cfg.CrashLoopMax <= 0 {
+		cfg.CrashLoopMax = 5
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 10 * time.Second
+	}
+	return cfg, nil
+}
+
+// ReplicaStatus is one slot's externally visible state.
+type ReplicaStatus struct {
+	Slot     int    `json:"slot"`
+	Addr     string `json:"addr"`
+	State    string `json:"state"`
+	Restarts int    `json:"restarts"`
+	LastErr  string `json:"last_err,omitempty"`
+}
+
+// Supervisor runs the fleet. Build with New, drive with Run.
+type Supervisor struct {
+	cfg      Config
+	clock    dls.Clock
+	replicas []*replica
+	wg       sync.WaitGroup
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// New validates cfg and builds the supervisor (processes start in Run).
+func New(cfg Config) (*Supervisor, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &Supervisor{
+		cfg:   cfg,
+		clock: cfg.Clock,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	s.replicas = make([]*replica, cfg.Replicas)
+	for i := range s.replicas {
+		s.replicas[i] = &replica{
+			sup:       s,
+			slot:      i,
+			ports:     [2]int{cfg.BasePort + i, cfg.BasePort + cfg.Replicas + i},
+			replaceCh: make(chan *replaceReq),
+		}
+	}
+	return s, nil
+}
+
+// Run spawns and supervises every slot until ctx is cancelled, then
+// drains the fleet and returns. The returned error joins the give-up
+// errors of slots retired by crash-loop detection.
+func (s *Supervisor) Run(ctx context.Context) error {
+	for _, r := range s.replicas {
+		s.wg.Add(1)
+		go func(r *replica) {
+			defer s.wg.Done()
+			r.loop(ctx)
+		}(r)
+	}
+	s.wg.Wait()
+	var errs []error
+	for _, r := range s.replicas {
+		r.mu.Lock()
+		if r.state == StateGivenUp {
+			errs = append(errs, fmt.Errorf("supervisor: slot %d gave up after %d rapid failures: %w",
+				r.slot, s.cfg.CrashLoopMax, r.lastErr))
+		}
+		r.mu.Unlock()
+	}
+	return errors.Join(errs...)
+}
+
+// Addresses returns every slot's current serving address (fleet wiring
+// for load generators; breakers deal with unhealthy entries).
+func (s *Supervisor) Addresses() []string {
+	addrs := make([]string, len(s.replicas))
+	for i, r := range s.replicas {
+		addrs[i] = r.addr()
+	}
+	return addrs
+}
+
+// Snapshot returns every slot's status.
+func (s *Supervisor) Snapshot() []ReplicaStatus {
+	out := make([]ReplicaStatus, len(s.replicas))
+	for i, r := range s.replicas {
+		r.mu.Lock()
+		out[i] = ReplicaStatus{
+			Slot:     r.slot,
+			Addr:     fmt.Sprintf("%s:%d", s.cfg.Host, r.ports[r.active]),
+			State:    r.state.String(),
+			Restarts: r.restarts,
+		}
+		if r.lastErr != nil {
+			out[i].LastErr = r.lastErr.Error()
+		}
+		r.mu.Unlock()
+	}
+	return out
+}
+
+// HealthyCount returns how many slots are currently healthy.
+func (s *Supervisor) HealthyCount() int {
+	n := 0
+	for _, r := range s.replicas {
+		r.mu.Lock()
+		if r.state == StateHealthy {
+			n++
+		}
+		r.mu.Unlock()
+	}
+	return n
+}
+
+// RollingRestart replaces every healthy slot in order: each slot starts
+// a successor on its alternate port, waits for it to become healthy,
+// drains the predecessor, and only then moves to the next slot — the
+// fleet never loses more than the slot being replaced. Slots that are
+// not healthy are skipped (they are already restarting). The returned
+// error joins per-slot replacement failures; a failed slot keeps its
+// predecessor serving.
+func (s *Supervisor) RollingRestart(ctx context.Context) error {
+	var errs []error
+	for _, r := range s.replicas {
+		r.mu.Lock()
+		healthy := r.state == StateHealthy
+		r.mu.Unlock()
+		if !healthy {
+			continue
+		}
+		req := &replaceReq{done: make(chan error, 1)}
+		select {
+		case r.replaceCh <- req:
+		case <-ctx.Done():
+			return errors.Join(append(errs, ctx.Err())...)
+		}
+		select {
+		case err := <-req.done:
+			if err != nil {
+				errs = append(errs, fmt.Errorf("supervisor: slot %d: %w", r.slot, err))
+			}
+		case <-ctx.Done():
+			return errors.Join(append(errs, ctx.Err())...)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// backoff computes the jittered exponential delay for consecutive
+// failure number exp (0-based).
+func (s *Supervisor) backoff(exp int) time.Duration {
+	d := s.cfg.BackoffBase
+	for i := 0; i < exp && d < s.cfg.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > s.cfg.BackoffMax {
+		d = s.cfg.BackoffMax
+	}
+	if j := s.cfg.Jitter; j > 0 {
+		s.rngMu.Lock()
+		f := 1 + j*(2*s.rng.Float64()-1)
+		s.rngMu.Unlock()
+		d = time.Duration(float64(d) * f)
+	}
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// replaceReq asks a replica loop to perform its slice of a rolling
+// restart.
+type replaceReq struct {
+	done chan error
+}
+
+// replica is one supervised fleet slot.
+type replica struct {
+	sup       *Supervisor
+	slot      int
+	ports     [2]int
+	replaceCh chan *replaceReq
+
+	mu       sync.Mutex
+	active   int // index into ports
+	state    State
+	restarts int
+	lastErr  error
+}
+
+// superviseOutcome says why supervise returned.
+type superviseOutcome int
+
+const (
+	// outCrashed: the process exited, failed to start, or never became
+	// healthy.
+	outCrashed superviseOutcome = iota
+	// outUnhealthy: probes failed past the threshold; the process was
+	// drained.
+	outUnhealthy
+	// outStopped: the supervisor is shutting down; the process was
+	// drained.
+	outStopped
+)
+
+func (r *replica) addr() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return fmt.Sprintf("%s:%d", r.sup.cfg.Host, r.ports[r.active])
+}
+
+func (r *replica) port() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ports[r.active]
+}
+
+func (r *replica) setState(st State) {
+	r.mu.Lock()
+	r.state = st
+	r.mu.Unlock()
+}
+
+func (r *replica) setErr(err error) {
+	r.mu.Lock()
+	r.lastErr = err
+	r.mu.Unlock()
+}
+
+func (r *replica) event(kind EventKind, err error, delay time.Duration) {
+	if err != nil {
+		r.setErr(err)
+	}
+	if fn := r.sup.cfg.OnEvent; fn != nil {
+		fn(Event{Slot: r.slot, Kind: kind, Addr: r.addr(), Delay: delay, Err: err})
+	}
+}
+
+// loop is the slot's restart loop: start, supervise to death, apply
+// crash-loop detection and backoff, repeat.
+func (r *replica) loop(ctx context.Context) {
+	cfg := r.sup.cfg
+	clock := r.sup.clock
+	var failures []time.Time
+	exp := 0
+	for {
+		if ctx.Err() != nil {
+			r.setState(StateStopped)
+			r.event(EventStopped, nil, 0)
+			return
+		}
+		r.setState(StateStarting)
+		var (
+			o          superviseOutcome
+			wasHealthy bool
+		)
+		proc, err := cfg.Start(r.slot, r.port())
+		if err != nil {
+			r.event(EventExited, err, 0)
+			o = outCrashed
+		} else {
+			r.event(EventStarted, nil, 0)
+			o, wasHealthy = r.supervise(ctx, proc)
+		}
+		switch o {
+		case outStopped:
+			r.setState(StateStopped)
+			r.event(EventStopped, nil, 0)
+			return
+		case outCrashed, outUnhealthy:
+		}
+		if wasHealthy {
+			// A healthy stint resets the exponential schedule; the
+			// crash-loop window still catches rapid flapping.
+			exp = 0
+		}
+		now := clock.Now()
+		failures = append(failures, now)
+		pruned := failures[:0]
+		for _, ts := range failures {
+			if now.Sub(ts) <= cfg.CrashLoopWindow {
+				pruned = append(pruned, ts)
+			}
+		}
+		failures = pruned
+		if len(failures) >= cfg.CrashLoopMax {
+			r.setState(StateGivenUp)
+			r.event(EventGaveUp, nil, 0)
+			return
+		}
+		delay := r.sup.backoff(exp)
+		exp++
+		r.setState(StateBackoff)
+		r.event(EventBackingOff, nil, delay)
+		if !r.sleep(ctx, delay) {
+			r.setState(StateStopped)
+			r.event(EventStopped, nil, 0)
+			return
+		}
+	}
+}
+
+// sleep waits d on the clock; false means ctx was cancelled first.
+func (r *replica) sleep(ctx context.Context, d time.Duration) bool {
+	t := r.sup.clock.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C():
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// probe checks the given address once, bounded by ProbeTimeout.
+func (r *replica) probe(ctx context.Context, addr string) error {
+	cfg := r.sup.cfg
+	pctx, cancel := r.sup.clock.ContextWithDeadline(ctx, r.sup.clock.Now().Add(cfg.ProbeTimeout))
+	defer cancel()
+	return cfg.Probe(pctx, addr)
+}
+
+// supervise runs one process from launch to death: waits for first
+// health (StartupTimeout), then probes steadily, serving rolling-restart
+// requests. wasHealthy reports whether the process ever passed a probe.
+func (r *replica) supervise(ctx context.Context, proc Process) (superviseOutcome, bool) {
+	cfg := r.sup.cfg
+	clock := r.sup.clock
+
+	// Phase 1: birth to first health.
+	startupT := clock.NewTimer(cfg.StartupTimeout)
+	probeT := clock.NewTimer(cfg.ProbeInterval)
+	defer func() {
+		startupT.Stop()
+		probeT.Stop()
+	}()
+	for healthy := false; !healthy; {
+		select {
+		case <-ctx.Done():
+			r.drain(proc)
+			return outStopped, false
+		case <-proc.Done():
+			r.event(EventExited, proc.Err(), 0)
+			return outCrashed, false
+		case <-startupT.C():
+			r.event(EventUnhealthy, fmt.Errorf("supervisor: no healthy probe within %v of start", cfg.StartupTimeout), 0)
+			r.drain(proc)
+			return outCrashed, false
+		case <-probeT.C():
+			probeT = clock.NewTimer(cfg.ProbeInterval)
+			if err := r.probe(ctx, r.addr()); err != nil {
+				r.event(EventProbeFailed, err, 0)
+			} else {
+				healthy = true
+			}
+		}
+	}
+	startupT.Stop()
+	r.setState(StateHealthy)
+	r.event(EventHealthy, nil, 0)
+
+	// Phase 2: steady state.
+	fails := 0
+	for {
+		select {
+		case <-ctx.Done():
+			r.drain(proc)
+			return outStopped, true
+		case <-proc.Done():
+			r.event(EventExited, proc.Err(), 0)
+			return outCrashed, true
+		case req := <-r.replaceCh:
+			succ, err := r.replace(ctx, proc)
+			req.done <- err
+			if err == nil {
+				proc = succ
+				fails = 0
+				r.event(EventReplaced, nil, 0)
+			} else {
+				r.event(EventReplaceFailed, err, 0)
+			}
+		case <-probeT.C():
+			probeT = clock.NewTimer(cfg.ProbeInterval)
+			if err := r.probe(ctx, r.addr()); err != nil {
+				fails++
+				r.event(EventProbeFailed, err, 0)
+				if fails >= cfg.UnhealthyAfter {
+					r.event(EventUnhealthy, err, 0)
+					r.drain(proc)
+					return outUnhealthy, true
+				}
+			} else {
+				fails = 0
+			}
+		}
+	}
+}
+
+// drain shuts proc down gracefully: SIGTERM, wait DrainTimeout, then
+// SIGKILL.
+func (r *replica) drain(proc Process) {
+	cfg := r.sup.cfg
+	r.setState(StateDraining)
+	r.event(EventDraining, nil, 0)
+	if err := proc.Signal(syscall.SIGTERM); err != nil {
+		_ = proc.Kill()
+		<-proc.Done()
+		return
+	}
+	t := r.sup.clock.NewTimer(cfg.DrainTimeout)
+	defer t.Stop()
+	select {
+	case <-proc.Done():
+	case <-t.C():
+		r.event(EventKilled, nil, 0)
+		_ = proc.Kill()
+		<-proc.Done()
+	}
+}
+
+// replace performs one slot's rolling restart: start a successor on the
+// alternate port, probe it to health within ReplaceTimeout, then drain
+// the predecessor and swap the active port. On any failure the
+// predecessor is left untouched and keeps serving.
+func (r *replica) replace(ctx context.Context, old Process) (Process, error) {
+	cfg := r.sup.cfg
+	clock := r.sup.clock
+	r.mu.Lock()
+	nextIdx := 1 - r.active
+	port := r.ports[nextIdx]
+	r.mu.Unlock()
+	addr := fmt.Sprintf("%s:%d", cfg.Host, port)
+
+	succ, err := cfg.Start(r.slot, port)
+	if err != nil {
+		return nil, fmt.Errorf("start successor on %s: %w", addr, err)
+	}
+	deadlineT := clock.NewTimer(cfg.ReplaceTimeout)
+	probeT := clock.NewTimer(cfg.ProbeInterval)
+	defer func() {
+		deadlineT.Stop()
+		probeT.Stop()
+	}()
+	for {
+		select {
+		case <-ctx.Done():
+			r.drainProc(succ)
+			return nil, ctx.Err()
+		case <-succ.Done():
+			return nil, fmt.Errorf("successor on %s exited before becoming healthy: %w", addr, succ.Err())
+		case <-deadlineT.C():
+			_ = succ.Kill()
+			<-succ.Done()
+			return nil, fmt.Errorf("successor on %s not healthy within %v", addr, cfg.ReplaceTimeout)
+		case <-probeT.C():
+			probeT = clock.NewTimer(cfg.ProbeInterval)
+			if err := r.probe(ctx, addr); err != nil {
+				continue
+			}
+			// Successor healthy: retire the predecessor, then swap the
+			// active port so the slot's address points at the successor.
+			r.drainProc(old)
+			r.mu.Lock()
+			r.active = nextIdx
+			r.restarts++
+			r.state = StateHealthy
+			r.mu.Unlock()
+			return succ, nil
+		}
+	}
+}
+
+// drainProc is drain without the slot-state bookkeeping (used for
+// processes that never owned the slot: predecessors being replaced and
+// failed successors).
+func (r *replica) drainProc(proc Process) {
+	cfg := r.sup.cfg
+	if err := proc.Signal(syscall.SIGTERM); err != nil {
+		_ = proc.Kill()
+		<-proc.Done()
+		return
+	}
+	t := r.sup.clock.NewTimer(cfg.DrainTimeout)
+	defer t.Stop()
+	select {
+	case <-proc.Done():
+	case <-t.C():
+		_ = proc.Kill()
+		<-proc.Done()
+	}
+}

@@ -1,0 +1,539 @@
+package supervisor
+
+// State-machine tests on the virtual clock: every delay in the
+// supervisor (probe intervals, startup budgets, backoff, drain) runs on
+// internal/sim.Clock, so these tests drive crashes, flapping health and
+// rolling restarts deterministically, without sleeping, and race-clean.
+//
+// The pump helper advances the clock to the next armed timer until the
+// awaited event arrives; fake processes and probers flip behaviour
+// through atomics.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// fakeProc is an in-memory Process whose exit is driven by the test.
+type fakeProc struct {
+	mu       sync.Mutex
+	done     chan struct{}
+	err      error
+	sigs     []os.Signal
+	killed   bool
+	exitOn   os.Signal // exit immediately when this signal arrives (0: ignore signals)
+	stubborn bool      // ignore SIGTERM (exercises the SIGKILL path)
+}
+
+func newFakeProc() *fakeProc { return &fakeProc{done: make(chan struct{})} }
+
+func (p *fakeProc) Signal(sig os.Signal) error {
+	p.mu.Lock()
+	p.sigs = append(p.sigs, sig)
+	exit := !p.stubborn && sig == syscall.SIGTERM
+	p.mu.Unlock()
+	if exit {
+		p.exit(nil)
+	}
+	return nil
+}
+
+func (p *fakeProc) Kill() error {
+	p.mu.Lock()
+	p.killed = true
+	p.mu.Unlock()
+	p.exit(errors.New("killed"))
+	return nil
+}
+
+func (p *fakeProc) Done() <-chan struct{} { return p.done }
+
+func (p *fakeProc) Err() error {
+	<-p.done
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+func (p *fakeProc) exit(err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	select {
+	case <-p.done:
+		return
+	default:
+	}
+	p.err = err
+	close(p.done)
+}
+
+func (p *fakeProc) signals() []os.Signal {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]os.Signal(nil), p.sigs...)
+}
+
+func (p *fakeProc) wasKilled() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.killed
+}
+
+// fleet tracks every process a test Starter launched.
+type fleet struct {
+	mu    sync.Mutex
+	procs []*fakeProc
+	ports []int
+}
+
+func (f *fleet) add(p *fakeProc, port int) {
+	f.mu.Lock()
+	f.procs = append(f.procs, p)
+	f.ports = append(f.ports, port)
+	f.mu.Unlock()
+}
+
+func (f *fleet) proc(i int) *fakeProc {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.procs[i]
+}
+
+func (f *fleet) count() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.procs)
+}
+
+func (f *fleet) portOf(i int) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ports[i]
+}
+
+// testRig wires a supervisor over fake processes, an always-healthy
+// prober (overridable), the virtual clock and an event channel.
+type testRig struct {
+	clk     *sim.Clock
+	fleet   *fleet
+	events  chan Event
+	pending []Event     // received but not yet matched by pump
+	health  atomic.Bool // prober answer (true = healthy)
+	cfg     Config
+}
+
+func newRig(replicas int) *testRig {
+	rig := &testRig{
+		clk:    sim.NewClock(),
+		fleet:  &fleet{},
+		events: make(chan Event, 1024),
+	}
+	rig.health.Store(true)
+	rig.cfg = Config{
+		Replicas:        replicas,
+		BasePort:        9000,
+		Start:           func(slot, port int) (Process, error) { p := newFakeProc(); rig.fleet.add(p, port); return p, nil },
+		Probe:           func(ctx context.Context, addr string) error { return rig.probe(ctx, addr) },
+		Clock:           rig.clk,
+		ProbeInterval:   100 * time.Millisecond,
+		ProbeTimeout:    50 * time.Millisecond,
+		StartupTimeout:  time.Second,
+		UnhealthyAfter:  3,
+		BackoffBase:     200 * time.Millisecond,
+		BackoffMax:      5 * time.Second,
+		Jitter:          -1, // deterministic backoff schedule
+		CrashLoopWindow: 10 * time.Second,
+		CrashLoopMax:    3,
+		DrainTimeout:    time.Second,
+		OnEvent:         func(ev Event) { rig.events <- ev },
+	}
+	return rig
+}
+
+func (rig *testRig) probe(_ context.Context, _ string) error {
+	if rig.health.Load() {
+		return nil
+	}
+	return errors.New("probe: unhealthy")
+}
+
+// pump advances the virtual clock timer by timer until an event of the
+// wanted kind (for the wanted slot; slot -1 matches any) arrives.
+// Unmatched events are buffered, not dropped: with several replicas, a
+// later pump may be waiting for an event that arrived early.
+func (rig *testRig) pump(t *testing.T, slot int, want EventKind) Event {
+	t.Helper()
+	match := func(ev Event) bool { return ev.Kind == want && (slot < 0 || ev.Slot == slot) }
+	for i, ev := range rig.pending {
+		if match(ev) {
+			rig.pending = append(rig.pending[:i], rig.pending[i+1:]...)
+			return ev
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		select {
+		case ev := <-rig.events:
+			if match(ev) {
+				return ev
+			}
+			rig.pending = append(rig.pending, ev)
+			continue
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %v (slot %d); pending: %v", want, slot, rig.pending)
+		}
+		if next, ok := rig.clk.NextTimer(); ok {
+			rig.clk.AdvanceTo(next)
+		} else {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+}
+
+// drainEvents empties the event buffer.
+func (rig *testRig) drainEvents() {
+	rig.pending = nil
+	for {
+		select {
+		case <-rig.events:
+		default:
+			return
+		}
+	}
+}
+
+func TestSupervisorStartsAndProbesToHealth(t *testing.T) {
+	rig := newRig(2)
+	sup, err := New(rig.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- sup.Run(ctx) }()
+
+	rig.pump(t, 0, EventHealthy)
+	rig.pump(t, 1, EventHealthy)
+	if n := sup.HealthyCount(); n != 2 {
+		t.Fatalf("HealthyCount = %d, want 2", n)
+	}
+	addrs := sup.Addresses()
+	if len(addrs) != 2 || addrs[0] != "127.0.0.1:9000" || addrs[1] != "127.0.0.1:9001" {
+		t.Fatalf("Addresses = %v, want per-slot base ports", addrs)
+	}
+
+	cancel()
+	rig.pump(t, 0, EventStopped)
+	rig.pump(t, 1, EventStopped)
+	if err := <-done; err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Shutdown drained via SIGTERM, no SIGKILL needed.
+	for i := 0; i < rig.fleet.count(); i++ {
+		p := rig.fleet.proc(i)
+		sigs := p.signals()
+		if len(sigs) == 0 || sigs[0] != syscall.SIGTERM {
+			t.Fatalf("proc %d signals = %v, want SIGTERM first", i, sigs)
+		}
+		if p.wasKilled() {
+			t.Fatalf("proc %d was SIGKILLed despite honoring SIGTERM", i)
+		}
+	}
+}
+
+func TestSupervisorBackoffScheduleAndRestart(t *testing.T) {
+	rig := newRig(1)
+	rig.cfg.CrashLoopMax = 10 // stay clear of give-up
+	sup, err := New(rig.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = sup.Run(ctx) }()
+
+	rig.pump(t, 0, EventHealthy)
+
+	// Crash the process repeatedly before it gets healthy again: the
+	// backoff must follow base * 2^i, capped. The first crash happened
+	// after a healthy stint, so exp restarts at 0.
+	rig.health.Store(false) // probes fail -> processes never re-reach health
+	rig.fleet.proc(0).exit(errors.New("crash"))
+	want := []time.Duration{
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		3200 * time.Millisecond,
+		5 * time.Second, // capped at BackoffMax
+		5 * time.Second,
+	}
+	for i, wantDelay := range want {
+		ev := rig.pump(t, 0, EventBackingOff)
+		if ev.Delay != wantDelay {
+			t.Fatalf("backoff %d = %v, want %v", i, ev.Delay, wantDelay)
+		}
+		// Let it restart, then crash the new process immediately.
+		rig.pump(t, 0, EventStarted)
+		rig.fleet.proc(rig.fleet.count() - 1).exit(errors.New("crash"))
+	}
+}
+
+func TestSupervisorHealthyStintResetsBackoff(t *testing.T) {
+	rig := newRig(1)
+	rig.cfg.CrashLoopMax = 100
+	rig.cfg.CrashLoopWindow = time.Hour
+	sup, err := New(rig.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = sup.Run(ctx) }()
+
+	rig.pump(t, 0, EventHealthy)
+	// Two rapid crashes escalate the backoff...
+	rig.health.Store(false)
+	rig.fleet.proc(0).exit(errors.New("crash"))
+	if ev := rig.pump(t, 0, EventBackingOff); ev.Delay != 200*time.Millisecond {
+		t.Fatalf("backoff 0 = %v, want 200ms", ev.Delay)
+	}
+	rig.pump(t, 0, EventStarted)
+	rig.fleet.proc(rig.fleet.count() - 1).exit(errors.New("crash"))
+	if ev := rig.pump(t, 0, EventBackingOff); ev.Delay != 400*time.Millisecond {
+		t.Fatalf("backoff 1 = %v, want 400ms", ev.Delay)
+	}
+	// ...but a healthy stint resets the schedule to base.
+	rig.health.Store(true)
+	rig.pump(t, 0, EventHealthy)
+	rig.health.Store(false)
+	rig.fleet.proc(rig.fleet.count() - 1).exit(errors.New("crash"))
+	if ev := rig.pump(t, 0, EventBackingOff); ev.Delay != 200*time.Millisecond {
+		t.Fatalf("backoff after healthy stint = %v, want reset to 200ms", ev.Delay)
+	}
+}
+
+func TestSupervisorCrashLoopGivesUp(t *testing.T) {
+	rig := newRig(1)
+	rig.cfg.CrashLoopMax = 3
+	rig.health.Store(false) // never healthy: pure crash loop
+	sup, err := New(rig.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- sup.Run(context.Background()) }()
+
+	// Each started process crashes instantly; after CrashLoopMax rapid
+	// failures the slot is retired.
+	for i := 0; i < 3; i++ {
+		rig.pump(t, 0, EventStarted)
+		rig.fleet.proc(rig.fleet.count() - 1).exit(fmt.Errorf("crash %d", i))
+	}
+	rig.pump(t, 0, EventGaveUp)
+
+	err = <-done
+	if err == nil {
+		t.Fatal("Run returned nil after a slot gave up")
+	}
+	if got := rig.fleet.count(); got != 3 {
+		t.Fatalf("started %d processes, want exactly CrashLoopMax=3 (no restart after give-up)", got)
+	}
+	snap := sup.Snapshot()
+	if snap[0].State != "given-up" {
+		t.Fatalf("slot state = %q, want given-up", snap[0].State)
+	}
+}
+
+func TestSupervisorUnhealthyRestarts(t *testing.T) {
+	rig := newRig(1)
+	sup, err := New(rig.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = sup.Run(ctx) }()
+
+	rig.pump(t, 0, EventHealthy)
+	// Fail probes: after UnhealthyAfter consecutive failures the process
+	// is drained and the slot restarts.
+	rig.health.Store(false)
+	rig.pump(t, 0, EventUnhealthy)
+	rig.pump(t, 0, EventDraining)
+	rig.pump(t, 0, EventBackingOff)
+	rig.health.Store(true)
+	rig.pump(t, 0, EventStarted)
+	rig.pump(t, 0, EventHealthy)
+	if rig.fleet.count() != 2 {
+		t.Fatalf("started %d processes, want 2 (original + restart)", rig.fleet.count())
+	}
+	// The unhealthy process was drained with SIGTERM.
+	if sigs := rig.fleet.proc(0).signals(); len(sigs) == 0 || sigs[0] != syscall.SIGTERM {
+		t.Fatalf("unhealthy proc signals = %v, want SIGTERM", sigs)
+	}
+}
+
+func TestSupervisorDrainKillsStubbornProcess(t *testing.T) {
+	rig := newRig(1)
+	stubbornStart := func(slot, port int) (Process, error) {
+		p := newFakeProc()
+		p.stubborn = true
+		rig.fleet.add(p, port)
+		return p, nil
+	}
+	rig.cfg.Start = stubbornStart
+	sup, err := New(rig.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- sup.Run(ctx) }()
+
+	rig.pump(t, 0, EventHealthy)
+	cancel()
+	rig.pump(t, 0, EventDraining)
+	// The process ignores SIGTERM; after DrainTimeout it is killed.
+	rig.pump(t, 0, EventKilled)
+	rig.pump(t, 0, EventStopped)
+	if err := <-done; err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !rig.fleet.proc(0).wasKilled() {
+		t.Fatal("stubborn process was not SIGKILLed")
+	}
+}
+
+func TestSupervisorRollingRestartOrdering(t *testing.T) {
+	rig := newRig(2)
+	sup, err := New(rig.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = sup.Run(ctx) }()
+	rig.pump(t, 0, EventHealthy)
+	rig.pump(t, 1, EventHealthy)
+	rig.drainEvents()
+
+	rrDone := make(chan error, 1)
+	go func() { rrDone <- sup.RollingRestart(ctx) }()
+
+	// Slot 0 replaces first: successor starts on the alternate port,
+	// becomes healthy, and only then is the predecessor drained.
+	rig.pump(t, 0, EventReplaced)
+	rig.pump(t, 1, EventReplaced)
+	if err := <-rrDone; err != nil {
+		t.Fatalf("RollingRestart: %v", err)
+	}
+
+	// Four processes total: 2 original + 2 successors.
+	if rig.fleet.count() != 4 {
+		t.Fatalf("started %d processes, want 4", rig.fleet.count())
+	}
+	// Successors run on the alternate ports; addresses follow.
+	addrs := sup.Addresses()
+	if addrs[0] != "127.0.0.1:9002" || addrs[1] != "127.0.0.1:9003" {
+		t.Fatalf("post-restart addresses = %v, want alternate ports 9002/9003", addrs)
+	}
+	// Ordering per slot: the successor was STARTED and probed healthy
+	// BEFORE the predecessor got its SIGTERM. The predecessor exited
+	// (via SIGTERM) only after the successor existed.
+	for slot := 0; slot < 2; slot++ {
+		pred := rig.fleet.proc(slot)
+		succIdx := -1
+		for i := 2; i < 4; i++ {
+			if rig.fleet.portOf(i) == 9002+slot {
+				succIdx = i
+			}
+		}
+		if succIdx < 0 {
+			t.Fatalf("no successor found for slot %d", slot)
+		}
+		select {
+		case <-pred.Done():
+		default:
+			t.Fatalf("slot %d predecessor still running after replacement", slot)
+		}
+		if sigs := pred.signals(); len(sigs) == 0 || sigs[0] != syscall.SIGTERM {
+			t.Fatalf("slot %d predecessor signals = %v, want SIGTERM drain", slot, sigs)
+		}
+		select {
+		case <-rig.fleet.proc(succIdx).Done():
+			t.Fatalf("slot %d successor died during rolling restart", slot)
+		default:
+		}
+	}
+	// Restart counters advanced.
+	for _, st := range sup.Snapshot() {
+		if st.Restarts != 1 {
+			t.Fatalf("slot %d restarts = %d, want 1", st.Slot, st.Restarts)
+		}
+		if st.State != "healthy" {
+			t.Fatalf("slot %d state = %q, want healthy", st.Slot, st.State)
+		}
+	}
+}
+
+func TestSupervisorRollingRestartKeepsPredecessorOnFailure(t *testing.T) {
+	rig := newRig(1)
+	var failSuccessor atomic.Bool
+	// The successor (second process) never probes healthy.
+	baseProbe := rig.cfg.Probe
+	rig.cfg.Probe = func(ctx context.Context, addr string) error {
+		if failSuccessor.Load() && addr == "127.0.0.1:9001" {
+			return errors.New("successor refuses to get healthy")
+		}
+		return baseProbe(ctx, addr)
+	}
+	rig.cfg.ReplaceTimeout = 500 * time.Millisecond
+	sup, err := New(rig.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = sup.Run(ctx) }()
+	rig.pump(t, 0, EventHealthy)
+	failSuccessor.Store(true)
+
+	rrDone := make(chan error, 1)
+	go func() { rrDone <- sup.RollingRestart(ctx) }()
+	rig.pump(t, 0, EventReplaceFailed)
+	if err := <-rrDone; err == nil {
+		t.Fatal("RollingRestart reported success despite unhealthy successor")
+	}
+
+	// The predecessor keeps serving on its original port.
+	select {
+	case <-rig.fleet.proc(0).Done():
+		t.Fatal("predecessor was killed although the successor never got healthy")
+	default:
+	}
+	if addrs := sup.Addresses(); addrs[0] != "127.0.0.1:9000" {
+		t.Fatalf("address = %v, want original port kept", addrs)
+	}
+	// The failed successor was cleaned up.
+	select {
+	case <-rig.fleet.proc(1).Done():
+	default:
+		t.Fatal("failed successor still running")
+	}
+	// The slot is still healthy and supervisable.
+	if sup.HealthyCount() != 1 {
+		t.Fatalf("HealthyCount = %d, want 1", sup.HealthyCount())
+	}
+}
