@@ -153,6 +153,9 @@ type Stats struct {
 	// global: every pair search in the process advances it, whichever
 	// Solver ran it).
 	PairSearch PairSearchStats
+	// AffineSearch is the cumulative affine subset-search instrumentation
+	// (process global, like PairSearch).
+	AffineSearch AffineSearchStats
 }
 
 // PairSearchStats counts the exhaustive pair search's branch-and-bound
@@ -171,6 +174,23 @@ type PairSearchStats struct {
 	// LeavesEvaluated counts complete return orders whose throughput was
 	// actually computed.
 	LeavesEvaluated uint64
+}
+
+// AffineSearchStats counts the affine subset search's lattice
+// branch-and-bound activity. The counters are process-global atomics
+// shared by all solvers; dlsd re-exports them on /metrics as
+// dlsd_affine_search_*.
+type AffineSearchStats struct {
+	// NodesExpanded counts interior lattice nodes whose include/exclude
+	// children were generated.
+	NodesExpanded uint64
+	// SubtreesPruned counts half-lattices cut against the incumbent.
+	SubtreesPruned uint64
+	// LeavesEvaluated counts participant subsets whose scenario LP was
+	// actually solved (the flat loop counts every non-empty mask).
+	LeavesEvaluated uint64
+	// BoundSolves counts relaxation LPs solved on exclude edges.
+	BoundSolves uint64
 }
 
 // Solver is the scheduling engine: it resolves requests against the
@@ -347,6 +367,13 @@ func (s *Solver) Stats() Stats {
 		NodesExpanded:   ps.NodesExpanded,
 		SubtreesPruned:  ps.SubtreesPruned,
 		LeavesEvaluated: ps.LeavesEvaluated,
+	}
+	as := core.AffineStatsSnapshot()
+	st.AffineSearch = AffineSearchStats{
+		NodesExpanded:   as.NodesExpanded,
+		SubtreesPruned:  as.SubtreesPruned,
+		LeavesEvaluated: as.LeavesEvaluated,
+		BoundSolves:     as.BoundSolves,
 	}
 	return st
 }

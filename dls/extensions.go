@@ -45,7 +45,7 @@ func SolveScenarioAffine(p *Platform, aff Affine, send, ret Order, model Model, 
 	}))
 }
 
-// BestFIFOAffine searches participant subsets (p ≤ 16) for the best
+// BestFIFOAffine searches participant subsets (p ≤ 20) for the best
 // one-port FIFO schedule under the affine model, keeping workers in
 // non-decreasing-c order.
 //

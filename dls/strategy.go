@@ -58,8 +58,9 @@ const (
 	// reuse, whole-inner-loop pruning) — the agreement-testing baseline
 	// and the exact-arithmetic path.
 	StrategyPairFlat = "pair-flat"
-	// StrategyFIFOAffine searches participant subsets (p ≤ 16) for the best
-	// one-port FIFO schedule under the affine cost model of Request.Affine.
+	// StrategyFIFOAffine searches participant subsets (p ≤ 20) for the best
+	// one-port FIFO schedule under the affine cost model of Request.Affine,
+	// branch-and-bound over the subset lattice on float64 backends.
 	StrategyFIFOAffine = "fifo-affine"
 	// StrategyScenarioAffine solves a fixed (σ1, σ2) scenario under the
 	// affine cost model of Request.Affine.

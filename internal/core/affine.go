@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/eval"
 	"repro/internal/lp"
@@ -189,23 +190,105 @@ func SolveScenarioAffine(p *platform.Platform, aff Affine, send, ret platform.Or
 	return res, nil
 }
 
-// maxAffineSubsets bounds the 2^p subset enumeration of BestFIFOAffine.
-const maxAffineSubsets = 16
+// maxAffineSubsets bounds the 2^p subset search of BestFIFOAffine. The cap
+// rose from 16 to 20 when the branch-and-bound lattice search replaced the
+// flat mask loop: the drop-the-fixed-costs bound prunes whole half-lattices,
+// so the explored subset count stays far below 2^p on float64 backends.
+// Exact-rational searches still run the unpruned flat loop (float bounds
+// cannot certify exact comparisons) and pay the full 2^p exact solves.
+const maxAffineSubsets = 20
+
+// AffineAlgo selects how BestFIFOAffine explores the participant-subset
+// lattice.
+type AffineAlgo int
+
+const (
+	// AffineAuto picks the branch-and-bound lattice search for float64
+	// arithmetic and the flat subset loop under Exact (whose exact
+	// comparisons the float64 bounds cannot certify).
+	AffineAuto AffineAlgo = iota
+	// AffineBB forces the branch-and-bound over include/exclude decisions.
+	AffineBB
+	// AffineFlat forces the flat 2^p mask loop (the original search,
+	// retained for agreement testing and as the exact-arithmetic path).
+	AffineFlat
+)
+
+// String names the algorithm ("auto", "bb", "flat").
+func (a AffineAlgo) String() string {
+	switch a {
+	case AffineAuto:
+		return "auto"
+	case AffineBB:
+		return "bb"
+	case AffineFlat:
+		return "flat"
+	default:
+		return fmt.Sprintf("AffineAlgo(%d)", int(a))
+	}
+}
+
+// AffineStats is a snapshot of the affine subset searches' cumulative
+// instrumentation, kept as process-global atomics like PairStats (searches
+// may run concurrently; each worker accumulates locally and flushes once).
+// The counters make the lattice branch-and-bound's effectiveness
+// observable — the bench CI job fails if the pruned fraction collapses on
+// the reference platform.
+type AffineStats struct {
+	// NodesExpanded counts interior lattice nodes whose include/exclude
+	// children were generated.
+	NodesExpanded uint64
+	// SubtreesPruned counts exclude-edges (and bound-inheriting interior
+	// nodes) cut against the incumbent — whole half-lattices of subsets
+	// discarded without evaluation.
+	SubtreesPruned uint64
+	// LeavesEvaluated counts complete subsets whose scenario LP was
+	// actually solved. The flat loop counts every non-empty mask here.
+	LeavesEvaluated uint64
+	// BoundSolves counts relaxation LPs solved on exclude edges.
+	BoundSolves uint64
+}
+
+var (
+	affineNodesExpanded  atomic.Uint64
+	affineSubtreesPruned atomic.Uint64
+	affineLeavesEval     atomic.Uint64
+	affineBoundSolves    atomic.Uint64
+)
+
+// AffineStatsSnapshot returns the cumulative affine-search counters.
+// Callers interested in one search subtract two snapshots.
+func AffineStatsSnapshot() AffineStats {
+	return AffineStats{
+		NodesExpanded:   affineNodesExpanded.Load(),
+		SubtreesPruned:  affineSubtreesPruned.Load(),
+		LeavesEvaluated: affineLeavesEval.Load(),
+		BoundSolves:     affineBoundSolves.Load(),
+	}
+}
 
 // BestFIFOAffine searches for the best one-port FIFO schedule under the
 // affine model: workers are kept in non-decreasing-c order (the linear
-// model's Theorem 1 order, a heuristic here) and every participant subset
-// is enumerated, since with fixed costs the optimal enrolled set is no
-// longer given by the LP's support — the problem the paper cites as
-// NP-hard. Limited to p ≤ 16.
+// model's Theorem 1 order, a heuristic here) and the participant subsets
+// are searched exhaustively, since with fixed costs the optimal enrolled
+// set is no longer given by the LP's support — the problem the paper cites
+// as NP-hard. Limited to p ≤ 20.
 func BestFIFOAffine(p *platform.Platform, aff Affine, arith Arith) (*AffineResult, error) {
 	return BestFIFOAffineContext(context.Background(), p, aff, arith)
 }
 
-// BestFIFOAffineContext is BestFIFOAffine with cancellation: the 2^p subset
-// enumeration checks the context between scenario LPs and aborts with
-// ctx.Err() once it is done.
+// BestFIFOAffineContext is BestFIFOAffine with cancellation and — through
+// ContextWithSearchParallelism — a parallel lattice search. It runs
+// AffineAuto: branch-and-bound for float64, the flat loop for Exact.
 func BestFIFOAffineContext(ctx context.Context, p *platform.Platform, aff Affine, arith Arith) (*AffineResult, error) {
+	return BestFIFOAffineAlgo(ctx, p, aff, arith, AffineAuto)
+}
+
+// BestFIFOAffineAlgo is BestFIFOAffineContext with an explicit search
+// algorithm, for agreement tests and benchmarks. Both algorithms share the
+// scenario LP formulation and the (throughput, lex-min order) tie rule, so
+// they return byte-identical winners.
+func BestFIFOAffineAlgo(ctx context.Context, p *platform.Platform, aff Affine, arith Arith, algo AffineAlgo) (*AffineResult, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -216,32 +299,332 @@ func BestFIFOAffineContext(ctx context.Context, p *platform.Platform, aff Affine
 	if n > maxAffineSubsets {
 		return nil, fmt.Errorf("core: affine subset search limited to %d workers, platform has %d", maxAffineSubsets, n)
 	}
-	sorted := p.ByC()
-	var best *AffineResult
-	for mask := 1; mask < 1<<n; mask++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
+	switch algo {
+	case AffineAuto:
+		if arith == Exact {
+			algo = AffineFlat
+		} else {
+			algo = AffineBB
 		}
-		var order platform.Order
+	case AffineBB:
+		if arith == Exact {
+			return nil, fmt.Errorf("core: affine branch-and-bound needs float64 arithmetic (float bounds cannot certify exact comparisons)")
+		}
+	case AffineFlat:
+		// Always available.
+	default:
+		return nil, fmt.Errorf("core: unknown affine-search algorithm %v", algo)
+	}
+	winner := newSearchCore(ctx)
+	sorted := p.ByC()
+	var err error
+	if algo == AffineBB {
+		err = affineSearchBB(ctx, winner, p, aff, sorted)
+	} else {
+		err = affineSearchFlat(winner, p, aff, arith, sorted)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(winner.best) == 0 {
+		// Even single workers cannot start within the horizon.
+		return &AffineResult{Alpha: make([]float64, n)}, nil
+	}
+	return SolveScenarioAffine(p, aff, winner.best, winner.best, schedule.OnePort, arith)
+}
+
+// affineOnePortLP builds the one-port FIFO affine LP over the candidate
+// order without diagnostic names (names never influence the simplex, so
+// the rows pivot bitwise-identically to ScenarioLPAffine's). charged
+// selects the workers whose fixed costs are billed: nil bills every
+// candidate — the exact scenario LP of the subset — while the
+// branch-and-bound bills only the already-included workers, leaving the
+// undecided candidates' linear terms free. That relaxation is an upper
+// bound over every completion S of the included set: extending S's optimum
+// by zeros satisfies each candidate row (undecided rows charge no fixed
+// cost, so their RHS dominates the one-port row S satisfies), and included
+// rows only gain RHS as fixed costs are dropped.
+func affineOnePortLP(p *platform.Platform, aff Affine, order platform.Order, charged []bool) *lp.Problem {
+	q := len(order)
+	prob := lp.NewMaximize()
+	for range order {
+		prob.AddVar("", 1)
+	}
+	bill := func(i int) bool { return charged == nil || charged[i] }
+	coefs := make([]lp.Coef, 0, 2*q+1)
+	for s, i := range order {
+		coefs = coefs[:0]
+		fixed := 0.0
+		if bill(i) {
+			fixed = aff.Comp[i]
+		}
+		for k, j := range order[:s+1] {
+			coefs = append(coefs, lp.Coef{Var: k, Value: p.Workers[j].C})
+			if bill(j) {
+				fixed += aff.In[j]
+			}
+		}
+		coefs = append(coefs, lp.Coef{Var: s, Value: p.Workers[i].W})
+		for k, j := range order[s:] {
+			coefs = append(coefs, lp.Coef{Var: s + k, Value: p.Workers[j].D})
+			if bill(j) {
+				fixed += aff.Out[j]
+			}
+		}
+		prob.AddConstraint("", coefs, lp.LE, 1-fixed)
+	}
+	coefs = coefs[:0]
+	fixed := 0.0
+	for k, j := range order {
+		coefs = append(coefs,
+			lp.Coef{Var: k, Value: p.Workers[j].C},
+			lp.Coef{Var: k, Value: p.Workers[j].D})
+		if bill(j) {
+			fixed += aff.In[j] + aff.Out[j]
+		}
+	}
+	prob.AddConstraint("", coefs, lp.LE, 1-fixed)
+	return prob
+}
+
+// solveAffineRho solves a subset's scenario LP and returns its throughput
+// under the same Σ x[k]>0 accumulation SolveScenarioAffine uses, so the
+// search comparisons match the value the winner's final re-solve reports.
+func solveAffineRho(prob *lp.Problem, arith Arith, q int) (float64, bool, error) {
+	var x []float64
+	var status lp.Status
+	switch arith {
+	case Float64:
+		sol, err := prob.Solve()
+		if err != nil {
+			return 0, false, err
+		}
+		status, x = sol.Status, sol.X
+	case Exact:
+		sol, err := prob.SolveExact()
+		if err != nil {
+			return 0, false, err
+		}
+		status = sol.Status
+		if status == lp.Optimal {
+			_, x = sol.Float()
+		}
+	default:
+		return 0, false, fmt.Errorf("core: unknown arithmetic %v", arith)
+	}
+	if status == lp.Infeasible {
+		return 0, false, nil
+	}
+	if status != lp.Optimal {
+		return 0, false, fmt.Errorf("core: affine scenario LP terminated %v (internal error)", status)
+	}
+	rho := 0.0
+	for k := 0; k < q; k++ {
+		if x[k] > 0 {
+			rho += x[k]
+		}
+	}
+	return rho, true, nil
+}
+
+// affineSearchFlat is the flat 2^p loop: every non-empty mask ascending,
+// one scenario LP each, feasible results offered to the core under the
+// shared tie rule. The order scratch is reused across masks and the
+// context is polled on the core's throttled counter.
+func affineSearchFlat(core *searchCore, p *platform.Platform, aff Affine, arith Arith, sorted platform.Order) error {
+	n := p.P()
+	order := make(platform.Order, 0, n)
+	for mask := 1; mask < 1<<n; mask++ {
+		if err := core.poll(); err != nil {
+			return err
+		}
+		order = order[:0]
 		for _, i := range sorted {
 			if mask&(1<<i) != 0 {
 				order = append(order, i)
 			}
 		}
-		res, err := SolveScenarioAffine(p, aff, order, order, schedule.OnePort, arith)
+		rho, feasible, err := solveAffineRho(affineOnePortLP(p, aff, order, nil), arith, len(order))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if !res.Feasible {
+		affineLeavesEval.Add(1)
+		if feasible {
+			core.offer(rho, order, nil)
+		}
+	}
+	return nil
+}
+
+// affineSearchBB drives the lattice branch-and-bound over the
+// work-stealing pool: the include/exclude decisions of the first depth
+// workers (in c order) index 2^depth prefix tasks dealt to the workers by
+// rank; each worker replays its rank's decisions — recomputing the
+// exclude-edge bounds, so a hopeless prefix is dropped without descending —
+// and then recurses include-first below the prefix, pruning against the
+// shared incumbent. Counter flushes happen once per worker.
+func affineSearchBB(ctx context.Context, winner *searchCore, p *platform.Platform, aff Affine, sorted platform.Order) error {
+	n := len(sorted)
+	depth := 0
+	for depth < n-1 && 1<<depth < 4*searchParallelism(ctx) {
+		depth++
+	}
+	total := int64(1) << depth
+	run := func(core *searchCore, next func() (int64, bool)) error {
+		bb := &affineBB{
+			core: core, p: p, aff: aff, sorted: sorted, n: n,
+			included: make(platform.Order, 0, n),
+			cand:     make(platform.Order, 0, n),
+			charged:  make([]bool, p.P()),
+		}
+		defer bb.flush()
+		for {
+			rank, ok := next()
+			if !ok {
+				return nil
+			}
+			if err := bb.searchPrefix(rank, depth); err != nil {
+				return err
+			}
+		}
+	}
+	return runStealingPool(ctx, winner, total, run)
+}
+
+// affineBB is one worker's branch-and-bound state: the shared search core,
+// the live include stack, bound scratch, and locally accumulated counters
+// (flushed to the global atomics once per search).
+type affineBB struct {
+	core   *searchCore
+	p      *platform.Platform
+	aff    Affine
+	sorted platform.Order
+	n      int
+
+	included platform.Order // live include stack, a subsequence of sorted
+	cand     platform.Order // bound scratch: included ++ undecided tail
+	charged  []bool         // bound scratch, indexed by worker
+
+	nodes, pruned, leaves, boundSolves uint64
+}
+
+func (b *affineBB) flush() {
+	affineNodesExpanded.Add(b.nodes)
+	affineSubtreesPruned.Add(b.pruned)
+	affineLeavesEval.Add(b.leaves)
+	affineBoundSolves.Add(b.boundSolves)
+}
+
+// searchPrefix replays rank's include (bit 0) / exclude (bit 1) decisions
+// for the first depth workers, then recurses below. Exclude decisions
+// recompute the completion bound exactly like the recursion would, so a
+// rank whose prefix is already hopeless against the incumbent is dropped
+// here — each surviving rank enters dfs with the tightest bound seen on
+// its path.
+func (b *affineBB) searchPrefix(rank int64, depth int) error {
+	if err := b.core.poll(); err != nil {
+		return err
+	}
+	b.included = b.included[:0]
+	bound := math.Inf(1)
+	for t := 0; t < depth; t++ {
+		if rank&(1<<uint(t)) == 0 {
+			b.included = append(b.included, b.sorted[t])
 			continue
 		}
-		if best == nil || res.Throughput > best.Throughput {
-			best = res
+		nb, feasible, err := b.bound(t + 1)
+		if err != nil {
+			return err
 		}
+		if nb > bound {
+			nb = bound
+		}
+		if !feasible || b.core.prunable(nb) {
+			b.pruned++
+			return nil
+		}
+		bound = nb
 	}
-	if best == nil {
-		// Even single workers cannot start within the horizon.
-		return &AffineResult{Alpha: make([]float64, n)}, nil
+	return b.dfs(depth, bound)
+}
+
+// dfs explores the lattice below the current include stack. The include
+// child inherits the parent bound unchanged (its completions are a subset
+// of the parent's, and the charged set only grows, so the parent's
+// relaxation still dominates); only exclude edges — where the candidate
+// set actually shrinks — pay a bound LP, capped at the parent bound so the
+// path bound is monotone under float noise. An infeasible bound proves
+// every completion infeasible and prunes the subtree outright.
+func (b *affineBB) dfs(depth int, parentBound float64) error {
+	if err := b.core.poll(); err != nil {
+		return err
 	}
-	return best, nil
+	if b.core.prunable(parentBound) {
+		b.pruned++
+		return nil
+	}
+	if depth == b.n {
+		if len(b.included) == 0 {
+			return nil
+		}
+		b.leaves++
+		rho, feasible, err := solveAffineRho(
+			affineOnePortLP(b.p, b.aff, b.included, nil), Float64, len(b.included))
+		if err != nil {
+			return err
+		}
+		if feasible {
+			b.core.offer(rho, b.included, nil)
+		}
+		return nil
+	}
+	b.nodes++
+	b.included = append(b.included, b.sorted[depth])
+	if err := b.dfs(depth+1, parentBound); err != nil {
+		return err
+	}
+	b.included = b.included[:len(b.included)-1]
+	bound, feasible, err := b.bound(depth + 1)
+	if err != nil {
+		return err
+	}
+	if bound > parentBound {
+		bound = parentBound
+	}
+	if !feasible || b.core.prunable(bound) {
+		b.pruned++
+		return nil
+	}
+	return b.dfs(depth+1, bound)
+}
+
+// bound solves the exclude-edge relaxation: the affine LP over the
+// included workers plus every undecided worker from position from on,
+// charging only the included workers' fixed costs (see affineOnePortLP for
+// the admissibility argument). An empty candidate set means the only
+// completion is the empty subset, which the search skips anyway.
+func (b *affineBB) bound(from int) (float64, bool, error) {
+	b.cand = append(b.cand[:0], b.included...)
+	b.cand = append(b.cand, b.sorted[from:]...)
+	if len(b.cand) == 0 {
+		return 0, false, nil
+	}
+	b.boundSolves++
+	for i := range b.charged {
+		b.charged[i] = false
+	}
+	for _, i := range b.included {
+		b.charged[i] = true
+	}
+	sol, err := affineOnePortLP(b.p, b.aff, b.cand, b.charged).Solve()
+	if err != nil {
+		return 0, false, err
+	}
+	if sol.Status == lp.Infeasible {
+		return 0, false, nil
+	}
+	if sol.Status != lp.Optimal {
+		return 0, false, fmt.Errorf("core: affine bound LP terminated %v (internal error)", sol.Status)
+	}
+	return sol.Objective, true, nil
 }

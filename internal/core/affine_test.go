@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -225,6 +226,125 @@ func TestQuickAffineMonotoneInLatency(t *testing.T) {
 	}
 }
 
+// randomAffine draws fixed costs of a scale that makes resource selection
+// genuinely bite: some subsets infeasible, some workers not worth their
+// latency.
+func randomAffine(rng *rand.Rand, n int, scale float64) Affine {
+	aff := ZeroAffine(n)
+	for i := 0; i < n; i++ {
+		aff.In[i] = scale * rng.Float64()
+		aff.Out[i] = scale * rng.Float64() / 2
+		aff.Comp[i] = scale * rng.Float64() / 2
+	}
+	return aff
+}
+
+// TestAffineBBAgreesWithFlat pins the branch-and-bound byte-identical to
+// the flat loop — same winning subset/order, same throughput bits, same
+// load bits — on 240 random platforms across sizes and cost regimes,
+// serial and parallel.
+func TestAffineBBAgreesWithFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(206))
+	ctxSerial := context.Background()
+	ctxPar := ContextWithSearchParallelism(context.Background(), 4)
+	for trial := 0; trial < 240; trial++ {
+		n := 1 + rng.Intn(9)
+		p := randomStar(rng, n, 0.2+0.6*rng.Float64())
+		scale := []float64{0, 0.02, 0.1, 0.4}[trial%4]
+		aff := randomAffine(rng, n, scale)
+
+		flat, err := BestFIFOAffineAlgo(ctxSerial, p, aff, Float64, AffineFlat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ctx := range []context.Context{ctxSerial, ctxPar} {
+			bb, err := BestFIFOAffineAlgo(ctx, p, aff, Float64, AffineBB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(bb.Throughput) != math.Float64bits(flat.Throughput) {
+				t.Fatalf("trial %d (n=%d scale=%g): bb ρ=%x flat ρ=%x",
+					trial, n, scale, math.Float64bits(bb.Throughput), math.Float64bits(flat.Throughput))
+			}
+			if bb.Feasible != flat.Feasible || len(bb.Send) != len(flat.Send) {
+				t.Fatalf("trial %d: bb (%v, %v) vs flat (%v, %v)",
+					trial, bb.Feasible, bb.Send, flat.Feasible, flat.Send)
+			}
+			for k := range bb.Send {
+				if bb.Send[k] != flat.Send[k] || bb.Return[k] != flat.Return[k] {
+					t.Fatalf("trial %d: bb order %v/%v, flat %v/%v",
+						trial, bb.Send, bb.Return, flat.Send, flat.Return)
+				}
+			}
+			for i := range bb.Alpha {
+				if math.Float64bits(bb.Alpha[i]) != math.Float64bits(flat.Alpha[i]) {
+					t.Fatalf("trial %d worker %d: bb α bits %x, flat %x",
+						trial, i, math.Float64bits(bb.Alpha[i]), math.Float64bits(flat.Alpha[i]))
+				}
+			}
+		}
+	}
+}
+
+// TestAffineBBPrunes asserts the bound actually fires: on a latency-heavy
+// 12-worker platform the branch-and-bound must evaluate at most half of
+// the 2^12−1 subsets the flat loop pays for.
+func TestAffineBBPrunes(t *testing.T) {
+	rng := rand.New(rand.NewSource(207))
+	p := randomStar(rng, 12, 0.5)
+	aff := randomAffine(rng, 12, 0.08)
+	before := AffineStatsSnapshot()
+	if _, err := BestFIFOAffineAlgo(context.Background(), p, aff, Float64, AffineBB); err != nil {
+		t.Fatal(err)
+	}
+	after := AffineStatsSnapshot()
+	leaves := after.LeavesEvaluated - before.LeavesEvaluated
+	pruned := after.SubtreesPruned - before.SubtreesPruned
+	total := uint64(1<<12 - 1)
+	t.Logf("leaves=%d/%d pruned-subtrees=%d bound-solves=%d",
+		leaves, total, pruned, after.BoundSolves-before.BoundSolves)
+	if leaves > total/2 {
+		t.Errorf("branch-and-bound evaluated %d of %d subsets; want <= 50%%", leaves, total)
+	}
+	if pruned == 0 {
+		t.Error("no subtrees pruned on a latency-heavy platform")
+	}
+}
+
+// TestAffineAlgoValidation covers the algorithm selector's edges.
+func TestAffineAlgoValidation(t *testing.T) {
+	p := platform.New(platform.Worker{C: 1, W: 1, D: 0.5})
+	if _, err := BestFIFOAffineAlgo(context.Background(), p, ZeroAffine(1), Float64, AffineAlgo(9)); err == nil {
+		t.Error("unknown algorithm must be rejected")
+	}
+	if _, err := BestFIFOAffineAlgo(context.Background(), p, ZeroAffine(1), Exact, AffineBB); err == nil {
+		t.Error("forced BB under Exact must be rejected")
+	}
+	res, err := BestFIFOAffineAlgo(context.Background(), p, ZeroAffine(1), Exact, AffineAuto)
+	if err != nil || !res.Feasible {
+		t.Errorf("exact auto search failed: %v %+v", err, res)
+	}
+	for algo, want := range map[AffineAlgo]string{AffineAuto: "auto", AffineBB: "bb", AffineFlat: "flat", AffineAlgo(9): "AffineAlgo(9)"} {
+		if algo.String() != want {
+			t.Errorf("AffineAlgo(%d).String() = %q, want %q", int(algo), algo.String(), want)
+		}
+	}
+}
+
+// TestAffineCancellation checks both paths abort on a cancelled context.
+func TestAffineCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(208))
+	p := randomStar(rng, 10, 0.5)
+	aff := randomAffine(rng, 10, 0.02)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, algo := range []AffineAlgo{AffineFlat, AffineBB} {
+		if _, err := BestFIFOAffineAlgo(ctx, p, aff, Float64, algo); err != context.Canceled {
+			t.Errorf("%v: err = %v, want context.Canceled", algo, err)
+		}
+	}
+}
+
 func BenchmarkBestFIFOAffine8(b *testing.B) {
 	rng := rand.New(rand.NewSource(205))
 	p := randomStar(rng, 8, 0.5)
@@ -238,4 +358,56 @@ func BenchmarkBestFIFOAffine8(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkBestFIFOAffine12 compares the flat 2^12 loop against the
+// branch-and-bound on the CI reference platform; the bench gate requires
+// bb ≥ 5× faster with identical winners (the reported rho metrics must
+// match to the last digit) and ≥ 50% of the subset lattice pruned.
+func BenchmarkBestFIFOAffine12(b *testing.B) {
+	rng := rand.New(rand.NewSource(207))
+	p := randomStar(rng, 12, 0.5)
+	aff := randomAffine(rng, 12, 0.08)
+	for _, algo := range []AffineAlgo{AffineFlat, AffineBB} {
+		b.Run(algo.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			before := AffineStatsSnapshot()
+			var res *AffineResult
+			for i := 0; i < b.N; i++ {
+				r, err := BestFIFOAffineAlgo(context.Background(), p, aff, Float64, algo)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res = r
+			}
+			b.ReportMetric(res.Throughput, "rho")
+			if algo == AffineBB {
+				after := AffineStatsSnapshot()
+				leaves := float64(after.LeavesEvaluated-before.LeavesEvaluated) / float64(b.N)
+				pruned := float64(after.SubtreesPruned-before.SubtreesPruned) / float64(b.N)
+				b.ReportMetric(leaves, "leaves/op")
+				b.ReportMetric(pruned, "pruned-subtrees/op")
+				b.ReportMetric(1-leaves/float64(1<<12-1), "pruned-frac")
+			}
+		})
+	}
+}
+
+// BenchmarkBestFIFOAffine16 exercises the lifted cap: 2^16 subsets are
+// flat-loop territory measured in minutes, but the branch-and-bound keeps
+// the search inside the CI bench timeout.
+func BenchmarkBestFIFOAffine16(b *testing.B) {
+	rng := rand.New(rand.NewSource(209))
+	p := randomStar(rng, 16, 0.5)
+	aff := randomAffine(rng, 16, 0.06)
+	b.ReportAllocs()
+	var res *AffineResult
+	for i := 0; i < b.N; i++ {
+		r, err := BestFIFOAffineAlgo(context.Background(), p, aff, Float64, AffineBB)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.ReportMetric(res.Throughput, "rho")
 }

@@ -296,12 +296,21 @@ func (s *searchCore) offer(rho float64, send, ret platform.Order) {
 }
 
 // ordersLess is the lexicographic tie rule: send order first, return order
-// second. Orders compared by a search always have equal lengths.
+// second. The permutation searches always compare equal-length sends; the
+// affine subset search compares enrolled sets of different sizes, so sends
+// compare element-wise up to the shorter length with a strict prefix
+// ordering before its extensions.
 func ordersLess(aSend, aRet, bSend, bRet platform.Order) bool {
 	for i := range aSend {
+		if i >= len(bSend) {
+			return false // bSend is a strict prefix of aSend
+		}
 		if aSend[i] != bSend[i] {
 			return aSend[i] < bSend[i]
 		}
+	}
+	if len(aSend) < len(bSend) {
+		return true
 	}
 	for i := range aRet {
 		if i >= len(bRet) || aRet[i] != bRet[i] {

@@ -4,16 +4,18 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/eval/kern"
 	"repro/internal/numeric"
 	"repro/internal/platform"
 	"repro/internal/schedule"
 )
 
 // batchWidth is the lane count of one lockstep chunk. Eight float64 lanes
-// fill two AVX2 registers (or one AVX-512 register); the chain loops below
-// are written position-major, lane-minor so the compiler can keep each
-// position step branch-free across the whole chunk.
-const batchWidth = 8
+// fill two AVX2 registers (or one AVX-512 register); the position-step
+// loops live in internal/eval/kern, which dispatches between a pure-Go
+// reference, a hand-unrolled variant, and AVX2 assembly — all bitwise
+// identical.
+const batchWidth = kern.Width
 
 // Batch evaluates many same-size FIFO or LIFO scenarios in lockstep. The
 // scenarios' platform columns are laid out structure-of-arrays — for every
@@ -51,6 +53,30 @@ type Batch struct {
 
 	stamp    []int // duplicate-detection scratch for Add
 	stampGen int
+
+	// costCache memoises the derived per-worker constants per platform:
+	// the gather stage would otherwise redo three divisions per worker per
+	// lane on every Run. Platforms are immutable by convention, so entries
+	// stay valid across Reset; the cache is dropped wholesale if it grows
+	// past costCacheMax distinct platforms.
+	costCache map[*platform.Platform][]workerCosts
+}
+
+const costCacheMax = 64
+
+func (b *Batch) platformCosts(p *platform.Platform) []workerCosts {
+	if wcs, ok := b.costCache[p]; ok {
+		return wcs
+	}
+	if b.costCache == nil || len(b.costCache) >= costCacheMax {
+		b.costCache = make(map[*platform.Platform][]workerCosts)
+	}
+	wcs := make([]workerCosts, p.P())
+	for i := range wcs {
+		wcs[i] = deriveCosts(p.Workers[i])
+	}
+	b.costCache[p] = wcs
+	return wcs
 }
 
 // NewBatch prepares a batch of scenarios enrolling q workers each: FIFO
@@ -139,10 +165,10 @@ func (b *Batch) runChunk(base, wch int) {
 	q, W := b.q, batchWidth
 	// Gather: one row of per-lane worker constants per send position.
 	for l := 0; l < wch; l++ {
-		p := b.plats[base+l]
+		wcs := b.platformCosts(b.plats[base+l])
 		send := b.sends[(base+l)*q : (base+l+1)*q]
 		for pos, i := range send {
-			wc := deriveCosts(p.Workers[i])
+			wc := wcs[i]
 			at := pos*W + l
 			b.c[at], b.d[at], b.w[at] = wc.c, wc.d, wc.w
 			b.cw[at], b.wd[at], b.g[at], b.dc[at] = wc.cw, wc.wd, wc.g, wc.dc
@@ -160,35 +186,11 @@ func (b *Batch) runFIFO(base, wch int) {
 	q, W := b.q, batchWidth
 	tol := numeric.CertTol
 	P, u, v := b.chP, b.chU, b.chV
-	// Load chain P and its sums, all lanes per position step.
-	for l := 0; l < wch; l++ {
-		P[l] = 1
-		b.sp[l], b.sc[l], b.sd[l] = 1, b.c[l], b.d[l]
-	}
-	for pos := 1; pos < q; pos++ {
-		row, prev := pos*W, (pos-1)*W
-		for l := 0; l < wch; l++ {
-			pk := P[prev+l] * b.wd[prev+l] * b.invCW[row+l]
-			P[row+l] = pk
-			b.sp[l] += pk
-			b.sc[l] += pk * b.c[row+l]
-			b.sd[l] += pk * b.d[row+l]
-		}
-	}
-	// Dual chain prefixes.
-	for l := 0; l < wch; l++ {
-		b.pu[l], b.pv[l] = 0, 0
-	}
-	for pos := 0; pos < q; pos++ {
-		row := pos * W
-		for l := 0; l < wch; l++ {
-			uk := (1 - b.dc[row+l]*b.pu[l]) * b.invWD[row+l]
-			vk := (-b.c[row+l] - b.dc[row+l]*b.pv[l]) * b.invWD[row+l]
-			u[row+l], v[row+l] = uk, vk
-			b.pu[l] += uk
-			b.pv[l] += vk
-		}
-	}
+	// Load and dual chains across all lanes per position step. The kernels
+	// always run the full chunk width; lanes past wch hold stale columns
+	// whose outputs are never read.
+	kern.FIFOChain(q, P, b.c, b.d, b.wd, b.invCW, b.sp, b.sc, b.sd)
+	kern.FIFODual(q, b.c, b.dc, b.invWD, u, v, b.pu, b.pv)
 	// Closures and certificates per lane.
 	for l := 0; l < wch; l++ {
 		denom := b.cw[l] + b.sd[l]
@@ -208,12 +210,10 @@ func (b *Batch) runFIFO(base, wch int) {
 		b.rho[base+l] = rho
 	}
 	// λ scan, position-major again so the hot loop stays lane-parallel.
-	for pos := 0; pos < q; pos++ {
-		row := pos * W
-		for l := 0; l < wch; l++ {
-			if !(u[row+l]+b.t[l]*v[row+l] >= -tol) {
-				b.laneOK[l] = false
-			}
+	okMask := kern.FIFOLambdaOK(q, u, v, b.t, tol)
+	for l := 0; l < wch; l++ {
+		if okMask&(1<<l) == 0 {
+			b.laneOK[l] = false
 		}
 	}
 	for l := 0; l < wch; l++ {
@@ -233,34 +233,12 @@ func (b *Batch) runLIFO(base, wch int) {
 	q, W := b.q, batchWidth
 	tol := numeric.CertTol
 	P := b.chP
-	// Lower-triangular load chain; loads are already normalised.
+	// Lower-triangular load chain (loads are already normalised), then the
+	// backward dual chain with its per-lane certificate mask.
+	kern.LIFOChain(q, P, b.w, b.invCWD, b.sp)
+	okMask := kern.LIFODualOK(q, b.g, b.invCWD, b.pu, tol)
 	for l := 0; l < wch; l++ {
-		P[l] = b.invCWD[l]
-		b.sp[l] = P[l]
-	}
-	for pos := 1; pos < q; pos++ {
-		row, prev := pos*W, (pos-1)*W
-		for l := 0; l < wch; l++ {
-			pk := P[prev+l] * b.w[prev+l] * b.invCWD[row+l]
-			P[row+l] = pk
-			b.sp[l] += pk
-		}
-	}
-	// Backward dual chain; pu doubles as the suffix sum, laneOK as the
-	// running certificate.
-	for l := 0; l < wch; l++ {
-		b.pu[l] = 0
-		b.laneOK[l] = true
-	}
-	for pos := q - 1; pos >= 0; pos-- {
-		row := pos * W
-		for l := 0; l < wch; l++ {
-			lam := (1 - b.g[row+l]*b.pu[l]) * b.invCWD[row+l]
-			b.pu[l] += lam
-			if !(lam >= -tol) {
-				b.laneOK[l] = false
-			}
-		}
+		b.laneOK[l] = okMask&(1<<l) != 0
 	}
 	for l := 0; l < wch; l++ {
 		rho := b.sp[l]

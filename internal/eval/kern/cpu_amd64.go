@@ -1,0 +1,60 @@
+//go:build amd64 && !purego
+
+package kern
+
+import (
+	"os"
+	"strings"
+)
+
+// hasAVX2 reports whether the CPU and OS support AVX2 and the user has not
+// disabled it. Detection is done by hand (CPUID + XGETBV) because the repo
+// carries no external dependencies; GODEBUG=cpu.avx2=off (or cpu.all=off)
+// is honoured the same way the runtime's internal/cpu does.
+var hasAVX2 = detectAVX2()
+
+func detectAVX2() bool {
+	if godebugOff("cpu.avx2") || godebugOff("cpu.all") {
+		return false
+	}
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	const (
+		osxsaveBit = 1 << 27 // CPUID.1:ECX
+		avxBit     = 1 << 28 // CPUID.1:ECX
+		avx2Bit    = 1 << 5  // CPUID.7.0:EBX
+		ymmState   = 0x6     // XCR0 XMM+YMM state enabled
+	)
+	_, _, ecx1, _ := cpuid(1, 0)
+	if ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 {
+		return false
+	}
+	xcr0, _ := xgetbv0()
+	if xcr0&ymmState != ymmState {
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	return ebx7&avx2Bit != 0
+}
+
+func godebugOff(flag string) bool {
+	s := os.Getenv("GODEBUG")
+	for s != "" {
+		var tok string
+		if i := strings.IndexByte(s, ','); i >= 0 {
+			tok, s = s[:i], s[i+1:]
+		} else {
+			tok, s = s, ""
+		}
+		if tok == flag+"=off" {
+			return true
+		}
+	}
+	return false
+}
+
+// cpuid and xgetbv0 are implemented in cpuid_amd64.s.
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() (eax, edx uint32)

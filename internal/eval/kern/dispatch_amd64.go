@@ -1,0 +1,56 @@
+//go:build amd64 && !purego
+
+package kern
+
+// Assembly entry points (kernels_amd64.s). The wrappers re-expose them
+// over slices so the dispatch table stays uniform; length validation
+// already happened in the exported front doors.
+
+//go:noescape
+func fifoChainAVX2(q int, p, c, d, wd, invCW, sp, sc, sd *float64)
+
+//go:noescape
+func fifoDualAVX2(q int, c, dc, invWD, u, v, pu, pv *float64)
+
+//go:noescape
+func fifoLambdaOKAVX2(q int, u, v, t *float64, negTol float64) uint8
+
+//go:noescape
+func lifoChainAVX2(q int, p, w, invCWD, sp *float64)
+
+//go:noescape
+func lifoDualOKAVX2(q int, gcol, invCWD, pu *float64, negTol float64) uint8
+
+var avx2Impl = &impl{
+	name: "avx2",
+	fifoChain: func(q int, p, c, d, wd, invCW, sp, sc, sd []float64) {
+		fifoChainAVX2(q, &p[0], &c[0], &d[0], &wd[0], &invCW[0], &sp[0], &sc[0], &sd[0])
+	},
+	fifoDual: func(q int, c, dc, invWD, u, v, pu, pv []float64) {
+		fifoDualAVX2(q, &c[0], &dc[0], &invWD[0], &u[0], &v[0], &pu[0], &pv[0])
+	},
+	fifoOK: func(q int, u, v, t []float64, tol float64) uint8 {
+		return fifoLambdaOKAVX2(q, &u[0], &v[0], &t[0], -tol)
+	},
+	lifoChain: func(q int, p, w, invCWD, sp []float64) {
+		lifoChainAVX2(q, &p[0], &w[0], &invCWD[0], &sp[0])
+	},
+	lifoDual: func(q int, g, invCWD, pu []float64, tol float64) uint8 {
+		return lifoDualOKAVX2(q, &g[0], &invCWD[0], &pu[0], -tol)
+	},
+}
+
+func available() []*impl {
+	out := []*impl{refImpl, unrollImpl}
+	if hasAVX2 {
+		out = append(out, avx2Impl)
+	}
+	return out
+}
+
+func pick() *impl {
+	if hasAVX2 {
+		return avx2Impl
+	}
+	return unrollImpl
+}

@@ -1,0 +1,10 @@
+//go:build !purego && !amd64
+
+package kern
+
+// Architectures without an assembly backend dispatch to the unrolled
+// pure-Go variant.
+
+func available() []*impl { return []*impl{refImpl, unrollImpl} }
+
+func pick() *impl { return unrollImpl }

@@ -1,0 +1,10 @@
+//go:build purego
+
+package kern
+
+// The purego tag forces the pure-Go reference path: no assembly is
+// assembled and no alternative variant is offered.
+
+func available() []*impl { return []*impl{refImpl} }
+
+func pick() *impl { return refImpl }

@@ -1,0 +1,241 @@
+package kern
+
+import (
+	"math"
+	"testing"
+)
+
+// lcg is a tiny deterministic generator so the golden vectors are stable
+// across Go releases (unlike math/rand stream details, its output is
+// pinned here by construction).
+type lcg uint64
+
+func (r *lcg) next() float64 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return float64(uint32(*r>>33)) / float64(1<<32)
+}
+
+func (r *lcg) pos(lo, hi float64) float64 { return lo + (hi-lo)*r.next() }
+
+// fill populates q rows of per-lane columns with strictly positive costs
+// in the regimes the chains see in practice.
+func fillColumns(r *lcg, q int, cols ...[]float64) {
+	for _, col := range cols {
+		for i := 0; i < q*Width; i++ {
+			col[i] = r.pos(0.01, 1.5)
+		}
+	}
+}
+
+func buf(q int) []float64 { return make([]float64, q*Width) }
+
+// forEachVariant runs fn once per available variant, restoring the default
+// dispatch afterwards.
+func forEachVariant(t *testing.T, fn func(t *testing.T, name string)) {
+	t.Helper()
+	def := Variant()
+	defer SetVariant(def)
+	for _, name := range Variants() {
+		if !SetVariant(name) {
+			t.Fatalf("SetVariant(%q) refused a listed variant", name)
+		}
+		fn(t, name)
+	}
+}
+
+func bitsEq(t *testing.T, variant, what string, got, want []float64) {
+	t.Helper()
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: %s[%d] = %x (%v), reference has %x (%v)",
+				variant, what, i, math.Float64bits(got[i]), got[i],
+				math.Float64bits(want[i]), want[i])
+		}
+	}
+}
+
+func TestVariantDispatch(t *testing.T) {
+	vs := Variants()
+	if len(vs) == 0 || vs[0] != Variant() {
+		t.Fatalf("default variant %q not first in %v", Variant(), vs)
+	}
+	if SetVariant("no-such-variant") {
+		t.Fatal("SetVariant accepted an unknown variant")
+	}
+	seen := map[string]bool{}
+	for _, v := range vs {
+		if seen[v] {
+			t.Fatalf("variant %q listed twice in %v", v, vs)
+		}
+		seen[v] = true
+	}
+	if !seen["purego"] {
+		t.Fatalf("reference variant missing from %v", vs)
+	}
+}
+
+// TestGoldenFIFOChain anchors the reference on a hand-computed vector and
+// then pins every variant to the reference bitwise on random columns.
+func TestGoldenFIFOChain(t *testing.T) {
+	// Hand-checked q=2 vector: uniform lanes with wd[row0]=0.6 and
+	// invCW[row1]=0.5 give P1 = (1*0.6)*0.5 and the sums follow by one
+	// rounded multiply-and-add each (computed here from the slice values so
+	// no compile-time constant folding sneaks in).
+	q := 2
+	p, c, d, wd, invCW := buf(q), buf(q), buf(q), buf(q), buf(q)
+	sp, sc, sd := buf(1), buf(1), buf(1)
+	for l := 0; l < Width; l++ {
+		c[l], d[l] = 0.4, 0.8
+		wd[l], invCW[Width+l] = 0.6, 0.5
+		c[Width+l], d[Width+l] = 0.2, 0.1
+	}
+	forEachVariant(t, func(t *testing.T, name string) {
+		FIFOChain(q, p, c, d, wd, invCW, sp, sc, sd)
+		for l := 0; l < Width; l++ {
+			pk := p[0] * wd[l]
+			pk = float64(pk * invCW[Width+l])
+			expSp := 1 + pk
+			expSc := c[l] + float64(pk*c[Width+l])
+			expSd := d[l] + float64(pk*d[Width+l])
+			if p[l] != 1 || p[Width+l] != pk {
+				t.Fatalf("%s: chain rows = %v, %v; want 1, %v", name, p[l], p[Width+l], pk)
+			}
+			if sp[l] != expSp || sc[l] != expSc || sd[l] != expSd {
+				t.Fatalf("%s: sums = %v %v %v; want %v %v %v", name, sp[l], sc[l], sd[l], expSp, expSc, expSd)
+			}
+		}
+	})
+
+	for _, q := range []int{1, 2, 3, 5, 9} {
+		r := lcg(uint64(q) * 977)
+		p, c, d, wd, invCW := buf(q), buf(q), buf(q), buf(q), buf(q)
+		fillColumns(&r, q, c, d, wd, invCW)
+		refP, refSp, refSc, refSd := buf(q), buf(1), buf(1), buf(1)
+		refFIFOChain(q, refP, c, d, wd, invCW, refSp, refSc, refSd)
+		sp, sc, sd := buf(1), buf(1), buf(1)
+		forEachVariant(t, func(t *testing.T, name string) {
+			FIFOChain(q, p, c, d, wd, invCW, sp, sc, sd)
+			bitsEq(t, name, "P", p, refP)
+			bitsEq(t, name, "sp", sp[:Width], refSp[:Width])
+			bitsEq(t, name, "sc", sc[:Width], refSc[:Width])
+			bitsEq(t, name, "sd", sd[:Width], refSd[:Width])
+		})
+	}
+}
+
+func TestGoldenFIFODual(t *testing.T) {
+	for _, q := range []int{1, 2, 4, 7, 9} {
+		r := lcg(uint64(q)*31 + 7)
+		c, dc, invWD := buf(q), buf(q), buf(q)
+		fillColumns(&r, q, c, dc, invWD)
+		refU, refV, refPu, refPv := buf(q), buf(q), buf(1), buf(1)
+		refFIFODual(q, c, dc, invWD, refU, refV, refPu, refPv)
+		u, v, pu, pv := buf(q), buf(q), buf(1), buf(1)
+		forEachVariant(t, func(t *testing.T, name string) {
+			FIFODual(q, c, dc, invWD, u, v, pu, pv)
+			bitsEq(t, name, "u", u, refU)
+			bitsEq(t, name, "v", v, refV)
+			bitsEq(t, name, "pu", pu[:Width], refPu[:Width])
+			bitsEq(t, name, "pv", pv[:Width], refPv[:Width])
+		})
+	}
+}
+
+func TestGoldenFIFOLambdaOK(t *testing.T) {
+	const tol = 1e-10
+	for _, q := range []int{1, 3, 6, 9} {
+		r := lcg(uint64(q) * 1009)
+		u, v, tt := buf(q), buf(q), buf(1)
+		fillColumns(&r, q, u, v)
+		fillColumns(&r, 1, tt)
+		// Mix in negatives, exact-boundary values and NaN/Inf lanes so the
+		// comparison semantics (ordered, NaN fails) are pinned too.
+		for i := 0; i < q*Width; i += 3 {
+			u[i] = -u[i]
+		}
+		u[0] = -tol // boundary: passes >= -tol exactly
+		v[Width-1] = math.NaN()
+		if q > 1 {
+			u[Width+1] = math.Inf(-1)
+			v[Width+2] = math.Inf(1)
+		}
+		want := refFIFOLambdaOK(q, u, v, tt, tol)
+		forEachVariant(t, func(t *testing.T, name string) {
+			if got := FIFOLambdaOK(q, u, v, tt, tol); got != want {
+				t.Fatalf("%s: mask %08b, reference %08b", name, got, want)
+			}
+		})
+	}
+}
+
+func TestGoldenLIFOChain(t *testing.T) {
+	for _, q := range []int{1, 2, 5, 8, 9} {
+		r := lcg(uint64(q)*577 + 3)
+		p, w, invCWD := buf(q), buf(q), buf(q)
+		fillColumns(&r, q, w, invCWD)
+		refP, refSp := buf(q), buf(1)
+		refLIFOChain(q, refP, w, invCWD, refSp)
+		sp := buf(1)
+		forEachVariant(t, func(t *testing.T, name string) {
+			LIFOChain(q, p, w, invCWD, sp)
+			bitsEq(t, name, "P", p, refP)
+			bitsEq(t, name, "sp", sp[:Width], refSp[:Width])
+		})
+	}
+}
+
+func TestGoldenLIFODualOK(t *testing.T) {
+	const tol = 1e-10
+	for _, q := range []int{1, 2, 4, 9} {
+		r := lcg(uint64(q)*13 + 29)
+		g, invCWD := buf(q), buf(q)
+		fillColumns(&r, q, g, invCWD)
+		// Large g values drive some λ negative; poison one lane with NaN.
+		for i := Width; i < q*Width; i += 5 {
+			g[i] *= 40
+		}
+		g[(q-1)*Width+3] = math.NaN()
+		refPu := buf(1)
+		want := refLIFODualOK(q, g, invCWD, refPu, tol)
+		pu := buf(1)
+		forEachVariant(t, func(t *testing.T, name string) {
+			got := LIFODualOK(q, g, invCWD, pu, tol)
+			if got != want {
+				t.Fatalf("%s: mask %08b, reference %08b", name, got, want)
+			}
+			bitsEq(t, name, "pu", pu[:Width], refPu[:Width])
+		})
+	}
+}
+
+// TestGoldenExtremes pushes denormal and overflow magnitudes through the
+// chains: products that underflow to subnormals or overflow to +Inf must
+// round identically in every variant.
+func TestGoldenExtremes(t *testing.T) {
+	q := 6
+	p, c, d, wd, invCW := buf(q), buf(q), buf(q), buf(q), buf(q)
+	r := lcg(99)
+	fillColumns(&r, q, c, d, wd, invCW)
+	for l := 0; l < Width; l++ {
+		for pos := 0; pos < q; pos++ {
+			switch l % 4 {
+			case 0: // drive P toward underflow
+				wd[pos*Width+l] = 1e-80
+			case 1: // drive P toward overflow
+				invCW[pos*Width+l] = 1e80
+			case 2: // exact powers of two keep products exact
+				wd[pos*Width+l], invCW[pos*Width+l] = 0.5, 2
+			}
+		}
+	}
+	refP, refSp, refSc, refSd := buf(q), buf(1), buf(1), buf(1)
+	refFIFOChain(q, refP, c, d, wd, invCW, refSp, refSc, refSd)
+	sp, sc, sd := buf(1), buf(1), buf(1)
+	forEachVariant(t, func(t *testing.T, name string) {
+		FIFOChain(q, p, c, d, wd, invCW, sp, sc, sd)
+		bitsEq(t, name, "P", p, refP)
+		bitsEq(t, name, "sp", sp[:Width], refSp[:Width])
+		bitsEq(t, name, "sc", sc[:Width], refSc[:Width])
+		bitsEq(t, name, "sd", sd[:Width], refSd[:Width])
+	})
+}

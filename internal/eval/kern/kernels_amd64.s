@@ -1,0 +1,287 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// AVX2 bodies of the chunk kernels: two YMM registers cover one
+// Width(=8)-lane row. Only VMULPD/VADDPD/VSUBPD/VXORPD are used for the
+// arithmetic — each is lane-wise identical to the scalar IEEE-754 double
+// operation, and no fused multiply-add ever appears — so every output bit
+// matches the pure-Go reference in ref.go. Certificate scans compare with
+// VCMPPD GE_OS (predicate 13): ordered, so a NaN anywhere fails the lane,
+// matching the reference's !(lam >= -tol).
+
+DATA one<>+0(SB)/8, $0x3ff0000000000000 // 1.0
+GLOBL one<>(SB), RODATA, $8
+
+DATA negzero<>+0(SB)/8, $0x8000000000000000 // -0.0 (sign mask)
+GLOBL negzero<>(SB), RODATA, $8
+
+// func fifoChainAVX2(q int, p, c, d, wd, invCW, sp, sc, sd *float64)
+TEXT ·fifoChainAVX2(SB), NOSPLIT, $0-72
+	MOVQ q+0(FP), CX
+	MOVQ p+8(FP), DI
+	MOVQ c+16(FP), SI
+	MOVQ d+24(FP), DX
+	MOVQ wd+32(FP), R8
+	MOVQ invCW+40(FP), R9
+	MOVQ sp+48(FP), R10
+	MOVQ sc+56(FP), R11
+	MOVQ sd+64(FP), R12
+
+	// Row 0: P = 1, sp = 1, sc = c, sd = d.
+	VBROADCASTSD one<>+0(SB), Y0
+	VMOVAPD      Y0, Y1
+	VMOVUPD      Y0, (DI)
+	VMOVUPD      Y1, 32(DI)
+	VMOVAPD      Y0, Y2
+	VMOVAPD      Y1, Y3
+	VMOVUPD      (SI), Y4
+	VMOVUPD      32(SI), Y5
+	VMOVUPD      (DX), Y6
+	VMOVUPD      32(DX), Y7
+
+	MOVQ $1, AX
+	XORQ BX, BX // byte offset of the previous row
+
+fifochain_loop:
+	CMPQ AX, CX
+	JGE  fifochain_done
+
+	// pk = (P_prev * wd[prev]) * invCW[row]
+	VMULPD  (R8)(BX*1), Y0, Y0
+	VMULPD  32(R8)(BX*1), Y1, Y1
+	VMULPD  64(R9)(BX*1), Y0, Y0
+	VMULPD  96(R9)(BX*1), Y1, Y1
+	VMOVUPD Y0, 64(DI)(BX*1)
+	VMOVUPD Y1, 96(DI)(BX*1)
+
+	// sp += pk; sc += pk*c[row]; sd += pk*d[row]
+	VADDPD Y0, Y2, Y2
+	VADDPD Y1, Y3, Y3
+	VMULPD 64(SI)(BX*1), Y0, Y8
+	VMULPD 96(SI)(BX*1), Y1, Y9
+	VADDPD Y8, Y4, Y4
+	VADDPD Y9, Y5, Y5
+	VMULPD 64(DX)(BX*1), Y0, Y8
+	VMULPD 96(DX)(BX*1), Y1, Y9
+	VADDPD Y8, Y6, Y6
+	VADDPD Y9, Y7, Y7
+
+	ADDQ $64, BX
+	INCQ AX
+	JMP  fifochain_loop
+
+fifochain_done:
+	VMOVUPD Y2, (R10)
+	VMOVUPD Y3, 32(R10)
+	VMOVUPD Y4, (R11)
+	VMOVUPD Y5, 32(R11)
+	VMOVUPD Y6, (R12)
+	VMOVUPD Y7, 32(R12)
+	VZEROUPPER
+	RET
+
+// func fifoDualAVX2(q int, c, dc, invWD, u, v, pu, pv *float64)
+TEXT ·fifoDualAVX2(SB), NOSPLIT, $0-64
+	MOVQ q+0(FP), CX
+	MOVQ c+8(FP), SI
+	MOVQ dc+16(FP), R8
+	MOVQ invWD+24(FP), R9
+	MOVQ u+32(FP), DI
+	MOVQ v+40(FP), DX
+	MOVQ pu+48(FP), R10
+	MOVQ pv+56(FP), R11
+
+	VBROADCASTSD one<>+0(SB), Y10
+	VBROADCASTSD negzero<>+0(SB), Y11
+	VXORPD       Y2, Y2, Y2 // pu
+	VXORPD       Y3, Y3, Y3
+	VXORPD       Y4, Y4, Y4 // pv
+	VXORPD       Y5, Y5, Y5
+
+	XORQ AX, AX
+	XORQ BX, BX
+
+fifodual_loop:
+	CMPQ AX, CX
+	JGE  fifodual_done
+
+	VMOVUPD (R8)(BX*1), Y12    // dc row
+	VMOVUPD 32(R8)(BX*1), Y13
+
+	// uk = (1 - dc*pu) * invWD
+	VMULPD  Y2, Y12, Y0
+	VMULPD  Y3, Y13, Y1
+	VSUBPD  Y0, Y10, Y0
+	VSUBPD  Y1, Y10, Y1
+	VMULPD  (R9)(BX*1), Y0, Y0
+	VMULPD  32(R9)(BX*1), Y1, Y1
+	VMOVUPD Y0, (DI)(BX*1)
+	VMOVUPD Y1, 32(DI)(BX*1)
+	VADDPD  Y0, Y2, Y2
+	VADDPD  Y1, Y3, Y3
+
+	// vk = (-c - dc*pv) * invWD, computed as -(c + dc*pv) * invWD:
+	// negation is exact and round-to-nearest is sign-symmetric, so the
+	// bits match the reference's (-c) - dc*pv.
+	VMULPD  Y4, Y12, Y8
+	VMULPD  Y5, Y13, Y9
+	VADDPD  (SI)(BX*1), Y8, Y8
+	VADDPD  32(SI)(BX*1), Y9, Y9
+	VXORPD  Y11, Y8, Y8
+	VXORPD  Y11, Y9, Y9
+	VMULPD  (R9)(BX*1), Y8, Y8
+	VMULPD  32(R9)(BX*1), Y9, Y9
+	VMOVUPD Y8, (DX)(BX*1)
+	VMOVUPD Y9, 32(DX)(BX*1)
+	VADDPD  Y8, Y4, Y4
+	VADDPD  Y9, Y5, Y5
+
+	ADDQ $64, BX
+	INCQ AX
+	JMP  fifodual_loop
+
+fifodual_done:
+	VMOVUPD Y2, (R10)
+	VMOVUPD Y3, 32(R10)
+	VMOVUPD Y4, (R11)
+	VMOVUPD Y5, 32(R11)
+	VZEROUPPER
+	RET
+
+// func fifoLambdaOKAVX2(q int, u, v, t *float64, negTol float64) uint8
+TEXT ·fifoLambdaOKAVX2(SB), NOSPLIT, $0-41
+	MOVQ         q+0(FP), CX
+	MOVQ         u+8(FP), DI
+	MOVQ         v+16(FP), SI
+	MOVQ         t+24(FP), DX
+	VBROADCASTSD negTol+32(FP), Y11
+
+	VMOVUPD  (DX), Y12  // t lanes 0-3
+	VMOVUPD  32(DX), Y13
+	VPCMPEQD Y14, Y14, Y14 // ok accumulators: all ones
+	VPCMPEQD Y15, Y15, Y15
+
+	XORQ AX, AX
+	XORQ BX, BX
+
+fifolambda_loop:
+	CMPQ AX, CX
+	JGE  fifolambda_done
+
+	// lam = u + t*v ; ok &= (lam >= -tol)
+	VMULPD (SI)(BX*1), Y12, Y0
+	VMULPD 32(SI)(BX*1), Y13, Y1
+	VADDPD (DI)(BX*1), Y0, Y0
+	VADDPD 32(DI)(BX*1), Y1, Y1
+	VCMPPD $13, Y11, Y0, Y0
+	VCMPPD $13, Y11, Y1, Y1
+	VANDPD Y0, Y14, Y14
+	VANDPD Y1, Y15, Y15
+
+	ADDQ $64, BX
+	INCQ AX
+	JMP  fifolambda_loop
+
+fifolambda_done:
+	VMOVMSKPD Y14, AX
+	VMOVMSKPD Y15, BX
+	SHLQ      $4, BX
+	ORQ       BX, AX
+	MOVB      AX, ret+40(FP)
+	VZEROUPPER
+	RET
+
+// func lifoChainAVX2(q int, p, w, invCWD, sp *float64)
+TEXT ·lifoChainAVX2(SB), NOSPLIT, $0-40
+	MOVQ q+0(FP), CX
+	MOVQ p+8(FP), DI
+	MOVQ w+16(FP), R8
+	MOVQ invCWD+24(FP), R9
+	MOVQ sp+32(FP), R10
+
+	// Row 0: P = invCWD, sp = P.
+	VMOVUPD (R9), Y0
+	VMOVUPD 32(R9), Y1
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	VMOVAPD Y0, Y2
+	VMOVAPD Y1, Y3
+
+	MOVQ $1, AX
+	XORQ BX, BX
+
+lifochain_loop:
+	CMPQ AX, CX
+	JGE  lifochain_done
+
+	// pk = (P_prev * w[prev]) * invCWD[row]
+	VMULPD  (R8)(BX*1), Y0, Y0
+	VMULPD  32(R8)(BX*1), Y1, Y1
+	VMULPD  64(R9)(BX*1), Y0, Y0
+	VMULPD  96(R9)(BX*1), Y1, Y1
+	VMOVUPD Y0, 64(DI)(BX*1)
+	VMOVUPD Y1, 96(DI)(BX*1)
+	VADDPD  Y0, Y2, Y2
+	VADDPD  Y1, Y3, Y3
+
+	ADDQ $64, BX
+	INCQ AX
+	JMP  lifochain_loop
+
+lifochain_done:
+	VMOVUPD Y2, (R10)
+	VMOVUPD Y3, 32(R10)
+	VZEROUPPER
+	RET
+
+// func lifoDualOKAVX2(q int, gcol, invCWD, pu *float64, negTol float64) uint8
+TEXT ·lifoDualOKAVX2(SB), NOSPLIT, $0-41
+	MOVQ         q+0(FP), CX
+	MOVQ         gcol+8(FP), R8
+	MOVQ         invCWD+16(FP), R9
+	MOVQ         pu+24(FP), R10
+	VBROADCASTSD negTol+32(FP), Y11
+
+	VBROADCASTSD one<>+0(SB), Y10
+	VXORPD       Y2, Y2, Y2 // pu suffix sums
+	VXORPD       Y3, Y3, Y3
+	VPCMPEQD     Y14, Y14, Y14 // ok accumulators
+	VPCMPEQD     Y15, Y15, Y15
+
+	// Walk rows backwards from q-1.
+	MOVQ CX, BX
+	DECQ BX
+	SHLQ $6, BX
+
+lifodual_loop:
+	CMPQ BX, $0
+	JLT  lifodual_done
+
+	// lam = (1 - g*pu) * invCWD ; pu += lam ; ok &= (lam >= -tol)
+	VMULPD (R8)(BX*1), Y2, Y0
+	VMULPD 32(R8)(BX*1), Y3, Y1
+	VSUBPD Y0, Y10, Y0
+	VSUBPD Y1, Y10, Y1
+	VMULPD (R9)(BX*1), Y0, Y0
+	VMULPD 32(R9)(BX*1), Y1, Y1
+	VADDPD Y0, Y2, Y2
+	VADDPD Y1, Y3, Y3
+	VCMPPD $13, Y11, Y0, Y0
+	VCMPPD $13, Y11, Y1, Y1
+	VANDPD Y0, Y14, Y14
+	VANDPD Y1, Y15, Y15
+
+	SUBQ $64, BX
+	JMP  lifodual_loop
+
+lifodual_done:
+	VMOVUPD   Y2, (R10)
+	VMOVUPD   Y3, 32(R10)
+	VMOVMSKPD Y14, AX
+	VMOVMSKPD Y15, BX
+	SHLQ      $4, BX
+	ORQ       BX, AX
+	MOVB      AX, ret+40(FP)
+	VZEROUPPER
+	RET

@@ -1,0 +1,127 @@
+package kern
+
+// The hand-unrolled variant: each position step is written as eight
+// explicit lane statements over local accumulator arrays, with one bounds
+// check per row via full-width subslices. Operation order and the
+// explicit float64 roundings match ref.go exactly, so the outputs are
+// bitwise identical; only the scheduling differs.
+
+var unrollImpl = &impl{
+	name:      "unrolled",
+	fifoChain: unrollFIFOChain,
+	fifoDual:  unrollFIFODual,
+	fifoOK:    unrollFIFOLambdaOK,
+	lifoChain: unrollLIFOChain,
+	lifoDual:  unrollLIFODualOK,
+}
+
+func row8(s []float64, row int) *[8]float64 {
+	return (*[8]float64)(s[row : row+8])
+}
+
+func unrollFIFOChain(q int, p, c, d, wd, invCW, sp, sc, sd []float64) {
+	var ap, asp, asc, asd [8]float64
+	c0, d0 := row8(c, 0), row8(d, 0)
+	for l := 0; l < 8; l++ {
+		ap[l] = 1
+		asp[l], asc[l], asd[l] = 1, c0[l], d0[l]
+	}
+	*row8(p, 0) = ap
+	for pos := 1; pos < q; pos++ {
+		row := pos * Width
+		wr, ir := row8(wd, row-Width), row8(invCW, row)
+		cr, dr, pr := row8(c, row), row8(d, row), row8(p, row)
+		for l := 0; l < 8; l++ {
+			pk := ap[l] * wr[l]
+			pk = float64(pk * ir[l])
+			ap[l] = pk
+			asp[l] += pk
+			asc[l] += float64(pk * cr[l])
+			asd[l] += float64(pk * dr[l])
+		}
+		*pr = ap
+	}
+	*row8(sp, 0), *row8(sc, 0), *row8(sd, 0) = asp, asc, asd
+}
+
+func unrollFIFODual(q int, c, dc, invWD, u, v, pu, pv []float64) {
+	var apu, apv [8]float64
+	for pos := 0; pos < q; pos++ {
+		row := pos * Width
+		cr, gr, ir := row8(c, row), row8(dc, row), row8(invWD, row)
+		ur, vr := row8(u, row), row8(v, row)
+		for l := 0; l < 8; l++ {
+			tu := float64(gr[l] * apu[l])
+			tu = 1 - tu
+			uk := float64(tu * ir[l])
+			tv := float64(gr[l] * apv[l])
+			tv = -cr[l] - tv
+			vk := float64(tv * ir[l])
+			ur[l], vr[l] = uk, vk
+			apu[l] += uk
+			apv[l] += vk
+		}
+	}
+	*row8(pu, 0), *row8(pv, 0) = apu, apv
+}
+
+func unrollFIFOLambdaOK(q int, u, v, t []float64, tol float64) uint8 {
+	at := *row8(t, 0)
+	neg := -tol
+	ok := uint8(0xff)
+	for pos := 0; pos < q; pos++ {
+		row := pos * Width
+		ur, vr := row8(u, row), row8(v, row)
+		for l := 0; l < 8; l++ {
+			lam := float64(at[l] * vr[l])
+			lam = ur[l] + lam
+			if !(lam >= neg) {
+				ok &^= 1 << l
+			}
+		}
+	}
+	return ok
+}
+
+func unrollLIFOChain(q int, p, w, invCWD, sp []float64) {
+	var ap, asp [8]float64
+	i0 := row8(invCWD, 0)
+	for l := 0; l < 8; l++ {
+		ap[l] = i0[l]
+		asp[l] = ap[l]
+	}
+	*row8(p, 0) = ap
+	for pos := 1; pos < q; pos++ {
+		row := pos * Width
+		wr, ir, pr := row8(w, row-Width), row8(invCWD, row), row8(p, row)
+		for l := 0; l < 8; l++ {
+			pk := ap[l] * wr[l]
+			pk = float64(pk * ir[l])
+			ap[l] = pk
+			asp[l] += pk
+		}
+		*pr = ap
+	}
+	*row8(sp, 0) = asp
+}
+
+func unrollLIFODualOK(q int, g, invCWD, pu []float64, tol float64) uint8 {
+	var apu [8]float64
+	neg := -tol
+	ok := uint8(0xff)
+	for pos := q - 1; pos >= 0; pos-- {
+		row := pos * Width
+		gr, ir := row8(g, row), row8(invCWD, row)
+		for l := 0; l < 8; l++ {
+			lam := float64(gr[l] * apu[l])
+			lam = 1 - lam
+			lam = float64(lam * ir[l])
+			apu[l] += lam
+			if !(lam >= neg) {
+				ok &^= 1 << l
+			}
+		}
+	}
+	*row8(pu, 0) = apu
+	return ok
+}

@@ -1,0 +1,38 @@
+package kern
+
+import (
+	"os"
+	"testing"
+)
+
+// TestVariantProbe logs the dispatched variant so CI output records which
+// path each matrix leg exercised, and asserts the GODEBUG override held.
+func TestVariantProbe(t *testing.T) {
+	t.Logf("variant=%s available=%v", Variant(), Variants())
+	if godebugOffWanted() && Variant() == "avx2" {
+		t.Fatal("GODEBUG=cpu.avx2=off did not demote the avx2 variant")
+	}
+}
+
+func godebugOffWanted() bool {
+	for _, tok := range []string{"cpu.avx2=off", "cpu.all=off"} {
+		s := os.Getenv("GODEBUG")
+		for s != "" {
+			i := len(s)
+			for j := 0; j < len(s); j++ {
+				if s[j] == ',' {
+					i = j
+					break
+				}
+			}
+			if s[:i] == tok {
+				return true
+			}
+			if i == len(s) {
+				break
+			}
+			s = s[i+1:]
+		}
+	}
+	return false
+}

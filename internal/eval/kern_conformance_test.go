@@ -1,0 +1,91 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/eval/kern"
+	"repro/internal/platform"
+	"repro/internal/schedule"
+)
+
+// TestBatchKernelConformance pins every available kernel variant (purego,
+// unrolled, and avx2 where the CPU offers it) bitwise equal at the Batch
+// level: same rho bits, same certificate verdicts, same load bits, on 240
+// random platforms spanning the agreement families, FIFO and LIFO, both
+// port models, including partial trailing chunks.
+func TestBatchKernelConformance(t *testing.T) {
+	variants := kern.Variants()
+	if len(variants) < 2 {
+		t.Logf("only %v available; conformance degenerates to self-comparison", variants)
+	}
+	def := kern.Variant()
+	defer kern.SetVariant(def)
+
+	rng := rand.New(rand.NewSource(4096))
+	const platforms = 240
+	for pi := 0; pi < platforms; pi++ {
+		p := randomAgreementPlatform(rng)
+		lifo := pi%2 == 1
+		model := schedule.OnePort
+		if pi%5 == 0 {
+			model = schedule.TwoPort
+		}
+		b, err := NewBatch(model, lifo, p.P())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 1–11 lanes so the last chunk is usually partial.
+		lanes := 1 + rng.Intn(11)
+		for i := 0; i < lanes; i++ {
+			if err := b.Add(p, platform.Order(rng.Perm(p.P()))); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		type laneBits struct {
+			rho   uint64
+			ok    bool
+			loads []uint64
+		}
+		var want []laneBits
+		for vi, name := range variants {
+			if !kern.SetVariant(name) {
+				t.Fatalf("SetVariant(%q) refused", name)
+			}
+			b.Run()
+			got := make([]laneBits, lanes)
+			for l := 0; l < lanes; l++ {
+				rho, ok := b.Throughput(l)
+				lb := laneBits{rho: math.Float64bits(rho), ok: ok}
+				if loads, lok := b.Loads(l); lok {
+					for _, x := range loads {
+						lb.loads = append(lb.loads, math.Float64bits(x))
+					}
+				}
+				got[l] = lb
+			}
+			if vi == 0 {
+				want = got
+				continue
+			}
+			for l := 0; l < lanes; l++ {
+				if got[l].ok != want[l].ok {
+					t.Fatalf("platform %d lane %d: %s certified=%v, %s certified=%v",
+						pi, l, name, got[l].ok, variants[0], want[l].ok)
+				}
+				if got[l].ok && got[l].rho != want[l].rho {
+					t.Fatalf("platform %d lane %d: %s rho bits %x != %s rho bits %x",
+						pi, l, name, got[l].rho, variants[0], want[l].rho)
+				}
+				for k := range want[l].loads {
+					if got[l].loads[k] != want[l].loads[k] {
+						t.Fatalf("platform %d lane %d load %d: %s bits %x != %s bits %x",
+							pi, l, k, name, got[l].loads[k], variants[0], want[l].loads[k])
+					}
+				}
+			}
+		}
+	}
+}

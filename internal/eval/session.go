@@ -16,18 +16,28 @@ import (
 // O(1) per scenario. A Session is NOT safe for concurrent use; obtain one
 // per goroutine via NewSession or the pool-backed GetSession/Release pair.
 type Session struct {
-	alpha      []float64 // candidate loads, by enrolled position
-	lam        []float64 // dual multipliers
-	u, v       []float64 // FIFO dual chain decomposition / expanded loads
-	a          []float64 // candidate system / LU factors (clobbered by solves)
-	work       []float64 // q×q assembled system kept intact across candidates
-	base       []float64 // FixedSend: return-order-independent half of the system
-	piv        []int     // LU row swaps
-	retPos     []int     // worker index → return position
-	mask       []int     // send position → enrolled index (active-set search)
-	enrolled   []int     // active-set descent: enrolled send positions
-	sub        []int     // enrolled subsequence as worker indices (chain search)
-	d0, dT, dM []float64 // (T, μ)-parameterised dual chain of a port vertex
+	alpha      []float64    // candidate loads, by enrolled position
+	lam        []float64    // dual multipliers
+	u, v       []float64    // FIFO dual chain decomposition / expanded loads
+	a          []float64    // candidate system / LU factors (clobbered by solves)
+	work       []float64    // q×q assembled system kept intact across candidates
+	base       []float64    // FixedSend: return-order-independent half of the system
+	piv        []int        // LU row swaps
+	retPos     []int        // worker index → return position
+	mask       []int        // send position → enrolled index (active-set search)
+	enrolled   []int        // active-set descent: enrolled send positions
+	sub        []int        // enrolled subsequence as worker indices (chain search)
+	d0, dT, dM []float64    // (T, μ)-parameterised dual chain of a port vertex
+	slackBuf   [1]slackSpec // active-set descent: slack row of the current candidate
+
+	// simplexFallbacks counts loadsResolved calls that exhausted every
+	// tight-system tier and fell back to the simplex; twoPortDualCerts and
+	// twoPortDroppedCerts count certificates produced by the two-port
+	// rescue passes (dual-first re-descent / dropped-row stand-ins).
+	// Unexported diagnostics for the two-port regression tests.
+	simplexFallbacks    uint64
+	twoPortDualCerts    uint64
+	twoPortDroppedCerts uint64
 
 	// costs caches per-worker derived constants (sums, differences and
 	// reciprocals of the cost triple) for the platform costsOf, so the hot
@@ -201,9 +211,22 @@ func (s *Session) loadsResolved(sc Scenario, mode Mode) ([]float64, float64, err
 			if alpha, ok := s.chainSearch(sc, false, nil, nil); ok {
 				return alpha, sum(alpha), nil
 			}
+			// The chain search scans port-bound vertices under the one-port
+			// model only; two-port port-bound optima need the LU vertex
+			// enumeration before the simplex is warranted.
+			if sc.Model == schedule.TwoPort {
+				if alpha, ok := s.generalTight(sc); ok {
+					return alpha, sum(alpha), nil
+				}
+			}
 		case kindLIFO:
 			if alpha, ok := s.chainSearch(sc, true, nil, nil); ok {
 				return alpha, sum(alpha), nil
+			}
+			if sc.Model == schedule.TwoPort {
+				if alpha, ok := s.generalTight(sc); ok {
+					return alpha, sum(alpha), nil
+				}
 			}
 		default:
 			if alpha, ok := s.generalTight(sc); ok {
@@ -211,6 +234,7 @@ func (s *Session) loadsResolved(sc Scenario, mode Mode) ([]float64, float64, err
 			}
 		}
 	}
+	s.simplexFallbacks++
 	return s.simplexLoads(sc)
 }
 

@@ -106,6 +106,16 @@ type Sweep struct {
 	opt         chainOptRecord
 	optIn       []bool // by send position: enrolled in the cached optimum
 	sub         []int  // scratch: enrolled subsequence as worker indices
+
+	// Port-vertex fast-path scratch (FIFO only): the candidate
+	// subsequence's all-tight chain and its prefix sums (see sweepport.go),
+	// a position buffer for substituted sets, and whether any two workers
+	// share an exact (c, d) pair (gates the twin-substitution rescue).
+	pvP, pvSC, pvSD, pvSG []float64
+	subPos                []int
+	hasTwins              bool
+
+	stats SweepStats // resolution-path counters
 }
 
 // NewSweep starts an incremental sweep over send orders of the given
@@ -142,6 +152,21 @@ func NewSweep(p *platform.Platform, send platform.Order, model schedule.Model, l
 		sw.v = make([]float64, q)
 		sw.pu = make([]float64, q)
 		sw.pv = make([]float64, q)
+		sw.pvP = make([]float64, q)
+		sw.pvSC = make([]float64, q)
+		sw.pvSD = make([]float64, q)
+		sw.pvSG = make([]float64, q)
+		sw.subPos = make([]int, 0, q)
+	outer:
+		for i := 0; i < q; i++ {
+			for j := i + 1; j < q; j++ {
+				wi, wj := p.Workers[sw.order[i]], p.Workers[sw.order[j]]
+				if wi.C == wj.C && wi.D == wj.D {
+					sw.hasTwins = true
+					break outer
+				}
+			}
+		}
 	}
 	for k := 0; k < q; k++ {
 		sw.gather(k)
@@ -350,10 +375,22 @@ func (sw *Sweep) throughput(incumbent float64) (float64, bool) {
 			if rho, ok := sw.resolveCachedShape(sc, m); ok {
 				return rho, true
 			}
-			// The candidate shape no longer certifies. The optimal active
-			// set usually moved by at most a drop or a slack-row shift:
-			// resume the descent from the cached enrolled set (falling back
-			// to full enrollment inside descendFrom).
+			// The candidate shape no longer certifies. On a port-bound
+			// platform the slack row usually just shifted rank: rescan this
+			// enrolled set's port-tight vertices (O(1)-screened per row)
+			// before paying a descent. resolveCachedShape already refuted
+			// the cached shape itself, so it is excluded from the scan.
+			if rho, ok := sw.portVertexScan(sc, sw.opt.pos, sw.opt.slackWorker < 0, sw.opt.slackWorker); ok {
+				return rho, true
+			}
+			// On repeated-cost platforms the set change is usually a twin
+			// swap — try those sets before conceding the descent.
+			if rho, ok := sw.twinSubstituteScan(sc); ok {
+				return rho, true
+			}
+			// The optimal active set itself moved: resume the descent from
+			// the cached enrolled set (falling back to full enrollment
+			// inside descendFrom).
 			return sw.descendFrom(sw.opt.pos)
 		}
 		if sw.needDropped {
@@ -362,8 +399,19 @@ func (sw *Sweep) throughput(incumbent float64) (float64, bool) {
 				sw.needDropped = false
 				return sw.opt.rho, true
 			}
-			// A dropped check broke: the crossed worker may need enrolling,
-			// which only the full descent can discover.
+			// A dropped check broke. The optimum is often still a vertex of
+			// the same enrolled set — the moved row/column changes which
+			// slack row's duals close feasibly — or, on repeated-cost
+			// platforms, the set with the crossed pair's membership swapped.
+			// Scan both before the descent, which must also consider other
+			// enrollment changes. The cached shape's own dropped check just
+			// failed, so it is excluded from the same-set scan.
+			if rho, ok := sw.portVertexScan(sc, sw.opt.pos, sw.opt.slackWorker < 0, sw.opt.slackWorker); ok {
+				return rho, true
+			}
+			if rho, ok := sw.twinSubstituteScan(sc); ok {
+				return rho, true
+			}
 			return sw.descend()
 		}
 		// Only dropped workers crossed since the last certificate: the
@@ -375,6 +423,14 @@ func (sw *Sweep) throughput(incumbent float64) (float64, bool) {
 		// against the full-enrollment all-tight optimum.
 		sw.cacheFullEnrollment(rho)
 		return rho, true
+	}
+	// A refuted full-enrollment all-tight candidate usually failed its
+	// port check: scan the full-enrollment port-tight vertices before
+	// descending (the scan's screen shares the chain factorisation).
+	if sw.haveOpt && len(sw.opt.pos) == sw.q {
+		if rho, ok := sw.portVertexScan(sw.scenario(), sw.opt.pos, true, -1); ok {
+			return rho, true
+		}
 	}
 	// No usable cache (or the cached full-enrollment candidate was just
 	// refuted): run the full descent.
@@ -578,6 +634,7 @@ func (sw *Sweep) descend() (float64, bool) {
 // descendFrom runs the active-set descent starting from the given enrolled
 // positions (nil: full enrollment) and records the optimum it certifies.
 func (sw *Sweep) descendFrom(initE []int) (float64, bool) {
+	sw.stats.Fallbacks++
 	sc := sw.scenario()
 	_, ok := sw.sess.chainSearch(sc, sw.lifo, &sw.opt, initE)
 	if !ok && initE != nil {

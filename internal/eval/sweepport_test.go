@@ -1,0 +1,151 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/schedule"
+)
+
+// portBoundTwinPlatform builds the port-vertex regression platform: the
+// repeated-cost construction (four (c, d) link pairs, each shared by two
+// workers differing only in computation speed) with fast workers and
+// d-heavy links, so the one-port constraint binds on strict subsets and
+// the optimum is a port-tight vertex whose slack row — and whose choice
+// between twins — flips as the sweep's transpositions reorder the ranks.
+// Seed 23 is pinned because its descents are never degenerate and its
+// fallbacks are exactly the two shapes the fast path targets: a slack-row
+// shift on the cached enrolled set, and a twin substitution.
+func portBoundTwinPlatform(seed int64) *platform.Platform {
+	rng := rand.New(rand.NewSource(seed))
+	base := make([]platform.Worker, 4)
+	for i := range base {
+		base[i] = platform.Worker{
+			C: 0.04 + 0.08*rng.Float64(),
+			D: 0.08 + 0.15*rng.Float64(),
+		}
+	}
+	ws := make([]platform.Worker, 8)
+	for i := range ws {
+		ws[i] = base[i%4]
+		ws[i].W = 0.02 + 0.07*rng.Float64()
+	}
+	return platform.New(ws...)
+}
+
+// sweepAllPerms runs the full p = 8 sweep on p8 with the port-vertex fast
+// path toggled, returning every permutation's throughput and the final
+// counters.
+func sweepAllPerms(t testing.TB, p8 *platform.Platform, disable bool) ([]float64, SweepStats) {
+	disablePortFastPath = disable
+	defer func() { disablePortFastPath = false }()
+	rhos := make([]float64, 0, 40320)
+	var sw *Sweep
+	sjtWalk(8, 1<<30, func(perm []int, swapped int) {
+		if swapped < 0 {
+			var err error
+			if sw, err = NewSweep(p8, perm, schedule.OnePort, false); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			sw.Delta(swapped)
+		}
+		rho, ok := sw.Throughput()
+		if !ok {
+			t.Fatalf("perm %v: fell back past the chain search", perm)
+		}
+		rhos = append(rhos, rho)
+	})
+	return rhos, sw.Stats()
+}
+
+// TestSweepPortVertexFastPath is the regression test of the port-vertex
+// fast path: on the port-bound repeated-cost platform the O(1)-screened
+// vertex rescan plus the twin-substitution rescue must cut the sweep's
+// chain-search fallbacks at least in half, while every permutation's
+// throughput stays in agreement with the descent-only sweep (both sides
+// return KKT-certified LP optima, so any drift is a soundness bug, not a
+// tolerance artefact).
+func TestSweepPortVertexFastPath(t *testing.T) {
+	p := portBoundTwinPlatform(23)
+	slow, slowStats := sweepAllPerms(t, p, true)
+	fast, fastStats := sweepAllPerms(t, p, false)
+	for i := range slow {
+		if !agreeEq(slow[i], fast[i]) {
+			t.Fatalf("permutation %d: fast path %.12g != descent-only %.12g", i, fast[i], slow[i])
+		}
+	}
+	if fastStats.PortHits == 0 {
+		t.Fatal("the port-vertex scan certified nothing; the fast path is dead code on its regression platform")
+	}
+	if slowStats.Fallbacks == 0 {
+		t.Fatal("the pinned platform no longer defeats the warm re-solve; pick a new regression seed")
+	}
+	if 2*fastStats.Fallbacks > slowStats.Fallbacks {
+		t.Fatalf("fast path cut descent fallbacks %d -> %d: less than the required 50%%",
+			slowStats.Fallbacks, fastStats.Fallbacks)
+	}
+	t.Logf("fallbacks %d -> %d over 40320 permutations (%d scans, %d hits, %d rows screened)",
+		slowStats.Fallbacks, fastStats.Fallbacks,
+		fastStats.PortScans, fastStats.PortHits, fastStats.PortScreened)
+}
+
+// TestSweepPortVertexAllocationFree pins the fast path's allocation
+// discipline: the scans run on preallocated sweep scratch, so the full
+// p = 8 sweep on the port-bound twin platform stays allocation-free
+// beyond setup and amortised session-buffer growth.
+func TestSweepPortVertexAllocationFree(t *testing.T) {
+	p := portBoundTwinPlatform(23)
+	allocs := testing.AllocsPerRun(1, func() {
+		var sw *Sweep
+		sjtWalk(8, 1<<30, func(perm []int, swapped int) {
+			if swapped < 0 {
+				var err error
+				if sw, err = NewSweep(p, perm, schedule.OnePort, false); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			sw.Delta(swapped)
+			if _, ok := sw.Throughput(); !ok {
+				t.Fatal("fell back past the chain search")
+			}
+		})
+	})
+	if allocs > 200 {
+		t.Fatalf("p = 8 sweep allocated %.0f times (> 200): a per-permutation allocation crept into the fast path", allocs)
+	}
+}
+
+// BenchmarkSweepPortVertex times the full p = 8 port-bound twin sweep with
+// the port-vertex fast path on and off — the wall-clock counterpart of the
+// fallback-counter regression test.
+func BenchmarkSweepPortVertex(b *testing.B) {
+	p := portBoundTwinPlatform(23)
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"fastpath", false}, {"descent", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			disablePortFastPath = mode.disable
+			defer func() { disablePortFastPath = false }()
+			for i := 0; i < b.N; i++ {
+				var sw *Sweep
+				sjtWalk(8, 1<<30, func(perm []int, swapped int) {
+					if swapped < 0 {
+						var err error
+						if sw, err = NewSweep(p, perm, schedule.OnePort, false); err != nil {
+							b.Fatal(err)
+						}
+						return
+					}
+					sw.Delta(swapped)
+					if _, ok := sw.Throughput(); !ok {
+						b.Fatal("fell back past the chain search")
+					}
+				})
+			}
+		})
+	}
+}

@@ -266,6 +266,53 @@ func luSolveTranspose(a []float64, piv []int, q int, b []float64) {
 	}
 }
 
+// slackKind selects which tight row stands in for a slack worker row in an
+// active-set candidate.
+type slackKind uint8
+
+const (
+	slackPortRow    slackKind = iota // the tight one-port row Σ α·(c+d) = 1
+	slackDroppedRow                  // a dropped worker's tight constraint row
+)
+
+// slackSpec names one slack worker row of a candidate: row (an index
+// within the enrolled set E) is replaced by a different tight row — the
+// one-port row (slackPortRow), or the constraint row of a dropped worker
+// (slackDroppedRow; dpos is that worker's send position).
+//
+// The two-port model contributes no port-row specs, because neither of its
+// port rows can ever be tight at an optimum with positive loads: the last
+// enrolled sender's worker row contains the full send prefix Σ α·c plus
+// its own strictly positive w and d terms, so it dominates the send row,
+// and symmetrically the first enrolled returner's row contains the full
+// Σ α·d and dominates the receive row. What the two-port model does admit
+// — with no port row available to absorb a slack worker row — are
+// degenerate vertices where an enrolled worker idles while a DROPPED
+// worker's row is tight; slackDroppedRow covers exactly those.
+type slackSpec struct {
+	row  int
+	kind slackKind
+	dpos int // slackDroppedRow only: send position of the standing-in row
+}
+
+// slackAt reports whether enrolled row r is a slack row of the candidate,
+// and which tight row stands in for it.
+func slackAt(slacks []slackSpec, r int) (slackSpec, bool) {
+	for _, sp := range slacks {
+		if sp.row == r {
+			return sp, true
+		}
+	}
+	return slackSpec{}, false
+}
+
+// disableTwoPortRescue switches off the two-port rescue passes of the
+// active-set search (the dual-first re-descent and the dropped-row vertex
+// enumeration), reverting the two-port descent to the single one-port-style
+// greedy pass. Test hook only: the regression test compares simplex
+// fallbacks with and without the rescues.
+var disableTwoPortRescue bool
+
 // tightReject explains why a tight candidate was refused, steering the
 // next tier: port overruns move on to the port-bound vertices, anything
 // else (negative load, negative dual, singular system) indicates resource
@@ -290,26 +337,33 @@ func (s *Session) fullTightMatrix(dst []float64, sc Scenario) {
 // Every optimal vertex of a scenario LP has a simple structure dictated by
 // the paper's lemmas: the enrolled workers E (positive loads — resource
 // selection may drop the rest, Proposition 1) have all their constraint
-// rows tight, except that at most one row may be slack — one worker may
-// have idle time (Lemma 1) — and only when the one-port row is tight
-// instead. The search walks that vertex space greedily:
+// rows tight, except that a worker row may be slack — a worker may have
+// idle time (Lemma 1) — only when a port row is tight instead. Under the
+// one-port model that means at most one slack row (the single port row);
+// under the two-port model the independent send and receive rows admit up
+// to two, one per saturated port. The search walks that vertex space
+// greedily:
 //
 //	for E = all workers, then ever smaller subsets:
 //	    try the all-rows-tight system on E
 //	    try, for each slack row k (last send position first, Lemma 2),
-//	        the system with row k replaced by the tight one-port row
+//	        the system with row k replaced by a tight port row — the
+//	        one-port row, or the send/receive row under two-port
+//	    try (two-port) each pair of slack rows replaced by the tight
+//	        send row and the tight receive row
 //	    if a candidate passes the full-LP KKT certificate, done
 //	    otherwise drop the worker whose candidate load came out most
 //	    negative and descend
 //
 // Each candidate is an m×m linear solve plus a certificate: primal
-// feasibility (loads ≥ 0; the slack row, the dropped workers' rows and the
-// port constraint hold as inequalities), dual feasibility (multipliers of
-// the tight rows ≥ 0 via the transpose solve) and, for every dropped
-// worker j, the dual inequality Σ λ_i·A_{ij} + μ·(c_j + d_j) ≥ 1 that
-// makes α_j = 0 optimal. A certified candidate is the LP optimum by strong
-// duality; if the greedy path certifies nothing, the caller falls back to
-// the simplex, so the search can only ever be fast, never wrong.
+// feasibility (loads ≥ 0; the slack rows, the dropped workers' rows and
+// the untight port constraints hold as inequalities), dual feasibility
+// (multipliers of the tight rows ≥ 0 via the transpose solve) and, for
+// every dropped worker j, the dual inequality
+// Σ λ_i·A_{ij} + Σ μ_k·portCoeff_k(j) ≥ 1 that makes α_j = 0 optimal. A
+// certified candidate is the LP optimum by strong duality; if the greedy
+// path certifies nothing, the caller falls back to the simplex, so the
+// search can only ever be fast, never wrong.
 //
 // skipFullTight skips the top-level all-tight candidate (used when the
 // caller already refuted it via the O(p) chains); topHint optionally
@@ -333,19 +387,54 @@ type vertexHints struct {
 	loadVal, dualVal float64
 }
 
-// tightSearchOn runs the active-set descent on a pre-assembled full tight
+// tightSearchOn runs the active-set search on a pre-assembled full tight
 // matrix (s.retPos must describe sc.Return, as fullTightMatrix leaves it).
+//
+// The first pass is the greedy descent guided by load hints. Under the
+// two-port model two further failure modes appear that the one-port lemmas
+// rule out, and each gets a rescue pass before the caller resorts to the
+// simplex: pair optima whose enrolled set is all-tight but whose descent
+// path the load hints misname (the dual hints usually name it — re-descend
+// preferring them), and degenerate vertices where an enrolled worker idles
+// against a tight dropped-worker row (re-descend with the slackDroppedRow
+// candidates enabled). Each pass costs at most one failed descent, against
+// the full simplex solve it replaces; a certificate from any pass is the
+// LP optimum, so pass order cannot affect results.
 func (s *Session) tightSearchOn(sc Scenario, full []float64, skipFullTight bool, topHint int) ([]float64, bool) {
+	if alpha, ok := s.tightDescend(sc, full, skipFullTight, topHint, false, false); ok {
+		return alpha, true
+	}
+	if sc.Model != schedule.TwoPort || disableTwoPortRescue {
+		return nil, false
+	}
+	if alpha, ok := s.tightDescend(sc, full, skipFullTight, topHint, true, false); ok {
+		s.twoPortDualCerts++
+		return alpha, true
+	}
+	if alpha, ok := s.tightDescend(sc, full, skipFullTight, topHint, false, true); ok {
+		s.twoPortDroppedCerts++
+		return alpha, true
+	}
+	if alpha, ok := s.tightDescend(sc, full, skipFullTight, topHint, true, true); ok {
+		s.twoPortDroppedCerts++
+		return alpha, true
+	}
+	return nil, false
+}
+
+// tightDescend is one greedy active-set descent. dualFirst flips the drop
+// priority from load hints to dual hints; droppedRescue enables the
+// slackDroppedRow candidates at every level.
+func (s *Session) tightDescend(sc Scenario, full []float64, skipFullTight bool, topHint int, dualFirst, droppedRescue bool) ([]float64, bool) {
 	q := len(sc.Send)
 	enrolled := growInt(&s.enrolled, q)
 	for i := range enrolled {
 		enrolled[i] = i
 	}
-	onePort := sc.Model == schedule.OnePort
 	for m := q; m >= 1; m-- {
 		E := enrolled[:m]
 		// Descent hints, by reliability: the all-tight candidate respects
-		// the ≤1-slack-row structure of an optimal vertex, so its signals
+		// the minimal-slack structure of an optimal vertex, so its signals
 		// outrank the port-tight candidates'; within a class, the candidate
 		// closest to feasibility (least negative value) sits nearest the
 		// optimum, and its negative position names the worker resource
@@ -354,47 +443,50 @@ func (s *Session) tightSearchOn(sc Scenario, full []float64, skipFullTight bool,
 		allTight.loadPos, allTight.dualPos = -1, -1
 		slackBest.loadPos, slackBest.dualPos = -1, -1
 		slackBest.loadVal, slackBest.dualVal = math.Inf(-1), math.Inf(-1)
-		first := 0
-		if m == q && skipFullTight {
-			first = 1
-		}
-		nCand := 1
-		if onePort {
-			nCand = 1 + m
-		}
-		for c := first; c < nCand; c++ {
-			slack := -1 // index within E of the slack row; -1 = all tight
-			if c > 0 {
-				slack = m - c // last send position first (Lemma 2)
-			}
-			alpha, ok, h := s.tryVertex(sc, full, E, slack)
-			if ok {
-				// Expand the enrolled loads back to all send positions.
-				out := grow(&s.u, q)
-				for t := range out {
-					out[t] = 0
-				}
-				for r, pos := range E {
-					out[pos] = alpha[r]
-				}
+		if !(m == q && skipFullTight) {
+			if out, ok := s.tryCand(sc, full, E, s.slackBuf[:0], &allTight, &slackBest); ok {
 				return out, true
 			}
-			if slack < 0 {
-				allTight = h
-				continue
+		}
+		if sc.Model == schedule.OnePort {
+			// At most one worker row may be slack (Lemma 1), and only when
+			// the one-port row is tight instead; last send position first
+			// (Lemma 2). The two-port model gets no port-row candidates:
+			// its port rows are dominated by worker rows (see slackSpec).
+			for k := m - 1; k >= 0; k-- {
+				spec := append(s.slackBuf[:0], slackSpec{row: k, kind: slackPortRow})
+				if out, ok := s.tryCand(sc, full, E, spec, &allTight, &slackBest); ok {
+					return out, true
+				}
 			}
-			if h.loadPos >= 0 && h.loadVal > slackBest.loadVal {
-				slackBest.loadPos, slackBest.loadVal = h.loadPos, h.loadVal
-			}
-			if h.dualPos >= 0 && h.dualVal > slackBest.dualVal {
-				slackBest.dualPos, slackBest.dualVal = h.dualPos, h.dualVal
+		}
+		if droppedRescue && m < q {
+			// Degenerate-vertex rescue: one enrolled row goes slack against
+			// a tight dropped-worker row. E is kept sorted by the descent,
+			// so the dropped send positions are its complement.
+			for k := m - 1; k >= 0; k-- {
+				e := 0
+				for dpos := 0; dpos < q; dpos++ {
+					if e < m && E[e] == dpos {
+						e++
+						continue
+					}
+					spec := append(s.slackBuf[:0], slackSpec{row: k, kind: slackDroppedRow, dpos: dpos})
+					if out, ok := s.tryCand(sc, full, E, spec, &allTight, &slackBest); ok {
+						return out, true
+					}
+				}
 			}
 		}
 		if m == 1 {
 			break
 		}
 		drop := -1
-		for _, cand := range [...]int{allTight.loadPos, allTight.dualPos, slackBest.loadPos, slackBest.dualPos, topHint} {
+		order := [...]int{allTight.loadPos, allTight.dualPos, slackBest.loadPos, slackBest.dualPos, topHint}
+		if dualFirst {
+			order = [...]int{allTight.dualPos, allTight.loadPos, slackBest.dualPos, slackBest.loadPos, topHint}
+		}
+		for _, cand := range order {
 			if cand >= 0 {
 				drop = cand
 				break
@@ -415,10 +507,39 @@ func (s *Session) tightSearchOn(sc Scenario, full []float64, skipFullTight bool,
 	return nil, false
 }
 
+// tryCand runs one active-set candidate and folds its outcome into the
+// level's descent hints; on success it returns the certified loads expanded
+// back to all send positions.
+func (s *Session) tryCand(sc Scenario, full []float64, E []int, slacks []slackSpec, allTight, slackBest *vertexHints) ([]float64, bool) {
+	alpha, ok, h := s.tryVertex(sc, full, E, slacks)
+	if ok {
+		q := len(sc.Send)
+		out := grow(&s.u, q)
+		for t := range out {
+			out[t] = 0
+		}
+		for r, pos := range E {
+			out[pos] = alpha[r]
+		}
+		return out, true
+	}
+	if len(slacks) == 0 {
+		*allTight = h
+		return nil, false
+	}
+	if h.loadPos >= 0 && h.loadVal > slackBest.loadVal {
+		slackBest.loadPos, slackBest.loadVal = h.loadPos, h.loadVal
+	}
+	if h.dualPos >= 0 && h.dualVal > slackBest.dualVal {
+		slackBest.dualPos, slackBest.dualVal = h.dualPos, h.dualVal
+	}
+	return nil, false
+}
+
 // tryVertex solves and certifies one active-set candidate: enrolled
-// positions E, with row E[slack] replaced by the tight one-port row when
-// slack ≥ 0. On failure it reports descent hints (see vertexHints).
-func (s *Session) tryVertex(sc Scenario, full []float64, E []int, slack int) (alpha []float64, ok bool, h vertexHints) {
+// positions E, with each slack row E[sp.row] replaced by the tight port row
+// of kind sp.kind. On failure it reports descent hints (see vertexHints).
+func (s *Session) tryVertex(sc Scenario, full []float64, E []int, slacks []slackSpec) (alpha []float64, ok bool, h vertexHints) {
 	p, send := sc.Platform, sc.Send
 	q := len(send)
 	m := len(E)
@@ -427,14 +548,17 @@ func (s *Session) tryVertex(sc Scenario, full []float64, E []int, slack int) (al
 	a := grow(&s.a, m*m)
 	for r, pos := range E {
 		row := a[r*m : (r+1)*m]
-		if r == slack {
-			for t, cpos := range E {
-				w := p.Workers[send[cpos]]
-				row[t] = w.C + w.D
-			}
-			continue
-		}
 		src := full[pos*q:]
+		if sp, isSlack := slackAt(slacks, r); isSlack {
+			if sp.kind == slackPortRow {
+				for t, cpos := range E {
+					w := p.Workers[send[cpos]]
+					row[t] = w.C + w.D
+				}
+				continue
+			}
+			src = full[sp.dpos*q:] // the dropped worker's row stands in
+		}
 		for t, cpos := range E {
 			row[t] = src[cpos]
 		}
@@ -464,7 +588,7 @@ func (s *Session) tryVertex(sc Scenario, full []float64, E []int, slack int) (al
 		clampLoads(alpha)
 	}
 	// Dual multipliers of the tight rows (λ for worker rows, μ at the
-	// slack index for the port row); computed before the feasibility
+	// slack indices for the port rows); computed before the feasibility
 	// verdict because a negative λ is the resource-selection hint even
 	// when the primal side already failed.
 	lam := grow(&s.lam, m)
@@ -476,7 +600,7 @@ func (s *Session) tryVertex(sc Scenario, full []float64, E []int, slack int) (al
 	for r, l := range lam {
 		if !certOK(l) {
 			dualOK = false
-			if r != slack && l < h.dualVal {
+			if _, isSlack := slackAt(slacks, r); !isSlack && l < h.dualVal {
 				h.dualPos, h.dualVal = E[r], l
 			}
 		}
@@ -484,8 +608,8 @@ func (s *Session) tryVertex(sc Scenario, full []float64, E []int, slack int) (al
 	if !feasible {
 		return nil, false, h
 	}
-	// Primal feasibility of the rows outside the tight set: the slack row,
-	// every dropped worker's row, and the port constraint(s).
+	// Primal feasibility of the rows outside the tight set: the slack
+	// rows, every dropped worker's row, and the port constraint(s).
 	rowLHS := func(pos int) float64 {
 		src := full[pos*q:]
 		lhs := 0.0
@@ -494,8 +618,10 @@ func (s *Session) tryVertex(sc Scenario, full []float64, E []int, slack int) (al
 		}
 		return lhs
 	}
-	if slack >= 0 && rowLHS(E[slack]) > 1+tol {
-		return nil, false, h
+	for _, sp := range slacks {
+		if rowLHS(E[sp.row]) > 1+tol {
+			return nil, false, h
+		}
 	}
 	inE := growInt(&s.mask, q)
 	for t := range inE {
@@ -509,8 +635,14 @@ func (s *Session) tryVertex(sc Scenario, full []float64, E []int, slack int) (al
 			return nil, false, h
 		}
 	}
-	if slack < 0 {
-		// No tight port row in the candidate: the port must hold on its own.
+	// Port constraints not in the tight set must hold as inequalities.
+	hasPortRow := false
+	for _, sp := range slacks {
+		if sp.kind == slackPortRow {
+			hasPortRow = true
+		}
+	}
+	if !hasPortRow {
 		sumC, sumD := 0.0, 0.0
 		for r, pos := range E {
 			w := p.Workers[send[pos]]
@@ -529,8 +661,10 @@ func (s *Session) tryVertex(sc Scenario, full []float64, E []int, slack int) (al
 		return nil, false, h
 	}
 	// Dropped-variable optimality: for every dropped worker j the dual
-	// constraint Σ λ_i·A_{ij} + μ·(c_j + d_j) ≥ 1 must hold, where
-	// A_{ij} = c_j·[σ1: j before i] + d_j·[σ2: j after i].
+	// constraint Σ λ_r·A_{rj} ≥ 1 must hold over the tight rows, where a
+	// worker row contributes A_{ij} = c_j·[σ1: j before i] + d_j·[σ2: j
+	// after i], the one-port row contributes c_j + d_j (its λ is μ), and a
+	// standing-in dropped row its own coefficient on α_j.
 	for pos := 0; pos < q; pos++ {
 		if inE[pos] >= 0 {
 			continue
@@ -540,8 +674,12 @@ func (s *Session) tryVertex(sc Scenario, full []float64, E []int, slack int) (al
 		rj := s.retPos[j]
 		val := 0.0
 		for r, ipos := range E {
-			if r == slack {
-				val += lam[r] * (wj.C + wj.D) // μ · g_j
+			if sp, isSlack := slackAt(slacks, r); isSlack {
+				if sp.kind == slackPortRow {
+					val += lam[r] * (wj.C + wj.D) // μ · g_j
+				} else {
+					val += lam[r] * full[sp.dpos*q+pos]
+				}
 				continue
 			}
 			i := send[ipos]
