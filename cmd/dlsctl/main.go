@@ -19,7 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -32,7 +32,8 @@ import (
 
 func main() {
 	if err := run(os.Args[1:], os.Stderr); err != nil {
-		log.Fatal(err)
+		slog.Error("dlsctl exiting", "error", err)
+		os.Exit(1)
 	}
 }
 
@@ -100,6 +101,7 @@ func run(args []string, out io.Writer) error {
 		drainTimeout   = fs.Duration("drain", 10*time.Second, "SIGTERM-to-SIGKILL budget per replica")
 		seed           = fs.Int64("seed", 0, "backoff-jitter seed")
 		runFor         = fs.Duration("run-for", 0, "exit cleanly after this long (0: run until signalled)")
+		logFormat      = fs.String("log-format", "text", "log format: text (raw [slot-N:port] replica capture) or json (replica lines become records with slot/port attrs)")
 	)
 	if err := fs.Parse(own); err != nil {
 		return err
@@ -108,13 +110,26 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("dlsctl: unexpected argument %q (dlsd flags go after --)", fs.Arg(0))
 	}
 
-	logger := log.New(out, "dlsctl: ", log.LstdFlags|log.Lmsgprefix)
+	var logger *slog.Logger
+	var starter supervisor.Starter
+	switch *logFormat {
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(out, nil))
+		// JSON mode: replica output lines become structured records with
+		// slot/port attrs instead of the raw "[slot-N:port] " prefix.
+		starter = supervisor.ExecStarterLog(*dlsdBin, passthrough, *host, logger.With("source", "replica"))
+	case "text":
+		logger = slog.New(slog.NewTextHandler(out, nil))
+		starter = supervisor.ExecStarter(*dlsdBin, passthrough, *host, out)
+	default:
+		return fmt.Errorf("dlsctl: invalid -log-format %q: want json or text", *logFormat)
+	}
 	probeClient := &http.Client{Timeout: *probeTimeout}
 	cfg := supervisor.Config{
 		Replicas: *replicas,
 		BasePort: *basePort,
 		Host:     *host,
-		Start:    supervisor.ExecStarter(*dlsdBin, passthrough, *host, out),
+		Start:    starter,
 		Probe: func(ctx context.Context, addr string) error {
 			return resilience.CheckHealth(ctx, probeClient, "http://"+addr, "/healthz")
 		},
@@ -134,12 +149,12 @@ func run(args []string, out io.Writer) error {
 				// Too chatty for steady-state logs; failures that matter
 				// escalate to unhealthy.
 			case supervisor.EventBackingOff:
-				logger.Printf("slot %d (%s): %v for %v", ev.Slot, ev.Addr, ev.Kind, ev.Delay.Round(time.Millisecond))
+				logger.Info(ev.Kind.String(), "slot", ev.Slot, "addr", ev.Addr, "delay", ev.Delay.Round(time.Millisecond))
 			default:
 				if ev.Err != nil {
-					logger.Printf("slot %d (%s): %v: %v", ev.Slot, ev.Addr, ev.Kind, ev.Err)
+					logger.Warn(ev.Kind.String(), "slot", ev.Slot, "addr", ev.Addr, "error", ev.Err)
 				} else {
-					logger.Printf("slot %d (%s): %v", ev.Slot, ev.Addr, ev.Kind)
+					logger.Info(ev.Kind.String(), "slot", ev.Slot, "addr", ev.Addr)
 				}
 			}
 		},
@@ -160,9 +175,9 @@ func run(args []string, out io.Writer) error {
 			ReadHeaderTimeout: 5 * time.Second,
 		}
 		go func() {
-			logger.Printf("control plane on %s (/fleet, /healthz)", *statusAddr)
+			logger.Info("control plane listening", "addr", *statusAddr)
 			if err := statusSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				logger.Printf("control plane: %v", err)
+				logger.Warn("control plane", "error", err)
 			}
 		}()
 	}
@@ -180,21 +195,21 @@ func run(args []string, out io.Writer) error {
 			select {
 			case s := <-sig:
 				if s == syscall.SIGHUP {
-					logger.Printf("SIGHUP: rolling restart")
+					logger.Info("rolling restart", "signal", "SIGHUP")
 					go func() {
 						if err := sup.RollingRestart(ctx); err != nil {
-							logger.Printf("rolling restart: %v", err)
+							logger.Warn("rolling restart failed", "error", err)
 						} else {
-							logger.Printf("rolling restart complete")
+							logger.Info("rolling restart complete")
 						}
 					}()
 					continue
 				}
-				logger.Printf("%v: draining fleet", s)
+				logger.Info("draining fleet", "signal", s.String())
 				cancel()
 				return
 			case <-timeout:
-				logger.Printf("run-for %v elapsed: draining fleet", *runFor)
+				logger.Info("draining fleet", "run_for", *runFor)
 				cancel()
 				return
 			case <-ctx.Done():
@@ -203,8 +218,9 @@ func run(args []string, out io.Writer) error {
 		}
 	}()
 
-	logger.Printf("supervising %d replicas of %s on %s ports %d-%d",
-		*replicas, *dlsdBin, *host, *basePort, *basePort+*replicas-1)
+	logger.Info("supervising fleet",
+		"replicas", *replicas, "dlsd", *dlsdBin, "host", *host,
+		"first_port", *basePort, "last_port", *basePort+*replicas-1)
 	err = sup.Run(ctx)
 	if statusSrv != nil {
 		sctx, scancel := context.WithTimeout(context.Background(), time.Second)
@@ -214,6 +230,6 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("dlsctl: %w", err)
 	}
-	logger.Printf("fleet drained")
+	logger.Info("fleet drained")
 	return nil
 }

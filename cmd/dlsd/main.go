@@ -2,10 +2,16 @@
 // /v1/solve/batch front a shared dls.Solver behind an admission-window
 // micro-batcher (concurrent requests coalesce into SolveBatch calls and
 // the SoA chain prepass), with load shedding, per-request deadlines via
-// the X-Timeout header, Prometheus metrics on /metrics and graceful
-// drain on SIGINT/SIGTERM.
+// the X-Timeout header, Prometheus metrics on /metrics, request tracing
+// behind /debug/requests and graceful drain on SIGINT/SIGTERM.
 //
 //	dlsd -addr :8080 -window 2ms -window-size 64 -cache 4096
+//
+// Tracing is on by default: every response carries an X-Trace-Id header,
+// GET /debug/requests lists recent and slowest-per-route traces, and
+// /metrics exposes per-stage latency histograms. -debug-addr starts a
+// second listener with net/http/pprof (off by default; pair with
+// `dlsexp -profile` for offline solver profiles).
 //
 // Drive it with cmd/dlsload, or by hand:
 //
@@ -23,8 +29,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -37,7 +44,25 @@ import (
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
-		log.Fatal(err)
+		slog.Error("dlsd exiting", "error", err)
+		os.Exit(1)
+	}
+}
+
+// newLogger builds the process logger from -log-format / -log-level.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("dlsd: invalid -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("dlsd: invalid -log-format %q: want json or text", format)
 	}
 }
 
@@ -58,6 +83,13 @@ func run(args []string) error {
 		sloClasses  = fs.String("slo-classes", "", "SLO classes as name=deadline:priority,... (default: tight/standard/batch)")
 		degrade     = fs.Bool("degrade", true, "degrade deadline-busting exhaustive searches to the best closed-form heuristic")
 
+		trace        = fs.Bool("trace", true, "per-request tracing: X-Trace-Id, /debug/requests, per-stage histograms on /metrics")
+		traceRing    = fs.Int("trace-ring", 256, "recent traces kept for /debug/requests")
+		traceSlowest = fs.Int("trace-slowest", 8, "slowest exemplar traces kept per route")
+		debugAddr    = fs.String("debug-addr", "", "separate listener for /debug/pprof/* (empty = off)")
+		logFormat    = fs.String("log-format", "text", "log format: text or json")
+		logLevel     = fs.String("log-level", "info", "log level: debug, info, warn, error (debug logs every request)")
+
 		chaosSeed      = fs.Int64("chaos-seed", 1, "seed for the fault-injection RNG")
 		chaosError     = fs.Float64("chaos-error", 0, "probability of an injected 503 per data-plane request")
 		chaosLatency   = fs.Float64("chaos-latency", 0, "probability of injected latency per data-plane request")
@@ -71,6 +103,12 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	lg, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(lg)
 
 	opts := []dls.Option{dls.WithParallelism(*parallelism)}
 	if *degrade {
@@ -94,6 +132,10 @@ func run(args []string) error {
 		QueueCap:      *queueCap,
 		Workers:       *workers,
 		RetryAfter:    *retryAfter,
+		Trace:         *trace,
+		TraceRing:     *traceRing,
+		TraceSlowest:  *traceSlowest,
+		Log:           lg,
 	}
 	if *adaptive {
 		scfg.Adaptive = &dls.AdaptiveConfig{}
@@ -120,7 +162,7 @@ func run(args []string) error {
 		DownFor:     *chaosDownFor,
 		CrashAfter:  *chaosCrash,
 		OnCrash: func() {
-			log.Printf("dlsd: chaos: crashing after %d requests", *chaosCrash)
+			lg.Error("chaos: crashing", "after", *chaosCrash)
 			os.Exit(1)
 		},
 	}
@@ -129,11 +171,33 @@ func run(args []string) error {
 		handler = chaos
 		defer func() {
 			cs := chaos.Stats()
-			log.Printf("dlsd: chaos injected: %d errors, %d latencies, %d drops, %d slow reads, %d blackouts over %d requests",
-				cs.Errors, cs.Latencies, cs.Drops, cs.SlowReads, cs.Blackouts, cs.Requests)
+			lg.Info("chaos injected",
+				"errors", cs.Errors, "latencies", cs.Latencies, "drops", cs.Drops,
+				"slow_reads", cs.SlowReads, "blackouts", cs.Blackouts, "requests", cs.Requests)
 		}()
-		log.Printf("dlsd: chaos enabled (seed=%d error=%g latency=%g drop=%g slow=%g down=%v/%v crash-after=%d)",
-			*chaosSeed, *chaosError, *chaosLatency, *chaosDrop, *chaosSlow, *chaosDownFor, *chaosDownEvery, *chaosCrash)
+		lg.Info("chaos enabled",
+			"seed", *chaosSeed, "error", *chaosError, "latency", *chaosLatency,
+			"drop", *chaosDrop, "slow", *chaosSlow, "down_for", *chaosDownFor,
+			"down_every", *chaosDownEvery, "crash_after", *chaosCrash)
+	}
+
+	// The pprof endpoints live on their own listener so profiling access
+	// never shares the data-plane address (and never goes through chaos).
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dbg := &http.Server{Addr: *debugAddr, Handler: dmux, ReadHeaderTimeout: 5 * time.Second}
+		defer dbg.Close()
+		go func() {
+			lg.Info("pprof listening", "addr", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				lg.Warn("pprof listener failed", "error", err)
+			}
+		}()
 	}
 
 	httpSrv := &http.Server{
@@ -147,8 +211,10 @@ func run(args []string) error {
 		if *adaptive {
 			mode = "adaptive"
 		}
-		log.Printf("dlsd: listening on %s (window=%v size=%d queue=%d workers=%d cache=%d parallelism=%d admission=%s)",
-			*addr, *window, *windowSize, *queueCap, *workers, *cacheSize, *parallelism, mode)
+		lg.Info("listening",
+			"addr", *addr, "window", *window, "window_size", *windowSize,
+			"queue", *queueCap, "workers", *workers, "cache", *cacheSize,
+			"parallelism", *parallelism, "admission", mode, "trace", *trace)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -158,18 +224,20 @@ func run(args []string) error {
 	case err := <-errc:
 		return fmt.Errorf("dlsd: serve: %w", err)
 	case s := <-sig:
-		log.Printf("dlsd: %v: draining (budget %v)", s, *drain)
+		lg.Info("draining", "signal", s.String(), "budget", *drain)
 	}
 
 	// Stop accepting, then drain in-flight admission windows.
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("dlsd: shutdown: %v", err)
+		lg.Warn("shutdown", "error", err)
 	}
 	srv.Close()
 	st := solver.Stats()
-	log.Printf("dlsd: drained: %d solves, %d windows (%d batched, %d requests), %d shed, cache %d/%d/%d hit/miss/evict",
-		st.Solves, st.Windows, st.BatchedWindows, st.BatchedRequests, st.Shed, st.Hits, st.Misses, st.Evictions)
+	lg.Info("drained",
+		"solves", st.Solves, "windows", st.Windows, "batched_windows", st.BatchedWindows,
+		"batched_requests", st.BatchedRequests, "shed", st.Shed,
+		"cache_hits", st.Hits, "cache_misses", st.Misses, "cache_evictions", st.Evictions)
 	return nil
 }

@@ -80,6 +80,17 @@ type Report struct {
 	LatencyMS    map[string]float64 `json:"latency_ms"`
 	Resilience   *resilience.Stats  `json:"resilience,omitempty"`
 	Server       map[string]float64 `json:"server_metrics_delta,omitempty"`
+	// SlowTraces lists the trace ids of the slowest percentile of traced
+	// responses (the server stamps X-Trace-Id when -trace is on), ready to
+	// be looked up under /debug/requests on the replica that served them.
+	SlowTraces []SlowTrace `json:"slow_traces,omitempty"`
+}
+
+// SlowTrace points one slow response at its server-side trace.
+type SlowTrace struct {
+	TraceID   string  `json:"trace_id"`
+	LatencyMS float64 `json:"latency_ms"`
+	Status    int     `json:"status"`
 }
 
 func run(args []string, out io.Writer) error {
@@ -157,6 +168,7 @@ func run(args []string, out io.Writer) error {
 		wg                       sync.WaitGroup
 	)
 	latencies := make([][]float64, *concurrency)
+	traced := make([][]SlowTrace, *concurrency)
 	captured := make([][]sim.TraceEvent, *concurrency)
 	start := time.Now()
 	stop := start.Add(*duration)
@@ -206,6 +218,9 @@ func run(args []string, out io.Writer) error {
 					c, _ = codes.LoadOrStore(resp.StatusCode, new(atomic.Uint64))
 				}
 				c.(*atomic.Uint64).Add(1)
+				if tid := resp.Header.Get(server.TraceIDHeader); tid != "" {
+					traced[w] = append(traced[w], SlowTrace{TraceID: tid, LatencyMS: lat.Seconds() * 1e3, Status: resp.StatusCode})
+				}
 				switch {
 				case resp.StatusCode >= 200 && resp.StatusCode < 300:
 					ok.Add(1)
@@ -273,6 +288,7 @@ func run(args []string, out io.Writer) error {
 			report.Server[key] = a - b
 		}
 	}
+	report.SlowTraces = slowTraces(traced, percentile(all, 0.99)*1e3)
 
 	fmt.Fprintf(out, "dlsload: %d requests in %.2fs = %.0f req/s (mix=%s, concurrency=%d, replicas=%d)\n",
 		report.Requests, report.Duration, report.RPS, report.Mix, report.Concurrency, len(replicas))
@@ -284,6 +300,10 @@ func run(args []string, out io.Writer) error {
 		rstats.BreakerOpens, rstats.BreakerHalfOpens, rstats.BreakerCloses)
 	fmt.Fprintf(out, "  latency ms: p50=%.3f p90=%.3f p99=%.3f max=%.3f\n",
 		report.LatencyMS["p50"], report.LatencyMS["p90"], report.LatencyMS["p99"], report.LatencyMS["max"])
+	if n := len(report.SlowTraces); n > 0 {
+		fmt.Fprintf(out, "  slow traces: %d at/above p99 (slowest %s, %.3fms) — look them up under /debug/requests\n",
+			n, report.SlowTraces[0].TraceID, report.SlowTraces[0].LatencyMS)
+	}
 	fmt.Fprintf(out, "  server: windows=%.0f batched=%.0f batched_requests=%.0f prepass=%.0f shed=%.0f cache_hits=%.0f degraded=%.0f\n",
 		report.Server["dlsd_windows_total"], report.Server["dlsd_batched_windows_total"],
 		report.Server["dlsd_batched_requests_total"], report.Server["dlsd_prepass_requests_total"],
@@ -408,6 +428,25 @@ func writeCapture(path string, captured [][]sim.TraceEvent) error {
 		return err
 	}
 	return f.Close()
+}
+
+// slowTraces merges the per-worker traced-response samples and keeps the
+// slowest percentile: everything at or above the p99 latency, slowest
+// first, capped at 16 entries so the report stays small.
+func slowTraces(traced [][]SlowTrace, p99MS float64) []SlowTrace {
+	var all []SlowTrace
+	for _, ts := range traced {
+		for _, t := range ts {
+			if t.LatencyMS >= p99MS {
+				all = append(all, t)
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].LatencyMS > all[j].LatencyMS })
+	if len(all) > 16 {
+		all = all[:16]
+	}
+	return all
 }
 
 // percentile reads the q-quantile from ascending samples (nearest rank).

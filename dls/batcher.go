@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Errors reported by Batcher.Submit.
@@ -123,6 +125,23 @@ type submission struct {
 	err      error
 	ready    chan struct{}
 	tag      any // owner value (synchronous mode; see Pending.SetTag)
+
+	// Tracing (internal/obs): the traces riding ctx at submit time, and
+	// the batcher-clock timestamps bracketing the depth-0 stages —
+	// queue_wait (submit → admitted into a window), window_wait (admitted
+	// → flush) and solve (flush → answer). All zero when no trace rides
+	// the context: the hot path then skips every stage call.
+	traces   []*obs.Trace
+	submitAt time.Time
+	admitAt  time.Time
+	flushAt  time.Time
+}
+
+// stage records a depth-0 stage on every trace following the submission.
+func (sub *submission) stage(name string, start, end time.Time, attrs ...obs.Attr) {
+	for _, t := range sub.traces {
+		t.StageAt(0, name, start, end, attrs...)
+	}
 }
 
 // Batcher is an admission-window micro-batcher over one Solver: Submit
@@ -226,6 +245,10 @@ func (b *Batcher) resolveClass(name string) (SLOClass, error) {
 // deadline keeps it.
 func (b *Batcher) newSubmission(ctx context.Context, req Request, class SLOClass) (*submission, context.CancelFunc) {
 	sub := &submission{ctx: ctx, req: req, class: class, ready: make(chan struct{})}
+	if ts := obs.Traces(ctx); len(ts) > 0 {
+		sub.traces = ts
+		sub.submitAt = b.clock.Now()
+	}
 	cancel := context.CancelFunc(func() {})
 	if class.Deadline > 0 {
 		sub.deadline = b.clock.Now().Add(class.Deadline)
@@ -325,7 +348,18 @@ func (b *Batcher) submitDirect(sub *submission) (*Result, error) {
 		<-b.direct
 		b.inflight.Done()
 	}()
+	var start time.Time
+	if len(sub.traces) > 0 {
+		start = b.clock.Now()
+	}
 	res, err := b.s.Solve(sub.ctx, sub.req)
+	if len(sub.traces) > 0 {
+		now := b.clock.Now()
+		// Direct mode has no window: the slot wait is the queue stage and
+		// the solve runs immediately after.
+		sub.stage("queue_wait", sub.submitAt, start)
+		sub.stage("solve", start, now)
+	}
 	b.accountCompletion(sub, err)
 	return res, err
 }
@@ -433,18 +467,41 @@ func (b *Batcher) dropDoomed(win []*submission) []*submission {
 }
 
 // countFlush runs the shared flush bookkeeping (counters, hooks,
-// adaptive backlog) for a window about to leave the collector.
-func (b *Batcher) countFlush(win []*submission) {
+// adaptive backlog) for a window about to leave the collector, and
+// returns the window's id (the solver-wide flush sequence number, which
+// trace stages annotate).
+func (b *Batcher) countFlush(win []*submission) uint64 {
 	if b.cfg.OnFlush != nil {
 		b.cfg.OnFlush(len(win))
 	}
-	b.s.windows.Add(1)
+	id := b.s.windows.Add(1)
 	if len(win) >= 2 {
 		b.s.batchedWindows.Add(1)
 		b.s.batchedRequests.Add(uint64(len(win)))
 	}
 	if b.adapt != nil {
 		b.adapt.inFlight.Add(1)
+	}
+	return id
+}
+
+// stageFlush records the admission stages of a flushed window on every
+// traced submission — queue_wait (submit → admission) and window_wait
+// (admission → this flush, annotated with the window id and fill) — and
+// stamps flushAt, where the solve stage picks up.
+func (b *Batcher) stageFlush(win []*submission, id uint64) {
+	var now time.Time
+	for _, sub := range win {
+		if len(sub.traces) == 0 {
+			continue
+		}
+		if now.IsZero() {
+			now = b.clock.Now()
+		}
+		sub.flushAt = now
+		sub.stage("queue_wait", sub.submitAt, sub.admitAt)
+		sub.stage("window_wait", sub.admitAt, now,
+			obs.Uint64("window", id), obs.Int("fill", len(win)))
 	}
 }
 
@@ -473,7 +530,8 @@ func (b *Batcher) collect() {
 			b.fill.Store(0)
 			return
 		}
-		b.countFlush(win)
+		id := b.countFlush(win)
+		b.stageFlush(win, id)
 		b.flushes <- win
 		win = nil
 		b.fill.Store(0)
@@ -494,6 +552,9 @@ func (b *Batcher) collect() {
 			}
 			if !b.admitOrShed(sub, flushAt) {
 				continue
+			}
+			if len(sub.traces) > 0 {
+				sub.admitAt = b.clock.Now()
 			}
 			win = append(win, sub)
 			b.fill.Store(int64(len(win)))
@@ -572,12 +633,26 @@ func (b *Batcher) solveWindow(win []*submission) {
 		defer cancel()
 	}
 	reqs := make([]Request, len(live))
+	var traces [][]*obs.Trace
 	for i, sub := range live {
 		reqs[i] = sub.req
+		if len(sub.traces) > 0 {
+			if traces == nil {
+				traces = make([][]*obs.Trace, len(live))
+			}
+			traces[i] = sub.traces
+		}
 	}
-	results, errs := b.s.solveBatch(ctx, reqs)
+	results, errs := b.s.solveBatchTraced(ctx, reqs, traces)
+	var done time.Time
+	if traces != nil {
+		done = b.clock.Now()
+	}
 	for i, sub := range live {
 		sub.res, sub.err = results[i], errs[i]
+		if len(sub.traces) > 0 {
+			sub.stage("solve", sub.flushAt, done)
+		}
 		b.accountCompletion(sub, sub.err)
 		close(sub.ready)
 	}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // This file is the synchronous (simulation) driving surface of Batcher,
@@ -99,12 +101,19 @@ func (w *Window) Complete(results []*Result, errs []error) error {
 		return fmt.Errorf("dls: Window.Complete: %d errors for %d submissions", len(errs), len(w.subs))
 	}
 	b := w.b
+	var done time.Time
 	for i, sub := range w.subs {
 		if results != nil {
 			sub.res = results[i]
 		}
 		if errs != nil {
 			sub.err = errs[i]
+		}
+		if len(sub.traces) > 0 {
+			if done.IsZero() {
+				done = b.clock.Now()
+			}
+			sub.stage("solve", sub.flushAt, done)
 		}
 		b.accountCompletion(sub, sub.err)
 		close(sub.ready)
@@ -140,6 +149,13 @@ func (b *Batcher) Offer(ctx context.Context, req Request, class string, tag any)
 		return nil, err
 	}
 	sub := &submission{ctx: ctx, req: req, class: c, ready: make(chan struct{}), tag: tag}
+	if ts := obs.Traces(ctx); len(ts) > 0 {
+		// Synchronous admission is immediate: submit and admit coincide,
+		// so queue_wait is zero and window_wait spans Offer → flush.
+		sub.traces = ts
+		sub.submitAt = b.clock.Now()
+		sub.admitAt = sub.submitAt
+	}
 	if c.Deadline > 0 {
 		sub.deadline = b.clock.Now().Add(c.Deadline)
 	} else if d, ok := ctx.Deadline(); ok {
@@ -196,6 +212,7 @@ func (b *Batcher) flushSync() {
 	if len(win) == 0 {
 		return
 	}
-	b.countFlush(win)
+	id := b.countFlush(win)
+	b.stageFlush(win, id)
 	b.cfg.OnWindow(&Window{b: b, subs: win, groups: countGroups(win), flushed: b.clock.Now()})
 }

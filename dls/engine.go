@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/stats"
 )
@@ -462,14 +463,24 @@ func (s *Solver) Solve(ctx context.Context, req Request) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	traced := obs.Enabled(ctx)
+	if traced {
+		obs.Annotate(ctx, obs.String("strategy", req.Strategy))
+	}
 	var key string
 	if s.cache != nil {
 		key = req.cacheKey()
 		if res, ok := s.cache.get(key); ok {
 			s.hits.Add(1)
+			if traced {
+				obs.Annotate(ctx, obs.String("cache", "hit"))
+			}
 			return finish(res, req, true), nil
 		}
 		s.misses.Add(1)
+		if traced {
+			obs.Annotate(ctx, obs.String("cache", "miss"))
+		}
 	}
 	res, err := s.run(ctx, req, fn)
 	if err != nil {
@@ -497,10 +508,16 @@ func (s *Solver) run(ctx context.Context, req Request, fn StrategyFunc) (*Result
 		return nil, err
 	}
 	if res, ok := s.maybeDegrade(ctx, req); ok {
+		if obs.Enabled(ctx) {
+			obs.Annotate(ctx,
+				obs.String("degraded", "true"),
+				obs.String("degraded_to", res.DegradedTo))
+		}
 		return res, nil
 	}
 	s.countSolve(req.Strategy)
 	start := time.Now()
+	t0 := obs.Now(ctx)
 	res, err := fn(ctx, req)
 	if err != nil {
 		return nil, err
@@ -509,6 +526,9 @@ func (s *Solver) run(ctx context.Context, req Request, fn StrategyFunc) (*Result
 		return nil, fmt.Errorf("dls: strategy %q returned neither result nor error", req.Strategy)
 	}
 	s.costs.observe(req.Strategy, req.Platform.P(), time.Since(start))
+	if obs.Enabled(ctx) {
+		obs.StageAt(ctx, 1, "strategy", t0, obs.Now(ctx), obs.String("name", req.Strategy))
+	}
 	return res, nil
 }
 
@@ -534,6 +554,16 @@ func (s *Solver) SolveBatch(ctx context.Context, reqs []Request) ([]*Result, err
 // unwrapped), for callers — the micro-batcher, the serving layer — that
 // answer each request to a different consumer.
 func (s *Solver) solveBatch(ctx context.Context, reqs []Request) ([]*Result, []error) {
+	return s.solveBatchTraced(ctx, reqs, nil)
+}
+
+// solveBatchTraced is solveBatch with per-request trace sets: when traces
+// is non-nil, traces[i] holds the obs traces following request i, and each
+// deduplicated group's solve runs under the union of its members' traces —
+// so a submission answered by a leader it never met still sees the stages
+// of the solve that produced its result. With traces == nil, every group
+// solves under ctx unchanged.
+func (s *Solver) solveBatchTraced(ctx context.Context, reqs []Request, traces [][]*obs.Trace) ([]*Result, []error) {
 	results := make([]*Result, len(reqs))
 	errs := make([]error, len(reqs))
 
@@ -558,11 +588,35 @@ func (s *Solver) solveBatch(ctx context.Context, reqs []Request) ([]*Result, []e
 		g.indices = append(g.indices, i)
 	}
 
+	// groupCtx derives the context one group's solve runs under: the
+	// window context plus the union of the group's member traces (dedup
+	// fan-out is annotated so a collapsed request's trace says why its
+	// solve stage was shared).
+	groupCtx := func(g *group) context.Context {
+		if traces == nil {
+			return ctx
+		}
+		var ts []*obs.Trace
+		for _, i := range g.indices {
+			if i < len(traces) {
+				ts = append(ts, traces[i]...)
+			}
+		}
+		if len(ts) == 0 {
+			return ctx
+		}
+		gctx := obs.ContextWithTraces(ctx, ts)
+		if len(g.indices) > 1 {
+			obs.Annotate(gctx, obs.Int("dedup_group", len(g.indices)))
+		}
+		return gctx
+	}
+
 	// Chain prepass: chain-shaped leaders of the same size are evaluated
 	// together by structure-of-arrays lockstep sweeps before the pool
 	// starts; everything it could not certify flows through the normal
 	// per-request path below.
-	handled := s.chainPrepass(ctx, prepared, order, results, errs)
+	handled := s.chainPrepass(ctx, prepared, order, results, errs, groupCtx)
 
 	// Solve one leader per group on the pool (never more workers than
 	// groups to solve).
@@ -577,7 +631,7 @@ func (s *Solver) solveBatch(ctx context.Context, reqs []Request) ([]*Result, []e
 		go func() {
 			defer wg.Done()
 			for g := range jobs {
-				res, err := s.Solve(ctx, reqs[g.leader])
+				res, err := s.Solve(groupCtx(g), reqs[g.leader])
 				if err != nil {
 					for _, i := range g.indices {
 						errs[i] = err
@@ -674,7 +728,7 @@ func chainScenario(req Request) (send Order, lifo, ok bool) {
 // (cancelled, or a WithTimeout deadline that already expired) skips the
 // prepass entirely so every request uniformly reports ctx.Err() from the
 // pool path.
-func (s *Solver) chainPrepass(ctx context.Context, prepared []Request, order []*group, results []*Result, errs []error) map[*group]bool {
+func (s *Solver) chainPrepass(ctx context.Context, prepared []Request, order []*group, results []*Result, errs []error, groupCtx func(*group) context.Context) map[*group]bool {
 	if ctx.Err() != nil {
 		return nil
 	}
@@ -731,6 +785,11 @@ func (s *Solver) chainPrepass(ctx context.Context, prepared []Request, order []*
 			s.countSolve(req.Strategy)
 			s.prepassGroups.Add(1)
 			s.prepassRequests.Add(uint64(len(ln.g.indices)))
+			if gc := groupCtx(ln.g); obs.Enabled(gc) {
+				obs.Annotate(gc,
+					obs.String("strategy", req.Strategy),
+					obs.String("prepass", "chain"))
+			}
 			for _, idx := range ln.g.indices {
 				if idx == ln.g.leader {
 					results[idx] = res

@@ -183,12 +183,12 @@ func init() {
 	// The fixed-order strategies all funnel into the eval pipeline through
 	// one scenario solve; orderOf derives (σ1, σ2) from the request.
 	scenario := func(orderOf func(Request) (Order, Order, error)) StrategyFunc {
-		return func(_ context.Context, req Request) (*Result, error) {
+		return func(ctx context.Context, req Request) (*Result, error) {
 			send, ret, err := orderOf(req)
 			if err != nil {
 				return nil, err
 			}
-			s, err := core.SolveScenarioEval(req.Platform, send, ret, req.Model, req.Eval)
+			s, err := core.SolveScenarioEvalContext(ctx, req.Platform, send, ret, req.Model, req.Eval)
 			if err != nil {
 				return nil, err
 			}

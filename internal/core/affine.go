@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/eval"
 	"repro/internal/lp"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/schedule"
 )
@@ -317,6 +318,14 @@ func BestFIFOAffineAlgo(ctx context.Context, p *platform.Platform, aff Affine, a
 	}
 	winner := newSearchCore(ctx)
 	sorted := p.ByC()
+	// As with the pair counters, the deltas are against process-global
+	// atomics and so approximate under concurrent solves.
+	traced := obs.Enabled(ctx)
+	t0 := obs.Now(ctx)
+	var before AffineStats
+	if traced {
+		before = AffineStatsSnapshot()
+	}
 	var err error
 	if algo == AffineBB {
 		err = affineSearchBB(ctx, winner, p, aff, sorted)
@@ -325,6 +334,17 @@ func BestFIFOAffineAlgo(ctx context.Context, p *platform.Platform, aff Affine, a
 	}
 	if err != nil {
 		return nil, err
+	}
+	if traced {
+		after := AffineStatsSnapshot()
+		obs.StageAt(ctx, 1, "search", t0, obs.Now(ctx),
+			obs.String("kind", "affine-subset"),
+			obs.String("algo", algo.String()),
+			obs.Int("workers", searchParallelism(ctx)),
+			obs.Uint64("nodes", after.NodesExpanded-before.NodesExpanded),
+			obs.Uint64("pruned", after.SubtreesPruned-before.SubtreesPruned),
+			obs.Uint64("leaves", after.LeavesEvaluated-before.LeavesEvaluated),
+			obs.Uint64("bound_solves", after.BoundSolves-before.BoundSolves))
 	}
 	if len(winner.best) == 0 {
 		// Even single workers cannot start within the horizon.

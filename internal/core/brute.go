@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/eval"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/schedule"
 )
@@ -411,8 +412,25 @@ func bestOrderExhaustive(ctx context.Context, p *platform.Platform, model schedu
 	run := func(core *searchCore, lo, hi int64) error {
 		return sweepRange(core, p, model, mode, lifo, lo, hi)
 	}
+	traced := obs.Enabled(ctx)
+	t0 := obs.Now(ctx)
 	if err := runRangePool(ctx, winner, factorial(n), run); err != nil {
 		return nil, nil, err
+	}
+	if traced {
+		kind := "fifo-order"
+		if lifo {
+			kind = "lifo-order"
+		}
+		backend := mode.String()
+		if mode == eval.Auto {
+			backend = "sweep"
+		}
+		obs.StageAt(ctx, 1, "search", t0, obs.Now(ctx),
+			obs.String("kind", kind),
+			obs.Int("workers", searchParallelism(ctx)),
+			obs.Int64("orders", factorial(n)),
+			obs.String("backend", backend))
 	}
 	sess := eval.GetSession()
 	defer sess.Release()
@@ -423,9 +441,13 @@ func bestOrderExhaustive(ctx context.Context, p *platform.Platform, model schedu
 	} else {
 		sc.Return = bestOrder
 	}
+	evalStart := obs.Now(ctx)
 	best, err := sess.Evaluate(sc, mode)
 	if err != nil {
 		return nil, nil, err
+	}
+	if traced {
+		recordEvalBackend(ctx, sess, mode, evalStart)
 	}
 	return best, bestOrder, nil
 }
@@ -576,6 +598,15 @@ func BestPairExhaustiveAlgo(ctx context.Context, p *platform.Platform, model sch
 	defer sess.Release()
 	winner := newSearchCore(ctx)
 	prune := mode != eval.ExactRational
+	// The pair counters are process-global, so under concurrent solves the
+	// snapshot delta may include another search's nodes; the annotation is a
+	// magnitude indicator, not an exact per-request count.
+	traced := obs.Enabled(ctx)
+	t0 := obs.Now(ctx)
+	var before PairStats
+	if traced {
+		before = PairStatsSnapshot()
+	}
 	if err := seedPairIncumbent(ctx, winner, p, model, n, prune && !disablePairSeeding); err != nil {
 		return nil, err
 	}
@@ -588,10 +619,25 @@ func BestPairExhaustiveAlgo(ctx context.Context, p *platform.Platform, model sch
 	if err != nil {
 		return nil, err
 	}
+	if traced {
+		after := PairStatsSnapshot()
+		obs.StageAt(ctx, 1, "search", t0, obs.Now(ctx),
+			obs.String("kind", "pair"),
+			obs.String("algo", algo.String()),
+			obs.Int("workers", searchParallelism(ctx)),
+			obs.Uint64("nodes", after.NodesExpanded-before.NodesExpanded),
+			obs.Uint64("pruned", after.SubtreesPruned-before.SubtreesPruned),
+			obs.Uint64("outer_pruned", after.OuterPruned-before.OuterPruned),
+			obs.Uint64("leaves", after.LeavesEvaluated-before.LeavesEvaluated))
+	}
 	bestSend, bestRet := winner.best, winner.bestRet
+	evalStart := obs.Now(ctx)
 	best, err := sess.Evaluate(eval.Scenario{Platform: p, Send: bestSend, Return: bestRet, Model: model}, mode)
 	if err != nil {
 		return nil, err
+	}
+	if traced {
+		recordEvalBackend(ctx, sess, mode, evalStart)
 	}
 	return &PairResult{Schedule: best, Send: bestSend, Return: bestRet}, nil
 }

@@ -39,6 +39,15 @@ type Session struct {
 	twoPortDualCerts    uint64
 	twoPortDroppedCerts uint64
 
+	// lastBackend names the tier that actually produced the most recent
+	// loadsResolved answer ("closed-form", "direct", "simplex", "exact");
+	// lastFallback reports that the answer came from the end-of-pipeline
+	// simplex fallback rather than a requested or certified tier. The
+	// serving layer's tracing reads both to attribute each request's
+	// eval-backend stage.
+	lastBackend  string
+	lastFallback bool
+
 	// costs caches per-worker derived constants (sums, differences and
 	// reciprocals of the cost triple) for the platform costsOf, so the hot
 	// chain kernels run division-free. Keyed by pointer identity: Platforms
@@ -162,10 +171,13 @@ func (s *Session) loads(sc Scenario, mode Mode) ([]float64, float64, error) {
 // and returns the optimal loads by send position (session-owned; valid
 // until the next call) together with their sum ρ.
 func (s *Session) loadsResolved(sc Scenario, mode Mode) ([]float64, float64, error) {
+	s.lastBackend, s.lastFallback = "", false
 	switch mode {
 	case Simplex:
+		s.lastBackend = "simplex"
 		return s.simplexLoads(sc)
 	case ExactRational:
+		s.lastBackend = "exact"
 		return s.exactLoads(sc)
 	case Auto, ClosedForm, Direct:
 		// Tight-system tiers below.
@@ -175,6 +187,7 @@ func (s *Session) loadsResolved(sc Scenario, mode Mode) ([]float64, float64, err
 	kind := kindOf(sc.Send, sc.Return)
 	switch mode {
 	case ClosedForm:
+		s.lastBackend = "closed-form"
 		switch kind {
 		case kindFIFO:
 			alpha, rej := s.fifoTightCertified(sc)
@@ -199,6 +212,7 @@ func (s *Session) loadsResolved(sc Scenario, mode Mode) ([]float64, float64, err
 		}
 	case Direct:
 		if alpha, ok := s.generalTight(sc); ok {
+			s.lastBackend = "direct"
 			return alpha, sum(alpha), nil
 		}
 	case Auto:
@@ -209,6 +223,7 @@ func (s *Session) loadsResolved(sc Scenario, mode Mode) ([]float64, float64, err
 		switch kind {
 		case kindFIFO:
 			if alpha, ok := s.chainSearch(sc, false, nil, nil); ok {
+				s.lastBackend = "closed-form"
 				return alpha, sum(alpha), nil
 			}
 			// The chain search scans port-bound vertices under the one-port
@@ -216,26 +231,41 @@ func (s *Session) loadsResolved(sc Scenario, mode Mode) ([]float64, float64, err
 			// enumeration before the simplex is warranted.
 			if sc.Model == schedule.TwoPort {
 				if alpha, ok := s.generalTight(sc); ok {
+					s.lastBackend = "direct"
 					return alpha, sum(alpha), nil
 				}
 			}
 		case kindLIFO:
 			if alpha, ok := s.chainSearch(sc, true, nil, nil); ok {
+				s.lastBackend = "closed-form"
 				return alpha, sum(alpha), nil
 			}
 			if sc.Model == schedule.TwoPort {
 				if alpha, ok := s.generalTight(sc); ok {
+					s.lastBackend = "direct"
 					return alpha, sum(alpha), nil
 				}
 			}
 		default:
 			if alpha, ok := s.generalTight(sc); ok {
+				s.lastBackend = "direct"
 				return alpha, sum(alpha), nil
 			}
 		}
 	}
 	s.simplexFallbacks++
+	s.lastBackend, s.lastFallback = "simplex", true
 	return s.simplexLoads(sc)
+}
+
+// Backend reports which evaluation tier produced the session's most
+// recent answer ("closed-form", "direct", "simplex", "exact"; "" before
+// the first evaluation) and whether it was the end-of-pipeline simplex
+// fallback rather than a certified or requested tier. Single-goroutine
+// like the rest of the session; callers read it immediately after the
+// evaluation they want attributed.
+func (s *Session) Backend() (backend string, fallback bool) {
+	return s.lastBackend, s.lastFallback
 }
 
 func sum(xs []float64) float64 {

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+// traceKey carries the live traces of a request context. The value is a
+// SLICE of traces: an admission window that merges several submissions
+// into one batch context fans every stage recorded under that context out
+// to all of the requests it answers.
+type traceKey struct{}
+
+// ContextWithTrace attaches one trace to ctx, joining any traces already
+// present. A nil trace returns ctx unchanged, so disabled recorders cost
+// nothing at call sites.
+func ContextWithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	existing := Traces(ctx)
+	if len(existing) == 0 {
+		return context.WithValue(ctx, traceKey{}, []*Trace{t})
+	}
+	joined := make([]*Trace, 0, len(existing)+1)
+	joined = append(joined, existing...)
+	joined = append(joined, t)
+	return context.WithValue(ctx, traceKey{}, joined)
+}
+
+// ContextWithTraces attaches a trace set to ctx, replacing any existing
+// set (the batch-window fan-out path: the merged window context carries
+// exactly the traces of the submissions a group answers).
+func ContextWithTraces(ctx context.Context, ts []*Trace) context.Context {
+	if len(ts) == 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, ts)
+}
+
+// Traces returns the traces riding ctx (nil when tracing is off).
+func Traces(ctx context.Context) []*Trace {
+	ts, _ := ctx.Value(traceKey{}).([]*Trace)
+	return ts
+}
+
+// Enabled reports whether any trace rides ctx.
+func Enabled(ctx context.Context) bool { return len(Traces(ctx)) > 0 }
+
+// Now reads the time source of the context's traces — the system clock in
+// dlsd, the virtual clock under the simulator — and the zero time when no
+// trace rides ctx. Callers bracket work with two Now calls and hand the
+// pair to StageAt; with tracing off the pair is (0, 0) and StageAt is a
+// no-op, so the hot path never touches a clock it does not need.
+func Now(ctx context.Context) time.Time {
+	ts := Traces(ctx)
+	if len(ts) == 0 {
+		return time.Time{}
+	}
+	return ts[0].Now()
+}
+
+// StageAt records one completed stage on every trace riding ctx.
+func StageAt(ctx context.Context, depth int, name string, start, end time.Time, attrs ...Attr) {
+	for _, t := range Traces(ctx) {
+		t.StageAt(depth, name, start, end, attrs...)
+	}
+}
+
+// Annotate attaches attributes to every trace riding ctx.
+func Annotate(ctx context.Context, attrs ...Attr) {
+	for _, t := range Traces(ctx) {
+		t.Annotate(attrs...)
+	}
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// DebugResponse is the JSON body of GET /debug/requests.
+type DebugResponse struct {
+	// Total counts every trace finished into the recorder since start
+	// (the ring holds only the most recent ones).
+	Total uint64 `json:"total"`
+	// Recent lists recent traces, newest first, after filtering.
+	Recent []TraceData `json:"recent"`
+	// Slowest lists the slowest exemplars per route (filters applied).
+	Slowest map[string][]TraceData `json:"slowest"`
+}
+
+// Handler serves the recorder's stores as the /debug/requests endpoint.
+// Query parameters:
+//
+//	n=32            cap on the recent list (default 32)
+//	route=/v1/solve exact route filter
+//	strategy=fifo   keep traces whose "strategy" attribute matches
+//	degraded=true   keep traces whose "degraded" attribute matches
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query()
+		n := 32
+		if v, err := strconv.Atoi(q.Get("n")); err == nil && v > 0 {
+			n = v
+		}
+		route := q.Get("route")
+		match := func(d TraceData) bool {
+			if route != "" && d.Route != route {
+				return false
+			}
+			if s := q.Get("strategy"); s != "" && d.Attr("strategy") != s {
+				return false
+			}
+			if dg := q.Get("degraded"); dg != "" && d.Attr("degraded") != dg {
+				return false
+			}
+			return true
+		}
+		resp := DebugResponse{Total: r.Total(), Slowest: make(map[string][]TraceData)}
+		for _, d := range r.Recent(0) {
+			if len(resp.Recent) >= n {
+				break
+			}
+			if match(d) {
+				resp.Recent = append(resp.Recent, d)
+			}
+		}
+		if resp.Recent == nil {
+			resp.Recent = []TraceData{}
+		}
+		for rt, list := range r.Slowest(route) {
+			kept := make([]TraceData, 0, len(list))
+			for _, d := range list {
+				if match(d) {
+					kept = append(kept, d)
+				}
+			}
+			if len(kept) > 0 {
+				resp.Slowest[rt] = kept
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp) //nolint:errcheck // client gone = nothing to do
+	})
+}

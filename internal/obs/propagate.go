@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"strings"
+	"sync/atomic"
+)
+
+// Traceparent propagation, following the W3C trace-context wire shape:
+//
+//	traceparent: 00-<32 hex trace id>-<16 hex span id>-01
+//
+// A dlsctl fleet client stamps the header on every attempt (a fresh span
+// id per attempt, the shared trace id of the caller's trace), and dlsd
+// adopts the incoming trace id — so retries and breaker hops across the
+// fleet chain into one trace on both sides of the wire.
+
+// TraceparentHeader is the canonical header name.
+const TraceparentHeader = "Traceparent"
+
+// fallbackCounter feeds ids when crypto/rand fails (it practically
+// cannot; the counter keeps ids unique rather than crashing a request).
+var fallbackCounter atomic.Uint64
+
+func randomHex(n int) string {
+	buf := make([]byte, n)
+	if _, err := rand.Read(buf); err != nil {
+		c := fallbackCounter.Add(1)
+		for i := range buf {
+			buf[i] = byte(c >> (8 * (uint(i) % 8)))
+		}
+	}
+	return hex.EncodeToString(buf)
+}
+
+// NewTraceID returns a random 32-hex-digit trace id.
+func NewTraceID() string { return randomHex(16) }
+
+// NewSpanID returns a random 16-hex-digit span id.
+func NewSpanID() string { return randomHex(8) }
+
+// FormatTraceparent renders a traceparent header value for the given
+// trace and span ids.
+func FormatTraceparent(traceID, spanID string) string {
+	return "00-" + traceID + "-" + spanID + "-01"
+}
+
+// ParseTraceparent extracts the trace and span ids from a traceparent
+// header value. Malformed or absent headers return ("", "", false);
+// callers then mint a fresh trace id.
+func ParseTraceparent(v string) (traceID, spanID string, ok bool) {
+	parts := strings.Split(strings.TrimSpace(v), "-")
+	if len(parts) != 4 {
+		return "", "", false
+	}
+	if len(parts[1]) != 32 || len(parts[2]) != 16 {
+		return "", "", false
+	}
+	if !isHex(parts[1]) || !isHex(parts[2]) || allZero(parts[1]) {
+		return "", "", false
+	}
+	return parts[1], parts[2], true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') && (c < 'A' || c > 'F') {
+			return false
+		}
+	}
+	return true
+}
+
+func allZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}
+
+// OutgoingTraceparent builds the header value an outbound hop should
+// carry: the context's trace id with a fresh span id per call (one span
+// per attempt). ok is false when no trace rides ctx.
+func OutgoingTraceparent(ctx context.Context) (string, bool) {
+	ts := Traces(ctx)
+	if len(ts) == 0 || ts[0].ID() == "" {
+		return "", false
+	}
+	return FormatTraceparent(ts[0].ID(), NewSpanID()), true
+}

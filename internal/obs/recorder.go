@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// RecorderConfig sizes a Recorder. Zero values take the defaults.
+type RecorderConfig struct {
+	// Ring is the capacity of the recent-traces ring buffer (default 256).
+	Ring int
+	// SlowestPerRoute is how many slowest exemplars are kept per route
+	// (default 8).
+	SlowestPerRoute int
+	// Now is the time source handed to StartTrace'd traces (default
+	// time.Now; the simulator injects its virtual clock).
+	Now func() time.Time
+}
+
+// Recorder owns the completed-trace stores behind /debug/requests: a
+// fixed-size ring of recent traces and a slowest-N exemplar list per
+// route. Storage is bounded at construction — Finish never allocates
+// beyond the snapshot it stores — and all methods are safe for
+// concurrent use.
+type Recorder struct {
+	now     func() time.Time
+	slowCap int
+
+	mu      sync.Mutex
+	ring    []TraceData
+	head    int
+	filled  int
+	total   uint64
+	slowest map[string][]TraceData // per route, sorted slowest-first
+}
+
+// NewRecorder builds a Recorder.
+func NewRecorder(cfg RecorderConfig) *Recorder {
+	if cfg.Ring <= 0 {
+		cfg.Ring = 256
+	}
+	if cfg.SlowestPerRoute <= 0 {
+		cfg.SlowestPerRoute = 8
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Recorder{
+		now:     cfg.Now,
+		slowCap: cfg.SlowestPerRoute,
+		ring:    make([]TraceData, cfg.Ring),
+		slowest: make(map[string][]TraceData),
+	}
+}
+
+// StartTrace begins a trace for route on the recorder's time source. An
+// empty id mints a random one (live serving); the simulator passes its
+// own sequential ids to stay deterministic. parentSpan, when non-empty,
+// links the trace to the upstream hop of a traceparent header.
+func (r *Recorder) StartTrace(route, id, parentSpan string) *Trace {
+	if r == nil {
+		return nil
+	}
+	if id == "" {
+		id = NewTraceID()
+	}
+	t := NewTrace(id, route, r.now)
+	if parentSpan != "" {
+		t.SetParent(parentSpan)
+	}
+	return t
+}
+
+// Finish seals the trace, snapshots it, and files the snapshot into the
+// ring and the per-route slowest store. Returns the stored snapshot. Safe
+// on a nil recorder or trace (returns the zero TraceData).
+func (r *Recorder) Finish(t *Trace) TraceData {
+	if r == nil || t == nil {
+		return TraceData{}
+	}
+	t.Finish()
+	d := t.Snapshot()
+	r.mu.Lock()
+	r.total++
+	r.ring[r.head] = d
+	r.head = (r.head + 1) % len(r.ring)
+	if r.filled < len(r.ring) {
+		r.filled++
+	}
+	slow := r.slowest[d.Route]
+	if len(slow) < r.slowCap || d.DurationNS > slow[len(slow)-1].DurationNS {
+		slow = append(slow, d)
+		sort.SliceStable(slow, func(i, j int) bool { return slow[i].DurationNS > slow[j].DurationNS })
+		if len(slow) > r.slowCap {
+			slow = slow[:r.slowCap]
+		}
+		r.slowest[d.Route] = slow
+	}
+	r.mu.Unlock()
+	return d
+}
+
+// Total returns how many traces have been finished into the recorder.
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Recent returns up to n recent traces, newest first.
+func (r *Recorder) Recent(n int) []TraceData {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n <= 0 || n > r.filled {
+		n = r.filled
+	}
+	out := make([]TraceData, 0, n)
+	for i := 0; i < n; i++ {
+		idx := (r.head - 1 - i + len(r.ring)) % len(r.ring)
+		out = append(out, r.ring[idx])
+	}
+	return out
+}
+
+// Slowest returns the slowest exemplars: for route != "" that route's
+// list, otherwise every route's, keyed by route. Lists are slowest-first
+// copies.
+func (r *Recorder) Slowest(route string) map[string][]TraceData {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string][]TraceData)
+	for rt, list := range r.slowest {
+		if route != "" && rt != route {
+			continue
+		}
+		out[rt] = append([]TraceData(nil), list...)
+	}
+	return out
+}

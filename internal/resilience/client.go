@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/dls"
+	"repro/internal/obs"
 )
 
 // ErrNoReplica is returned (possibly after retries) when every replica's
@@ -193,8 +194,13 @@ func retryable(resp *http.Response, err error) bool {
 // (including 4xx other than 429) return immediately with err == nil.
 func (c *Client) Do(ctx context.Context, method, path string, body []byte, header http.Header) (*http.Response, error) {
 	var lastErr error
+	traced := obs.Enabled(ctx)
 	for attempt := 0; ; attempt++ {
-		resp, err, admitted := c.attempt(ctx, method, path, body, header)
+		t0 := obs.Now(ctx)
+		resp, err, idx, admitted := c.attempt(ctx, method, path, body, header)
+		if traced {
+			c.recordHop(ctx, t0, attempt, idx, resp, err, admitted)
+		}
 		if admitted {
 			if !retryable(resp, err) {
 				return resp, err
@@ -242,23 +248,30 @@ func (c *Client) Do(ctx context.Context, method, path string, body []byte, heade
 
 // attempt sends the request to the next replica whose breaker admits it.
 // admitted reports whether any replica accepted the attempt; when false,
-// resp and err describe the short-circuit.
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte, header http.Header) (resp *http.Response, err error, admitted bool) {
+// resp and err describe the short-circuit. idx is the replica tried
+// (-1 on short-circuit), for the hop stage annotation.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, header http.Header) (resp *http.Response, err error, idx int, admitted bool) {
 	idx, br := c.pick()
 	if br == nil {
 		c.shortCircuits.Add(1)
-		return nil, ErrNoReplica, false
+		return nil, ErrNoReplica, -1, false
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.cfg.Replicas[idx]+path, bytes.NewReader(body))
 	if err != nil {
 		br.Report(true) // a malformed request is not the replica's fault
-		return nil, err, true
+		return nil, err, idx, true
 	}
 	for k, vs := range header {
 		req.Header[k] = vs
 	}
 	if len(body) > 0 && req.Header.Get("Content-Type") == "" {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	// Trace propagation: carry the caller's trace id across the wire with
+	// a fresh span id per attempt, so the server-side trace of every retry
+	// and breaker hop chains into the one client trace.
+	if tp, ok := obs.OutgoingTraceparent(ctx); ok {
+		req.Header.Set(obs.TraceparentHeader, tp)
 	}
 	// Deadline-budget propagation: tell the server how much of the
 	// caller's budget remains, so the fleet never works past it.
@@ -267,7 +280,7 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 			req.Header.Set("X-Timeout", remaining.String())
 		} else {
 			br.Report(true)
-			return nil, context.DeadlineExceeded, true
+			return nil, context.DeadlineExceeded, idx, true
 		}
 	}
 	c.attempts.Add(1)
@@ -276,7 +289,23 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	// 429 shed or a 4xx rejection — proves liveness; only transport
 	// errors and 5xx count against the breaker.
 	br.Report(err == nil && resp.StatusCode < 500)
-	return resp, err, true
+	return resp, err, idx, true
+}
+
+// recordHop records one depth-0 "hop" stage on the caller's trace: the
+// attempt number, the replica tried, and how it ended (status, transport
+// error, or a local breaker short-circuit).
+func (c *Client) recordHop(ctx context.Context, t0 time.Time, attempt, replica int, resp *http.Response, err error, admitted bool) {
+	attrs := []obs.Attr{obs.Int("attempt", attempt), obs.Int("replica", replica)}
+	switch {
+	case !admitted:
+		attrs = append(attrs, obs.Bool("short_circuit", true))
+	case err != nil:
+		attrs = append(attrs, obs.String("error", err.Error()))
+	default:
+		attrs = append(attrs, obs.Int("status", resp.StatusCode))
+	}
+	obs.StageAt(ctx, 0, "hop", t0, obs.Now(ctx), attrs...)
 }
 
 // pick selects the next replica round-robin, skipping replicas whose

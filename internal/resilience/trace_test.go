@@ -1,0 +1,182 @@
+package resilience
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestTracePropagatesAcrossRetries pins the cross-hop tracing contract:
+// a failing-then-healthy fleet produces ONE client trace whose "hop"
+// stages record every attempt, and every server — including the failing
+// ones — receives a Traceparent header carrying the client's trace id
+// with a fresh span id per attempt.
+func TestTracePropagatesAcrossRetries(t *testing.T) {
+	var mu sync.Mutex
+	var seen []string // traceparent header of every server-side arrival
+	var calls atomic.Int64
+	handler := func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		seen = append(seen, r.Header.Get(obs.TraceparentHeader))
+		mu.Unlock()
+		if calls.Add(1) <= 2 {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		io.WriteString(w, "ok")
+	}
+	srv := httptest.NewServer(http.HandlerFunc(handler))
+	defer srv.Close()
+
+	cfg := testConfig(srv.URL)
+	cfg.BreakerThreshold = -1
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := obs.NewRecorder(obs.RecorderConfig{})
+	tr := rec.StartTrace("dlsload", "", "")
+	ctx := obs.ContextWithTrace(context.Background(), tr)
+
+	resp, err := c.Do(ctx, http.MethodGet, "/", nil, nil)
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	resp.Body.Close()
+	d := rec.Finish(tr)
+
+	// One trace, one hop stage per attempt.
+	var hops []obs.StageData
+	for _, st := range d.Stages {
+		if st.Name == "hop" {
+			hops = append(hops, st)
+		}
+	}
+	if len(hops) != 3 {
+		t.Fatalf("trace has %d hop stages, want 3 (2 failures + success): %+v", len(hops), d.Stages)
+	}
+	findAttr := func(st obs.StageData, key string) string {
+		for _, a := range st.Attrs {
+			if a.Key == key {
+				return a.Value
+			}
+		}
+		return ""
+	}
+	for i, hop := range hops {
+		if hop.Depth != 0 {
+			t.Errorf("hop %d at depth %d, want 0", i, hop.Depth)
+		}
+		wantStatus := "500"
+		if i == 2 {
+			wantStatus = "200"
+		}
+		if got := findAttr(hop, "status"); got != wantStatus {
+			t.Errorf("hop %d status attr = %q, want %q", i, got, wantStatus)
+		}
+	}
+
+	// Every server-side arrival carried the client's trace id with a
+	// fresh span per attempt.
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 3 {
+		t.Fatalf("server saw %d requests, want 3", len(seen))
+	}
+	spans := make(map[string]bool)
+	for i, tp := range seen {
+		id, span, ok := obs.ParseTraceparent(tp)
+		if !ok {
+			t.Fatalf("attempt %d carried unparseable traceparent %q", i, tp)
+		}
+		if id != tr.ID() {
+			t.Errorf("attempt %d trace id = %q, want client's %q", i, id, tr.ID())
+		}
+		if spans[span] {
+			t.Errorf("attempt %d reused span id %q", i, span)
+		}
+		spans[span] = true
+	}
+}
+
+// TestTraceRecordsBreakerShortCircuit: when every breaker is open, the
+// failed attempt still becomes a hop stage marked short_circuit, so dead
+// time is attributed rather than invisible.
+func TestTraceRecordsBreakerShortCircuit(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	cfg := testConfig(srv.URL)
+	cfg.BreakerThreshold = 1 // first failure opens the breaker
+	cfg.BreakerCooldown = time.Hour
+	cfg.MaxRetries = 2
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := obs.NewRecorder(obs.RecorderConfig{})
+	tr := rec.StartTrace("dlsload", "", "")
+	ctx := obs.ContextWithTrace(context.Background(), tr)
+	if _, err := c.Do(ctx, http.MethodGet, "/", nil, nil); err == nil {
+		t.Fatal("Do succeeded against an open fleet")
+	}
+	d := rec.Finish(tr)
+
+	var statuses, shorts int
+	for _, st := range d.Stages {
+		if st.Name != "hop" {
+			continue
+		}
+		for _, a := range st.Attrs {
+			switch a.Key {
+			case "status":
+				statuses++
+			case "short_circuit":
+				shorts++
+				for _, b := range st.Attrs {
+					if b.Key == "replica" && b.Value != "-1" {
+						t.Errorf("short-circuit hop names replica %s, want -1", b.Value)
+					}
+				}
+			}
+		}
+	}
+	if statuses != 1 || shorts != 2 {
+		t.Fatalf("hops = %d real + %d short-circuited, want 1 + 2: %+v", statuses, shorts, d.Stages)
+	}
+}
+
+// TestUntracedContextAddsNoHeader: with no trace on the context the
+// client must not invent a Traceparent header.
+func TestUntracedContextAddsNoHeader(t *testing.T) {
+	var got atomic.Value
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got.Store(r.Header.Get(obs.TraceparentHeader))
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	c, err := New(testConfig(srv.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Get(context.Background(), "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if v, _ := got.Load().(string); v != "" {
+		t.Fatalf("untraced request carried Traceparent %q", v)
+	}
+}

@@ -39,6 +39,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			codes[code], stats.Label{Key: "code", Value: strconv.Itoa(code)})
 	}
 	m.Histogram("dlsd_solve_latency_seconds", "End-to-end latency of successful solves (admission wait + solve).", s.latency)
+	s.writeStageMetrics(m)
 
 	// Admission micro-batcher.
 	bs := s.batcher.Stats()

@@ -5,12 +5,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/dls"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -55,6 +58,21 @@ type Config struct {
 	// NoBatchWindow marks Window = 0 as deliberate (the zero Config value
 	// otherwise means "use the default window").
 	NoBatchWindow bool
+	// Trace enables per-request tracing: every solve request carries an
+	// internal/obs trace through the batcher, engine, eval backends and
+	// searches; finished traces land in the ring + slowest-exemplar store
+	// behind GET /debug/requests, feed the dlsd_stage_latency_seconds
+	// histograms, and stamp X-Trace-Id on responses.
+	Trace bool
+	// TraceRing sizes the recent-trace ring buffer (default 256).
+	TraceRing int
+	// TraceSlowest sizes the per-route slowest-exemplar lists (default 8).
+	TraceSlowest int
+	// Log, when set, receives one structured line per solve submission:
+	// a server-local request sequence number, the route, the latency, and
+	// (with Trace on) the trace id. Successes log at Debug, failures at
+	// Warn. Nil disables request logging.
+	Log *slog.Logger
 }
 
 // withDefaults fills the zero fields.
@@ -91,10 +109,17 @@ type Server struct {
 	batcher *dls.Batcher
 	mux     *http.ServeMux
 	start   time.Time
+	log     *slog.Logger  // Config.Log; nil = no request logging
+	reqSeq  atomic.Uint64 // request ids for log correlation
 
 	latency     *stats.Histogram      // end-to-end latency of successful solves, seconds
 	windowSizes *stats.Histogram      // flushed admission-window sizes
 	codes       stats.CounterMap[int] // HTTP responses by status code
+
+	// Tracing (Config.Trace; see trace.go). rec is nil when tracing is off.
+	rec       *obs.Recorder
+	stageMu   sync.Mutex
+	stageHist map[string]*stats.Histogram // per-stage latency, seconds
 
 	// Flush-rate tracking behind the drain-rate-derived Retry-After.
 	flushMu       sync.Mutex
@@ -112,6 +137,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:         cfg,
 		solver:      cfg.Solver,
+		log:         cfg.Log,
 		start:       time.Now(),
 		latency:     stats.NewHistogram(stats.LatencyBounds()...),
 		windowSizes: stats.NewHistogram(stats.SizeBounds()...),
@@ -126,12 +152,16 @@ func New(cfg Config) (*Server, error) {
 		Adaptive: cfg.Adaptive,
 		OnFlush:  s.observeFlush,
 	})
+	s.initTracing()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/solve/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/strategies", s.handleStrategies)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.rec != nil {
+		s.mux.Handle("GET /debug/requests", s.rec.Handler())
+	}
 	return s, nil
 }
 
@@ -297,7 +327,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	defer cancel()
 	begin := time.Now()
+	ctx, finishTrace := s.traceRequest(ctx, r, w, "/v1/solve")
 	res, err := s.batcher.SubmitSLO(ctx, req, r.Header.Get("X-SLO-Class"))
+	finishTrace(err)
+	s.logRequest(ctx, "/v1/solve", begin, err)
 	if err != nil {
 		if errors.Is(err, dls.ErrUnknownClass) {
 			writeError(w, http.StatusBadRequest, "%s", err)
@@ -352,7 +385,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int, req dls.Request) {
 			defer wg.Done()
-			results[i], errs[i] = s.batcher.SubmitSLO(ctx, req, class)
+			// Each batch slot is its own trace: slots land in different
+			// admission windows and dedup groups, so their stage timelines
+			// genuinely differ. No response writer — the goroutines must
+			// not race on the shared header.
+			sctx, finishTrace := s.traceRequest(ctx, r, nil, "/v1/solve/batch")
+			results[i], errs[i] = s.batcher.SubmitSLO(sctx, req, class)
+			finishTrace(errs[i])
+			s.logRequest(sctx, "/v1/solve/batch", begin, errs[i])
 		}(i, req)
 	}
 	wg.Wait()
@@ -387,6 +427,28 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// logRequest emits one structured line per solve submission (Config.Log):
+// request sequence number, route, latency, trace id when tracing is on.
+func (s *Server) logRequest(ctx context.Context, route string, begin time.Time, err error) {
+	if s.log == nil {
+		return
+	}
+	attrs := make([]any, 0, 6)
+	attrs = append(attrs,
+		slog.Uint64("req", s.reqSeq.Add(1)),
+		slog.String("route", route),
+		slog.Duration("dur", time.Since(begin)))
+	if ts := obs.Traces(ctx); len(ts) > 0 {
+		attrs = append(attrs, slog.String("trace", ts[0].ID()))
+	}
+	if err != nil {
+		attrs = append(attrs, slog.String("error", err.Error()), slog.Int("status", s.solveStatus(err)))
+		s.log.Warn("solve failed", attrs...)
+		return
+	}
+	s.log.Debug("solve", attrs...)
 }
 
 // handleStrategies answers GET /v1/strategies.

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/dls"
+	"repro/internal/obs"
 )
 
 // Config parameterizes one simulation run. Zero values take the defaults
@@ -69,6 +70,13 @@ type Config struct {
 	// / done lines in virtual-time order — byte-identical across runs of
 	// the same seeded config).
 	Log io.Writer
+
+	// Trace runs every admitted arrival under an internal/obs trace on
+	// the virtual clock: stage timestamps are virtual times, trace ids are
+	// the sequential arrival ids, and the Report gains a Tracing section
+	// aggregating per-stage totals — all pure functions of the Config, so
+	// traced runs stay byte-deterministic.
+	Trace bool
 }
 
 func (cfg Config) withDefaults() Config {
@@ -139,6 +147,10 @@ type Report struct {
 	Classes        map[string]*ClassReport `json:"classes"`
 	WindowTrace    []WindowSample          `json:"window_trace,omitempty"`
 	Events         int64                   `json:"events"`
+	// Traces counts finished request traces and Tracing aggregates their
+	// stages by name (Config.Trace; virtual-time durations, deterministic).
+	Traces  int64                `json:"traces,omitempty"`
+	Tracing map[string]*StageAgg `json:"tracing,omitempty"`
 
 	// WallSeconds is how long the run took in real time. Excluded from
 	// the JSON: it would break byte-identical determinism.
@@ -160,6 +172,14 @@ type ClassReport struct {
 	MaxMS      float64 `json:"max_ms"`
 }
 
+// StageAgg aggregates one trace stage across a run: how often it was
+// recorded, its total virtual duration and its maximum.
+type StageAgg struct {
+	Count   int64 `json:"count"`
+	TotalNS int64 `json:"total_ns"`
+	MaxNS   int64 `json:"max_ns"`
+}
+
 // WindowSample is one decimated point of the window-size trace.
 type WindowSample struct {
 	TNanos  int64 `json:"t"`
@@ -177,6 +197,7 @@ type arrivalMeta struct {
 	class string
 	kind  string
 	pb    int
+	trace *obs.Trace // Config.Trace: finished where the arrival is answered
 }
 
 // event is one scheduled occurrence on the virtual timeline. seq breaks
@@ -264,6 +285,10 @@ type simulator struct {
 
 	log        *bufio.Writer
 	eventCount int64
+
+	rec      *obs.Recorder // Config.Trace: recorder on the virtual clock
+	traced   int64
+	stageAgg map[string]*StageAgg
 }
 
 // Run executes one simulation.
@@ -297,6 +322,10 @@ func Run(cfg Config) (*Report, error) {
 	}
 	for _, c := range cfg.Classes {
 		s.perClass[c.Name] = &classAcc{}
+	}
+	if cfg.Trace {
+		s.rec = obs.NewRecorder(obs.RecorderConfig{Now: s.clock.Now})
+		s.stageAgg = make(map[string]*StageAgg)
 	}
 	s.buildPool()
 	s.buildShares()
@@ -464,7 +493,14 @@ func (s *simulator) admit(arr Arrival) {
 	}
 	s.logf(`{"t":%d,"e":"arrive","id":%d,"class":%q,"kind":%q,"pb":%d}`+"\n",
 		s.tns(now), meta.id, class, kind, pb)
-	if _, err := s.b.Offer(context.Background(), req, class, meta); err != nil {
+	ctx := context.Background()
+	if s.rec != nil {
+		// Deterministic trace id: the sequential arrival id, zero-padded
+		// to the 32-hex traceparent shape (no randomness in traced runs).
+		meta.trace = s.rec.StartTrace(kind, fmt.Sprintf("%032x", uint64(meta.id)), "")
+		ctx = obs.ContextWithTrace(ctx, meta.trace)
+	}
+	if _, err := s.b.Offer(ctx, req, class, meta); err != nil {
 		s.err = fmt.Errorf("sim: offer: %w", err)
 		return
 	}
@@ -524,6 +560,8 @@ func (s *simulator) onShed(class string, tag any, err error) {
 	id := int64(0)
 	if m, ok := tag.(*arrivalMeta); ok {
 		id = m.id
+		m.trace.Annotate(obs.Bool("shed", true))
+		s.finishTrace(m)
 	}
 	s.logf(`{"t":%d,"e":"shed","id":%d,"class":%q,"slo":%t}`+"\n",
 		s.tns(s.clock.Now()), id, class, slo)
@@ -634,6 +672,8 @@ func (s *simulator) failWindow(w *dls.Window) {
 			if acc := s.perClass[m.class]; acc != nil {
 				acc.failed++
 			}
+			m.trace.Annotate(obs.String("error", ErrReplicaCrashed.Error()))
+			s.finishTrace(m)
 		}
 	}
 	s.crashFailed += int64(w.Size())
@@ -663,6 +703,7 @@ func (s *simulator) finishService(j *job, cost time.Duration) {
 		if !ok {
 			continue
 		}
+		s.finishTrace(m)
 		acc := s.perClass[m.class]
 		if acc == nil {
 			continue
@@ -714,6 +755,31 @@ func (s *simulator) sampleWindow(w *dls.Window) {
 	s.flushIdx++
 }
 
+// finishTrace seals one arrival's trace into the recorder and folds its
+// stages into the per-stage aggregates for the Report. Events fire in
+// deterministic virtual-time order, so the aggregates are a pure
+// function of the Config.
+func (s *simulator) finishTrace(m *arrivalMeta) {
+	if s.rec == nil || m.trace == nil {
+		return
+	}
+	d := s.rec.Finish(m.trace)
+	m.trace = nil
+	s.traced++
+	for _, st := range d.Stages {
+		agg := s.stageAgg[st.Name]
+		if agg == nil {
+			agg = &StageAgg{}
+			s.stageAgg[st.Name] = agg
+		}
+		agg.Count++
+		agg.TotalNS += st.DurationNS
+		if st.DurationNS > agg.MaxNS {
+			agg.MaxNS = st.DurationNS
+		}
+	}
+}
+
 func (s *simulator) tns(t time.Time) int64 { return t.Sub(Epoch).Nanoseconds() }
 
 func (s *simulator) logf(format string, args ...any) {
@@ -745,6 +811,8 @@ func (s *simulator) report() *Report {
 		Classes:        make(map[string]*ClassReport, len(s.perClass)),
 		WindowTrace:    s.trace,
 		Events:         s.eventCount,
+		Traces:         s.traced,
+		Tracing:        s.stageAgg,
 	}
 	if s.flushes > 0 {
 		rep.AvgWindowFill = float64(s.sizeSum) / float64(s.flushes)

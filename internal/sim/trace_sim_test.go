@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestRunTracingDeterministic extends the determinism property to traced
+// runs: with Config.Trace on, stage timestamps come from the virtual
+// clock and trace ids from the sequential arrival counter, so the report
+// — now including the Tracing aggregates — stays byte-identical across
+// identically seeded runs.
+func TestRunTracingDeterministic(t *testing.T) {
+	run := func() ([]byte, []byte) {
+		t.Helper()
+		var log bytes.Buffer
+		rep, err := Run(Config{
+			Seed:        11,
+			MaxArrivals: 10000,
+			Process:     burstProcess(),
+			Trace:       true,
+			Log:         &log,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return log.Bytes(), js
+	}
+	log1, rep1 := run()
+	log2, rep2 := run()
+	if !bytes.Equal(log1, log2) {
+		t.Fatal("event logs differ between identically seeded traced runs")
+	}
+	if !bytes.Equal(rep1, rep2) {
+		t.Fatalf("traced reports differ between identically seeded runs:\n%s\n%s", rep1, rep2)
+	}
+	if !bytes.Contains(rep1, []byte(`"tracing"`)) {
+		t.Fatal("traced report carries no tracing section")
+	}
+}
+
+// TestRunTracingAccounting checks the virtual-time trace aggregates: every
+// answered arrival is traced, the batcher stages appear with sane virtual
+// durations, and untraced runs omit the section entirely.
+func TestRunTracingAccounting(t *testing.T) {
+	cfg := Config{Seed: 3, MaxArrivals: 5000, Process: &Poisson{Rate: 8000}, Trace: true}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every arrival is answered somewhere — completion, shed, or crash —
+	// and each answer finishes its trace.
+	if rep.Traces != rep.Arrivals {
+		t.Errorf("Traces = %d, want every arrival (%d)", rep.Traces, rep.Arrivals)
+	}
+	for _, stage := range []string{"queue_wait", "window_wait", "solve"} {
+		agg := rep.Tracing[stage]
+		if agg == nil {
+			t.Fatalf("stage %q missing from tracing section: %v", stage, rep.Tracing)
+		}
+		if agg.Count <= 0 || agg.TotalNS < 0 || agg.MaxNS < agg.TotalNS/agg.Count {
+			t.Errorf("stage %q aggregate inconsistent: %+v", stage, agg)
+		}
+	}
+	// The solve stage spans the virtual service time, which the cost
+	// model keeps strictly positive.
+	if solve := rep.Tracing["solve"]; solve.TotalNS <= 0 {
+		t.Errorf("solve stage total = %d ns, want > 0 virtual time", solve.TotalNS)
+	}
+	// Completed arrivals' solve stages are bounded by the run's horizon.
+	if max := rep.Tracing["solve"].MaxNS; max > int64(time.Duration(rep.VirtualSeconds*float64(time.Second))) {
+		t.Errorf("solve max %dns exceeds the whole virtual run", max)
+	}
+
+	cfg.Trace = false
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Traces != 0 || plain.Tracing != nil {
+		t.Errorf("untraced run reports tracing: traces=%d tracing=%v", plain.Traces, plain.Tracing)
+	}
+}

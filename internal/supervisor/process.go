@@ -2,10 +2,13 @@ package supervisor
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/exec"
+	"strings"
 	"sync"
 )
 
@@ -73,6 +76,61 @@ func ExecStarter(binary string, args []string, host string, logs io.Writer) Star
 		}()
 		return p, nil
 	}
+}
+
+// ExecStarterLog is ExecStarter with the per-replica capture routed into
+// a structured logger instead of a raw writer: every replica output line
+// becomes one record carrying slot and port attrs — the structured
+// analogue of the "[slot-N:port] " prefix, so JSON fleet logs stay
+// machine-attributable. lg may be nil to discard replica output.
+func ExecStarterLog(binary string, args []string, host string, lg *slog.Logger) Starter {
+	var mu sync.Mutex // one writer mutex across all replicas
+	return func(slot, port int) (Process, error) {
+		full := append(append([]string(nil), args...), "-addr", fmt.Sprintf("%s:%d", host, port))
+		cmd := exec.Command(binary, full...)
+		if lg != nil {
+			w := &slogWriter{
+				mu: &mu,
+				lg: lg.With(slog.Int("slot", slot), slog.Int("port", port)),
+			}
+			cmd.Stdout = w
+			cmd.Stderr = w
+		}
+		if err := cmd.Start(); err != nil {
+			return nil, fmt.Errorf("supervisor: start slot %d on port %d: %w", slot, port, err)
+		}
+		p := &execProcess{cmd: cmd, done: make(chan struct{})}
+		go func() {
+			p.err = cmd.Wait()
+			close(p.done)
+		}()
+		return p, nil
+	}
+}
+
+// slogWriter emits each complete replica output line as one log record,
+// buffering partial lines between writes (same discipline as
+// prefixWriter; one mutex across the fleet keeps records whole).
+type slogWriter struct {
+	mu  *sync.Mutex
+	lg  *slog.Logger
+	buf bytes.Buffer
+}
+
+func (w *slogWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf.Write(p)
+	for {
+		line, err := w.buf.ReadBytes('\n')
+		if err != nil {
+			// Partial line: keep it buffered for the next write.
+			w.buf.Write(line)
+			break
+		}
+		w.lg.LogAttrs(context.Background(), slog.LevelInfo, strings.TrimRight(string(line), "\n"))
+	}
+	return len(p), nil
 }
 
 // prefixWriter prepends a per-replica prefix to every output line,
